@@ -1,0 +1,21 @@
+//! Comparison systems for the RStore evaluation.
+//!
+//! Every baseline the paper measures against is implemented (or, where the
+//! original is a disk-era software stack, modeled) here:
+//!
+//! * [`twosided`] — a server-CPU-mediated in-memory store on the *same*
+//!   simulated fabric and NICs as RStore. Isolates the cost of two-sided
+//!   data paths (experiment E3).
+//! * [`msg_graph`] — Pregel-style message-passing PageRank, standing in for
+//!   the "state-of-the-art systems" of the paper's 2.6–4.2× claim
+//!   (experiment E6).
+//! * [`hadoop`] — an analytic Hadoop TeraSort cost model with disk spills,
+//!   TCP shuffle, and replicated HDFS output (experiment E8).
+
+pub mod hadoop;
+pub mod msg_graph;
+pub mod twosided;
+
+pub use hadoop::{terasort_time, HadoopConfig, TeraSortEstimate};
+pub use msg_graph::{MsgGraphCost, MsgPageRankConfig, MsgPageRankOutcome};
+pub use twosided::{TwoSidedClient, TwoSidedCost};

@@ -1,0 +1,274 @@
+//! A two-sided (server-CPU-mediated) in-memory store.
+//!
+//! This is the design RStore argues against: every read and write is an RPC
+//! that wakes a server thread, parses a request, performs a memcpy, and
+//! sends a response. It reuses the exact same fabric, NICs and RPC machinery
+//! as RStore's *control* path — so the latency gap measured in experiment E3
+//! isolates precisely the cost of putting a CPU on the data path.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use fabric::NodeId;
+use rdma::{DmaBuf, RdmaDevice};
+use rstore::rpc::{spawn_rpc_server, RpcClient};
+use rstore::{RStoreError, Result};
+
+/// Service id of the two-sided store.
+pub const TWOSIDED_SERVICE: u16 = 10;
+
+/// Server-side CPU cost model.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoSidedCost {
+    /// Fixed cost per request (dispatch, parse, respond).
+    pub per_request: Duration,
+    /// Copy cost per KiB moved (request parsing + memcpy into/out of the
+    /// store).
+    pub per_kib: Duration,
+}
+
+impl Default for TwoSidedCost {
+    fn default() -> Self {
+        TwoSidedCost {
+            per_request: Duration::from_micros(2),
+            per_kib: Duration::from_nanos(30),
+        }
+    }
+}
+
+impl TwoSidedCost {
+    fn request(&self, bytes: u64) -> Duration {
+        self.per_request + Duration::from_nanos(self.per_kib.as_nanos() as u64 * bytes / 1024)
+    }
+}
+
+// Request encoding: [0, offset u64, len u64] = read; [1, offset u64, data..] = write.
+// Response: [0, data..] = ok; [1] = error.
+
+/// Starts a two-sided store server donating `capacity` bytes on `dev`.
+///
+/// # Errors
+///
+/// Service-id collisions or allocation failures.
+pub fn spawn_server(dev: &RdmaDevice, capacity: u64, cost: TwoSidedCost) -> Result<()> {
+    let backing = dev.alloc(capacity)?;
+    let sim = dev.sim().clone();
+    let dev2 = dev.clone();
+    spawn_rpc_server(
+        dev,
+        TWOSIDED_SERVICE,
+        Duration::ZERO, // costs are charged per-op below, size-dependent
+        Rc::new(move |_peer, req: Vec<u8>| {
+            let dev = dev2.clone();
+            let sim = sim.clone();
+            Box::pin(async move {
+                let reply = handle(&dev, backing, &sim, cost, &req).await;
+                match reply {
+                    Ok(mut data) => {
+                        let mut out = vec![0u8];
+                        out.append(&mut data);
+                        out
+                    }
+                    Err(_) => vec![1u8],
+                }
+            })
+        }),
+    )
+}
+
+async fn handle(
+    dev: &RdmaDevice,
+    backing: DmaBuf,
+    sim: &sim::Sim,
+    cost: TwoSidedCost,
+    req: &[u8],
+) -> Result<Vec<u8>> {
+    let bad = || RStoreError::Protocol("malformed two-sided request".into());
+    if req.is_empty() {
+        return Err(bad());
+    }
+    match req[0] {
+        0 => {
+            if req.len() != 17 {
+                return Err(bad());
+            }
+            let offset = u64::from_le_bytes(req[1..9].try_into().expect("8"));
+            let len = u64::from_le_bytes(req[9..17].try_into().expect("8"));
+            if offset + len > backing.len {
+                return Err(bad());
+            }
+            sim.sleep(cost.request(len)).await;
+            Ok(dev.read_mem(backing.addr + offset, len)?)
+        }
+        1 => {
+            if req.len() < 9 {
+                return Err(bad());
+            }
+            let offset = u64::from_le_bytes(req[1..9].try_into().expect("8"));
+            let data = &req[9..];
+            if offset + data.len() as u64 > backing.len {
+                return Err(bad());
+            }
+            sim.sleep(cost.request(data.len() as u64)).await;
+            dev.write_mem(backing.addr + offset, data)?;
+            Ok(Vec::new())
+        }
+        _ => Err(bad()),
+    }
+}
+
+/// Client handle to a two-sided store server.
+pub struct TwoSidedClient {
+    rpc: RefCell<RpcClient>,
+    server: NodeId,
+}
+
+impl std::fmt::Debug for TwoSidedClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TwoSidedClient")
+            .field("server", &self.server)
+            .finish()
+    }
+}
+
+#[allow(clippy::await_holding_refcell_ref)] // single-threaded sim; one call at a time
+impl TwoSidedClient {
+    /// Connects to the store on `server`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub async fn connect(dev: &RdmaDevice, server: NodeId) -> Result<TwoSidedClient> {
+        Ok(TwoSidedClient {
+            rpc: RefCell::new(RpcClient::connect(dev, server, TWOSIDED_SERVICE).await?),
+            server,
+        })
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Remote`] on a server-side rejection, transport errors
+    /// otherwise.
+    pub async fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let mut req = vec![0u8];
+        req.extend_from_slice(&offset.to_le_bytes());
+        req.extend_from_slice(&len.to_le_bytes());
+        let resp = self.rpc.borrow_mut().call(&req).await?;
+        match resp.first() {
+            Some(0) => Ok(resp[1..].to_vec()),
+            _ => Err(RStoreError::Remote("two-sided read rejected".into())),
+        }
+    }
+
+    /// Writes `data` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TwoSidedClient::read`].
+    pub async fn write(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let mut req = vec![1u8];
+        req.extend_from_slice(&offset.to_le_bytes());
+        req.extend_from_slice(data);
+        let resp = self.rpc.borrow_mut().call(&req).await?;
+        match resp.first() {
+            Some(0) => Ok(()),
+            _ => Err(RStoreError::Remote("two-sided write rejected".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Fabric, FabricConfig};
+    use rdma::RdmaConfig;
+    use sim::Sim;
+
+    fn setup() -> (Sim, RdmaDevice, RdmaDevice) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), FabricConfig::default());
+        let server = RdmaDevice::new(&fabric, RdmaConfig::default());
+        let client = RdmaDevice::new(&fabric, RdmaConfig::default());
+        (sim, server, client)
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let (sim, server, client) = setup();
+        spawn_server(&server, 1 << 20, TwoSidedCost::default()).unwrap();
+        let node = server.node();
+        let out = sim.block_on(async move {
+            let c = TwoSidedClient::connect(&client, node).await.unwrap();
+            c.write(100, b"two-sided data").await.unwrap();
+            c.read(100, 14).await.unwrap()
+        });
+        assert_eq!(out, b"two-sided data");
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (sim, server, client) = setup();
+        spawn_server(&server, 1024, TwoSidedCost::default()).unwrap();
+        let node = server.node();
+        let err = sim.block_on(async move {
+            let c = TwoSidedClient::connect(&client, node).await.unwrap();
+            c.read(1000, 100).await.err().unwrap()
+        });
+        assert!(matches!(err, RStoreError::Remote(_)));
+    }
+
+    #[test]
+    fn two_sided_read_is_slower_than_one_sided() {
+        // The E3 effect in miniature: same fabric, same NICs; the two-sided
+        // read pays server CPU + two-sided protocol.
+        let (sim, server, client) = setup();
+        spawn_server(&server, 1 << 20, TwoSidedCost::default()).unwrap();
+        let node = server.node();
+        let two_sided = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let c = TwoSidedClient::connect(&client, node).await.unwrap();
+                c.read(0, 64).await.unwrap(); // warm
+                let t0 = sim.now();
+                for _ in 0..10 {
+                    c.read(0, 64).await.unwrap();
+                }
+                (sim.now() - t0) / 10
+            }
+        });
+
+        // One-sided read of the same size on a fresh pair.
+        let (sim, server, client) = setup();
+        let buf = server.alloc(1 << 20).unwrap();
+        let mr = server.reg_mr(buf, rdma::Access::REMOTE_READ).unwrap();
+        let one_sided = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let cq = rdma::CompletionQueue::new();
+                let qp = client.connect(mr.node, {
+                    // data service: use a raw listener on the server side
+                    let mut l = server.listen(42).unwrap();
+                    let scq = rdma::CompletionQueue::new();
+                    server.sim().spawn(async move { l.accept(&scq).await.unwrap() });
+                    42
+                }, &cq).await.unwrap();
+                let dst = client.alloc(64).unwrap();
+                qp.post_read(1, dst, mr.token().at(0, 64).unwrap()).unwrap();
+                cq.next().await; // warm
+                let t0 = sim.now();
+                for i in 0..10 {
+                    qp.post_read(2 + i, dst, mr.token().at(0, 64).unwrap()).unwrap();
+                    cq.next().await;
+                }
+                (sim.now() - t0) / 10
+            }
+        });
+        assert!(
+            two_sided > one_sided * 2,
+            "two-sided {two_sided:?} should be >2x one-sided {one_sided:?}"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures all          # every experiment, E1..E9
+//! figures e1 e4 e8     # a selection
+//! ```
+
+use bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        let start = std::time::Instant::now();
+        for t in experiments::run(id) {
+            println!("{t}");
+        }
+        eprintln!("[{id} took {:.1}s wall]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,131 @@
+//! E7 — graph framework scaling and the full algorithm suite.
+//!
+//! Table A: PageRank per-superstep time vs worker count (strong scaling).
+//! Table B: BFS / WCC / SSSP runtimes and superstep counts at 8 workers.
+
+use rgraph::{bfs, pagerank, sssp, wcc, BfsConfig, GraphStore, JacobiConfig, PageRankConfig};
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
+use workload::{rmat_graph, uniform_graph, CsrGraph};
+
+use crate::table::{fmt_dur, Table};
+
+/// Runs E7.
+pub fn run() -> Vec<Table> {
+    vec![strong_scaling(), algorithm_suite()]
+}
+
+fn boot(workers: usize) -> Cluster {
+    Cluster::boot(ClusterConfig {
+        clients: workers,
+        ..ClusterConfig::with_servers(8)
+    })
+    .expect("boot")
+}
+
+fn publish(cluster: &Cluster, name: &str, g: &CsrGraph) {
+    let sim = cluster.sim.clone();
+    let dev = cluster.client_devs[0].clone();
+    let master = cluster.master_node();
+    let g = g.clone();
+    let name = name.to_owned();
+    sim.block_on(async move {
+        let loader = RStoreClient::connect(&dev, master).await.expect("c");
+        let opts = AllocOptions {
+            stripe_size: 1 << 20,
+            ..AllocOptions::default()
+        };
+        GraphStore::publish(&loader, &name, &g, opts).await.expect("publish");
+    });
+}
+
+fn strong_scaling() -> Table {
+    let mut t = Table::new(
+        "E7a: PageRank superstep time vs workers (rmat-16, deg 24, 5 iters)",
+        &["workers", "superstep mean", "total", "speedup"],
+    );
+    let g = rmat_graph(16, 24 * (1 << 16), 21);
+    let mut base = 0.0;
+    for &workers in &[2usize, 4, 8, 12] {
+        let cluster = boot(workers);
+        publish(&cluster, "e7", &g);
+        let sim = cluster.sim.clone();
+        let devs = cluster.client_devs.clone();
+        let master = cluster.master_node();
+        let out = sim.block_on(async move {
+            let cfg = PageRankConfig {
+                iters: 5,
+                ..PageRankConfig::default()
+            };
+            pagerank::run(&devs, master, "e7", cfg).await.expect("run")
+        });
+        let mean = out.superstep_mean();
+        if base == 0.0 {
+            base = mean.as_secs_f64();
+        }
+        t.row(vec![
+            workers.to_string(),
+            fmt_dur(mean),
+            fmt_dur(out.total),
+            format!("{:.2}x", base / mean.as_secs_f64()),
+        ]);
+    }
+    t
+}
+
+fn algorithm_suite() -> Table {
+    let mut t = Table::new(
+        "E7b: algorithm suite at 8 workers (uniform graph, 32k vertices, 256k edges)",
+        &["algorithm", "supersteps", "total"],
+    );
+    let g = uniform_graph(1 << 15, 1 << 18, 33);
+    let cluster = boot(8);
+    publish(&cluster, "suite", &g);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let rows = sim.block_on(async move {
+        let mut rows = Vec::new();
+        let pr = pagerank::run(
+            &devs,
+            master,
+            "suite",
+            PageRankConfig {
+                iters: 5,
+                ..PageRankConfig::default()
+            },
+        )
+        .await
+        .expect("pagerank");
+        rows.push(("pagerank(5)".to_string(), 5usize, pr.total));
+
+        let b = bfs::run(&devs, master, "suite", 0, BfsConfig::default())
+            .await
+            .expect("bfs");
+        rows.push(("bfs".to_string(), b.supersteps, b.total));
+
+        let w = wcc::run(&devs, master, "suite", JacobiConfig::default())
+            .await
+            .expect("wcc");
+        rows.push(("wcc".to_string(), w.supersteps, w.total));
+
+        let s = sssp::run(
+            &devs,
+            master,
+            "suite",
+            0,
+            JacobiConfig {
+                job_nonce: 1,
+                ..JacobiConfig::default()
+            },
+        )
+        .await
+        .expect("sssp");
+        rows.push(("sssp".to_string(), s.supersteps, s.total));
+        rows
+    });
+    for (name, steps, total) in rows {
+        t.row(vec![name, steps.to_string(), fmt_dur(total)]);
+    }
+    t.note("all four kernels verified against single-node references in rgraph's tests");
+    t
+}

@@ -1,0 +1,136 @@
+//! E8 — the 256 GB sort (claim C5: 31.7 s, 8× better than Hadoop TeraSort).
+//!
+//! Three parts:
+//! 1. a **real, verified** sort at laptop scale (correctness anchor),
+//! 2. the **fluid-mode** 256 GB run on 12 workers + 12 memory servers
+//!    (identical code path, synthetic payloads), and
+//! 3. the Hadoop TeraSort **cost model** on 12 nodes for the ratio.
+
+use baseline::hadoop::{terasort_time, HadoopConfig};
+use fabric::FabricConfig;
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient, ServerConfig};
+use rsort::{distributed, SortConfig, SortMode, SortOutcome};
+use workload::{is_sorted, teragen};
+
+use crate::table::{fmt_dur, Table};
+
+/// Runs E8.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8: 256 GB Key-Value sort — RStore sorter vs Hadoop TeraSort model",
+        &["system", "phase", "time"],
+    );
+
+    // Part 1: verified correctness at small scale.
+    let verified = real_verified_sort();
+    t.row(vec![
+        "rsort (real, 10 MB)".into(),
+        "verified sorted".into(),
+        verified.to_string(),
+    ]);
+
+    // Part 2: 256 GB fluid run.
+    let outcome = fluid_sort(256u64 << 30, 12);
+    t.row(vec!["rsort 256GB".into(), "sample".into(), fmt_dur(outcome.phases.sample)]);
+    t.row(vec![
+        "rsort 256GB".into(),
+        "partition+count".into(),
+        fmt_dur(outcome.phases.partition),
+    ]);
+    t.row(vec![
+        "rsort 256GB".into(),
+        "one-sided shuffle".into(),
+        fmt_dur(outcome.phases.shuffle),
+    ]);
+    t.row(vec![
+        "rsort 256GB".into(),
+        "local sort".into(),
+        fmt_dur(outcome.phases.local_sort),
+    ]);
+    t.row(vec![
+        "rsort 256GB".into(),
+        "TOTAL".into(),
+        fmt_dur(outcome.total),
+    ]);
+
+    // Part 3: Hadoop model.
+    let est = terasort_time(&HadoopConfig::default(), 256 << 30);
+    t.row(vec!["hadoop 256GB".into(), "startup".into(), fmt_dur(est.startup)]);
+    t.row(vec!["hadoop 256GB".into(), "map".into(), fmt_dur(est.map)]);
+    t.row(vec!["hadoop 256GB".into(), "shuffle".into(), fmt_dur(est.shuffle)]);
+    t.row(vec!["hadoop 256GB".into(), "reduce".into(), fmt_dur(est.reduce)]);
+    t.row(vec!["hadoop 256GB".into(), "output(x3)".into(), fmt_dur(est.output)]);
+    t.row(vec!["hadoop 256GB".into(), "TOTAL".into(), fmt_dur(est.total())]);
+
+    let ratio = est.total().as_secs_f64() / outcome.total.as_secs_f64();
+    t.row(vec![
+        "ratio".into(),
+        "hadoop / rsort".into(),
+        format!("{ratio:.1}x"),
+    ]);
+    t.note("paper claim C5: 256 GB in 31.7 s, 8x better than Hadoop TeraSort");
+    vec![t]
+}
+
+/// Real small-scale sort; returns whether the output verified.
+pub fn real_verified_sort() -> bool {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 12,
+        ..ClusterConfig::with_servers(4)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await.expect("c");
+        let cfg = SortConfig {
+            opts: AllocOptions {
+                stripe_size: 1 << 20,
+                ..AllocOptions::default()
+            },
+            ..SortConfig::default()
+        };
+        let input = teragen(100_000, 42); // 10 MB
+        distributed::load_input(&loader, &cfg, &input).await.expect("load");
+        distributed::run(&devs, master, cfg).await.expect("sort");
+        let out = loader.map("sort/output").await.expect("map");
+        let bytes = out.read(0, out.size()).await.expect("read");
+        is_sorted(&bytes) && bytes.len() == input.len()
+    })
+}
+
+/// Fluid-mode sort of `bytes` on `workers` workers (+ equal servers).
+pub fn fluid_sort(bytes: u64, workers: usize) -> SortOutcome {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: workers,
+        fabric: FabricConfig::fluid(),
+        server: ServerConfig {
+            // Input + output regions at 256 GB need ~43 GiB per server.
+            donate: 56 << 30,
+            ..ServerConfig::default()
+        },
+        ..ClusterConfig::with_servers(workers)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await.expect("c");
+        let cfg = SortConfig {
+            mode: SortMode::Fluid,
+            io_chunk: 64 << 20,
+            opts: AllocOptions {
+                stripe_size: 64 << 20,
+                ..AllocOptions::default()
+            },
+            ..SortConfig::default()
+        };
+        let records = bytes / workload::RECORD_BYTES as u64;
+        distributed::create_fluid_input(&loader, &cfg, records)
+            .await
+            .expect("input");
+        distributed::run(&devs, master, cfg).await.expect("sort")
+    })
+}

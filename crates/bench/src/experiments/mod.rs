@@ -1,0 +1,39 @@
+//! The nine experiments of the reproduction (see `DESIGN.md`'s
+//! per-experiment index). Each returns one or more [`Table`]s; the
+//! `figures` binary prints them, and `EXPERIMENTS.md` records
+//! paper-vs-measured.
+
+pub mod e1_verbs;
+pub mod e2_control;
+pub mod e3_datapath;
+pub mod e4_bandwidth;
+pub mod e5_ablation;
+pub mod e6_pagerank;
+pub mod e7_scaling;
+pub mod e8_sort;
+pub mod e9_sort_scaling;
+
+use crate::table::Table;
+
+/// Runs one experiment by id (`"e1"`..`"e9"`), returning its tables.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e1_verbs::run(),
+        "e2" => e2_control::run(),
+        "e3" => e3_datapath::run(),
+        "e4" => e4_bandwidth::run(),
+        "e5" => e5_ablation::run(),
+        "e6" => e6_pagerank::run(),
+        "e7" => e7_scaling::run(),
+        "e8" => e8_sort::run(),
+        "e9" => e9_sort_scaling::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e9)"),
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];

@@ -1,0 +1,19 @@
+//! Benchmark harness for the RStore reproduction.
+//!
+//! [`experiments`] holds one module per reproduced table/figure (E1–E9,
+//! indexed in `DESIGN.md`); the `figures` binary prints them:
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- all
+//! cargo run -p bench --release --bin figures -- e4 e6
+//! ```
+//!
+//! The Criterion benches under `benches/` track the *real-time* cost of the
+//! simulator on representative experiment kernels (the experiments
+//! themselves are measured in deterministic virtual time, so Criterion's
+//! statistics apply to the engine, not the paper's claims).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

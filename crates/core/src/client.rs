@@ -1,0 +1,342 @@
+//! The RStore client: control-path calls to the master, plus the machinery
+//! shared by all of a client's regions (data completion routing, connection
+//! cache, outstanding-IO accounting).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use fabric::NodeId;
+use rdma::{CompletionQueue, CqStatus, Qp, RdmaDevice};
+use sim::channel::oneshot;
+use sim::sync::{Semaphore, WaitGroup};
+use sim::Sim;
+
+use crate::error::{RStoreError, Result};
+use crate::proto::{AllocOptions, ClusterStats, CtrlReq, CtrlResp, RegionDesc, RegionState};
+use crate::region::Region;
+use crate::rpc::RpcClient;
+use crate::{CTRL_SERVICE, DATA_SERVICE};
+
+pub(crate) struct ClientShared {
+    pub dev: RdmaDevice,
+    pub sim: Sim,
+    master: NodeId,
+    ctrl_sem: Semaphore,
+    ctrl: RefCell<Option<RpcClient>>,
+    pub data_cq: CompletionQueue,
+    pub pending: RefCell<HashMap<u64, oneshot::Sender<CqStatus>>>,
+    pub next_wr: Cell<u64>,
+    pub conns: RefCell<HashMap<u32, Qp>>,
+    pub outstanding: WaitGroup,
+}
+
+/// A handle to the RStore service.
+///
+/// Obtained with [`RStoreClient::connect`]; cheap to clone. The client owns
+/// one control connection to the master and a cache of data-path queue pairs
+/// to memory servers — establishing those is setup; using them is the
+/// one-sided fast path.
+///
+/// This is the paper's "memory-like API": [`alloc`](Self::alloc) a named
+/// region of distributed DRAM, [`map`](Self::map) it from any client, then
+/// read/write it like memory through [`Region`].
+#[derive(Clone)]
+pub struct RStoreClient {
+    pub(crate) shared: Rc<ClientShared>,
+}
+
+impl fmt::Debug for RStoreClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RStoreClient")
+            .field("node", &self.shared.dev.node())
+            .field("master", &self.shared.master)
+            .field("data_conns", &self.shared.conns.borrow().len())
+            .finish()
+    }
+}
+
+impl RStoreClient {
+    /// Connects to the master and starts the client's completion router.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from the verbs layer.
+    pub async fn connect(dev: &RdmaDevice, master: NodeId) -> Result<RStoreClient> {
+        let ctrl = RpcClient::connect(dev, master, CTRL_SERVICE).await?;
+        let shared = Rc::new(ClientShared {
+            dev: dev.clone(),
+            sim: dev.sim().clone(),
+            master,
+            ctrl_sem: Semaphore::new(1),
+            ctrl: RefCell::new(Some(ctrl)),
+            data_cq: CompletionQueue::new(),
+            pending: RefCell::new(HashMap::new()),
+            next_wr: Cell::new(1),
+            conns: RefCell::new(HashMap::new()),
+            outstanding: WaitGroup::new(),
+        });
+
+        // Completion router: forwards every data CQE to the waiter that
+        // posted the work request.
+        let s = shared.clone();
+        shared.sim.spawn(async move {
+            loop {
+                let cqe = s.data_cq.next().await;
+                s.outstanding.done();
+                if let Some(tx) = s.pending.borrow_mut().remove(&cqe.wr_id) {
+                    tx.send(cqe.status);
+                }
+            }
+        });
+
+        Ok(RStoreClient { shared })
+    }
+
+    /// The client's RDMA device (for allocating IO buffers used with the
+    /// zero-copy region calls).
+    pub fn device(&self) -> &RdmaDevice {
+        &self.shared.dev
+    }
+
+    /// Allocates a named region of distributed memory and maps it.
+    ///
+    /// This is a control-path operation: the master places stripes on memory
+    /// servers, the servers pin and register memory, and the client connects
+    /// to every involved server — all before the call returns, so that
+    /// subsequent IO is pure one-sided RDMA.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NameExists`], [`RStoreError::InsufficientCapacity`],
+    /// [`RStoreError::NotEnoughServers`], or transport errors.
+    pub async fn alloc(&self, name: &str, size: u64, opts: AllocOptions) -> Result<Region> {
+        let resp = self
+            .ctrl_call(CtrlReq::Alloc {
+                name: name.to_owned(),
+                size,
+                opts,
+            })
+            .await?;
+        match resp {
+            CtrlResp::Region(desc) => self.region_from_desc(desc).await,
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected alloc response".into())),
+        }
+    }
+
+    /// Maps an existing region by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown and
+    /// [`RStoreError::Degraded`] if any of its memory servers is down (use
+    /// [`RStoreClient::map_degraded`] to map anyway).
+    pub async fn map(&self, name: &str) -> Result<Region> {
+        let desc = self.lookup(name).await?;
+        if desc.state == RegionState::Degraded {
+            return Err(RStoreError::Degraded(name.to_owned()));
+        }
+        self.region_from_desc(desc).await
+    }
+
+    /// Maps a region even if some of its servers are down. Reads served by
+    /// replicas may still succeed; IO touching dead servers fails.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown.
+    pub async fn map_degraded(&self, name: &str) -> Result<Region> {
+        let desc = self.lookup(name).await?;
+        self.region_from_desc(desc).await
+    }
+
+    /// Extends an existing region by `additional` bytes and returns a
+    /// re-mapped [`Region`] covering the new size. Previously returned
+    /// handles remain valid for the old range; existing data is untouched.
+    ///
+    /// The new stripes reuse the region's stripe size; `opts` supplies the
+    /// placement policy and replication for them.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`], [`RStoreError::InsufficientCapacity`], or
+    /// transport errors.
+    pub async fn grow(&self, name: &str, additional: u64, opts: AllocOptions) -> Result<Region> {
+        let resp = self
+            .ctrl_call(CtrlReq::Grow {
+                name: name.to_owned(),
+                additional,
+                opts,
+            })
+            .await?;
+        match resp {
+            CtrlResp::Region(desc) => self.region_from_desc(desc).await,
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected grow response".into())),
+        }
+    }
+
+    /// Fetches a region descriptor without establishing data connections.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown.
+    pub async fn lookup(&self, name: &str) -> Result<RegionDesc> {
+        let resp = self
+            .ctrl_call(CtrlReq::Lookup {
+                name: name.to_owned(),
+            })
+            .await?;
+        match resp {
+            CtrlResp::Region(desc) => Ok(desc),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected lookup response".into())),
+        }
+    }
+
+    /// Destroys a region, reclaiming server memory. Existing [`Region`]
+    /// handles become invalid (their IO will fail with access errors).
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown.
+    pub async fn free(&self, name: &str) -> Result<()> {
+        let resp = self
+            .ctrl_call(CtrlReq::Free {
+                name: name.to_owned(),
+            })
+            .await?;
+        match resp {
+            CtrlResp::Ok => Ok(()),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected free response".into())),
+        }
+    }
+
+    /// Cluster statistics from the master.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub async fn stats(&self) -> Result<ClusterStats> {
+        match self.ctrl_call(CtrlReq::Stat).await? {
+            CtrlResp::Stats(s) => Ok(s),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected stat response".into())),
+        }
+    }
+
+    /// Waits until every outstanding asynchronous IO posted through this
+    /// client has completed (the paper's `r_sync`).
+    pub async fn sync(&self) {
+        self.shared.outstanding.wait().await;
+    }
+
+    #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim; semaphore-guarded
+    async fn ctrl_call(&self, req: CtrlReq) -> Result<CtrlResp> {
+        let s = &self.shared;
+        s.ctrl_sem.acquire().await;
+        let result = async {
+            let mut conn = match s.ctrl.borrow_mut().take() {
+                Some(c) => c,
+                None => RpcClient::connect(&s.dev, s.master, CTRL_SERVICE).await?,
+            };
+            match conn.call(&req.encode()).await {
+                Ok(bytes) => {
+                    *s.ctrl.borrow_mut() = Some(conn);
+                    CtrlResp::decode(&bytes)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        .await;
+        s.ctrl_sem.release();
+        result
+    }
+
+    /// Builds a [`Region`], eagerly connecting to every server in the
+    /// descriptor (setup!), so the data path never has to.
+    async fn region_from_desc(&self, desc: RegionDesc) -> Result<Region> {
+        let nodes: std::collections::BTreeSet<u32> = desc
+            .groups
+            .iter()
+            .flat_map(|g| &g.replicas)
+            .map(|x| x.node)
+            .collect();
+        for node in nodes {
+            let missing = !self.shared.conns.borrow().contains_key(&node);
+            if missing {
+                match self
+                    .shared
+                    .dev
+                    .connect(NodeId(node), DATA_SERVICE, &self.shared.data_cq)
+                    .await
+                {
+                    Ok(qp) => {
+                        self.shared.conns.borrow_mut().insert(node, qp);
+                    }
+                    Err(e) => {
+                        // A dead server is tolerable for degraded maps; the
+                        // affected stripes will fail at IO time.
+                        if desc.state == RegionState::Healthy {
+                            return Err(e.into());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Region::new(self.clone(), desc))
+    }
+}
+
+/// Maps an error string sent by the master back to a structured error where
+/// recognizable.
+fn remap_err(m: String) -> RStoreError {
+    if m.contains("already exists") {
+        // "region name already exists: \"x\""
+        RStoreError::NameExists(extract_quoted(&m))
+    } else if m.contains("no such region") {
+        RStoreError::NotFound(extract_quoted(&m))
+    } else if m.contains("cannot satisfy allocation") {
+        RStoreError::InsufficientCapacity { requested: 0 }
+    } else if m.contains("replication factor") {
+        RStoreError::NotEnoughServers {
+            replicas: 0,
+            available: 0,
+        }
+    } else {
+        RStoreError::Remote(m)
+    }
+}
+
+fn extract_quoted(m: &str) -> String {
+    m.split('"').nth(1).unwrap_or(m).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remap_recognizes_master_errors() {
+        assert_eq!(
+            remap_err("region name already exists: \"a\"".into()),
+            RStoreError::NameExists("a".into())
+        );
+        assert_eq!(
+            remap_err("no such region: \"b\"".into()),
+            RStoreError::NotFound("b".into())
+        );
+        assert!(matches!(
+            remap_err("cluster cannot satisfy allocation of 5 bytes".into()),
+            RStoreError::InsufficientCapacity { .. }
+        ));
+        assert!(matches!(
+            remap_err("replication factor 3 exceeds live servers (1)".into()),
+            RStoreError::NotEnoughServers { .. }
+        ));
+        assert!(matches!(remap_err("weird".into()), RStoreError::Remote(_)));
+    }
+}

@@ -1,0 +1,144 @@
+//! One-call cluster bootstrap for examples, tests, and benchmarks.
+
+use std::fmt;
+
+use fabric::{Fabric, FabricConfig, NodeId};
+use rdma::{NetMsg, RdmaConfig, RdmaDevice};
+use sim::Sim;
+
+use crate::client::RStoreClient;
+use crate::error::Result;
+use crate::master::{Master, MasterConfig};
+use crate::server::{MemServer, ServerConfig};
+
+/// Parameters for [`Cluster::boot`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of memory servers.
+    pub servers: usize,
+    /// Number of client machines (devices) to pre-create.
+    pub clients: usize,
+    /// Network parameters.
+    pub fabric: FabricConfig,
+    /// NIC parameters (shared by all machines).
+    pub rdma: RdmaConfig,
+    /// Master parameters.
+    pub master: MasterConfig,
+    /// Memory-server parameters.
+    pub server: ServerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            servers: 4,
+            clients: 1,
+            fabric: FabricConfig::default(),
+            rdma: RdmaConfig::default(),
+            master: MasterConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A testbed like the paper's: `n` machines each running a memory server,
+    /// with `clients` separate client machines.
+    pub fn with_servers(n: usize) -> Self {
+        ClusterConfig {
+            servers: n,
+            ..Self::default()
+        }
+    }
+}
+
+/// A booted RStore cluster: master + memory servers + client devices, all on
+/// one simulated fabric.
+pub struct Cluster {
+    /// The simulation everything runs on.
+    pub sim: Sim,
+    /// The shared network.
+    pub fabric: Fabric<NetMsg>,
+    /// The master handle.
+    pub master: Master,
+    /// Memory-server handles.
+    pub servers: Vec<MemServer>,
+    /// Pre-created client devices (one per client machine).
+    pub client_devs: Vec<RdmaDevice>,
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.client_devs.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Boots a cluster on a fresh simulation and waits (in virtual time)
+    /// until every server has registered with the master.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures (e.g. service id collisions).
+    pub fn boot(cfg: ClusterConfig) -> Result<Cluster> {
+        let sim = Sim::new();
+        Self::boot_on(sim, cfg)
+    }
+
+    /// Boots a cluster on an existing simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn boot_on(sim: Sim, cfg: ClusterConfig) -> Result<Cluster> {
+        let fabric = Fabric::new(sim.clone(), cfg.fabric.clone());
+        let master_dev = RdmaDevice::new(&fabric, cfg.rdma.clone());
+        let master = Master::spawn(&master_dev, cfg.master.clone())?;
+
+        let mut servers = Vec::with_capacity(cfg.servers);
+        for _ in 0..cfg.servers {
+            let dev = RdmaDevice::new(&fabric, cfg.rdma.clone());
+            servers.push(MemServer::spawn(&dev, master.node(), cfg.server.clone())?);
+        }
+
+        let client_devs = (0..cfg.clients)
+            .map(|_| RdmaDevice::new(&fabric, cfg.rdma.clone()))
+            .collect();
+
+        let cluster = Cluster {
+            sim: sim.clone(),
+            fabric,
+            master: master.clone(),
+            servers,
+            client_devs,
+        };
+
+        // Let registration traffic drain so callers start from a settled
+        // cluster.
+        let m = master.clone();
+        let n = cfg.servers;
+        sim.block_on(async move { m.wait_for_servers(n).await });
+        Ok(cluster)
+    }
+
+    /// The master's fabric node.
+    pub fn master_node(&self) -> NodeId {
+        self.master.node()
+    }
+
+    /// Connects an [`RStoreClient`] on client machine `i`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub async fn client(&self, i: usize) -> Result<RStoreClient> {
+        RStoreClient::connect(&self.client_devs[i], self.master.node()).await
+    }
+}

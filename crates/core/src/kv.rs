@@ -1,0 +1,586 @@
+//! A key-value interface over a region — the "data store" face of RStore.
+//!
+//! The table is an open-addressed hash map laid out in a single region:
+//! `buckets` fixed-size slots, linear probing. All operations are
+//! one-sided, in the style of Pilaf/FaRM-era RDMA stores:
+//!
+//! * **GET** — one RDMA READ per probed bucket (usually one). The slot's
+//!   seqlock version is stored at both ends of the hot path: a torn read
+//!   (concurrent writer) is detected and retried.
+//! * **PUT / DELETE** — lock the slot with a one-sided compare-and-swap on
+//!   its version (odd = locked), WRITE the payload, release by writing
+//!   version + 2. Writers from any client machine serialize on the CAS; no
+//!   server CPU is ever involved.
+//!
+//! This module is an *extension* beyond the paper's abstract (flagged in
+//! `DESIGN.md`): the paper presents the memory-like API and two
+//! applications; a KV facade is the natural third.
+//!
+//! # Slot layout (`slot_bytes` total)
+//!
+//! ```text
+//! [ version: u64 | klen: u16 | vlen: u16 | pad: u32 | key | value | pad ]
+//! ```
+//!
+//! `version == 0` means never used; even = stable; odd = locked. A
+//! tombstone is `version != 0 && klen == 0` (probing continues past it).
+
+use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RemoteAddr};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::client::RStoreClient;
+use crate::error::{RStoreError, Result};
+use crate::proto::AllocOptions;
+use crate::region::Region;
+use crate::DATA_SERVICE;
+
+const HDR_BYTES: u64 = 16;
+
+/// Configuration for [`KvTable::create`].
+#[derive(Clone, Copy, Debug)]
+pub struct KvConfig {
+    /// Number of buckets (rounded up to a power of two).
+    pub buckets: u64,
+    /// Bytes per slot, including the 16-byte header. Keys + values must fit.
+    pub slot_bytes: u64,
+    /// Maximum linear-probe distance before declaring the table full.
+    pub max_probe: u64,
+    /// Striping/replication for the backing region.
+    pub opts: AllocOptions,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            buckets: 4096,
+            slot_bytes: 256,
+            max_probe: 64,
+            opts: AllocOptions::default(),
+        }
+    }
+}
+
+/// A distributed hash table stored in an RStore region.
+///
+/// Create once with [`KvTable::create`]; open from any client with
+/// [`KvTable::open`]. All clients see the same table; concurrent writers
+/// are safe (per-slot CAS locks).
+pub struct KvTable {
+    region: Region,
+    dev: RdmaDevice,
+    buckets: u64,
+    slot_bytes: u64,
+    max_probe: u64,
+    /// QPs for the atomics (one per server hosting slots), keyed by node.
+    atomic_qps: RefCell<HashMap<u32, Qp>>,
+    atomic_cq: CompletionQueue,
+    scratch: DmaBuf,
+}
+
+impl std::fmt::Debug for KvTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvTable")
+            .field("name", &self.region.name())
+            .field("buckets", &self.buckets)
+            .field("slot_bytes", &self.slot_bytes)
+            .finish()
+    }
+}
+
+fn hash_key(key: &[u8]) -> u64 {
+    // FNV-1a, then a finalizer; deterministic across clients.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+impl KvTable {
+    /// Creates a new table named `name` and opens it.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures, or [`RStoreError::Protocol`] for inconsistent
+    /// configuration.
+    pub async fn create(client: &RStoreClient, name: &str, cfg: KvConfig) -> Result<KvTable> {
+        if cfg.slot_bytes <= HDR_BYTES || !cfg.slot_bytes.is_multiple_of(8) {
+            return Err(RStoreError::Protocol(
+                "slot_bytes must be a multiple of 8 and exceed the 16-byte header".into(),
+            ));
+        }
+        let buckets = cfg.buckets.next_power_of_two();
+        let region = client
+            .alloc(name, buckets * cfg.slot_bytes, cfg.opts)
+            .await?;
+        Self::from_region(client, region, cfg.slot_bytes, cfg.max_probe).await
+    }
+
+    /// Opens an existing table by name. `slot_bytes` and `max_probe` must
+    /// match the creator's configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown.
+    pub async fn open(
+        client: &RStoreClient,
+        name: &str,
+        slot_bytes: u64,
+        max_probe: u64,
+    ) -> Result<KvTable> {
+        let region = client.map(name).await?;
+        Self::from_region(client, region, slot_bytes, max_probe).await
+    }
+
+    async fn from_region(
+        client: &RStoreClient,
+        region: Region,
+        slot_bytes: u64,
+        max_probe: u64,
+    ) -> Result<KvTable> {
+        let dev = client.device().clone();
+        let buckets = region.size() / slot_bytes;
+        if !buckets.is_power_of_two() {
+            return Err(RStoreError::Protocol(
+                "region size / slot_bytes must be a power of two".into(),
+            ));
+        }
+        let scratch = dev.alloc(slot_bytes.max(16))?;
+        Ok(KvTable {
+            region,
+            dev,
+            buckets,
+            slot_bytes,
+            max_probe,
+            atomic_qps: RefCell::new(HashMap::new()),
+            atomic_cq: CompletionQueue::new(),
+            scratch,
+        })
+    }
+
+    /// Capacity in buckets.
+    pub fn buckets(&self) -> u64 {
+        self.buckets
+    }
+
+    /// Largest value length a slot can hold for a key of `klen` bytes.
+    pub fn value_capacity(&self, klen: usize) -> u64 {
+        (self.slot_bytes - HDR_BYTES).saturating_sub(klen as u64)
+    }
+
+    /// Looks up `key`, returning its value if present.
+    ///
+    /// Purely one-sided: one RDMA READ per probed slot, with seqlock retry
+    /// on torn reads.
+    ///
+    /// # Errors
+    ///
+    /// IO failures; [`RStoreError::Protocol`] if the key exceeds the slot.
+    pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.check_key(key)?;
+        let start = hash_key(key) & (self.buckets - 1);
+        for probe in 0..self.max_probe.min(self.buckets) {
+            let slot = (start + probe) & (self.buckets - 1);
+            let bytes = loop {
+                let bytes = self
+                    .region
+                    .read(slot * self.slot_bytes, self.slot_bytes)
+                    .await?;
+                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+                if version % 2 == 0 {
+                    break bytes;
+                }
+                // Locked by a writer: brief virtual backoff, retry.
+                self.dev
+                    .sim()
+                    .sleep(std::time::Duration::from_micros(2))
+                    .await;
+            };
+            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+            if version == 0 {
+                return Ok(None); // never-used slot ends the probe chain
+            }
+            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+            let vlen = u16::from_le_bytes(bytes[10..12].try_into().expect("2")) as usize;
+            if klen == 0 {
+                continue; // tombstone
+            }
+            let k = &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen];
+            if k == key {
+                let v = &bytes[HDR_BYTES as usize + klen..HDR_BYTES as usize + klen + vlen];
+                return Ok(Some(v.to_vec()));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts or overwrites `key` → `value`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RStoreError::Protocol`] if key+value exceed the slot size.
+    /// * [`RStoreError::InsufficientCapacity`] if the probe window is full.
+    /// * IO failures.
+    pub async fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.check_key(key)?;
+        if key.len() as u64 + value.len() as u64 > self.slot_bytes - HDR_BYTES {
+            return Err(RStoreError::Protocol(format!(
+                "entry of {} bytes exceeds slot payload of {}",
+                key.len() + value.len(),
+                self.slot_bytes - HDR_BYTES
+            )));
+        }
+        let start = hash_key(key) & (self.buckets - 1);
+        // First pass: find the key (overwrite) or the first reusable slot.
+        let mut target: Option<(u64, u64)> = None; // (slot, observed version)
+        for probe in 0..self.max_probe.min(self.buckets) {
+            let slot = (start + probe) & (self.buckets - 1);
+            let bytes = self
+                .region
+                .read(slot * self.slot_bytes, self.slot_bytes)
+                .await?;
+            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+            if version == 0 || (version % 2 == 0 && klen == 0) {
+                // Empty or tombstone: claim unless the key shows up later in
+                // the chain (it cannot: inserts always take the first hole).
+                target.get_or_insert((slot, version));
+                if version == 0 {
+                    break;
+                }
+            } else if version % 2 == 0
+                && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key
+            {
+                target = Some((slot, version));
+                break;
+            } else if version % 2 == 1 {
+                // Locked: a writer is mutating this slot. If it could be our
+                // key, retry the whole operation after a backoff.
+                self.dev
+                    .sim()
+                    .sleep(std::time::Duration::from_micros(2))
+                    .await;
+                return Box::pin(self.put(key, value)).await;
+            }
+        }
+        let Some((slot, version)) = target else {
+            return Err(RStoreError::InsufficientCapacity {
+                requested: self.slot_bytes,
+            });
+        };
+
+        // Lock: CAS version -> version|1 (odd). Losing the race retries.
+        if !self.cas_version(slot, version, version + 1).await? {
+            self.dev
+                .sim()
+                .sleep(std::time::Duration::from_micros(2))
+                .await;
+            return Box::pin(self.put(key, value)).await;
+        }
+
+        // Body write (everything after the version word), then release.
+        let mut body = Vec::with_capacity(self.slot_bytes as usize - 8);
+        body.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        body.extend_from_slice(&(value.len() as u16).to_le_bytes());
+        body.extend_from_slice(&[0u8; 4]);
+        body.extend_from_slice(key);
+        body.extend_from_slice(value);
+        self.region.write(slot * self.slot_bytes + 8, &body).await?;
+        self.region
+            .write(
+                slot * self.slot_bytes,
+                &(version + 2).to_le_bytes(),
+            )
+            .await?;
+        Ok(())
+    }
+
+    /// Removes `key`, returning whether it was present.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.check_key(key)?;
+        let start = hash_key(key) & (self.buckets - 1);
+        for probe in 0..self.max_probe.min(self.buckets) {
+            let slot = (start + probe) & (self.buckets - 1);
+            let bytes = self
+                .region
+                .read(slot * self.slot_bytes, self.slot_bytes)
+                .await?;
+            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+            if version == 0 {
+                return Ok(false);
+            }
+            if version % 2 == 1 {
+                self.dev
+                    .sim()
+                    .sleep(std::time::Duration::from_micros(2))
+                    .await;
+                return Box::pin(self.delete(key)).await;
+            }
+            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+            if klen != 0 && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
+                if !self.cas_version(slot, version, version + 1).await? {
+                    self.dev
+                        .sim()
+                        .sleep(std::time::Duration::from_micros(2))
+                        .await;
+                    return Box::pin(self.delete(key)).await;
+                }
+                // Tombstone: klen = 0, then release.
+                self.region
+                    .write(slot * self.slot_bytes + 8, &0u16.to_le_bytes())
+                    .await?;
+                self.region
+                    .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+                    .await?;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn check_key(&self, key: &[u8]) -> Result<()> {
+        if key.is_empty() || key.len() as u64 > self.slot_bytes - HDR_BYTES {
+            return Err(RStoreError::Protocol("bad key length".into()));
+        }
+        Ok(())
+    }
+
+    /// One-sided CAS on a slot's version word; true if it won.
+    #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim
+    async fn cas_version(&self, slot: u64, expect: u64, swap: u64) -> Result<bool> {
+        // Locate the extent holding the version word.
+        let offset = slot * self.slot_bytes;
+        let pieces = crate::layout::Layout::new(self.region.desc()).pieces(offset, 8)?;
+        let piece = pieces.first().expect("8 bytes maps to one piece");
+        debug_assert_eq!(piece.len, 8, "slot header must not straddle stripes");
+        let extent = self.region.desc().groups[piece.group].replicas[0];
+
+        // Atomics need their own QP (the region's cached QPs route
+        // completions to the client's data router, which expects region
+        // wr_ids). Establish lazily per server: control path, once.
+        let qp = {
+            let cached = self.atomic_qps.borrow().get(&extent.node).cloned();
+            match cached {
+                Some(qp) => qp,
+                None => {
+                    let qp = self
+                        .dev
+                        .connect(fabric::NodeId(extent.node), DATA_SERVICE, &self.atomic_cq)
+                        .await?;
+                    self.atomic_qps.borrow_mut().insert(extent.node, qp.clone());
+                    qp
+                }
+            }
+        };
+        let remote = RemoteAddr {
+            addr: extent.addr + piece.offset_in_stripe,
+            rkey: rdma::RKey(extent.rkey),
+        };
+        qp.post_cas(1, self.scratch.slice(0, 8), remote, expect, swap)?;
+        loop {
+            let cqe = self.atomic_cq.next().await;
+            if cqe.opcode == CqeOpcode::CompSwap {
+                if cqe.status != CqStatus::Success {
+                    return Err(RStoreError::Io(cqe.status));
+                }
+                break;
+            }
+        }
+        let old = self.dev.read_u64(self.scratch.addr)?;
+        Ok(old == expect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    fn boot(clients: usize) -> Cluster {
+        Cluster::boot(ClusterConfig {
+            clients,
+            ..ClusterConfig::with_servers(3)
+        })
+        .expect("boot")
+    }
+
+    fn small_cfg() -> KvConfig {
+        KvConfig {
+            buckets: 64,
+            slot_bytes: 128,
+            max_probe: 16,
+            opts: AllocOptions {
+                stripe_size: 1024,
+                ..AllocOptions::default()
+            },
+        }
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "kv", small_cfg()).await.unwrap();
+            assert_eq!(kv.get(b"missing").await.unwrap(), None);
+            kv.put(b"alpha", b"one").await.unwrap();
+            kv.put(b"beta", b"two").await.unwrap();
+            assert_eq!(kv.get(b"alpha").await.unwrap().unwrap(), b"one");
+            assert_eq!(kv.get(b"beta").await.unwrap().unwrap(), b"two");
+            // Overwrite.
+            kv.put(b"alpha", b"uno").await.unwrap();
+            assert_eq!(kv.get(b"alpha").await.unwrap().unwrap(), b"uno");
+            // Delete.
+            assert!(kv.delete(b"alpha").await.unwrap());
+            assert!(!kv.delete(b"alpha").await.unwrap());
+            assert_eq!(kv.get(b"alpha").await.unwrap(), None);
+            assert_eq!(kv.get(b"beta").await.unwrap().unwrap(), b"two");
+        });
+    }
+
+    #[test]
+    fn survives_heavy_collisions() {
+        // 64 buckets, 40 keys: plenty of probing and tombstone reuse.
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "kvcol", small_cfg()).await.unwrap();
+            for i in 0..40u32 {
+                kv.put(format!("key-{i}").as_bytes(), &i.to_le_bytes())
+                    .await
+                    .unwrap();
+            }
+            for i in (0..40u32).step_by(2) {
+                assert!(kv.delete(format!("key-{i}").as_bytes()).await.unwrap());
+            }
+            for i in 0..40u32 {
+                let got = kv.get(format!("key-{i}").as_bytes()).await.unwrap();
+                if i % 2 == 0 {
+                    assert_eq!(got, None, "key-{i}");
+                } else {
+                    assert_eq!(got.unwrap(), i.to_le_bytes(), "key-{i}");
+                }
+            }
+            // Reuse the tombstones.
+            for i in (0..40u32).step_by(2) {
+                kv.put(format!("key-{i}").as_bytes(), b"back").await.unwrap();
+            }
+            for i in (0..40u32).step_by(2) {
+                assert_eq!(
+                    kv.get(format!("key-{i}").as_bytes()).await.unwrap().unwrap(),
+                    b"back"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn visible_across_clients() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let c0 = cluster.client(0).await.unwrap();
+            let c1 = cluster.client(1).await.unwrap();
+            let cfg = small_cfg();
+            let kv0 = KvTable::create(&c0, "shared_kv", cfg).await.unwrap();
+            kv0.put(b"owner", b"c0").await.unwrap();
+            let kv1 = KvTable::open(&c1, "shared_kv", cfg.slot_bytes, cfg.max_probe)
+                .await
+                .unwrap();
+            assert_eq!(kv1.get(b"owner").await.unwrap().unwrap(), b"c0");
+            kv1.put(b"owner", b"c1").await.unwrap();
+            assert_eq!(kv0.get(b"owner").await.unwrap().unwrap(), b"c1");
+        });
+    }
+
+    #[test]
+    fn concurrent_writers_serialize_on_cas() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let cfg = small_cfg();
+            let creator = cluster.client(0).await.unwrap();
+            KvTable::create(&creator, "hot", cfg).await.unwrap();
+            // Four clients hammer the same key and distinct keys.
+            let mut handles = Vec::new();
+            for i in 0..4usize {
+                let client = cluster.client(i).await.unwrap();
+                let slot_bytes = cfg.slot_bytes;
+                let max_probe = cfg.max_probe;
+                handles.push(cluster.sim.spawn(async move {
+                    let kv = KvTable::open(&client, "hot", slot_bytes, max_probe)
+                        .await
+                        .unwrap();
+                    for round in 0..10u32 {
+                        kv.put(b"contended", format!("w{i}r{round}").as_bytes())
+                            .await
+                            .unwrap();
+                        kv.put(format!("own-{i}").as_bytes(), &round.to_le_bytes())
+                            .await
+                            .unwrap();
+                    }
+                    kv
+                }));
+            }
+            let kvs = sim::join_all(handles).await;
+            // The contended key holds exactly one of the final writes.
+            let v = kvs[0].get(b"contended").await.unwrap().unwrap();
+            let s = String::from_utf8(v).unwrap();
+            assert!(s.starts_with('w') && s.contains('r'), "got {s}");
+            // Every private key has its writer's last round.
+            for (i, kv) in kvs.iter().enumerate() {
+                let v = kv.get(format!("own-{i}").as_bytes()).await.unwrap().unwrap();
+                assert_eq!(v, 9u32.to_le_bytes());
+            }
+        });
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "small", small_cfg()).await.unwrap();
+            let err = kv.put(b"k", &[0u8; 200]).await.err().unwrap();
+            assert!(matches!(err, RStoreError::Protocol(_)));
+            assert!(kv.value_capacity(1) < 200);
+        });
+    }
+
+    #[test]
+    fn table_full_is_reported() {
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let cfg = KvConfig {
+                buckets: 8,
+                max_probe: 8,
+                ..small_cfg()
+            };
+            let kv = KvTable::create(&client, "tiny", cfg).await.unwrap();
+            let mut full_seen = false;
+            for i in 0..64u32 {
+                match kv.put(format!("k{i}").as_bytes(), b"v").await {
+                    Ok(()) => {}
+                    Err(RStoreError::InsufficientCapacity { .. }) => {
+                        full_seen = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+            assert!(full_seen, "8 buckets cannot absorb 64 keys");
+        });
+    }
+}

@@ -1,0 +1,521 @@
+//! **RStore** — a direct-access DRAM-based data store (ICDCS 2015),
+//! reproduced over a simulated RDMA fabric.
+//!
+//! RStore extends RDMA's *separation philosophy* — do all resource setup up
+//! front so the IO path is lean — to a distributed setting:
+//!
+//! * A **master** ([`Master`]) owns the namespace and placement. It is only
+//!   ever involved in setup (allocate / map / free).
+//! * **Memory servers** ([`MemServer`]) donate DRAM. After registering their
+//!   memory, their CPUs are idle: all data access is one-sided RDMA executed
+//!   by their NICs.
+//! * **Clients** ([`RStoreClient`]) allocate and map named [`Region`]s of
+//!   distributed memory, then read and write them like memory — with
+//!   striping across servers for aggregate bandwidth, optional replication,
+//!   and asynchronous IO with an explicit sync.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use rstore::{AllocOptions, Cluster, ClusterConfig};
+//!
+//! # fn main() -> Result<(), rstore::RStoreError> {
+//! let cluster = Cluster::boot(ClusterConfig::with_servers(4))?;
+//! let sim = cluster.sim.clone();
+//! let out = sim.block_on(async move {
+//!     let client = cluster.client(0).await.unwrap();
+//!     let region = client
+//!         .alloc("demo", 1 << 20, AllocOptions::default())
+//!         .await
+//!         .unwrap();
+//!     region.write(4096, b"distributed DRAM").await.unwrap();
+//!     region.read(4096, 16).await.unwrap()
+//! });
+//! assert_eq!(out, b"distributed DRAM");
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Crate layout
+//!
+//! | module | role |
+//! |---|---|
+//! | [`master`] | namespace, server registry, leases, placement |
+//! | [`server`] | memory donation, extent allocation, heartbeats |
+//! | [`client`] | control-path calls, connection cache, completion routing |
+//! | [`region`] | the memory-like data path: striped one-sided IO |
+//! | [`layout`] | stripe math |
+//! | [`proto`] | control-plane wire format |
+//! | [`rpc`] | two-sided RPC used by the control path |
+//! | [`cluster`] | one-call bootstrap for tests and benchmarks |
+//! | [`kv`] | a key-value facade over regions (one-sided GET, CAS-locked PUT) |
+
+pub mod client;
+pub mod cluster;
+pub mod error;
+pub mod kv;
+pub mod layout;
+pub mod master;
+pub mod proto;
+pub mod region;
+pub mod rpc;
+pub mod server;
+
+pub use client::RStoreClient;
+pub use cluster::{Cluster, ClusterConfig};
+pub use error::{RStoreError, Result};
+pub use kv::{KvConfig, KvTable};
+pub use master::{Master, MasterConfig};
+pub use proto::{AllocOptions, ClusterStats, Extent, Policy, RegionDesc, RegionState};
+pub use region::{IoHandle, Region};
+pub use server::{MemServer, ServerConfig};
+
+/// Service id of the master's control RPC endpoint.
+pub const CTRL_SERVICE: u16 = 1;
+/// Service id of the memory servers' extent-allocation endpoint.
+pub const SRV_SERVICE: u16 = 2;
+/// Service id of the memory servers' data-path (one-sided) endpoint.
+pub const DATA_SERVICE: u16 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdma::DmaBuf;
+    use std::time::Duration;
+
+    fn boot(n: usize) -> Cluster {
+        Cluster::boot(ClusterConfig::with_servers(n)).expect("boot")
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let out = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let region = client
+                .alloc("r", 1 << 20, AllocOptions::default())
+                .await
+                .unwrap();
+            let data: Vec<u8> = (0..255u8).collect();
+            region.write(1000, &data).await.unwrap();
+            region.read(1000, 255).await.unwrap()
+        });
+        assert_eq!(out, (0..255u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn io_spanning_stripes_is_correct() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let ok = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let opts = AllocOptions {
+                stripe_size: 4096,
+                ..AllocOptions::default()
+            };
+            let region = client.alloc("striped", 64 * 1024, opts).await.unwrap();
+            // Write a pattern across many stripe boundaries.
+            let data: Vec<u8> = (0..40_000u32).map(|i| (i * 7 % 251) as u8).collect();
+            region.write(100, &data).await.unwrap();
+            let back = region.read(100, 40_000).await.unwrap();
+            back == data
+        });
+        assert!(ok);
+        // With 4 KiB stripes over 4 servers, the region must touch them all.
+    }
+
+    #[test]
+    fn region_striped_across_all_servers() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let nodes = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let opts = AllocOptions {
+                stripe_size: 1024,
+                ..AllocOptions::default()
+            };
+            let region = client.alloc("spread", 16 * 1024, opts).await.unwrap();
+            let mut nodes: Vec<u32> = region
+                .desc()
+                .groups
+                .iter()
+                .flat_map(|g| g.replicas.iter().map(|x| x.node))
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            nodes.len()
+        });
+        assert_eq!(nodes, 4, "round-robin must use every server");
+    }
+
+    #[test]
+    fn map_from_second_client_sees_data() {
+        let cluster = Cluster::boot(ClusterConfig {
+            clients: 2,
+            ..ClusterConfig::with_servers(3)
+        })
+        .unwrap();
+        let sim = cluster.sim.clone();
+        let out = sim.block_on(async move {
+            let c0 = cluster.client(0).await.unwrap();
+            let c1 = cluster.client(1).await.unwrap();
+            let r0 = c0
+                .alloc("shared", 1 << 16, AllocOptions::default())
+                .await
+                .unwrap();
+            r0.write(0, b"written by c0").await.unwrap();
+            let r1 = c1.map("shared").await.unwrap();
+            r1.read(0, 13).await.unwrap()
+        });
+        assert_eq!(out, b"written by c0");
+    }
+
+    #[test]
+    fn alloc_duplicate_name_fails() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client
+                .alloc("dup", 4096, AllocOptions::default())
+                .await
+                .unwrap();
+            client
+                .alloc("dup", 4096, AllocOptions::default())
+                .await
+                .err()
+                .unwrap()
+        });
+        assert_eq!(err, RStoreError::NameExists("dup".into()));
+    }
+
+    #[test]
+    fn map_unknown_name_fails() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client.map("ghost").await.err().unwrap()
+        });
+        assert_eq!(err, RStoreError::NotFound("ghost".into()));
+    }
+
+    #[test]
+    fn free_reclaims_capacity() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let master = cluster.master.clone();
+        let (used_before, used_mid, used_after) = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let before = master.local_stats().used;
+            client
+                .alloc("tmp", 1 << 20, AllocOptions::default())
+                .await
+                .unwrap();
+            let mid = master.local_stats().used;
+            client.free("tmp").await.unwrap();
+            let after = master.local_stats().used;
+            (before, mid, after)
+        });
+        assert_eq!(used_before, 0);
+        assert_eq!(used_mid, 1 << 20);
+        assert_eq!(used_after, 0);
+    }
+
+    #[test]
+    fn alloc_beyond_capacity_fails_cleanly() {
+        let cluster = Cluster::boot(ClusterConfig {
+            server: ServerConfig {
+                donate: 1 << 20,
+                ..ServerConfig::default()
+            },
+            ..ClusterConfig::with_servers(2)
+        })
+        .unwrap();
+        let sim = cluster.sim.clone();
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client
+                .alloc("big", 1 << 30, AllocOptions::default())
+                .await
+                .err()
+                .unwrap()
+        });
+        assert!(matches!(err, RStoreError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn replicated_region_survives_server_failure() {
+        let cluster = boot(3);
+        let sim = cluster.sim.clone();
+        let fabric = cluster.fabric.clone();
+        let victim = cluster.servers[0].node();
+        let out = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let opts = AllocOptions {
+                replicas: 2,
+                stripe_size: 4096,
+                ..AllocOptions::default()
+            };
+            let region = client.alloc("ha", 32 * 1024, opts).await.unwrap();
+            region.write(0, b"replicated payload").await.unwrap();
+            // Kill one memory server; reads must fail over to replicas.
+            fabric.set_node_up(victim, false);
+            region.read(0, 18).await.unwrap()
+        });
+        assert_eq!(out, b"replicated payload");
+    }
+
+    #[test]
+    fn unreplicated_region_degrades_on_failure() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let fabric = cluster.fabric.clone();
+        let victim = cluster.servers[0].node();
+        let master_cfg_lease = MasterConfig::default().lease;
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let region = client
+                .alloc("frail", 64 * 1024, AllocOptions::default())
+                .await
+                .unwrap();
+            region.write(0, b"x").await.unwrap();
+            fabric.set_node_up(victim, false);
+            // Wait out the lease so the master notices.
+            region
+                .client()
+                .shared
+                .sim
+                .sleep(master_cfg_lease * 3)
+                .await;
+            client.map("frail").await.err().unwrap()
+        });
+        assert_eq!(err, RStoreError::Degraded("frail".into()));
+    }
+
+    #[test]
+    fn zero_copy_pipeline_with_sync() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let ok = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let dev = client.device().clone();
+            let region = client
+                .alloc(
+                    "pipe",
+                    1 << 20,
+                    AllocOptions {
+                        stripe_size: 64 * 1024,
+                        ..AllocOptions::default()
+                    },
+                )
+                .await
+                .unwrap();
+            // Post 8 non-blocking writes back to back, then one sync.
+            let mut bufs = Vec::new();
+            for i in 0..8u64 {
+                let buf = dev.alloc(64 * 1024).unwrap();
+                dev.write_mem(buf.addr, &vec![i as u8; 64 * 1024]).unwrap();
+                region.start_write(i * 64 * 1024, buf).unwrap();
+                bufs.push(buf);
+            }
+            client.sync().await;
+            // Verify one of them.
+            let back = region.read(5 * 64 * 1024, 4).await.unwrap();
+            for b in bufs {
+                dev.free(b).unwrap();
+            }
+            back == vec![5u8; 4]
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn out_of_range_io_rejected() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let region = client
+                .alloc("small", 4096, AllocOptions::default())
+                .await
+                .unwrap();
+            region.read(4000, 200).await.err().unwrap()
+        });
+        assert!(matches!(err, RStoreError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn synthetic_region_moves_no_bytes_but_times_io() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let (elapsed, len) = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let client = cluster.client(0).await.unwrap();
+                let opts = AllocOptions {
+                    synthetic: true,
+                    stripe_size: 16 * 1024 * 1024,
+                    ..AllocOptions::default()
+                };
+                let len = 256u64 << 20;
+                let region = client.alloc("fluid", len, opts).await.unwrap();
+                let dev = client.device().clone();
+                let buf = dev.alloc_synthetic(len).unwrap();
+                let t0 = sim.now();
+                region.write_from(0, buf).await.unwrap();
+                ((sim.now() - t0).as_secs_f64(), len)
+            }
+        });
+        let gbps = len as f64 * 8.0 / elapsed / 1e9;
+        // One client pushing to 2 servers: bottleneck is the client's tx
+        // link at 54.3 Gb/s.
+        assert!(gbps > 40.0 && gbps < 56.0, "got {gbps:.1} Gb/s");
+    }
+
+    #[test]
+    fn stats_reflect_cluster() {
+        let cluster = boot(3);
+        let sim = cluster.sim.clone();
+        let stats = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client
+                .alloc("s", 1 << 20, AllocOptions::default())
+                .await
+                .unwrap();
+            client.stats().await.unwrap()
+        });
+        assert_eq!(stats.servers, 3);
+        assert_eq!(stats.regions, 1);
+        assert_eq!(stats.used, 1 << 20);
+    }
+
+    #[test]
+    fn control_path_is_paid_once_not_per_io() {
+        // The core claim of the paper in miniature: after map(), a thousand
+        // small IOs never touch the master. We verify by killing the master
+        // and watching IO continue to work.
+        let cluster = boot(3);
+        let sim = cluster.sim.clone();
+        let fabric = cluster.fabric.clone();
+        let master_node = cluster.master_node();
+        let ok = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let region = client
+                .alloc("autonomy", 1 << 20, AllocOptions::default())
+                .await
+                .unwrap();
+            fabric.set_node_up(master_node, false);
+            for i in 0..50u64 {
+                region.write(i * 128, &[i as u8; 64]).await.unwrap();
+            }
+            let back = region.read(49 * 128, 64).await.unwrap();
+            back == vec![49u8; 64]
+        });
+        assert!(ok, "data path must not depend on the master");
+    }
+
+    #[test]
+    fn grow_extends_region_preserving_data() {
+        let cluster = boot(3);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let opts = AllocOptions {
+                stripe_size: 64 * 1024,
+                ..AllocOptions::default()
+            };
+            let region = client.alloc("growing", 128 * 1024, opts).await.unwrap();
+            region.write(0, b"before-grow").await.unwrap();
+            region.write(128 * 1024 - 8, b"tail-old").await.unwrap();
+
+            // Old handle cannot reach past the original size.
+            assert!(region.read(128 * 1024, 8).await.is_err());
+
+            let bigger = client.grow("growing", 256 * 1024, opts).await.unwrap();
+            assert_eq!(bigger.size(), 384 * 1024);
+            // Old data intact through the new handle.
+            assert_eq!(bigger.read(0, 11).await.unwrap(), b"before-grow");
+            assert_eq!(bigger.read(128 * 1024 - 8, 8).await.unwrap(), b"tail-old");
+            // New range is writable, spanning the old/new boundary.
+            bigger
+                .write(128 * 1024 - 4, b"straddles-the-boundary")
+                .await
+                .unwrap();
+            assert_eq!(
+                bigger.read(128 * 1024 - 4, 22).await.unwrap(),
+                b"straddles-the-boundary"
+            );
+            // Old handle still serves the old range.
+            assert_eq!(region.read(0, 11).await.unwrap(), b"before-grow");
+            // Capacity accounting includes the growth.
+            assert_eq!(client.stats().await.unwrap().used, 384 * 1024);
+        });
+    }
+
+    #[test]
+    fn grow_unknown_region_fails() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let err = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client
+                .grow("nothing", 4096, AllocOptions::default())
+                .await
+                .err()
+                .unwrap()
+        });
+        assert_eq!(err, RStoreError::NotFound("nothing".into()));
+    }
+
+    #[test]
+    fn grow_then_free_reclaims_everything() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            client
+                .alloc("tmp_grow", 64 * 1024, AllocOptions::default())
+                .await
+                .unwrap();
+            client
+                .grow("tmp_grow", 192 * 1024, AllocOptions::default())
+                .await
+                .unwrap();
+            client.free("tmp_grow").await.unwrap();
+            assert_eq!(client.stats().await.unwrap().used, 0);
+        });
+    }
+
+    #[test]
+    fn many_small_reads_have_low_latency() {
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let mean_us = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let client = cluster.client(0).await.unwrap();
+                let region = client
+                    .alloc("lat", 1 << 20, AllocOptions::default())
+                    .await
+                    .unwrap();
+                let dev = client.device().clone();
+                let buf = dev.alloc(64).unwrap();
+                let mut total = Duration::ZERO;
+                let n = 100;
+                for i in 0..n {
+                    let t0 = sim.now();
+                    region.read_into((i * 64) % (1 << 20), buf).await.unwrap();
+                    total += sim.now() - t0;
+                }
+                total.as_micros() as f64 / n as f64
+            }
+        });
+        assert!(
+            mean_us < 5.0,
+            "small striped reads should stay close to hardware latency, got {mean_us:.2}us"
+        );
+        let _ = DmaBuf { addr: 0, len: 0 };
+    }
+}

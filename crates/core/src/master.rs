@@ -1,0 +1,582 @@
+//! The RStore master: the control-path coordinator.
+//!
+//! The master owns the namespace (region name → descriptor), the registry of
+//! memory servers (capacity, liveness via heartbeat leases), and placement.
+//! It is involved in **setup only**: once a client holds a region
+//! descriptor, reads and writes never touch the master — that is the
+//! "separation philosophy extended to a distributed setting" of the paper.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use fabric::NodeId;
+use rdma::RdmaDevice;
+use sim::sync::Semaphore;
+use sim::{DetRng, Sim, SimTime};
+
+use crate::error::{RStoreError, Result};
+use crate::proto::{
+    AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc, RegionState,
+    SrvReq, SrvResp, StripeGroup,
+};
+use crate::rpc::{spawn_rpc_server, RpcClient};
+use crate::{CTRL_SERVICE, SRV_SERVICE};
+
+/// Master configuration.
+#[derive(Clone, Debug)]
+pub struct MasterConfig {
+    /// A server missing heartbeats for this long is declared dead.
+    pub lease: Duration,
+    /// How often the liveness sweep runs.
+    pub sweep_interval: Duration,
+    /// CPU cost per control RPC at the master.
+    pub rpc_cpu: Duration,
+    /// Seed for randomized placement.
+    pub seed: u64,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            lease: Duration::from_millis(500),
+            sweep_interval: Duration::from_millis(200),
+            rpc_cpu: Duration::from_micros(2),
+            seed: 0x5707E,
+        }
+    }
+}
+
+struct ServerInfo {
+    capacity: u64,
+    used: u64,
+    last_hb: SimTime,
+    alive: bool,
+}
+
+struct ConnSlot {
+    sem: Semaphore,
+    conn: RefCell<Option<RpcClient>>,
+}
+
+struct MState {
+    servers: BTreeMap<u32, ServerInfo>,
+    regions: HashMap<String, RegionDesc>,
+    /// Names reserved by in-flight allocations.
+    reserved: std::collections::HashSet<String>,
+    rng: DetRng,
+    conns: HashMap<u32, Rc<ConnSlot>>,
+}
+
+/// Handle to a running master.
+#[derive(Clone)]
+pub struct Master {
+    dev: RdmaDevice,
+    sim: Sim,
+    cfg: Rc<MasterConfig>,
+    state: Rc<RefCell<MState>>,
+}
+
+impl fmt::Debug for Master {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("Master")
+            .field("node", &self.dev.node())
+            .field("servers", &st.servers.len())
+            .field("regions", &st.regions.len())
+            .finish()
+    }
+}
+
+impl Master {
+    /// Starts a master on `dev`, listening for control RPCs.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Rdma`] if the control service id is already taken on
+    /// this device.
+    pub fn spawn(dev: &RdmaDevice, cfg: MasterConfig) -> Result<Master> {
+        let master = Master {
+            dev: dev.clone(),
+            sim: dev.sim().clone(),
+            state: Rc::new(RefCell::new(MState {
+                servers: BTreeMap::new(),
+                regions: HashMap::new(),
+                reserved: std::collections::HashSet::new(),
+                rng: DetRng::new(cfg.seed),
+                conns: HashMap::new(),
+            })),
+            cfg: Rc::new(cfg),
+        };
+
+        let m = master.clone();
+        spawn_rpc_server(
+            dev,
+            CTRL_SERVICE,
+            master.cfg.rpc_cpu,
+            Rc::new(move |_peer, req| {
+                let m = m.clone();
+                Box::pin(async move { m.handle(req).await.encode() })
+            }),
+        )?;
+
+        // Liveness sweep.
+        let m = master.clone();
+        master.sim.spawn(async move {
+            loop {
+                m.sim.sleep(m.cfg.sweep_interval).await;
+                let now = m.sim.now();
+                let mut st = m.state.borrow_mut();
+                let lease = m.cfg.lease;
+                for info in st.servers.values_mut() {
+                    if info.alive && now.saturating_since(info.last_hb) > lease {
+                        info.alive = false;
+                    }
+                }
+            }
+        });
+
+        Ok(master)
+    }
+
+    /// The master's fabric node (what clients and servers dial).
+    pub fn node(&self) -> NodeId {
+        self.dev.node()
+    }
+
+    /// Number of servers currently considered alive.
+    pub fn live_servers(&self) -> usize {
+        self.state
+            .borrow()
+            .servers
+            .values()
+            .filter(|s| s.alive)
+            .count()
+    }
+
+    /// Waits (in virtual time) until at least `n` servers have registered
+    /// and are alive. Used when booting clusters.
+    pub async fn wait_for_servers(&self, n: usize) {
+        while self.live_servers() < n {
+            self.sim.sleep(Duration::from_micros(100)).await;
+        }
+    }
+
+    /// A local (non-RPC) snapshot of cluster statistics.
+    pub fn local_stats(&self) -> ClusterStats {
+        let st = self.state.borrow();
+        ClusterStats {
+            servers: st.servers.values().filter(|s| s.alive).count() as u32,
+            regions: st.regions.len() as u32,
+            capacity: st.servers.values().map(|s| s.capacity).sum(),
+            used: st.servers.values().map(|s| s.used).sum(),
+        }
+    }
+
+    async fn handle(&self, req: Vec<u8>) -> CtrlResp {
+        let req = match CtrlReq::decode(&req) {
+            Ok(r) => r,
+            Err(e) => return CtrlResp::Err(e.to_string()),
+        };
+        match req {
+            CtrlReq::RegisterServer { node, capacity } => {
+                let mut st = self.state.borrow_mut();
+                st.servers.insert(
+                    node,
+                    ServerInfo {
+                        capacity,
+                        used: 0,
+                        last_hb: self.sim.now(),
+                        alive: true,
+                    },
+                );
+                CtrlResp::Ok
+            }
+            CtrlReq::Heartbeat { node } => {
+                let mut st = self.state.borrow_mut();
+                match st.servers.get_mut(&node) {
+                    Some(info) => {
+                        info.last_hb = self.sim.now();
+                        info.alive = true;
+                        CtrlResp::Ok
+                    }
+                    None => CtrlResp::Err(format!("unknown server {node}")),
+                }
+            }
+            CtrlReq::Alloc { name, size, opts } => match self.alloc(name, size, opts).await {
+                Ok(desc) => CtrlResp::Region(desc),
+                Err(e) => CtrlResp::Err(e.to_string()),
+            },
+            CtrlReq::Lookup { name } => {
+                let st = self.state.borrow();
+                match st.regions.get(&name) {
+                    Some(desc) => {
+                        let mut desc = desc.clone();
+                        desc.state = if desc.groups.iter().flat_map(|g| &g.replicas).all(|x| {
+                            st.servers.get(&x.node).is_some_and(|s| s.alive)
+                        }) {
+                            RegionState::Healthy
+                        } else {
+                            RegionState::Degraded
+                        };
+                        CtrlResp::Region(desc)
+                    }
+                    None => CtrlResp::Err(RStoreError::NotFound(name).to_string()),
+                }
+            }
+            CtrlReq::Free { name } => match self.free(name).await {
+                Ok(()) => CtrlResp::Ok,
+                Err(e) => CtrlResp::Err(e.to_string()),
+            },
+            CtrlReq::Stat => CtrlResp::Stats(self.local_stats()),
+            CtrlReq::Grow {
+                name,
+                additional,
+                opts,
+            } => match self.grow(name, additional, opts).await {
+                Ok(desc) => CtrlResp::Region(desc),
+                Err(e) => CtrlResp::Err(e.to_string()),
+            },
+        }
+    }
+
+    /// Computes the per-stripe replica placement and reserves capacity.
+    fn place(
+        &self,
+        stripe_lens: &[u64],
+        replicas: usize,
+        policy: Policy,
+    ) -> Result<Vec<Vec<u32>>> {
+        let mut st = self.state.borrow_mut();
+        let alive: Vec<u32> = st
+            .servers
+            .iter()
+            .filter(|(_, s)| s.alive)
+            .map(|(&n, _)| n)
+            .collect();
+        if alive.len() < replicas {
+            return Err(RStoreError::NotEnoughServers {
+                replicas,
+                available: alive.len(),
+            });
+        }
+        let mut planned: HashMap<u32, u64> = HashMap::new();
+        let free = |st: &MState, planned: &HashMap<u32, u64>, n: u32| {
+            let s = &st.servers[&n];
+            s.capacity - s.used - planned.get(&n).copied().unwrap_or(0)
+        };
+
+        let mut placement = Vec::with_capacity(stripe_lens.len());
+        for (i, &len) in stripe_lens.iter().enumerate() {
+            let mut chosen = Vec::with_capacity(replicas);
+            match policy {
+                Policy::RoundRobin => {
+                    for j in 0..replicas {
+                        let n = alive[(i + j) % alive.len()];
+                        if free(&st, &planned, n) < len {
+                            return Err(RStoreError::InsufficientCapacity {
+                                requested: stripe_lens.iter().sum(),
+                            });
+                        }
+                        chosen.push(n);
+                    }
+                }
+                Policy::Random => {
+                    let mut pool = alive.clone();
+                    st.rng.shuffle(&mut pool);
+                    for &n in pool.iter() {
+                        if chosen.len() == replicas {
+                            break;
+                        }
+                        if free(&st, &planned, n) >= len {
+                            chosen.push(n);
+                        }
+                    }
+                    if chosen.len() < replicas {
+                        return Err(RStoreError::InsufficientCapacity {
+                            requested: stripe_lens.iter().sum(),
+                        });
+                    }
+                }
+                Policy::CapacityWeighted => {
+                    let mut pool = alive.clone();
+                    pool.sort_by_key(|&n| std::cmp::Reverse(free(&st, &planned, n)));
+                    for &n in pool.iter().take(replicas) {
+                        if free(&st, &planned, n) < len {
+                            return Err(RStoreError::InsufficientCapacity {
+                                requested: stripe_lens.iter().sum(),
+                            });
+                        }
+                        chosen.push(n);
+                    }
+                }
+            }
+            for &n in &chosen {
+                *planned.entry(n).or_default() += len;
+            }
+            placement.push(chosen);
+        }
+
+        // Commit the reservation.
+        for (n, bytes) in planned {
+            st.servers.get_mut(&n).expect("placed on known server").used += bytes;
+        }
+        Ok(placement)
+    }
+
+    async fn alloc(&self, name: String, size: u64, opts: AllocOptions) -> Result<RegionDesc> {
+        if size == 0 {
+            return Err(RStoreError::Protocol("zero-sized region".into()));
+        }
+        if opts.stripe_size == 0 {
+            return Err(RStoreError::Protocol("zero stripe size".into()));
+        }
+        if opts.replicas == 0 {
+            return Err(RStoreError::Protocol("zero replicas".into()));
+        }
+        {
+            let mut st = self.state.borrow_mut();
+            if st.regions.contains_key(&name) || !st.reserved.insert(name.clone()) {
+                return Err(RStoreError::NameExists(name));
+            }
+        }
+        let result = self.alloc_inner(&name, size, opts).await;
+        let mut st = self.state.borrow_mut();
+        st.reserved.remove(&name);
+        match result {
+            Ok(desc) => {
+                st.regions.insert(name, desc.clone());
+                Ok(desc)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    async fn alloc_inner(&self, name: &str, size: u64, opts: AllocOptions) -> Result<RegionDesc> {
+        let stripe_lens = stripe_lengths(size, opts.stripe_size);
+        let groups = self.allocate_groups(&stripe_lens, opts).await?;
+        Ok(RegionDesc {
+            name: name.to_owned(),
+            size,
+            stripe_size: opts.stripe_size,
+            groups,
+            state: RegionState::Healthy,
+        })
+    }
+
+    /// Extends an existing region by `additional` bytes: new stripes are
+    /// placed and allocated like an alloc, then appended to the descriptor.
+    /// Existing descriptors held by clients stay valid for the old range.
+    async fn grow(&self, name: String, additional: u64, opts: AllocOptions) -> Result<RegionDesc> {
+        if additional == 0 {
+            return Err(RStoreError::Protocol("zero-sized grow".into()));
+        }
+        let (stripe_size, exists) = {
+            let st = self.state.borrow();
+            match st.regions.get(&name) {
+                Some(d) => (d.stripe_size, true),
+                None => (0, false),
+            }
+        };
+        if !exists {
+            return Err(RStoreError::NotFound(name));
+        }
+        let opts = AllocOptions {
+            stripe_size,
+            ..opts
+        };
+        let stripe_lens = stripe_lengths(additional, stripe_size);
+        let groups = self.allocate_groups(&stripe_lens, opts).await?;
+        let mut st = self.state.borrow_mut();
+        let desc = st
+            .regions
+            .get_mut(&name)
+            .ok_or(RStoreError::NotFound(name))?;
+        desc.groups.extend(groups);
+        desc.size += additional;
+        Ok(desc.clone())
+    }
+
+    /// Places and allocates one extent group per stripe length, rolling the
+    /// whole batch back on any failure.
+    async fn allocate_groups(
+        &self,
+        stripe_lens: &[u64],
+        opts: AllocOptions,
+    ) -> Result<Vec<StripeGroup>> {
+        let placement = self.place(stripe_lens, opts.replicas as usize, opts.policy)?;
+
+        // Group requests per (server, extent length).
+        let mut wanted: BTreeMap<(u32, u64), u32> = BTreeMap::new();
+        for (i, servers) in placement.iter().enumerate() {
+            for &n in servers {
+                *wanted.entry((n, stripe_lens[i])).or_default() += 1;
+            }
+        }
+
+        // Ask each server for its extents; on failure, roll everything back.
+        let mut granted: HashMap<(u32, u64), Vec<Extent>> = HashMap::new();
+        let mut failure: Option<RStoreError> = None;
+        for (&(node, len), &count) in &wanted {
+            let resp = self
+                .server_call(
+                    node,
+                    SrvReq::AllocExtents {
+                        count,
+                        len,
+                        synthetic: opts.synthetic,
+                    },
+                )
+                .await;
+            match resp {
+                Ok(SrvResp::Extents(v)) if v.len() == count as usize => {
+                    granted.insert(
+                        (node, len),
+                        v.into_iter()
+                            .map(|(addr, rkey, elen)| Extent {
+                                node,
+                                addr,
+                                rkey,
+                                len: elen,
+                            })
+                            .collect(),
+                    );
+                }
+                Ok(SrvResp::Err(m)) => {
+                    failure = Some(RStoreError::Remote(m));
+                    break;
+                }
+                Ok(_) => {
+                    failure = Some(RStoreError::Protocol("bad server response".into()));
+                    break;
+                }
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+
+        if let Some(e) = failure {
+            // Roll back granted extents and the capacity reservation.
+            for ((node, _len), extents) in granted {
+                let _ = self
+                    .server_call(
+                        node,
+                        SrvReq::FreeExtents {
+                            extents: extents.iter().map(|x| (x.addr, x.len)).collect(),
+                        },
+                    )
+                    .await;
+            }
+            let mut st = self.state.borrow_mut();
+            for (i, servers) in placement.iter().enumerate() {
+                for &n in servers {
+                    if let Some(info) = st.servers.get_mut(&n) {
+                        info.used = info.used.saturating_sub(stripe_lens[i]);
+                    }
+                }
+            }
+            return Err(e);
+        }
+
+        // Assemble stripe groups in logical order.
+        let mut groups = Vec::with_capacity(stripe_lens.len());
+        for (i, servers) in placement.iter().enumerate() {
+            let mut replicas_v = Vec::with_capacity(servers.len());
+            for &n in servers {
+                let pool = granted
+                    .get_mut(&(n, stripe_lens[i]))
+                    .expect("granted for every placed stripe");
+                replicas_v.push(pool.pop().expect("count matched"));
+            }
+            groups.push(StripeGroup {
+                replicas: replicas_v,
+            });
+        }
+        Ok(groups)
+    }
+
+    async fn free(&self, name: String) -> Result<()> {
+        let desc = {
+            let mut st = self.state.borrow_mut();
+            st.regions
+                .remove(&name)
+                .ok_or(RStoreError::NotFound(name))?
+        };
+        // Group extents per server.
+        let mut per_server: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
+        for g in &desc.groups {
+            for x in &g.replicas {
+                per_server.entry(x.node).or_default().push((x.addr, x.len));
+            }
+        }
+        for (node, extents) in per_server {
+            let bytes: u64 = extents.iter().map(|(_, l)| l).sum();
+            let alive = self
+                .state
+                .borrow()
+                .servers
+                .get(&node)
+                .is_some_and(|s| s.alive);
+            if alive {
+                // Best effort: a server dying mid-free loses the memory
+                // anyway.
+                let _ = self.server_call(node, SrvReq::FreeExtents { extents }).await;
+            }
+            let mut st = self.state.borrow_mut();
+            if let Some(info) = st.servers.get_mut(&node) {
+                info.used = info.used.saturating_sub(bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// RPC to a memory server through a cached, serialized connection.
+    #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim; semaphore-guarded
+    async fn server_call(&self, node: u32, req: SrvReq) -> Result<SrvResp> {
+        let slot = {
+            let mut st = self.state.borrow_mut();
+            st.conns
+                .entry(node)
+                .or_insert_with(|| {
+                    Rc::new(ConnSlot {
+                        sem: Semaphore::new(1),
+                        conn: RefCell::new(None),
+                    })
+                })
+                .clone()
+        };
+        slot.sem.acquire().await;
+        let result = async {
+            let mut conn = match slot.conn.borrow_mut().take() {
+                Some(c) => c,
+                None => RpcClient::connect(&self.dev, NodeId(node), SRV_SERVICE).await?,
+            };
+            match conn.call(&req.encode()).await {
+                Ok(bytes) => {
+                    *slot.conn.borrow_mut() = Some(conn);
+                    SrvResp::decode(&bytes)
+                }
+                Err(e) => Err(e), // drop the broken connection
+            }
+        }
+        .await;
+        slot.sem.release();
+        result
+    }
+}
+
+/// Stripe lengths for `size` bytes at `stripe_size`: full stripes plus a
+/// trailing partial.
+fn stripe_lengths(size: u64, stripe_size: u64) -> Vec<u64> {
+    let full = size / stripe_size;
+    let tail = size % stripe_size;
+    let mut lens = vec![stripe_size; full as usize];
+    if tail > 0 {
+        lens.push(tail);
+    }
+    lens
+}

@@ -1,0 +1,768 @@
+//! Control-plane wire protocol.
+//!
+//! RStore's control path runs classic two-sided RPC (SEND/RECV) between
+//! clients, the master, and memory servers. Messages are encoded with a
+//! tiny hand-rolled little-endian format — no external serialization crates.
+
+use crate::error::{RStoreError, Result};
+
+// --- primitive encoder / decoder -------------------------------------------
+
+/// Append-only little-endian encoder.
+#[derive(Default, Debug)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// Finishes encoding.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based little-endian decoder.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(RStoreError::Protocol(format!(
+                "truncated message: wanted {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RStoreError::Protocol("invalid utf-8 in string".into()))
+    }
+
+    /// Errors unless the whole buffer was consumed.
+    pub fn finish(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(RStoreError::Protocol(format!(
+                "{} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// --- region descriptors -----------------------------------------------------
+
+/// One contiguous piece of a region on one memory server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Extent {
+    /// Fabric node id of the memory server.
+    pub node: u32,
+    /// Start address in the server's arena.
+    pub addr: u64,
+    /// rkey authorizing client access.
+    pub rkey: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A stripe and its replicas (index 0 is the primary).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StripeGroup {
+    /// One extent per replica; all the same length.
+    pub replicas: Vec<Extent>,
+}
+
+impl StripeGroup {
+    /// Length of the stripe (all replicas are equal-sized).
+    pub fn len(&self) -> u64 {
+        self.replicas.first().map_or(0, |e| e.len)
+    }
+
+    /// True if the group has no replicas (never produced by the master).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+}
+
+/// Health of a region as known by the master.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionState {
+    /// All extents on live servers.
+    Healthy,
+    /// At least one extent lives on a server that missed its lease.
+    Degraded,
+}
+
+/// The complete control-path description of a region: everything a client
+/// needs to perform one-sided IO without ever talking to the master again.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionDesc {
+    /// Region name in the master's namespace.
+    pub name: String,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Striping unit used at allocation.
+    pub stripe_size: u64,
+    /// Stripes in logical order; lengths sum to `size`.
+    pub groups: Vec<StripeGroup>,
+    /// Health as of when the descriptor was issued.
+    pub state: RegionState,
+}
+
+impl RegionDesc {
+    fn encode_into(&self, e: &mut Enc) {
+        e.str(&self.name);
+        e.u64(self.size);
+        e.u64(self.stripe_size);
+        e.u8(match self.state {
+            RegionState::Healthy => 0,
+            RegionState::Degraded => 1,
+        });
+        e.u32(self.groups.len() as u32);
+        for g in &self.groups {
+            e.u32(g.replicas.len() as u32);
+            for x in &g.replicas {
+                e.u32(x.node);
+                e.u64(x.addr);
+                e.u64(x.rkey);
+                e.u64(x.len);
+            }
+        }
+    }
+
+    fn decode_from(d: &mut Dec<'_>) -> Result<Self> {
+        let name = d.str()?;
+        let size = d.u64()?;
+        let stripe_size = d.u64()?;
+        let state = match d.u8()? {
+            0 => RegionState::Healthy,
+            1 => RegionState::Degraded,
+            v => return Err(RStoreError::Protocol(format!("bad region state {v}"))),
+        };
+        let ngroups = d.u32()? as usize;
+        let mut groups = Vec::with_capacity(ngroups);
+        for _ in 0..ngroups {
+            let nr = d.u32()? as usize;
+            let mut replicas = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                replicas.push(Extent {
+                    node: d.u32()?,
+                    addr: d.u64()?,
+                    rkey: d.u64()?,
+                    len: d.u64()?,
+                });
+            }
+            groups.push(StripeGroup { replicas });
+        }
+        Ok(RegionDesc {
+            name,
+            size,
+            stripe_size,
+            groups,
+            state,
+        })
+    }
+}
+
+// --- allocation options -----------------------------------------------------
+
+/// Placement policy the master uses to pick memory servers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Policy {
+    /// Cycle through live servers stripe by stripe (the paper's default:
+    /// maximizes aggregate bandwidth for sequential access).
+    #[default]
+    RoundRobin,
+    /// Uniformly random server per stripe.
+    Random,
+    /// Prefer the servers with the most free capacity.
+    CapacityWeighted,
+}
+
+impl Policy {
+    fn to_u8(self) -> u8 {
+        match self {
+            Policy::RoundRobin => 0,
+            Policy::Random => 1,
+            Policy::CapacityWeighted => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        Ok(match v {
+            0 => Policy::RoundRobin,
+            1 => Policy::Random,
+            2 => Policy::CapacityWeighted,
+            _ => return Err(RStoreError::Protocol(format!("bad policy {v}"))),
+        })
+    }
+}
+
+/// Options for [`alloc`](crate::client::RStoreClient::alloc).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocOptions {
+    /// Striping unit; the region is spread across servers in pieces of this
+    /// size.
+    pub stripe_size: u64,
+    /// Number of replicas per stripe (1 = no replication).
+    pub replicas: u8,
+    /// Placement policy.
+    pub policy: Policy,
+    /// Allocate synthetic (unbacked) memory on the servers — fluid mode.
+    pub synthetic: bool,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            stripe_size: 16 * 1024 * 1024,
+            replicas: 1,
+            policy: Policy::RoundRobin,
+            synthetic: false,
+        }
+    }
+}
+
+// --- client/master control messages ------------------------------------------
+
+/// Requests a client or memory server sends to the master.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CtrlReq {
+    /// A memory server announces itself and its donated capacity.
+    RegisterServer {
+        /// Fabric node of the server.
+        node: u32,
+        /// Donated bytes.
+        capacity: u64,
+    },
+    /// Periodic liveness beacon from a memory server.
+    Heartbeat {
+        /// Fabric node of the server.
+        node: u32,
+    },
+    /// Allocate a named region.
+    Alloc {
+        /// Region name (must be fresh).
+        name: String,
+        /// Logical size in bytes.
+        size: u64,
+        /// Allocation options.
+        opts: AllocOptions,
+    },
+    /// Fetch the descriptor of an existing region.
+    Lookup {
+        /// Region name.
+        name: String,
+    },
+    /// Destroy a region and reclaim its memory.
+    Free {
+        /// Region name.
+        name: String,
+    },
+    /// Cluster statistics (for tooling and tests).
+    Stat,
+    /// Extend an existing region by `additional` bytes (new stripes are
+    /// appended; existing data and descriptors remain valid).
+    Grow {
+        /// Region name.
+        name: String,
+        /// Bytes to append.
+        additional: u64,
+        /// Placement options for the new stripes (stripe size is taken from
+        /// the existing region, not from here).
+        opts: AllocOptions,
+    },
+}
+
+impl CtrlReq {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            CtrlReq::RegisterServer { node, capacity } => {
+                e.u8(0).u32(*node).u64(*capacity);
+            }
+            CtrlReq::Heartbeat { node } => {
+                e.u8(1).u32(*node);
+            }
+            CtrlReq::Alloc { name, size, opts } => {
+                e.u8(2)
+                    .str(name)
+                    .u64(*size)
+                    .u64(opts.stripe_size)
+                    .u8(opts.replicas)
+                    .u8(opts.policy.to_u8())
+                    .u8(opts.synthetic as u8);
+            }
+            CtrlReq::Lookup { name } => {
+                e.u8(3).str(name);
+            }
+            CtrlReq::Free { name } => {
+                e.u8(4).str(name);
+            }
+            CtrlReq::Stat => {
+                e.u8(5);
+            }
+            CtrlReq::Grow {
+                name,
+                additional,
+                opts,
+            } => {
+                e.u8(6)
+                    .str(name)
+                    .u64(*additional)
+                    .u64(opts.stripe_size)
+                    .u8(opts.replicas)
+                    .u8(opts.policy.to_u8())
+                    .u8(opts.synthetic as u8);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Protocol`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(buf);
+        let req = match d.u8()? {
+            0 => CtrlReq::RegisterServer {
+                node: d.u32()?,
+                capacity: d.u64()?,
+            },
+            1 => CtrlReq::Heartbeat { node: d.u32()? },
+            2 => CtrlReq::Alloc {
+                name: d.str()?,
+                size: d.u64()?,
+                opts: AllocOptions {
+                    stripe_size: d.u64()?,
+                    replicas: d.u8()?,
+                    policy: Policy::from_u8(d.u8()?)?,
+                    synthetic: d.u8()? != 0,
+                },
+            },
+            3 => CtrlReq::Lookup { name: d.str()? },
+            4 => CtrlReq::Free { name: d.str()? },
+            5 => CtrlReq::Stat,
+            6 => CtrlReq::Grow {
+                name: d.str()?,
+                additional: d.u64()?,
+                opts: AllocOptions {
+                    stripe_size: d.u64()?,
+                    replicas: d.u8()?,
+                    policy: Policy::from_u8(d.u8()?)?,
+                    synthetic: d.u8()? != 0,
+                },
+            },
+            t => return Err(RStoreError::Protocol(format!("bad ctrl tag {t}"))),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+/// Cluster statistics reported by the master.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClusterStats {
+    /// Live memory servers.
+    pub servers: u32,
+    /// Regions in the namespace.
+    pub regions: u32,
+    /// Total donated capacity in bytes.
+    pub capacity: u64,
+    /// Bytes allocated to regions (including replicas).
+    pub used: u64,
+}
+
+/// Master responses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CtrlResp {
+    /// Success without a payload.
+    Ok,
+    /// Application-level failure with a human-readable reason.
+    Err(String),
+    /// A region descriptor (for `Alloc` / `Lookup`).
+    Region(RegionDesc),
+    /// Statistics (for `Stat`).
+    Stats(ClusterStats),
+}
+
+impl CtrlResp {
+    /// Encodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            CtrlResp::Ok => {
+                e.u8(0);
+            }
+            CtrlResp::Err(msg) => {
+                e.u8(1).str(msg);
+            }
+            CtrlResp::Region(desc) => {
+                e.u8(2);
+                desc.encode_into(&mut e);
+            }
+            CtrlResp::Stats(s) => {
+                e.u8(3).u32(s.servers).u32(s.regions).u64(s.capacity).u64(s.used);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Protocol`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(buf);
+        let resp = match d.u8()? {
+            0 => CtrlResp::Ok,
+            1 => CtrlResp::Err(d.str()?),
+            2 => CtrlResp::Region(RegionDesc::decode_from(&mut d)?),
+            3 => CtrlResp::Stats(ClusterStats {
+                servers: d.u32()?,
+                regions: d.u32()?,
+                capacity: d.u64()?,
+                used: d.u64()?,
+            }),
+            t => return Err(RStoreError::Protocol(format!("bad resp tag {t}"))),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+// --- master/server control messages -------------------------------------------
+
+/// Requests the master sends to a memory server.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SrvReq {
+    /// Allocate and register `count` extents of `len` bytes each.
+    AllocExtents {
+        /// Number of extents.
+        count: u32,
+        /// Bytes per extent.
+        len: u64,
+        /// Synthetic (unbacked) allocation for fluid-mode regions.
+        synthetic: bool,
+    },
+    /// Free previously allocated extents by start address.
+    FreeExtents {
+        /// `(addr, len)` pairs as returned by `AllocExtents`.
+        extents: Vec<(u64, u64)>,
+    },
+}
+
+impl SrvReq {
+    /// Encodes the request.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            SrvReq::AllocExtents {
+                count,
+                len,
+                synthetic,
+            } => {
+                e.u8(0).u32(*count).u64(*len).u8(*synthetic as u8);
+            }
+            SrvReq::FreeExtents { extents } => {
+                e.u8(1).u32(extents.len() as u32);
+                for (a, l) in extents {
+                    e.u64(*a).u64(*l);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a request.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Protocol`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(buf);
+        let req = match d.u8()? {
+            0 => SrvReq::AllocExtents {
+                count: d.u32()?,
+                len: d.u64()?,
+                synthetic: d.u8()? != 0,
+            },
+            1 => {
+                let n = d.u32()? as usize;
+                let mut extents = Vec::with_capacity(n);
+                for _ in 0..n {
+                    extents.push((d.u64()?, d.u64()?));
+                }
+                SrvReq::FreeExtents { extents }
+            }
+            t => return Err(RStoreError::Protocol(format!("bad srv tag {t}"))),
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+/// Memory-server responses to the master.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SrvResp {
+    /// Allocated extents: `(addr, rkey, len)` per extent.
+    Extents(Vec<(u64, u64, u64)>),
+    /// Success without a payload.
+    Ok,
+    /// Failure with a reason.
+    Err(String),
+}
+
+impl SrvResp {
+    /// Encodes the response.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            SrvResp::Extents(v) => {
+                e.u8(0).u32(v.len() as u32);
+                for (a, k, l) in v {
+                    e.u64(*a).u64(*k).u64(*l);
+                }
+            }
+            SrvResp::Ok => {
+                e.u8(1);
+            }
+            SrvResp::Err(m) => {
+                e.u8(2).str(m);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a response.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Protocol`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut d = Dec::new(buf);
+        let resp = match d.u8()? {
+            0 => {
+                let n = d.u32()? as usize;
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push((d.u64()?, d.u64()?, d.u64()?));
+                }
+                SrvResp::Extents(v)
+            }
+            1 => SrvResp::Ok,
+            2 => SrvResp::Err(d.str()?),
+            t => return Err(RStoreError::Protocol(format!("bad srvresp tag {t}"))),
+        };
+        d.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> RegionDesc {
+        RegionDesc {
+            name: "data/matrix".into(),
+            size: 300,
+            stripe_size: 128,
+            groups: vec![
+                StripeGroup {
+                    replicas: vec![
+                        Extent {
+                            node: 1,
+                            addr: 0x1000,
+                            rkey: 7,
+                            len: 128,
+                        },
+                        Extent {
+                            node: 2,
+                            addr: 0x2000,
+                            rkey: 8,
+                            len: 128,
+                        },
+                    ],
+                },
+                StripeGroup {
+                    replicas: vec![Extent {
+                        node: 3,
+                        addr: 0x3000,
+                        rkey: 9,
+                        len: 172,
+                    }],
+                },
+            ],
+            state: RegionState::Healthy,
+        }
+    }
+
+    #[test]
+    fn ctrl_req_round_trips() {
+        let reqs = vec![
+            CtrlReq::RegisterServer {
+                node: 4,
+                capacity: 1 << 30,
+            },
+            CtrlReq::Heartbeat { node: 4 },
+            CtrlReq::Alloc {
+                name: "a/b".into(),
+                size: 4096,
+                opts: AllocOptions {
+                    stripe_size: 1024,
+                    replicas: 3,
+                    policy: Policy::CapacityWeighted,
+                    synthetic: true,
+                },
+            },
+            CtrlReq::Lookup { name: "x".into() },
+            CtrlReq::Free { name: "y".into() },
+            CtrlReq::Stat,
+            CtrlReq::Grow {
+                name: "g".into(),
+                additional: 1 << 20,
+                opts: AllocOptions::default(),
+            },
+        ];
+        for req in reqs {
+            assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn ctrl_resp_round_trips() {
+        let resps = vec![
+            CtrlResp::Ok,
+            CtrlResp::Err("nope".into()),
+            CtrlResp::Region(desc()),
+            CtrlResp::Stats(ClusterStats {
+                servers: 12,
+                regions: 3,
+                capacity: 1 << 40,
+                used: 123,
+            }),
+        ];
+        for resp in resps {
+            assert_eq!(CtrlResp::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn srv_messages_round_trip() {
+        let reqs = vec![
+            SrvReq::AllocExtents {
+                count: 5,
+                len: 1 << 20,
+                synthetic: false,
+            },
+            SrvReq::FreeExtents {
+                extents: vec![(1, 2), (3, 4)],
+            },
+        ];
+        for req in reqs {
+            assert_eq!(SrvReq::decode(&req.encode()).unwrap(), req);
+        }
+        let resps = vec![
+            SrvResp::Extents(vec![(1, 2, 3), (4, 5, 6)]),
+            SrvResp::Ok,
+            SrvResp::Err("full".into()),
+        ];
+        for resp in resps {
+            assert_eq!(SrvResp::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        let bytes = CtrlResp::Region(desc()).encode();
+        for cut in 0..bytes.len() {
+            let r = CtrlResp::decode(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes must not decode");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = CtrlReq::Stat.encode();
+        bytes.push(0);
+        assert!(matches!(
+            CtrlReq::decode(&bytes),
+            Err(RStoreError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn stripe_group_len() {
+        let d = desc();
+        assert_eq!(d.groups[0].len(), 128);
+        assert_eq!(d.groups[1].len(), 172);
+        assert!(!d.groups[0].is_empty());
+    }
+}

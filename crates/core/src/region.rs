@@ -1,0 +1,323 @@
+//! Regions: the memory-like data-path API.
+//!
+//! A [`Region`] is a mapped window onto distributed DRAM. Every operation is
+//! pure one-sided RDMA against the memory servers named in the region's
+//! descriptor — no master involvement, no remote CPU.
+
+use std::fmt;
+
+use rdma::{CqStatus, DmaBuf, RdmaError};
+use sim::channel::oneshot;
+
+use crate::client::RStoreClient;
+use crate::error::{RStoreError, Result};
+use crate::layout::{Layout, Piece};
+use crate::proto::RegionDesc;
+
+/// Direction of a posted IO.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Dir {
+    Read,
+    Write,
+}
+
+/// A mapped region of distributed memory.
+///
+/// Obtained from [`RStoreClient::alloc`] or [`RStoreClient::map`]. Offsets
+/// are region-relative; striping and replication are transparent.
+///
+/// Two API levels are offered:
+///
+/// * **Convenience** — [`read`](Self::read) / [`write`](Self::write) move
+///   `Vec<u8>`s through an internal staging buffer and perform read failover
+///   across replicas.
+/// * **Zero-copy** — [`start_read`](Self::start_read) /
+///   [`start_write`](Self::start_write) post IO directly between a local
+///   [`DmaBuf`] and the region, returning an [`IoHandle`]; combine with
+///   [`RStoreClient::sync`] for bulk pipelines.
+#[derive(Clone)]
+pub struct Region {
+    client: RStoreClient,
+    desc: RegionDesc,
+    layout: Layout,
+}
+
+impl fmt::Debug for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Region")
+            .field("name", &self.desc.name)
+            .field("size", &self.desc.size)
+            .field("stripes", &self.desc.groups.len())
+            .finish()
+    }
+}
+
+impl Region {
+    pub(crate) fn new(client: RStoreClient, desc: RegionDesc) -> Region {
+        let layout = Layout::new(&desc);
+        Region {
+            client,
+            desc,
+            layout,
+        }
+    }
+
+    /// Logical size in bytes.
+    pub fn size(&self) -> u64 {
+        self.desc.size
+    }
+
+    /// The region's name in the master's namespace.
+    pub fn name(&self) -> &str {
+        &self.desc.name
+    }
+
+    /// The full control-path descriptor.
+    pub fn desc(&self) -> &RegionDesc {
+        &self.desc
+    }
+
+    /// The owning client.
+    pub fn client(&self) -> &RStoreClient {
+        &self.client
+    }
+
+    /// Waits for every outstanding asynchronous IO posted through this
+    /// region's client (the paper's `r_sync`). Alias for
+    /// [`RStoreClient::sync`].
+    pub async fn sync(&self) {
+        self.client.sync().await;
+    }
+
+    // --- convenience byte API -------------------------------------------------
+
+    /// Reads `len` bytes at `offset` into a fresh `Vec`.
+    ///
+    /// Performs replica failover: if the primary read of a stripe fails, the
+    /// next replica is tried.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`] when all replicas
+    /// of some stripe fail.
+    pub async fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let dev = self.client.shared.dev.clone();
+        let staging = dev.alloc(len.max(1))?;
+        let result = async {
+            self.read_into(offset, staging.slice(0, len)).await?;
+            Ok(dev.read_mem(staging.addr, len)?)
+        }
+        .await;
+        let _ = dev.free(staging);
+        result
+    }
+
+    /// Writes `data` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
+    pub async fn write(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let dev = self.client.shared.dev.clone();
+        let staging = dev.alloc(data.len().max(1) as u64)?;
+        let result = async {
+            dev.write_mem(staging.addr, data)?;
+            self.write_from(offset, staging.slice(0, data.len() as u64))
+                .await
+        }
+        .await;
+        let _ = dev.free(staging);
+        result
+    }
+
+    // --- zero-copy awaitable API ------------------------------------------------
+
+    /// Reads `dst.len` bytes at `offset` into local buffer `dst`, with
+    /// replica failover, and waits for completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
+    pub async fn read_into(&self, offset: u64, dst: DmaBuf) -> Result<()> {
+        let pieces = self.layout.pieces(offset, dst.len)?;
+        // Post every piece's primary read in parallel.
+        let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
+        let mut retry: Vec<(Piece, usize)> = Vec::new();
+        for piece in pieces {
+            match self.post_piece(&piece, dst, Dir::Read, 0) {
+                Ok(rx) => waits.push((piece, 0, rx)),
+                Err(_) => retry.push((piece, 0)),
+            }
+        }
+        loop {
+            for (piece, replica, rx) in waits.drain(..) {
+                let ok = matches!(rx.await, Some(CqStatus::Success));
+                if !ok {
+                    retry.push((piece, replica));
+                }
+            }
+            if retry.is_empty() {
+                return Ok(());
+            }
+            // Failover pass: each failed piece advances to its next replica.
+            // A piece whose retry cannot even be posted (dead QP) advances
+            // again on the following pass until its replicas are exhausted.
+            let failed = std::mem::take(&mut retry);
+            let mut next_round = Vec::new();
+            for (piece, replica) in failed {
+                let next = replica + 1;
+                if next >= self.desc.groups[piece.group].replicas.len() {
+                    return Err(RStoreError::Io(CqStatus::Timeout));
+                }
+                match self.post_piece(&piece, dst, Dir::Read, next) {
+                    Ok(rx) => next_round.push((piece, next, rx)),
+                    Err(_) => retry.push((piece, next)),
+                }
+            }
+            waits = next_round;
+        }
+    }
+
+    /// Writes local buffer `src` at `offset` (to **all** replicas) and waits
+    /// for every acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
+    pub async fn write_from(&self, offset: u64, src: DmaBuf) -> Result<()> {
+        self.start_write(offset, src)?.wait().await
+    }
+
+    /// Posts a read without waiting (no failover). Use
+    /// [`IoHandle::wait`] or [`RStoreClient::sync`].
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`]; post failures surface as
+    /// [`RStoreError::Io`] on wait.
+    pub fn start_read(&self, offset: u64, dst: DmaBuf) -> Result<IoHandle> {
+        self.start_io(offset, dst, Dir::Read)
+    }
+
+    /// Posts a write (all replicas) without waiting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Region::start_read`].
+    pub fn start_write(&self, offset: u64, src: DmaBuf) -> Result<IoHandle> {
+        self.start_io(offset, src, Dir::Write)
+    }
+
+    fn start_io(&self, offset: u64, buf: DmaBuf, dir: Dir) -> Result<IoHandle> {
+        let pieces = self.layout.pieces(offset, buf.len)?;
+        let mut rxs = Vec::new();
+        let mut failed = false;
+        for piece in &pieces {
+            let replicas = match dir {
+                Dir::Read => 1,
+                Dir::Write => self.desc.groups[piece.group].replicas.len(),
+            };
+            for r in 0..replicas {
+                match self.post_piece(piece, buf, dir, r) {
+                    Ok(rx) => rxs.push(rx),
+                    Err(_) => failed = true,
+                }
+            }
+        }
+        Ok(IoHandle {
+            rxs,
+            post_failed: failed,
+        })
+    }
+
+    /// Posts one piece against one replica, returning the completion
+    /// receiver.
+    fn post_piece(
+        &self,
+        piece: &Piece,
+        buf: DmaBuf,
+        dir: Dir,
+        replica: usize,
+    ) -> Result<oneshot::Receiver<CqStatus>> {
+        let s = &self.client.shared;
+        let extent = &self.desc.groups[piece.group].replicas[replica];
+        let conns = s.conns.borrow();
+        let qp = conns
+            .get(&extent.node)
+            .ok_or(RStoreError::Rdma(RdmaError::QpError))?;
+
+        let remote = rdma::RemoteAddr {
+            addr: extent.addr + piece.offset_in_stripe,
+            rkey: rdma::RKey(extent.rkey),
+        };
+        let local = buf.slice(piece.buf_offset, piece.len);
+        let wr_id = s.next_wr.get();
+        s.next_wr.set(wr_id + 1);
+        let (tx, rx) = oneshot::channel();
+        s.pending.borrow_mut().insert(wr_id, tx);
+        s.outstanding.add(1);
+        let posted = match dir {
+            Dir::Read => qp.post_read(wr_id, local, remote),
+            Dir::Write => qp.post_write(wr_id, local, remote),
+        };
+        if let Err(e) = posted {
+            s.pending.borrow_mut().remove(&wr_id);
+            s.outstanding.done();
+            return Err(e.into());
+        }
+        let metric = match dir {
+            Dir::Read => "rstore.read_bytes",
+            Dir::Write => "rstore.write_bytes",
+        };
+        s.dev.metrics().add(metric, piece.len);
+        Ok(rx)
+    }
+}
+
+/// Tracks a batch of posted one-sided operations.
+#[derive(Debug)]
+pub struct IoHandle {
+    rxs: Vec<oneshot::Receiver<CqStatus>>,
+    post_failed: bool,
+}
+
+impl IoHandle {
+    /// Waits for every operation in the batch; the first failure (after all
+    /// have finished) is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::Io`] if any operation failed or failed to post.
+    pub async fn wait(self) -> Result<()> {
+        let mut first_err = if self.post_failed {
+            Some(RStoreError::Rdma(RdmaError::QpError))
+        } else {
+            None
+        };
+        for rx in self.rxs {
+            match rx.await {
+                Some(CqStatus::Success) => {}
+                Some(status) => {
+                    first_err.get_or_insert(RStoreError::Io(status));
+                }
+                None => {
+                    first_err.get_or_insert(RStoreError::Io(CqStatus::Flushed));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Number of posted operations in the batch.
+    pub fn len(&self) -> usize {
+        self.rxs.len()
+    }
+
+    /// True if the batch posted nothing (zero-length IO).
+    pub fn is_empty(&self) -> bool {
+        self.rxs.is_empty()
+    }
+}

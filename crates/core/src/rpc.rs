@@ -1,0 +1,304 @@
+//! Two-sided RPC over SEND/RECV queue pairs.
+//!
+//! RStore's *control path* (client ↔ master, master ↔ memory server) uses
+//! ordinary request/response RPC: every message crosses the server's CPU,
+//! costs a configurable amount of processing time, and involves buffer
+//! copies — exactly the costs the *data path* avoids. The two-sided baseline
+//! store in the `baseline` crate reuses this module to quantify that gap.
+//!
+//! The protocol is deliberately simple: one outstanding request per
+//! connection (callers hold the connection exclusively for the duration of a
+//! call), fixed-size message buffers.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::time::Duration;
+
+use fabric::NodeId;
+use rdma::{CompletionQueue, CqeOpcode, DmaBuf, Qp, RdmaDevice, RdmaError};
+
+use crate::error::{RStoreError, Result};
+
+/// Maximum encoded message size (requests and responses).
+pub const RPC_BUF_BYTES: u64 = 4 * 1024 * 1024;
+
+/// A connected RPC client endpoint.
+///
+/// Holds a queue pair plus pre-allocated, pre-registered send/receive
+/// buffers — acquiring one is a control-path (setup) action.
+pub struct RpcClient {
+    qp: Qp,
+    cq: CompletionQueue,
+    send_buf: DmaBuf,
+    recv_buf: DmaBuf,
+    next_wr: u64,
+    peer: NodeId,
+}
+
+impl std::fmt::Debug for RpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcClient").field("peer", &self.peer).finish()
+    }
+}
+
+impl RpcClient {
+    /// Connects to the RPC service `service` on `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and allocation failures from the verbs layer.
+    pub async fn connect(dev: &RdmaDevice, peer: NodeId, service: u16) -> Result<RpcClient> {
+        let cq = CompletionQueue::new();
+        let qp = dev.connect(peer, service, &cq).await?;
+        let send_buf = dev.alloc(RPC_BUF_BYTES)?;
+        let recv_buf = dev.alloc(RPC_BUF_BYTES)?;
+        Ok(RpcClient {
+            qp,
+            cq,
+            send_buf,
+            recv_buf,
+            next_wr: 1,
+            peer,
+        })
+    }
+
+    /// The node this client is connected to.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Issues one request and waits for the response.
+    ///
+    /// # Errors
+    ///
+    /// * [`RStoreError::Protocol`] if the request exceeds [`RPC_BUF_BYTES`].
+    /// * [`RStoreError::Io`] if the connection failed mid-call.
+    pub async fn call(&mut self, req: &[u8]) -> Result<Vec<u8>> {
+        if req.len() as u64 > RPC_BUF_BYTES {
+            return Err(RStoreError::Protocol(format!(
+                "request of {} bytes exceeds RPC buffer",
+                req.len()
+            )));
+        }
+        let dev = self.qp.device().clone();
+        dev.write_mem(self.send_buf.addr, req)?;
+        let recv_wr = self.next_wr;
+        let send_wr = self.next_wr + 1;
+        self.next_wr += 2;
+        self.qp.post_recv(recv_wr, self.recv_buf)?;
+        self.qp
+            .post_send(send_wr, self.send_buf.slice(0, req.len() as u64), None)?;
+
+        let mut resp_len = None;
+        let mut send_done = false;
+        while resp_len.is_none() || !send_done {
+            let cqe = self.cq.next().await;
+            if !cqe.status.is_ok() {
+                return Err(RStoreError::Io(cqe.status));
+            }
+            match cqe.opcode {
+                CqeOpcode::Recv => resp_len = Some(cqe.byte_len),
+                CqeOpcode::Send => send_done = true,
+                other => {
+                    debug_assert!(false, "unexpected completion {other:?} on RPC QP");
+                }
+            }
+        }
+        let len = resp_len.expect("loop exit implies response");
+        Ok(dev.read_mem(self.recv_buf.addr, len)?)
+    }
+}
+
+/// Async request handler: `(peer, request bytes) -> response bytes`.
+pub type RpcHandler = Rc<dyn Fn(NodeId, Vec<u8>) -> Pin<Box<dyn Future<Output = Vec<u8>>>>>;
+
+/// Spawns an RPC server for `service` on `dev`.
+///
+/// Every accepted connection gets its own task; each request costs
+/// `cpu_per_req` of simulated server CPU before the handler runs — this is
+/// the "server CPU on the critical path" that one-sided RStore IO avoids.
+///
+/// # Errors
+///
+/// [`RStoreError::Rdma`] if the service id is already in use on this device.
+pub fn spawn_rpc_server(
+    dev: &RdmaDevice,
+    service: u16,
+    cpu_per_req: Duration,
+    handler: RpcHandler,
+) -> Result<()> {
+    let mut listener = dev.listen(service)?;
+    let dev = dev.clone();
+    let sim = dev.sim().clone();
+    sim.clone().spawn(async move {
+        loop {
+            let cq = CompletionQueue::new();
+            let qp = match listener.accept(&cq).await {
+                Ok(qp) => qp,
+                Err(_) => return, // listener shut down
+            };
+            let dev = dev.clone();
+            let handler = handler.clone();
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                if let Err(e) = serve_connection(dev, sim2, qp, cq, cpu_per_req, handler).await {
+                    // Peer death mid-request: the connection task just ends.
+                    let _ = e;
+                }
+            });
+        }
+    });
+    Ok(())
+}
+
+async fn serve_connection(
+    dev: RdmaDevice,
+    sim: sim::Sim,
+    qp: Qp,
+    cq: CompletionQueue,
+    cpu_per_req: Duration,
+    handler: RpcHandler,
+) -> std::result::Result<(), RdmaError> {
+    let recv_buf = dev.alloc(RPC_BUF_BYTES)?;
+    let send_buf = dev.alloc(RPC_BUF_BYTES)?;
+    let peer = qp.peer();
+    let mut wr = 1u64;
+    qp.post_recv(wr, recv_buf)?;
+    let result = async {
+        loop {
+            let cqe = cq.next().await;
+            if !cqe.status.is_ok() {
+                return Ok(());
+            }
+            match cqe.opcode {
+                CqeOpcode::Recv => {
+                    let req = dev.read_mem(recv_buf.addr, cqe.byte_len)?;
+                    // Repost immediately so a back-to-back request can land
+                    // while the handler runs.
+                    wr += 1;
+                    qp.post_recv(wr, recv_buf)?;
+                    sim.sleep(cpu_per_req).await;
+                    let resp = handler(peer, req).await;
+                    debug_assert!(resp.len() as u64 <= RPC_BUF_BYTES, "oversized RPC response");
+                    dev.write_mem(send_buf.addr, &resp)?;
+                    wr += 1;
+                    qp.post_send(wr, send_buf.slice(0, resp.len() as u64), None)?;
+                }
+                CqeOpcode::Send => {}
+                _ => {}
+            }
+        }
+    }
+    .await;
+    let _ = dev.free(recv_buf);
+    let _ = dev.free(send_buf);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::{Fabric, FabricConfig};
+    use rdma::RdmaConfig;
+    use sim::Sim;
+
+    fn setup() -> (Sim, Fabric<rdma::NetMsg>, RdmaDevice, RdmaDevice) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), FabricConfig::default());
+        let server = RdmaDevice::new(&fabric, RdmaConfig::default());
+        let client = RdmaDevice::new(&fabric, RdmaConfig::default());
+        (sim, fabric, server, client)
+    }
+
+    fn echo_handler() -> RpcHandler {
+        Rc::new(|_peer, mut req: Vec<u8>| {
+            Box::pin(async move {
+                req.reverse();
+                req
+            }) as Pin<Box<dyn Future<Output = Vec<u8>>>>
+        })
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let (sim, _fabric, server, client) = setup();
+        spawn_rpc_server(&server, 9, Duration::from_micros(1), echo_handler()).unwrap();
+        let peer = server.node();
+        let out = sim.block_on(async move {
+            let mut rpc = RpcClient::connect(&client, peer, 9).await.unwrap();
+            rpc.call(b"abc").await.unwrap()
+        });
+        assert_eq!(out, b"cba");
+    }
+
+    #[test]
+    fn sequential_calls_reuse_connection() {
+        let (sim, _fabric, server, client) = setup();
+        spawn_rpc_server(&server, 9, Duration::from_micros(1), echo_handler()).unwrap();
+        let peer = server.node();
+        let out = sim.block_on(async move {
+            let mut rpc = RpcClient::connect(&client, peer, 9).await.unwrap();
+            let mut results = Vec::new();
+            for i in 0..5u8 {
+                results.push(rpc.call(&[i, i + 1]).await.unwrap());
+            }
+            results
+        });
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[4], vec![5, 4]);
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let (sim, fabric, server, _client) = setup();
+        spawn_rpc_server(&server, 9, Duration::from_micros(1), echo_handler()).unwrap();
+        let peer = server.node();
+        // Three separate client devices hammering the same server.
+        let mut handles = Vec::new();
+        for i in 0..3u8 {
+            let dev = RdmaDevice::new(&fabric, RdmaConfig::default());
+            let h = sim.spawn(async move {
+                let mut rpc = RpcClient::connect(&dev, peer, 9).await.unwrap();
+                rpc.call(&[i]).await.unwrap()
+            });
+            handles.push(h);
+        }
+        sim.run();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.try_result().unwrap(), vec![i as u8]);
+        }
+    }
+
+    #[test]
+    fn oversized_request_rejected_locally() {
+        let (sim, _fabric, server, client) = setup();
+        spawn_rpc_server(&server, 9, Duration::from_micros(1), echo_handler()).unwrap();
+        let peer = server.node();
+        let err = sim.block_on(async move {
+            let mut rpc = RpcClient::connect(&client, peer, 9).await.unwrap();
+            rpc.call(&vec![0u8; (RPC_BUF_BYTES + 1) as usize])
+                .await
+                .err()
+                .unwrap()
+        });
+        assert!(matches!(err, RStoreError::Protocol(_)));
+    }
+
+    #[test]
+    fn call_to_dead_server_fails_with_io_error() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), FabricConfig::default());
+        let server = RdmaDevice::new(&fabric, RdmaConfig::default());
+        let client = RdmaDevice::new(&fabric, RdmaConfig::default());
+        spawn_rpc_server(&server, 9, Duration::from_micros(1), echo_handler()).unwrap();
+        let peer = server.node();
+        let fabric2 = fabric.clone();
+        let err = sim.block_on(async move {
+            let mut rpc = RpcClient::connect(&client, peer, 9).await.unwrap();
+            fabric2.set_node_up(peer, false);
+            rpc.call(b"hi").await.err().unwrap()
+        });
+        assert!(matches!(err, RStoreError::Io(_)));
+    }
+}

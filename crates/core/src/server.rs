@@ -1,0 +1,224 @@
+//! The RStore memory server.
+//!
+//! A memory server *donates DRAM*. On the control path it registers with the
+//! master, heartbeats, and serves extent allocation requests (which include
+//! the simulated cost of pinning/registering memory with the NIC). On the
+//! data path its CPU does **nothing**: clients access its memory with
+//! one-sided RDMA handled entirely by the (simulated) NIC.
+
+use std::fmt;
+use std::time::Duration;
+
+use rdma::{Access, CompletionQueue, DmaBuf, RdmaDevice};
+use sim::Sim;
+
+use crate::error::Result;
+use crate::proto::{CtrlReq, CtrlResp, SrvReq, SrvResp};
+use crate::rpc::{spawn_rpc_server, RpcClient};
+use crate::{CTRL_SERVICE, DATA_SERVICE, SRV_SERVICE};
+
+/// Memory-server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bytes of DRAM donated to the store.
+    pub donate: u64,
+    /// Heartbeat period (must be well under the master's lease).
+    pub heartbeat: Duration,
+    /// CPU cost per control RPC.
+    pub rpc_cpu: Duration,
+    /// Simulated memory-registration (pinning) cost per MiB of extent.
+    pub pin_per_mib: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            donate: 32 * 1024 * 1024 * 1024,
+            heartbeat: Duration::from_millis(100),
+            rpc_cpu: Duration::from_micros(2),
+            pin_per_mib: Duration::from_micros(3),
+        }
+    }
+}
+
+/// Handle to a running memory server.
+#[derive(Clone)]
+pub struct MemServer {
+    dev: RdmaDevice,
+    sim: Sim,
+}
+
+impl fmt::Debug for MemServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemServer")
+            .field("node", &self.dev.node())
+            .field("mem_used", &self.dev.mem_used())
+            .finish()
+    }
+}
+
+impl MemServer {
+    /// Starts a memory server on `dev`: registers with the master at
+    /// `master`, begins heartbeating, and serves allocation RPCs plus
+    /// data-path connections.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RStoreError::Rdma`] if the service ids are already in use on
+    /// this device.
+    pub fn spawn(dev: &RdmaDevice, master: fabric::NodeId, cfg: ServerConfig) -> Result<MemServer> {
+        let server = MemServer {
+            dev: dev.clone(),
+            sim: dev.sim().clone(),
+        };
+
+        // Extent allocation service (master -> server).
+        let d = dev.clone();
+        let sim = server.sim.clone();
+        let pin_per_mib = cfg.pin_per_mib;
+        spawn_rpc_server(
+            dev,
+            SRV_SERVICE,
+            cfg.rpc_cpu,
+            std::rc::Rc::new(move |_peer, req| {
+                let d = d.clone();
+                let sim = sim.clone();
+                Box::pin(async move { handle_srv_req(&d, &sim, pin_per_mib, &req).await.encode() })
+            }),
+        )?;
+
+        // Data-path listener: accept QPs and keep them alive. No receive
+        // processing — the QPs exist purely as targets of one-sided IO.
+        let mut data_listener = dev.listen(DATA_SERVICE)?;
+        server.sim.spawn(async move {
+            let cq = CompletionQueue::new();
+            let mut qps = Vec::new();
+            while let Ok(qp) = data_listener.accept(&cq).await {
+                qps.push(qp);
+            }
+        });
+
+        // Registration + heartbeat loop.
+        let dev2 = dev.clone();
+        let sim2 = server.sim.clone();
+        let node = dev.node().0;
+        let donate = cfg.donate;
+        let heartbeat = cfg.heartbeat;
+        server.sim.spawn(async move {
+            let mut conn: Option<RpcClient> = None;
+            let mut registered = false;
+            loop {
+                let req = if registered {
+                    CtrlReq::Heartbeat { node }
+                } else {
+                    CtrlReq::RegisterServer {
+                        node,
+                        capacity: donate,
+                    }
+                };
+                let mut c = match conn.take() {
+                    Some(c) => c,
+                    None => match RpcClient::connect(&dev2, master, CTRL_SERVICE).await {
+                        Ok(c) => c,
+                        Err(_) => {
+                            sim2.sleep(heartbeat).await;
+                            continue;
+                        }
+                    },
+                };
+                match c.call(&req.encode()).await {
+                    Ok(bytes) => {
+                        if matches!(CtrlResp::decode(&bytes), Ok(CtrlResp::Ok)) {
+                            registered = true;
+                        }
+                        conn = Some(c);
+                    }
+                    Err(_) => {
+                        // Connection broke (master restart / partition):
+                        // redial and re-register.
+                        registered = false;
+                    }
+                }
+                sim2.sleep(heartbeat).await;
+            }
+        });
+
+        Ok(server)
+    }
+
+    /// The server's fabric node.
+    pub fn node(&self) -> fabric::NodeId {
+        self.dev.node()
+    }
+
+    /// Bytes of the arena currently allocated to regions.
+    pub fn mem_used(&self) -> u64 {
+        self.dev.mem_used()
+    }
+}
+
+async fn handle_srv_req(
+    dev: &RdmaDevice,
+    sim: &Sim,
+    pin_per_mib: Duration,
+    req: &[u8],
+) -> SrvResp {
+    let req = match SrvReq::decode(req) {
+        Ok(r) => r,
+        Err(e) => return SrvResp::Err(e.to_string()),
+    };
+    match req {
+        SrvReq::AllocExtents {
+            count,
+            len,
+            synthetic,
+        } => {
+            // Charge the pinning/registration cost: this is what makes the
+            // control path "slow but once".
+            let total_mib = (count as u64 * len) / (1024 * 1024);
+            sim.sleep(Duration::from_nanos(
+                pin_per_mib.as_nanos() as u64 * total_mib,
+            ))
+            .await;
+
+            let mut granted: Vec<(u64, u64, u64)> = Vec::with_capacity(count as usize);
+            let mut bufs: Vec<DmaBuf> = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let alloc = if synthetic {
+                    dev.alloc_synthetic(len)
+                } else {
+                    dev.alloc(len)
+                };
+                let buf = match alloc {
+                    Ok(b) => b,
+                    Err(e) => {
+                        for b in bufs {
+                            let _ = dev.free(b);
+                        }
+                        return SrvResp::Err(e.to_string());
+                    }
+                };
+                match dev.reg_mr(buf, Access::REMOTE_ALL) {
+                    Ok(mr) => {
+                        granted.push((buf.addr, mr.rkey.0, buf.len));
+                        bufs.push(buf);
+                    }
+                    Err(e) => {
+                        let _ = dev.free(buf);
+                        for b in bufs {
+                            let _ = dev.free(b);
+                        }
+                        return SrvResp::Err(e.to_string());
+                    }
+                }
+            }
+            SrvResp::Extents(granted)
+        }
+        SrvReq::FreeExtents { extents } => {
+            for (addr, len) in extents {
+                let _ = dev.free(DmaBuf { addr, len });
+            }
+            SrvResp::Ok
+        }
+    }
+}

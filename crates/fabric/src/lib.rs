@@ -1,0 +1,682 @@
+//! A simulated switched network fabric with RDMA-era timing.
+//!
+//! The fabric models the 12-machine FDR InfiniBand testbed of the RStore
+//! paper: every node has a full-duplex link to a single switch. A message
+//! from `A` to `B` is chunked into quanta that
+//!
+//! 1. serialize on `A`'s transmit link — an event-driven pump that
+//!    round-robins across destinations at quantum granularity, the way NICs
+//!    arbitrate between queue pairs (no convoy effects),
+//! 2. propagate through the switch (cut-through: propagation + forwarding
+//!    delay), and
+//! 3. serialize on `B`'s receive link (FIFO by arrival, busy-until
+//!    accounting).
+//!
+//! `k` senders targeting one receiver collectively see exactly one link of
+//! receive bandwidth, and one sender splitting across `k` receivers feeds
+//! them all concurrently — the effects behind the paper's
+//! aggregate-bandwidth scaling figure. Messages up to
+//! [`FabricConfig::priority_cutoff`] bypass the queues entirely, modeling
+//! how small control packets interleave into bulk streams.
+//!
+//! The fabric is *payload-agnostic*: it carries any message type `M` and is
+//! told the wire size explicitly, which is what enables the fluid-mode
+//! (sizes-only) runs used for the 256 GB sort experiment.
+//!
+//! # Example
+//!
+//! ```rust
+//! use fabric::{Fabric, FabricConfig, NodeId};
+//! use sim::Sim;
+//!
+//! let sim = Sim::new();
+//! let fabric: Fabric<&'static str> = Fabric::new(sim.clone(), FabricConfig::default());
+//! let a = fabric.add_node();
+//! let b = fabric.add_node();
+//! let mut inbox = fabric.attach(b);
+//! fabric.send(a, b, 4096, "hello");
+//! let got = sim.block_on(async move { inbox.recv().await });
+//! assert_eq!(got.unwrap().msg, "hello");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use sim::channel::{channel, Receiver, Sender};
+use sim::{Metrics, Sim, SimTime};
+
+/// Identifies a machine attached to the fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Timing and topology parameters of the fabric.
+///
+/// The defaults model FDR InfiniBand (4× 14 Gb/s lanes): 54.3 Gb/s of
+/// goodput per direction after 64/66b encoding and transport headers, sub-µs
+/// single-switch latency. See `DESIGN.md` ("Calibration constants").
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// Per-direction link goodput in bits per second.
+    pub link_bps: u64,
+    /// One-way propagation delay (cable + PHY).
+    pub link_latency: Duration,
+    /// Switch forwarding delay.
+    pub switch_delay: Duration,
+    /// Fixed per-message initiation overhead at the sender (DMA engine
+    /// start-up); *not* per-chunk.
+    pub host_overhead: Duration,
+    /// Chunk size in bytes used for link-sharing interleaving. Larger quanta
+    /// mean fewer simulation events but coarser fairness.
+    pub quantum: u32,
+    /// Messages of at most this many wire bytes bypass link queues: they are
+    /// delivered after serialization + hop latency without waiting for (or
+    /// contributing to) the busy-until accounting. This models how RDMA NICs
+    /// round-robin queue pairs at packet granularity — a heartbeat or ACK
+    /// interleaves into a bulk stream within microseconds instead of waiting
+    /// behind gigabytes of queued payload.
+    pub priority_cutoff: u32,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            link_bps: 54_300_000_000,
+            link_latency: Duration::from_nanos(160),
+            switch_delay: Duration::from_nanos(200),
+            host_overhead: Duration::from_nanos(100),
+            quantum: 64 * 1024,
+            priority_cutoff: 4096,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Config tuned for huge fluid-mode transfers: identical timing but a
+    /// 4 MiB quantum so simulating a 256 GB shuffle stays cheap.
+    pub fn fluid() -> Self {
+        FabricConfig {
+            quantum: 4 * 1024 * 1024,
+            ..Self::default()
+        }
+    }
+
+    /// Link goodput in bytes per second.
+    pub fn link_bytes_per_sec(&self) -> f64 {
+        self.link_bps as f64 / 8.0
+    }
+
+    /// Time to push `bytes` through one link at full rate.
+    pub fn serialization_delay(&self, bytes: u64) -> Duration {
+        let nanos = (bytes as u128 * 8 * 1_000_000_000) / self.link_bps as u128;
+        Duration::from_nanos(nanos as u64)
+    }
+}
+
+/// A message handed to a node's inbox.
+#[derive(Debug)]
+pub struct Delivery<M> {
+    /// Originating node.
+    pub src: NodeId,
+    /// Wire size that was charged for this message, in bytes.
+    pub wire_bytes: u64,
+    /// The message itself.
+    pub msg: M,
+}
+
+/// One quantum of a queued message on a transmit link.
+struct Chunk<M> {
+    dst: NodeId,
+    len: u64,
+    /// Present on the final chunk: the message to deliver plus its total
+    /// wire size.
+    tail: Option<(M, u64)>,
+}
+
+struct NodeState<M> {
+    /// Per-destination transmit queues, drained round-robin (models NIC
+    /// queue-pair arbitration at packet granularity).
+    tx_flows: std::collections::HashMap<NodeId, VecDeque<Chunk<M>>>,
+    /// Round-robin order of destinations with queued chunks.
+    tx_rr: VecDeque<NodeId>,
+    /// Whether a pump event is scheduled for this node's transmit link.
+    tx_pumping: bool,
+    rx_busy_until: SimTime,
+    up: bool,
+    inbox: Option<Sender<Delivery<M>>>,
+    tx_bytes: u64,
+    rx_bytes: u64,
+}
+
+impl<M> NodeState<M> {
+    fn new() -> Self {
+        NodeState {
+            tx_flows: std::collections::HashMap::new(),
+            tx_rr: VecDeque::new(),
+            tx_pumping: false,
+            rx_busy_until: SimTime::ZERO,
+            up: true,
+            inbox: None,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+}
+
+struct Inner<M> {
+    cfg: FabricConfig,
+    nodes: Vec<NodeState<M>>,
+    dropped: u64,
+}
+
+/// The fabric: a single-switch network connecting [`NodeId`]s.
+///
+/// Cheap to clone; all clones refer to the same network.
+pub struct Fabric<M> {
+    sim: Sim,
+    inner: Rc<RefCell<Inner<M>>>,
+    metrics: Metrics,
+}
+
+impl<M> Clone for Fabric<M> {
+    fn clone(&self) -> Self {
+        Fabric {
+            sim: self.sim.clone(),
+            inner: self.inner.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Fabric<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Fabric")
+            .field("nodes", &inner.nodes.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl<M: 'static> Fabric<M> {
+    /// Creates an empty fabric on the given simulation.
+    pub fn new(sim: Sim, cfg: FabricConfig) -> Self {
+        Fabric {
+            sim,
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                nodes: Vec::new(),
+                dropped: 0,
+            })),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Adds a machine to the fabric and returns its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut inner = self.inner.borrow_mut();
+        let id = NodeId(inner.nodes.len() as u32);
+        inner.nodes.push(NodeState::new());
+        id
+    }
+
+    /// Number of machines attached.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// The simulation this fabric runs on.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// The fabric's configuration.
+    pub fn config(&self) -> FabricConfig {
+        self.inner.borrow().cfg.clone()
+    }
+
+    /// Shared metrics registry (byte counters, drop counts).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Claims the inbox for `node`, returning the receiving end. Each node
+    /// may be attached exactly once (a NIC has one owner — its device
+    /// dispatcher).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or was already attached.
+    pub fn attach(&self, node: NodeId) -> Receiver<Delivery<M>> {
+        let (tx, rx) = channel();
+        let mut inner = self.inner.borrow_mut();
+        let st = inner
+            .nodes
+            .get_mut(node.0 as usize)
+            .expect("attach: unknown node");
+        assert!(st.inbox.is_none(), "attach: node already attached");
+        st.inbox = Some(tx);
+        rx
+    }
+
+    /// Marks a node as failed (`up = false`) or recovered. Messages to or
+    /// from a failed node are silently dropped, like a pulled cable.
+    pub fn set_node_up(&self, node: NodeId, up: bool) {
+        self.inner.borrow_mut().nodes[node.0 as usize].up = up;
+    }
+
+    /// Whether a node is currently reachable.
+    pub fn is_node_up(&self, node: NodeId) -> bool {
+        self.inner.borrow().nodes[node.0 as usize].up
+    }
+
+    /// Count of messages dropped due to failed endpoints.
+    pub fn dropped_messages(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Total bytes a node has put on the wire.
+    pub fn tx_bytes(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].tx_bytes
+    }
+
+    /// Total bytes a node has received off the wire.
+    pub fn rx_bytes(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].rx_bytes
+    }
+
+    /// Sends `msg` of `wire_bytes` bytes from `src` to `dst`.
+    ///
+    /// Non-blocking: timing is computed with busy-until accounting and the
+    /// delivery is scheduled as a simulation event. Loopback (`src == dst`)
+    /// bypasses the links and is delivered after `host_overhead` only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist or `wire_bytes == 0`.
+    pub fn send(&self, src: NodeId, dst: NodeId, wire_bytes: u64, msg: M) {
+        assert!(wire_bytes > 0, "messages must occupy wire");
+        let now = self.sim.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            assert!(
+                (src.0 as usize) < inner.nodes.len() && (dst.0 as usize) < inner.nodes.len(),
+                "send: unknown node"
+            );
+            if !inner.nodes[src.0 as usize].up || !inner.nodes[dst.0 as usize].up {
+                inner.dropped += 1;
+                self.metrics.incr("fabric.dropped");
+                return;
+            }
+            inner.nodes[src.0 as usize].tx_bytes += wire_bytes;
+            self.metrics.add("fabric.tx_bytes", wire_bytes);
+        }
+
+        if src == dst {
+            let deliver_at = now + self.inner.borrow().cfg.host_overhead;
+            self.schedule_delivery(src, dst, wire_bytes, msg, deliver_at);
+            return;
+        }
+
+        let (bypass, host_overhead) = {
+            let inner = self.inner.borrow();
+            (
+                wire_bytes <= inner.cfg.priority_cutoff as u64,
+                inner.cfg.host_overhead,
+            )
+        };
+        if bypass {
+            // Small-message priority bypass: see `FabricConfig::priority_cutoff`.
+            let deliver_at = {
+                let inner = self.inner.borrow();
+                let cfg = &inner.cfg;
+                now + cfg.host_overhead
+                    + cfg.link_latency
+                    + cfg.switch_delay
+                    + cfg.serialization_delay(wire_bytes)
+            };
+            self.schedule_delivery(src, dst, wire_bytes, msg, deliver_at);
+            return;
+        }
+
+        // Bulk path: chunk the message onto the per-destination transmit
+        // queue and make sure the link pump is running. The host overhead is
+        // charged as a delay before the chunks become eligible.
+        let fabric = self.clone();
+        self.sim.schedule(host_overhead, move || {
+            let start_pump = {
+                let mut inner = fabric.inner.borrow_mut();
+                let quantum = inner.cfg.quantum as u64;
+                let st = &mut inner.nodes[src.0 as usize];
+                let flow = st.tx_flows.entry(dst).or_default();
+                if flow.is_empty() && !st.tx_rr.contains(&dst) {
+                    st.tx_rr.push_back(dst);
+                }
+                let mut remaining = wire_bytes;
+                let mut payload = Some(msg);
+                while remaining > 0 {
+                    let len = remaining.min(quantum);
+                    remaining -= len;
+                    flow.push_back(Chunk {
+                        dst,
+                        len,
+                        tail: if remaining == 0 {
+                            payload.take().map(|m| (m, wire_bytes))
+                        } else {
+                            None
+                        },
+                    });
+                }
+                if st.tx_pumping {
+                    false
+                } else {
+                    st.tx_pumping = true;
+                    true
+                }
+            };
+            if start_pump {
+                fabric.pump(src);
+            }
+        });
+    }
+
+    /// Transmits the next chunk on `src`'s link (round-robin across
+    /// destinations) and reschedules itself until the queues drain.
+    fn pump(&self, src: NodeId) {
+        let next = {
+            let mut inner = self.inner.borrow_mut();
+            let hop = inner.cfg.link_latency + inner.cfg.switch_delay;
+            let st = &mut inner.nodes[src.0 as usize];
+            let Some(dst) = st.tx_rr.pop_front() else {
+                st.tx_pumping = false;
+                return;
+            };
+            let flow = st.tx_flows.get_mut(&dst).expect("rr entry has a flow");
+            let chunk = flow.pop_front().expect("rr entry is non-empty");
+            if flow.is_empty() {
+                st.tx_flows.remove(&dst);
+            } else {
+                st.tx_rr.push_back(dst);
+            }
+            let ser = inner.cfg.serialization_delay(chunk.len);
+            let now = self.sim.now();
+            let tx_done = now + ser;
+            // Cut-through into the receive link: the first bit arrives one
+            // hop after transmission starts; the receive link serializes it
+            // behind whatever else is arriving.
+            let rx = &mut inner.nodes[chunk.dst.0 as usize];
+            let rx_start = (now + hop).max(rx.rx_busy_until);
+            let rx_done = rx_start + ser;
+            rx.rx_busy_until = rx_done;
+            Some((tx_done, rx_done, chunk))
+        };
+        let Some((tx_done, rx_done, chunk)) = next else {
+            return;
+        };
+        if let Some((msg, wire_total)) = chunk.tail {
+            self.schedule_delivery(src, chunk.dst, wire_total, msg, rx_done);
+        }
+        let fabric = self.clone();
+        self.sim.schedule_at(tx_done, move || fabric.pump(src));
+    }
+
+    fn schedule_delivery(&self, src: NodeId, dst: NodeId, wire_bytes: u64, msg: M, at: SimTime) {
+        let fabric = self.clone();
+        self.sim.schedule_at(at, move || {
+            let mut inner = fabric.inner.borrow_mut();
+            let st = &mut inner.nodes[dst.0 as usize];
+            if !st.up {
+                inner.dropped += 1;
+                fabric.metrics.incr("fabric.dropped");
+                return;
+            }
+            st.rx_bytes += wire_bytes;
+            fabric.metrics.add("fabric.rx_bytes", wire_bytes);
+            let inbox = st.inbox.clone();
+            drop(inner);
+            if let Some(inbox) = inbox {
+                // A dropped receiver means the node's device was torn down;
+                // treat like a failed node.
+                if inbox
+                    .send(Delivery {
+                        src,
+                        wire_bytes,
+                        msg,
+                    })
+                    .is_err()
+                {
+                    fabric.inner.borrow_mut().dropped += 1;
+                    fabric.metrics.incr("fabric.dropped");
+                }
+            } else {
+                fabric.inner.borrow_mut().dropped += 1;
+                fabric.metrics.incr("fabric.dropped");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(cfg: FabricConfig) -> (Sim, Fabric<u64>, NodeId, NodeId, Receiver<Delivery<u64>>) {
+        let sim = Sim::new();
+        let fabric: Fabric<u64> = Fabric::new(sim.clone(), cfg);
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let rx = fabric.attach(b);
+        (sim, fabric, a, b, rx)
+    }
+
+    #[test]
+    fn uncontended_latency_matches_model() {
+        let cfg = FabricConfig::default();
+        let (sim, fabric, a, b, mut rx) = pair(cfg.clone());
+        let bytes = 4096u64;
+        fabric.send(a, b, bytes, 7);
+        let h = sim.spawn(async move { rx.recv().await.map(|d| d.msg) });
+        let end = sim.run();
+        assert_eq!(h.try_result().unwrap(), Some(7));
+        let expect = cfg.host_overhead
+            + cfg.link_latency
+            + cfg.switch_delay
+            + cfg.serialization_delay(bytes);
+        assert_eq!(end - SimTime::ZERO, expect);
+    }
+
+    #[test]
+    fn large_transfer_hits_link_bandwidth() {
+        let cfg = FabricConfig::default();
+        let (sim, fabric, a, b, mut rx) = pair(cfg.clone());
+        let bytes = 256 * 1024 * 1024u64; // 256 MiB
+        fabric.send(a, b, bytes, 0);
+        sim.spawn(async move {
+            rx.recv().await;
+        });
+        let end = sim.run();
+        let secs = end.as_secs_f64();
+        let gbps = bytes as f64 * 8.0 / secs / 1e9;
+        // Must land within 2% of the configured 54.3 Gb/s goodput.
+        assert!(
+            (gbps - 54.3).abs() < 1.1,
+            "measured {gbps:.2} Gb/s, expected ~54.3"
+        );
+    }
+
+    #[test]
+    fn receiver_link_is_shared_fairly() {
+        // Two senders to one receiver: aggregate receive rate is one link,
+        // so total time doubles versus a single flow.
+        let sim = Sim::new();
+        let cfg = FabricConfig::default();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), cfg.clone());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let c = fabric.add_node();
+        let mut rx = fabric.attach(c);
+        let bytes = 64 * 1024 * 1024u64;
+        fabric.send(a, c, bytes, 1);
+        fabric.send(b, c, bytes, 2);
+        sim.spawn(async move {
+            rx.recv().await;
+            rx.recv().await;
+        });
+        let end = sim.run();
+        let single = cfg.serialization_delay(bytes).as_secs_f64();
+        let measured = end.as_secs_f64();
+        assert!(
+            (measured / (2.0 * single) - 1.0).abs() < 0.05,
+            "two flows into one port must serialize: measured {measured}, single {single}"
+        );
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        // a->b and c->d do not share links: same finish time as one flow.
+        let sim = Sim::new();
+        let cfg = FabricConfig::default();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), cfg.clone());
+        let nodes: Vec<_> = (0..4).map(|_| fabric.add_node()).collect();
+        let mut rx_b = fabric.attach(nodes[1]);
+        let mut rx_d = fabric.attach(nodes[3]);
+        let bytes = 64 * 1024 * 1024u64;
+        fabric.send(nodes[0], nodes[1], bytes, 1);
+        fabric.send(nodes[2], nodes[3], bytes, 2);
+        sim.spawn(async move {
+            rx_b.recv().await;
+        });
+        sim.spawn(async move {
+            rx_d.recv().await;
+        });
+        let end = sim.run();
+        let single = cfg.serialization_delay(bytes).as_secs_f64();
+        assert!(
+            (end.as_secs_f64() / single - 1.0).abs() < 0.05,
+            "disjoint flows must not contend"
+        );
+    }
+
+    #[test]
+    fn loopback_skips_the_wire() {
+        let sim = Sim::new();
+        let cfg = FabricConfig::default();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), cfg.clone());
+        let a = fabric.add_node();
+        let mut rx = fabric.attach(a);
+        fabric.send(a, a, 1_000_000, 5);
+        sim.spawn(async move {
+            rx.recv().await;
+        });
+        let end = sim.run();
+        assert_eq!(end - SimTime::ZERO, cfg.host_overhead);
+    }
+
+    #[test]
+    fn messages_to_down_node_are_dropped() {
+        let (sim, fabric, a, b, mut rx) = pair(FabricConfig::default());
+        fabric.set_node_up(b, false);
+        fabric.send(a, b, 100, 1);
+        let h = sim.spawn(async move { rx.try_recv().map(|d| d.msg) });
+        sim.run();
+        assert_eq!(h.try_result().unwrap(), None);
+        assert_eq!(fabric.dropped_messages(), 1);
+        fabric.set_node_up(b, true);
+        assert!(fabric.is_node_up(b));
+    }
+
+    #[test]
+    fn node_failing_mid_flight_drops_delivery() {
+        let (sim, fabric, a, b, mut rx) = pair(FabricConfig::default());
+        fabric.send(a, b, 64 * 1024 * 1024, 1);
+        let f2 = fabric.clone();
+        sim.schedule(Duration::from_micros(10), move || {
+            f2.set_node_up(b, false);
+        });
+        sim.spawn(async move {
+            let _ = rx.recv().await;
+        });
+        sim.run();
+        assert_eq!(fabric.dropped_messages(), 1);
+        assert_eq!(fabric.rx_bytes(b), 0);
+    }
+
+    #[test]
+    fn byte_accounting_conserves() {
+        let sim = Sim::new();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let c = fabric.add_node();
+        let mut rx_b = fabric.attach(b);
+        let mut rx_c = fabric.attach(c);
+        for i in 0..10u64 {
+            fabric.send(a, b, 1000 + i, 0);
+            fabric.send(a, c, 2000 + i, 0);
+        }
+        sim.spawn(async move {
+            for _ in 0..10 {
+                rx_b.recv().await;
+            }
+        });
+        sim.spawn(async move {
+            for _ in 0..10 {
+                rx_c.recv().await;
+            }
+        });
+        sim.run();
+        let tx = fabric.tx_bytes(a);
+        let rx = fabric.rx_bytes(b) + fabric.rx_bytes(c);
+        assert_eq!(tx, rx);
+        assert_eq!(fabric.metrics().counter("fabric.tx_bytes"), tx);
+        assert_eq!(fabric.metrics().counter("fabric.rx_bytes"), rx);
+    }
+
+    #[test]
+    fn ordering_is_fifo_per_pair() {
+        let (sim, fabric, a, b, mut rx) = pair(FabricConfig::default());
+        for i in 0..20 {
+            fabric.send(a, b, 64, i);
+        }
+        let h = sim.spawn(async move {
+            let mut got = Vec::new();
+            for _ in 0..20 {
+                got.push(rx.recv().await.unwrap().msg);
+            }
+            got
+        });
+        sim.run();
+        assert_eq!(h.try_result().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let sim = Sim::new();
+        let fabric: Fabric<u32> = Fabric::new(sim, FabricConfig::default());
+        let a = fabric.add_node();
+        let _rx = fabric.attach(a);
+        let _rx2 = fabric.attach(a);
+    }
+
+    #[test]
+    fn serialization_delay_math() {
+        let cfg = FabricConfig {
+            link_bps: 8_000_000_000, // 1 GB/s
+            ..FabricConfig::default()
+        };
+        assert_eq!(
+            cfg.serialization_delay(1_000_000),
+            Duration::from_micros(1000)
+        );
+        assert_eq!(cfg.link_bytes_per_sec(), 1e9);
+    }
+}

@@ -1,0 +1,3 @@
+//! Host crate for the workspace-level integration tests (`/tests`) and
+//! runnable examples (`/examples`). See those directories; this library is
+//! intentionally empty.

@@ -1,0 +1,211 @@
+//! Completion queues.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Operation type recorded in a completion.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CqeOpcode {
+    /// Two-sided SEND completed (acknowledged by the peer).
+    Send,
+    /// Incoming SEND landed in a posted receive buffer.
+    Recv,
+    /// One-sided READ completed; data is in the local buffer.
+    Read,
+    /// One-sided WRITE acknowledged by the remote NIC.
+    Write,
+    /// Compare-and-swap completed; prior value is in the local buffer.
+    CompSwap,
+    /// Fetch-and-add completed; prior value is in the local buffer.
+    FetchAdd,
+}
+
+/// Completion status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CqStatus {
+    /// The operation succeeded.
+    Success,
+    /// The remote NIC rejected the rkey or rights.
+    RemoteAccess,
+    /// The remote address range was outside the region.
+    RemoteOutOfBounds,
+    /// The posted receive buffer was too small for the incoming SEND.
+    RecvOverflow,
+    /// No response within the operation timeout (peer down or partitioned).
+    Timeout,
+    /// Flushed because the queue pair entered the error state.
+    Flushed,
+}
+
+impl CqStatus {
+    /// True only for [`CqStatus::Success`].
+    pub fn is_ok(self) -> bool {
+        self == CqStatus::Success
+    }
+}
+
+/// A completion queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Cqe {
+    /// The caller-chosen work request id.
+    pub wr_id: u64,
+    /// What kind of operation completed.
+    pub opcode: CqeOpcode,
+    /// How it went.
+    pub status: CqStatus,
+    /// Payload bytes moved by the operation.
+    pub byte_len: u64,
+    /// Immediate value, for RECV completions of SENDs that carried one.
+    pub imm: Option<u32>,
+}
+
+struct CqInner {
+    queue: VecDeque<Cqe>,
+    waiters: VecDeque<Waker>,
+}
+
+/// A completion queue shared by one or more queue pairs.
+///
+/// Supports verbs-style [`CompletionQueue::poll`] and, more conveniently for
+/// simulated applications, asynchronous [`CompletionQueue::next`].
+#[derive(Clone)]
+pub struct CompletionQueue {
+    inner: Rc<RefCell<CqInner>>,
+}
+
+impl fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompletionQueue")
+            .field("depth", &self.inner.borrow().queue.len())
+            .finish()
+    }
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue.
+    pub fn new() -> Self {
+        CompletionQueue {
+            inner: Rc::new(RefCell::new(CqInner {
+                queue: VecDeque::new(),
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    pub(crate) fn push(&self, cqe: Cqe) {
+        let mut inner = self.inner.borrow_mut();
+        inner.queue.push_back(cqe);
+        if let Some(w) = inner.waiters.pop_front() {
+            w.wake();
+        }
+    }
+
+    /// Drains all currently available completions.
+    pub fn poll(&self) -> Vec<Cqe> {
+        self.inner.borrow_mut().queue.drain(..).collect()
+    }
+
+    /// Removes and returns the oldest completion, if any.
+    pub fn try_next(&self) -> Option<Cqe> {
+        self.inner.borrow_mut().queue.pop_front()
+    }
+
+    /// Waits for (and removes) the next completion.
+    pub fn next(&self) -> NextCqe {
+        NextCqe { cq: self.clone() }
+    }
+
+    /// Completions currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    /// True if no completions are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`CompletionQueue::next`].
+#[derive(Debug)]
+pub struct NextCqe {
+    cq: CompletionQueue,
+}
+
+impl Future for NextCqe {
+    type Output = Cqe;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Cqe> {
+        let mut inner = self.cq.inner.borrow_mut();
+        if let Some(cqe) = inner.queue.pop_front() {
+            Poll::Ready(cqe)
+        } else {
+            inner.waiters.push_back(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Sim;
+
+    fn cqe(wr_id: u64) -> Cqe {
+        Cqe {
+            wr_id,
+            opcode: CqeOpcode::Read,
+            status: CqStatus::Success,
+            byte_len: 0,
+            imm: None,
+        }
+    }
+
+    #[test]
+    fn poll_drains_in_order() {
+        let cq = CompletionQueue::new();
+        cq.push(cqe(1));
+        cq.push(cqe(2));
+        let got: Vec<u64> = cq.poll().into_iter().map(|c| c.wr_id).collect();
+        assert_eq!(got, vec![1, 2]);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn next_waits_for_push() {
+        let sim = Sim::new();
+        let cq = CompletionQueue::new();
+        let cq2 = cq.clone();
+        let h = sim.spawn(async move { cq2.next().await.wr_id });
+        let cq3 = cq.clone();
+        sim.schedule(std::time::Duration::from_nanos(5), move || cq3.push(cqe(9)));
+        sim.run();
+        assert_eq!(h.try_result().unwrap(), 9);
+    }
+
+    #[test]
+    fn try_next_is_nonblocking() {
+        let cq = CompletionQueue::new();
+        assert!(cq.try_next().is_none());
+        cq.push(cqe(4));
+        assert_eq!(cq.try_next().unwrap().wr_id, 4);
+    }
+
+    #[test]
+    fn status_is_ok_only_for_success() {
+        assert!(CqStatus::Success.is_ok());
+        assert!(!CqStatus::Timeout.is_ok());
+        assert!(!CqStatus::Flushed.is_ok());
+    }
+}

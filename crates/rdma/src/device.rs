@@ -1,0 +1,1504 @@
+//! The simulated RDMA device (NIC): queue pairs, connection management, and
+//! the dispatcher that executes remote one-sided operations.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use fabric::{Delivery, Fabric, NodeId};
+use sim::channel::{channel, oneshot, Receiver, Sender};
+use sim::{Metrics, Sim};
+
+use crate::config::RdmaConfig;
+use crate::cq::{CompletionQueue, CqStatus, Cqe, CqeOpcode};
+use crate::memory::{Arena, DmaBuf, MrEntry};
+use crate::types::{Access, Qpn, RKey, RdmaError, Result};
+use crate::wire::{AtomicOp, CmMsg, NetMsg, Payload, QpMsg, WireStatus};
+
+/// A registered memory region owned by a device.
+#[derive(Clone, Copy, Debug)]
+pub struct Mr {
+    /// Node owning the memory.
+    pub node: NodeId,
+    /// The registered range.
+    pub buf: DmaBuf,
+    /// Key remote peers must present.
+    pub rkey: RKey,
+    /// Rights granted at registration.
+    pub access: Access,
+}
+
+impl Mr {
+    /// The shareable token a peer needs to address this region.
+    pub fn token(&self) -> RemoteMr {
+        RemoteMr {
+            node: self.node,
+            addr: self.buf.addr,
+            len: self.buf.len,
+            rkey: self.rkey,
+        }
+    }
+}
+
+/// A shareable description of a remote memory region (node, address range,
+/// rkey). This is what RStore's master hands to clients on the control path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RemoteMr {
+    /// Node owning the memory.
+    pub node: NodeId,
+    /// Region start address on that node.
+    pub addr: u64,
+    /// Region length.
+    pub len: u64,
+    /// Authorizing key.
+    pub rkey: RKey,
+}
+
+impl RemoteMr {
+    /// Addresses a sub-range of the region.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the sub-range exceeds the region.
+    pub fn at(&self, offset: u64, len: u64) -> Result<RemoteAddr> {
+        let end = offset
+            .checked_add(len)
+            .ok_or(RdmaError::OutOfBounds { addr: offset, len })?;
+        if end > self.len {
+            return Err(RdmaError::OutOfBounds {
+                addr: self.addr + offset,
+                len,
+            });
+        }
+        Ok(RemoteAddr {
+            addr: self.addr + offset,
+            rkey: self.rkey,
+        })
+    }
+}
+
+/// A concrete remote target address for a one-sided operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RemoteAddr {
+    /// Absolute address on the remote node.
+    pub addr: u64,
+    /// Authorizing key.
+    pub rkey: RKey,
+}
+
+struct PendingWr {
+    req_id: u64,
+    wr_id: u64,
+    opcode: CqeOpcode,
+    byte_len: u64,
+    status: Option<CqStatus>,
+    /// Destination for READ data / atomic prior value.
+    local_dst: Option<DmaBuf>,
+}
+
+struct RecvWr {
+    wr_id: u64,
+    buf: DmaBuf,
+}
+
+struct QpState {
+    remote_node: NodeId,
+    remote_qpn: Option<Qpn>,
+    cq: CompletionQueue,
+    next_req: u64,
+    sq: VecDeque<PendingWr>,
+    recvq: VecDeque<RecvWr>,
+    /// SENDs that arrived before a receive buffer was posted (RNR queue).
+    unmatched: VecDeque<(u64, Payload, Option<u32>)>,
+    error: bool,
+}
+
+struct PendingConn {
+    peer: NodeId,
+    peer_qpn: Qpn,
+    conn_id: u64,
+}
+
+struct DevInner {
+    arena: Arena,
+    qps: HashMap<u64, QpState>,
+    listeners: HashMap<u16, Sender<PendingConn>>,
+    connects: HashMap<u64, oneshot::Sender<Result<(NodeId, Qpn)>>>,
+    next_qpn: u64,
+    next_conn: u64,
+    /// Sum of `byte_len` over every in-flight work request on this device;
+    /// feeds the backlog-aware operation timeout (a device that just posted
+    /// gigabytes must not expire ops queued behind its own backlog).
+    outstanding_bytes: u64,
+}
+
+/// A simulated RDMA NIC attached to one fabric node.
+///
+/// Cheap to clone. Creating a device spawns its dispatcher task, which plays
+/// the role of the NIC's packet-processing pipeline: it executes incoming
+/// one-sided operations against the local [`Arena`] **without involving any
+/// application task on this node** — the property RStore's data path is built
+/// on.
+#[derive(Clone)]
+pub struct RdmaDevice {
+    sim: Sim,
+    fabric: Fabric<NetMsg>,
+    node: NodeId,
+    cfg: Rc<RdmaConfig>,
+    inner: Rc<RefCell<DevInner>>,
+}
+
+impl fmt::Debug for RdmaDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("RdmaDevice")
+            .field("node", &self.node)
+            .field("qps", &inner.qps.len())
+            .field("mem_used", &inner.arena.used())
+            .finish()
+    }
+}
+
+impl RdmaDevice {
+    /// Creates a device on a fresh fabric node and starts its dispatcher.
+    pub fn new(fabric: &Fabric<NetMsg>, cfg: RdmaConfig) -> RdmaDevice {
+        let node = fabric.add_node();
+        let inbox = fabric.attach(node);
+        let dev = RdmaDevice {
+            sim: fabric.sim().clone(),
+            fabric: fabric.clone(),
+            node,
+            inner: Rc::new(RefCell::new(DevInner {
+                arena: Arena::new(cfg.mem_capacity),
+                qps: HashMap::new(),
+                listeners: HashMap::new(),
+                connects: HashMap::new(),
+                next_qpn: 1,
+                next_conn: 1,
+                outstanding_bytes: 0,
+            })),
+            cfg: Rc::new(cfg),
+        };
+        let d = dev.clone();
+        dev.sim.spawn(async move { d.dispatch(inbox).await });
+        dev
+    }
+
+    /// The fabric node this device is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The simulation driving this device.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Shared metrics (same registry as the fabric's).
+    pub fn metrics(&self) -> Metrics {
+        self.fabric.metrics().clone()
+    }
+
+    /// The device's timing configuration.
+    pub fn config(&self) -> &RdmaConfig {
+        &self.cfg
+    }
+
+    // --- memory ------------------------------------------------------------
+
+    /// Allocates zero-initialized, locally DMA-able memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if the arena is exhausted.
+    pub fn alloc(&self, len: u64) -> Result<DmaBuf> {
+        self.inner.borrow_mut().arena.alloc(len)
+    }
+
+    /// Allocates synthetic (unbacked) memory for fluid-mode experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if the arena is exhausted.
+    pub fn alloc_synthetic(&self, len: u64) -> Result<DmaBuf> {
+        self.inner.borrow_mut().arena.alloc_synthetic(len)
+    }
+
+    /// Allocates and initializes a buffer with `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if the arena is exhausted.
+    pub fn alloc_init(&self, bytes: &[u8]) -> Result<DmaBuf> {
+        let buf = self.alloc(bytes.len() as u64)?;
+        self.write_mem(buf.addr, bytes)?;
+        Ok(buf)
+    }
+
+    /// Frees an allocation (and any registrations covering it).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if `buf` is not a live allocation.
+    pub fn free(&self, buf: DmaBuf) -> Result<()> {
+        self.inner.borrow_mut().arena.free(buf)
+    }
+
+    /// Reads local device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if outside a live allocation.
+    pub fn read_mem(&self, addr: u64, len: u64) -> Result<Vec<u8>> {
+        self.inner.borrow().arena.read(addr, len)
+    }
+
+    /// Writes local device memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if outside a live allocation.
+    pub fn write_mem(&self, addr: u64, bytes: &[u8]) -> Result<()> {
+        self.inner.borrow_mut().arena.write(addr, bytes)
+    }
+
+    /// Reads a little-endian u64 from local memory (8-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] on bad range or misalignment.
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        self.inner.borrow().arena.read_u64(addr)
+    }
+
+    /// Writes a little-endian u64 to local memory (8-byte aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] on bad range or misalignment.
+    pub fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        self.inner.borrow_mut().arena.write_u64(addr, value)
+    }
+
+    /// Bytes currently allocated in the arena.
+    pub fn mem_used(&self) -> u64 {
+        self.inner.borrow().arena.used()
+    }
+
+    /// Registers `buf` for remote access and returns the region handle.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if `buf` is not within one allocation.
+    pub fn reg_mr(&self, buf: DmaBuf, access: Access) -> Result<Mr> {
+        let entry: MrEntry = self.inner.borrow_mut().arena.register(buf, access)?;
+        Ok(Mr {
+            node: self.node,
+            buf,
+            rkey: entry.rkey,
+            access,
+        })
+    }
+
+    /// Deregisters a region by rkey.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if the rkey is unknown.
+    pub fn dereg_mr(&self, rkey: RKey) -> Result<()> {
+        self.inner.borrow_mut().arena.deregister(rkey)
+    }
+
+    // --- connection management ----------------------------------------------
+
+    /// Starts listening for connections on `service`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if the service id is already in use.
+    pub fn listen(&self, service: u16) -> Result<Listener> {
+        let (tx, rx) = channel();
+        let mut inner = self.inner.borrow_mut();
+        if inner.listeners.contains_key(&service) {
+            return Err(RdmaError::InvalidHandle);
+        }
+        inner.listeners.insert(service, tx);
+        Ok(Listener {
+            dev: self.clone(),
+            service,
+            rx,
+        })
+    }
+
+    /// Connects to `peer`'s listener on `service`, creating a reliable
+    /// connected queue pair whose completions land on `cq`.
+    ///
+    /// # Errors
+    ///
+    /// * [`RdmaError::ConnectionRefused`] — no listener at the peer.
+    /// * [`RdmaError::Timeout`] — peer unreachable.
+    pub async fn connect(&self, peer: NodeId, service: u16, cq: &CompletionQueue) -> Result<Qp> {
+        let (qpn, conn_id, reply) = {
+            let mut inner = self.inner.borrow_mut();
+            let qpn = Qpn(inner.next_qpn);
+            inner.next_qpn += 1;
+            inner.qps.insert(
+                qpn.0,
+                QpState {
+                    remote_node: peer,
+                    remote_qpn: None,
+                    cq: cq.clone(),
+                    next_req: 1,
+                    sq: VecDeque::new(),
+                    recvq: VecDeque::new(),
+                    unmatched: VecDeque::new(),
+                    error: false,
+                },
+            );
+            let conn_id = inner.next_conn;
+            inner.next_conn += 1;
+            let (tx, rx) = oneshot::channel();
+            inner.connects.insert(conn_id, tx);
+            (qpn, conn_id, rx)
+        };
+        let msg = NetMsg::Cm(CmMsg::ConnReq {
+            conn_id,
+            service,
+            client_qpn: qpn,
+        });
+        let wire = msg.wire_bytes();
+        self.fabric.send(self.node, peer, wire, msg);
+
+        // Arm a connect timeout: if no answer arrives, fail the oneshot.
+        let dev = self.clone();
+        self.sim.schedule(self.cfg.base_timeout, move || {
+            if let Some(tx) = dev.inner.borrow_mut().connects.remove(&conn_id) {
+                tx.send(Err(RdmaError::Timeout));
+            }
+        });
+
+        match reply.await {
+            Some(Ok((node, server_qpn))) => {
+                let mut inner = self.inner.borrow_mut();
+                let qp = inner.qps.get_mut(&qpn.0).expect("qp vanished");
+                debug_assert_eq!(node, peer);
+                qp.remote_qpn = Some(server_qpn);
+                Ok(Qp {
+                    dev: self.clone(),
+                    qpn,
+                })
+            }
+            Some(Err(e)) => {
+                self.inner.borrow_mut().qps.remove(&qpn.0);
+                Err(e)
+            }
+            None => {
+                self.inner.borrow_mut().qps.remove(&qpn.0);
+                Err(RdmaError::Timeout)
+            }
+        }
+    }
+
+    // --- dispatcher -----------------------------------------------------------
+
+    async fn dispatch(self, mut inbox: Receiver<Delivery<NetMsg>>) {
+        while let Some(delivery) = inbox.recv().await {
+            // Model per-packet NIC processing latency.
+            self.sim.sleep(self.cfg.nic_delay).await;
+            self.handle(delivery.src, delivery.msg);
+        }
+    }
+
+    fn reply(&self, dst_node: NodeId, dst_qpn: Qpn, msg: QpMsg) {
+        let msg = NetMsg::Qp { dst: dst_qpn, msg };
+        let wire = msg.wire_bytes();
+        self.fabric.send(self.node, dst_node, wire, msg);
+    }
+
+    fn handle(&self, src: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Cm(cm) => self.handle_cm(src, cm),
+            NetMsg::Qp { dst, msg } => self.handle_qp(src, dst, msg),
+        }
+    }
+
+    fn handle_cm(&self, src: NodeId, cm: CmMsg) {
+        match cm {
+            CmMsg::ConnReq {
+                conn_id,
+                service,
+                client_qpn,
+            } => {
+                let listener = self.inner.borrow().listeners.get(&service).cloned();
+                let accepted = listener.is_some_and(|tx| {
+                    tx.send(PendingConn {
+                        peer: src,
+                        peer_qpn: client_qpn,
+                        conn_id,
+                    })
+                    .is_ok()
+                });
+                if !accepted {
+                    let msg = NetMsg::Cm(CmMsg::ConnReject { conn_id });
+                    let wire = msg.wire_bytes();
+                    self.fabric.send(self.node, src, wire, msg);
+                }
+            }
+            CmMsg::ConnAccept {
+                conn_id,
+                server_qpn,
+            } => {
+                if let Some(tx) = self.inner.borrow_mut().connects.remove(&conn_id) {
+                    tx.send(Ok((src, server_qpn)));
+                }
+            }
+            CmMsg::ConnReject { conn_id } => {
+                if let Some(tx) = self.inner.borrow_mut().connects.remove(&conn_id) {
+                    tx.send(Err(RdmaError::ConnectionRefused));
+                }
+            }
+        }
+    }
+
+    /// The queue pair to address responses to: the requester's QPN, taken
+    /// from the local (responder-side) QP's connection state.
+    fn reply_target(&self, local: Qpn) -> Option<Qpn> {
+        self.inner
+            .borrow()
+            .qps
+            .get(&local.0)
+            .and_then(|qp| qp.remote_qpn)
+    }
+
+    fn handle_qp(&self, src: NodeId, dst: Qpn, msg: QpMsg) {
+        match msg {
+            // ---- responder side: execute one-sided ops against the arena ----
+            QpMsg::ReadReq {
+                req_id,
+                raddr,
+                rkey,
+                len,
+            } => {
+                let Some(reply_to) = self.reply_target(dst) else {
+                    return; // stale message to a destroyed QP
+                };
+                let inner = self.inner.borrow();
+                let (status, payload) = match check(&inner.arena, rkey, raddr, len, Access::REMOTE_READ)
+                {
+                    Ok(()) => match inner.arena.read_payload(raddr, len) {
+                        Ok(p) => (WireStatus::Ok, p),
+                        Err(_) => (WireStatus::OutOfBounds, Payload::Bytes(Vec::new())),
+                    },
+                    Err(s) => (s, Payload::Bytes(Vec::new())),
+                };
+                drop(inner);
+                self.reply(
+                    src,
+                    reply_to,
+                    QpMsg::ReadResp {
+                        req_id,
+                        status,
+                        payload,
+                    },
+                );
+            }
+            QpMsg::WriteReq {
+                req_id,
+                raddr,
+                rkey,
+                payload,
+            } => {
+                let Some(reply_to) = self.reply_target(dst) else {
+                    return;
+                };
+                let mut inner = self.inner.borrow_mut();
+                let status =
+                    match check(&inner.arena, rkey, raddr, payload.len(), Access::REMOTE_WRITE) {
+                        Ok(()) => match inner.arena.write_payload(raddr, &payload) {
+                            Ok(()) => WireStatus::Ok,
+                            Err(_) => WireStatus::OutOfBounds,
+                        },
+                        Err(s) => s,
+                    };
+                drop(inner);
+                self.reply(src, reply_to, QpMsg::WriteAck { req_id, status });
+            }
+            QpMsg::AtomicReq {
+                req_id,
+                raddr,
+                rkey,
+                op,
+            } => {
+                let Some(reply_to) = self.reply_target(dst) else {
+                    return;
+                };
+                let mut inner = self.inner.borrow_mut();
+                let (status, old) = match check(&inner.arena, rkey, raddr, 8, Access::REMOTE_ATOMIC)
+                {
+                    Ok(()) => match inner.arena.read_u64(raddr) {
+                        Ok(old) => {
+                            let new = match op {
+                                AtomicOp::CompareSwap { expect, swap } => {
+                                    if old == expect {
+                                        swap
+                                    } else {
+                                        old
+                                    }
+                                }
+                                AtomicOp::FetchAdd { add } => old.wrapping_add(add),
+                            };
+                            inner
+                                .arena
+                                .write_u64(raddr, new)
+                                .expect("write after successful read");
+                            (WireStatus::Ok, old)
+                        }
+                        Err(_) => (WireStatus::OutOfBounds, 0),
+                    },
+                    Err(s) => (s, 0),
+                };
+                drop(inner);
+                self.reply(src, reply_to, QpMsg::AtomicResp { req_id, status, old });
+            }
+            QpMsg::Send {
+                req_id,
+                payload,
+                imm,
+            } => {
+                let mut inner = self.inner.borrow_mut();
+                let Some(qp) = inner.qps.get_mut(&dst.0) else {
+                    return; // stale message to a destroyed QP
+                };
+                if let Some(recv) = qp.recvq.pop_front() {
+                    let cq = qp.cq.clone();
+                    let reply_to = qp.remote_qpn.expect("connected QP has a peer");
+                    drop(inner);
+                    let status = self.deliver_recv(&cq, recv, payload, imm);
+                    self.reply(src, reply_to, QpMsg::SendAck { req_id, status });
+                } else {
+                    qp.unmatched.push_back((req_id, payload, imm));
+                }
+            }
+
+            // ---- requester side: responses complete pending WRs ----
+            QpMsg::ReadResp {
+                req_id,
+                status,
+                payload,
+            } => self.complete(dst, req_id, status, Some(payload)),
+            QpMsg::WriteAck { req_id, status } | QpMsg::SendAck { req_id, status } => {
+                self.complete(dst, req_id, status, None)
+            }
+            QpMsg::AtomicResp {
+                req_id,
+                status,
+                old,
+            } => self.complete(
+                dst,
+                req_id,
+                status,
+                Some(Payload::Bytes(old.to_le_bytes().to_vec())),
+            ),
+        }
+    }
+
+    /// Copies an incoming SEND into a posted receive buffer and produces the
+    /// RECV completion. Returns the status to acknowledge with.
+    fn deliver_recv(
+        &self,
+        cq: &CompletionQueue,
+        recv: RecvWr,
+        payload: Payload,
+        imm: Option<u32>,
+    ) -> WireStatus {
+        let len = payload.len();
+        let (status, cq_status) = if len > recv.buf.len {
+            (WireStatus::RecvOverflow, CqStatus::RecvOverflow)
+        } else {
+            let mut inner = self.inner.borrow_mut();
+            match inner.arena.write_payload(recv.buf.addr, &payload) {
+                Ok(()) => (WireStatus::Ok, CqStatus::Success),
+                Err(_) => (WireStatus::OutOfBounds, CqStatus::RemoteOutOfBounds),
+            }
+        };
+        cq.push(Cqe {
+            wr_id: recv.wr_id,
+            opcode: CqeOpcode::Recv,
+            status: cq_status,
+            byte_len: len,
+            imm,
+        });
+        status
+    }
+
+    /// Marks `req_id` complete on the requester side and releases
+    /// completions in post order.
+    fn complete(&self, qpn: Qpn, req_id: u64, status: WireStatus, payload: Option<Payload>) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(qp) = inner.qps.get_mut(&qpn.0) else {
+            return;
+        };
+        let Some(wr) = qp.sq.iter_mut().find(|w| w.req_id == req_id) else {
+            return; // late response after timeout flush
+        };
+        if wr.status.is_some() {
+            return;
+        }
+        wr.status = Some(wire_to_cq(status));
+        let local_dst = wr.local_dst;
+        let cq = qp.cq.clone();
+
+        if let (Some(dst), Some(payload), WireStatus::Ok) = (local_dst, payload.as_ref(), status) {
+            if let Err(e) = inner.arena.write_payload(dst.addr, payload) {
+                debug_assert!(false, "local landing buffer vanished: {e}");
+            }
+        }
+
+        // Release completions strictly in post order.
+        let qp = inner.qps.get_mut(&qpn.0).expect("qp still present");
+        let mut cqes = Vec::new();
+        let mut released = 0u64;
+        while qp.sq.front().is_some_and(|w| w.status.is_some()) {
+            let w = qp.sq.pop_front().expect("front checked");
+            released += w.byte_len;
+            cqes.push(Cqe {
+                wr_id: w.wr_id,
+                opcode: w.opcode,
+                status: w.status.expect("status set"),
+                byte_len: w.byte_len,
+                imm: None,
+            });
+        }
+        inner.outstanding_bytes = inner.outstanding_bytes.saturating_sub(released);
+        drop(inner);
+        for cqe in cqes {
+            cq.push(cqe);
+        }
+    }
+
+    /// Puts a QP in the error state, flushing every pending work request.
+    fn fail_qp(&self, qpn: Qpn, victim_req: u64) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(qp) = inner.qps.get_mut(&qpn.0) else {
+            return;
+        };
+        qp.error = true;
+        let cq = qp.cq.clone();
+        let mut cqes = Vec::new();
+        let mut released = 0u64;
+        for w in qp.sq.drain(..) {
+            released += w.byte_len;
+            cqes.push(Cqe {
+                wr_id: w.wr_id,
+                opcode: w.opcode,
+                status: if w.req_id == victim_req {
+                    CqStatus::Timeout
+                } else {
+                    CqStatus::Flushed
+                },
+                byte_len: w.byte_len,
+                imm: None,
+            });
+        }
+        for r in qp.recvq.drain(..) {
+            cqes.push(Cqe {
+                wr_id: r.wr_id,
+                opcode: CqeOpcode::Recv,
+                status: CqStatus::Flushed,
+                byte_len: 0,
+                imm: None,
+            });
+        }
+        inner.outstanding_bytes = inner.outstanding_bytes.saturating_sub(released);
+        drop(inner);
+        for cqe in cqes {
+            cq.push(cqe);
+        }
+    }
+}
+
+fn check(arena: &Arena, rkey: RKey, addr: u64, len: u64, needed: Access) -> std::result::Result<(), WireStatus> {
+    let Some(mr) = arena.mr(rkey) else {
+        return Err(WireStatus::AccessDenied);
+    };
+    match mr.check(addr, len, needed) {
+        Ok(()) => Ok(()),
+        Err(RdmaError::AccessDenied) => Err(WireStatus::AccessDenied),
+        Err(_) => Err(WireStatus::OutOfBounds),
+    }
+}
+
+fn wire_to_cq(status: WireStatus) -> CqStatus {
+    match status {
+        WireStatus::Ok => CqStatus::Success,
+        WireStatus::AccessDenied => CqStatus::RemoteAccess,
+        WireStatus::OutOfBounds => CqStatus::RemoteOutOfBounds,
+        WireStatus::RecvOverflow => CqStatus::RecvOverflow,
+    }
+}
+
+/// A listening endpoint (the `rdma_cm` listener analogue).
+pub struct Listener {
+    dev: RdmaDevice,
+    service: u16,
+    rx: Receiver<PendingConn>,
+}
+
+impl fmt::Debug for Listener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Listener")
+            .field("node", &self.dev.node)
+            .field("service", &self.service)
+            .finish()
+    }
+}
+
+impl Listener {
+    /// Waits for the next connection request and accepts it, creating the
+    /// server-side queue pair with completions on `cq`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::ConnectionRefused`] if the listener was shut down.
+    pub async fn accept(&mut self, cq: &CompletionQueue) -> Result<Qp> {
+        let conn = self.rx.recv().await.ok_or(RdmaError::ConnectionRefused)?;
+        let qpn = {
+            let mut inner = self.dev.inner.borrow_mut();
+            let qpn = Qpn(inner.next_qpn);
+            inner.next_qpn += 1;
+            inner.qps.insert(
+                qpn.0,
+                QpState {
+                    remote_node: conn.peer,
+                    remote_qpn: Some(conn.peer_qpn),
+                    cq: cq.clone(),
+                    next_req: 1,
+                    sq: VecDeque::new(),
+                    recvq: VecDeque::new(),
+                    unmatched: VecDeque::new(),
+                    error: false,
+                },
+            );
+            qpn
+        };
+        let msg = NetMsg::Cm(CmMsg::ConnAccept {
+            conn_id: conn.conn_id,
+            server_qpn: qpn,
+        });
+        let wire = msg.wire_bytes();
+        self.dev.fabric.send(self.dev.node, conn.peer, wire, msg);
+        Ok(Qp {
+            dev: self.dev.clone(),
+            qpn,
+        })
+    }
+
+    /// The service id this listener serves.
+    pub fn service(&self) -> u16 {
+        self.service
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.dev.inner.borrow_mut().listeners.remove(&self.service);
+    }
+}
+
+/// A reliable connected queue pair.
+///
+/// All `post_*` methods are non-blocking, verbs style: they enqueue the work
+/// request and return; a [`Cqe`] lands on the QP's completion queue when the
+/// operation finishes. Completions are delivered in post order.
+#[derive(Clone)]
+pub struct Qp {
+    dev: RdmaDevice,
+    qpn: Qpn,
+}
+
+impl fmt::Debug for Qp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Qp")
+            .field("node", &self.dev.node)
+            .field("qpn", &self.qpn)
+            .finish()
+    }
+}
+
+impl Qp {
+    /// This queue pair's number.
+    pub fn qpn(&self) -> Qpn {
+        self.qpn
+    }
+
+    /// The node on the other end of the connection.
+    pub fn peer(&self) -> NodeId {
+        self.dev.inner.borrow().qps[&self.qpn.0].remote_node
+    }
+
+    /// The owning device.
+    pub fn device(&self) -> &RdmaDevice {
+        &self.dev
+    }
+
+    /// True once the QP has entered the error state.
+    pub fn is_errored(&self) -> bool {
+        self.dev
+            .inner
+            .borrow()
+            .qps
+            .get(&self.qpn.0)
+            .is_some_and(|q| q.error)
+    }
+
+    /// Posts a one-sided RDMA READ of `dst.len` bytes from `remote` into the
+    /// local buffer `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] if the QP is in the error state;
+    /// [`RdmaError::OutOfBounds`] if `dst` is not valid local memory.
+    pub fn post_read(&self, wr_id: u64, dst: DmaBuf, remote: RemoteAddr) -> Result<()> {
+        self.post_one_sided(
+            wr_id,
+            CqeOpcode::Read,
+            dst.len,
+            Some(dst),
+            move |req_id| QpMsg::ReadReq {
+                req_id,
+                raddr: remote.addr,
+                rkey: remote.rkey,
+                len: dst.len,
+            },
+        )
+    }
+
+    /// Posts a one-sided RDMA WRITE of the local buffer `src` to `remote`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] if the QP is in the error state;
+    /// [`RdmaError::OutOfBounds`] if `src` is not valid local memory.
+    pub fn post_write(&self, wr_id: u64, src: DmaBuf, remote: RemoteAddr) -> Result<()> {
+        let payload = self.dev.inner.borrow().arena.read_payload(src.addr, src.len)?;
+        self.post_one_sided(wr_id, CqeOpcode::Write, src.len, None, move |req_id| {
+            QpMsg::WriteReq {
+                req_id,
+                raddr: remote.addr,
+                rkey: remote.rkey,
+                payload,
+            }
+        })
+    }
+
+    /// Posts a compare-and-swap on a remote u64; the prior value lands in
+    /// `result` (8 bytes) on completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] / [`RdmaError::OutOfBounds`] as for reads.
+    pub fn post_cas(
+        &self,
+        wr_id: u64,
+        result: DmaBuf,
+        remote: RemoteAddr,
+        expect: u64,
+        swap: u64,
+    ) -> Result<()> {
+        self.post_one_sided(
+            wr_id,
+            CqeOpcode::CompSwap,
+            8,
+            Some(result),
+            move |req_id| QpMsg::AtomicReq {
+                req_id,
+                raddr: remote.addr,
+                rkey: remote.rkey,
+                op: AtomicOp::CompareSwap { expect, swap },
+            },
+        )
+    }
+
+    /// Posts a fetch-and-add on a remote u64; the prior value lands in
+    /// `result` (8 bytes) on completion.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] / [`RdmaError::OutOfBounds`] as for reads.
+    pub fn post_faa(&self, wr_id: u64, result: DmaBuf, remote: RemoteAddr, add: u64) -> Result<()> {
+        self.post_one_sided(
+            wr_id,
+            CqeOpcode::FetchAdd,
+            8,
+            Some(result),
+            move |req_id| QpMsg::AtomicReq {
+                req_id,
+                raddr: remote.addr,
+                rkey: remote.rkey,
+                op: AtomicOp::FetchAdd { add },
+            },
+        )
+    }
+
+    /// Posts a two-sided SEND of the local buffer `src`, optionally carrying
+    /// a 32-bit immediate.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] / [`RdmaError::OutOfBounds`] as for writes.
+    pub fn post_send(&self, wr_id: u64, src: DmaBuf, imm: Option<u32>) -> Result<()> {
+        let payload = self.dev.inner.borrow().arena.read_payload(src.addr, src.len)?;
+        self.post_one_sided(wr_id, CqeOpcode::Send, src.len, None, move |req_id| {
+            QpMsg::Send {
+                req_id,
+                payload,
+                imm,
+            }
+        })
+    }
+
+    /// Posts a receive buffer for an incoming SEND. If a SEND is already
+    /// waiting (RNR queue), it is delivered immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::QpError`] if the QP is in the error state.
+    pub fn post_recv(&self, wr_id: u64, buf: DmaBuf) -> Result<()> {
+        let mut inner = self.dev.inner.borrow_mut();
+        let qp = inner
+            .qps
+            .get_mut(&self.qpn.0)
+            .ok_or(RdmaError::InvalidHandle)?;
+        if qp.error {
+            return Err(RdmaError::QpError);
+        }
+        if let Some((req_id, payload, imm)) = qp.unmatched.pop_front() {
+            let cq = qp.cq.clone();
+            let peer = qp.remote_node;
+            let peer_qpn = qp.remote_qpn.expect("connected");
+            drop(inner);
+            let status = self
+                .dev
+                .deliver_recv(&cq, RecvWr { wr_id, buf }, payload, imm);
+            self.dev.reply(peer, peer_qpn, QpMsg::SendAck { req_id, status });
+        } else {
+            qp.recvq.push_back(RecvWr { wr_id, buf });
+        }
+        Ok(())
+    }
+
+    fn post_one_sided(
+        &self,
+        wr_id: u64,
+        opcode: CqeOpcode,
+        byte_len: u64,
+        local_dst: Option<DmaBuf>,
+        build: impl FnOnce(u64) -> QpMsg,
+    ) -> Result<()> {
+        let (req_id, peer, peer_qpn, backlog) = {
+            let mut inner = self.dev.inner.borrow_mut();
+            // Validate the landing buffer up front.
+            if let Some(dst) = local_dst {
+                inner.arena.read_payload(dst.addr, dst.len)?;
+            }
+            let backlog = inner.outstanding_bytes;
+            inner.outstanding_bytes += byte_len;
+            let qp = inner
+                .qps
+                .get_mut(&self.qpn.0)
+                .ok_or(RdmaError::InvalidHandle)?;
+            if qp.error {
+                return Err(RdmaError::QpError);
+            }
+            let req_id = qp.next_req;
+            qp.next_req += 1;
+            qp.sq.push_back(PendingWr {
+                req_id,
+                wr_id,
+                opcode,
+                byte_len,
+                status: None,
+                local_dst,
+            });
+            (
+                req_id,
+                qp.remote_node,
+                qp.remote_qpn.expect("QP not connected"),
+                backlog,
+            )
+        };
+
+        let msg = NetMsg::Qp {
+            dst: peer_qpn,
+            msg: build(req_id),
+        };
+        let wire = msg.wire_bytes();
+        let dev = self.dev.clone();
+        let src_node = self.dev.node;
+        // Charge the doorbell/WQE-build CPU cost before the packet exists.
+        self.dev.sim.schedule(self.dev.cfg.post_overhead, move || {
+            dev.fabric.send(src_node, peer, wire, msg);
+        });
+
+        // Arm the per-op timeout.
+        let dev = self.dev.clone();
+        let qpn = self.qpn;
+        // Backlog-aware timeout: everything this device already has in
+        // flight drains ahead of (or interleaved with) this op, so it is
+        // granted wire time for that backlog too.
+        let timeout = self.dev.cfg.op_timeout(byte_len.saturating_add(backlog));
+        self.dev.sim.schedule(timeout, move || {
+            let still_pending = dev
+                .inner
+                .borrow()
+                .qps
+                .get(&qpn.0)
+                .is_some_and(|qp| qp.sq.iter().any(|w| w.req_id == req_id && w.status.is_none()));
+            if still_pending {
+                if std::env::var_os("RDMA_DEBUG_TIMEOUT").is_some() {
+                    eprintln!(
+                        "[{}] op timeout: node={} qpn={} req={} bytes={} opcode={:?}",
+                        dev.sim.now(),
+                        dev.node,
+                        qpn,
+                        req_id,
+                        byte_len,
+                        opcode
+                    );
+                }
+                dev.fail_qp(qpn, req_id);
+            }
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::FabricConfig;
+    use std::time::Duration;
+
+    fn two_devices() -> (Sim, Fabric<NetMsg>, RdmaDevice, RdmaDevice) {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = RdmaDevice::new(&fabric, RdmaConfig::default());
+        let b = RdmaDevice::new(&fabric, RdmaConfig::default());
+        (sim, fabric, a, b)
+    }
+
+    /// Connect a<->b and run `f` with (client qp, client cq, server qp, server cq).
+    fn connected<F, Fut, T>(f: F) -> T
+    where
+        F: FnOnce(RdmaDevice, RdmaDevice, Qp, CompletionQueue, Qp, CompletionQueue) -> Fut
+            + 'static,
+        Fut: std::future::Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let (sim, _fabric, a, b) = two_devices();
+        sim.block_on(async move {
+            let mut listener = b.listen(7).unwrap();
+            let scq = CompletionQueue::new();
+            let ccq = CompletionQueue::new();
+            let b2 = b.clone();
+            let scq2 = scq.clone();
+            let accept = b.sim().spawn(async move { listener.accept(&scq2).await.unwrap() });
+            let cqp = a.connect(b2.node(), 7, &ccq).await.unwrap();
+            let sqp = accept.await;
+            f(a, b2, cqp, ccq, sqp, scq).await
+        })
+    }
+
+    #[test]
+    fn read_moves_real_bytes() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"remote-data!").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(12).unwrap();
+            cqp.post_read(1, dst, mr.token().at(0, 12).unwrap())
+                .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.wr_id, 1);
+            assert_eq!(cqe.status, CqStatus::Success);
+            assert_eq!(cqe.opcode, CqeOpcode::Read);
+            assert_eq!(cqe.byte_len, 12);
+            assert_eq!(a.read_mem(dst.addr, 12).unwrap(), b"remote-data!");
+        });
+    }
+
+    #[test]
+    fn write_moves_real_bytes() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(16).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            let src = a.alloc_init(b"hello, server").unwrap();
+            cqp.post_write(2, src, mr.token().at(0, 13).unwrap()).unwrap();
+            let cqe = ccq.next().await;
+            assert!(cqe.status.is_ok());
+            assert_eq!(b.read_mem(server_buf.addr, 13).unwrap(), b"hello, server");
+        });
+    }
+
+    #[test]
+    fn small_read_latency_is_close_to_hardware() {
+        let lat = connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(8).unwrap();
+            let t0 = a.sim().now();
+            cqp.post_read(1, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            ccq.next().await;
+            a.sim().now() - t0
+        });
+        // The paper's "close to hardware" claim: single-digit microseconds.
+        assert!(lat >= Duration::from_nanos(1200), "suspiciously fast: {lat:?}");
+        assert!(lat <= Duration::from_micros(4), "too slow: {lat:?}");
+    }
+
+    #[test]
+    fn access_violations_complete_with_error() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8).unwrap();
+            // Registered read-only: writes must be rejected.
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let src = a.alloc(8).unwrap();
+            cqp.post_write(1, src, mr.token().at(0, 8).unwrap()).unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.status, CqStatus::RemoteAccess);
+
+            // Bogus rkey.
+            let dst = a.alloc(8).unwrap();
+            cqp.post_read(
+                2,
+                dst,
+                RemoteAddr {
+                    addr: server_buf.addr,
+                    rkey: RKey(0xBAD),
+                },
+            )
+            .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.status, CqStatus::RemoteAccess);
+        });
+    }
+
+    #[test]
+    fn out_of_bounds_read_rejected() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(64).unwrap();
+            // Try to read 64 bytes from an 8-byte region.
+            cqp.post_read(
+                1,
+                dst,
+                RemoteAddr {
+                    addr: mr.buf.addr,
+                    rkey: mr.rkey,
+                },
+            )
+            .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.status, CqStatus::RemoteOutOfBounds);
+        });
+    }
+
+    #[test]
+    fn completions_release_in_post_order() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let big = b.alloc(1 << 20).unwrap();
+            let small = b.alloc(8).unwrap();
+            let mr_big = b.reg_mr(big, Access::REMOTE_READ).unwrap();
+            let mr_small = b.reg_mr(small, Access::REMOTE_READ).unwrap();
+            let dst_big = a.alloc(1 << 20).unwrap();
+            let dst_small = a.alloc(8).unwrap();
+            // Post the slow (1 MiB) read first, the fast (8 B) read second:
+            // completions must still arrive 1 then 2.
+            cqp.post_read(1, dst_big, mr_big.token().at(0, 1 << 20).unwrap())
+                .unwrap();
+            cqp.post_read(2, dst_small, mr_small.token().at(0, 8).unwrap())
+                .unwrap();
+            let first = ccq.next().await;
+            let second = ccq.next().await;
+            assert_eq!((first.wr_id, second.wr_id), (1, 2));
+        });
+    }
+
+    #[test]
+    fn send_recv_round_trip_with_imm() {
+        connected(|a, b, cqp, ccq, sqp, scq| async move {
+            let rbuf = b.alloc(32).unwrap();
+            sqp.post_recv(10, rbuf).unwrap();
+            let src = a.alloc_init(b"ping").unwrap();
+            cqp.post_send(11, src, Some(77)).unwrap();
+            let recv_cqe = scq.next().await;
+            assert_eq!(recv_cqe.opcode, CqeOpcode::Recv);
+            assert_eq!(recv_cqe.wr_id, 10);
+            assert_eq!(recv_cqe.imm, Some(77));
+            assert_eq!(recv_cqe.byte_len, 4);
+            assert_eq!(b.read_mem(rbuf.addr, 4).unwrap(), b"ping");
+            let send_cqe = ccq.next().await;
+            assert_eq!(send_cqe.wr_id, 11);
+            assert!(send_cqe.status.is_ok());
+        });
+    }
+
+    #[test]
+    fn send_before_recv_waits_rnr() {
+        connected(|a, b, cqp, ccq, sqp, scq| async move {
+            let src = a.alloc_init(b"early").unwrap();
+            cqp.post_send(1, src, None).unwrap();
+            // Give the SEND time to arrive before the receive is posted.
+            a.sim().sleep(Duration::from_micros(5)).await;
+            assert!(scq.is_empty(), "no recv posted yet");
+            let rbuf = b.alloc(8).unwrap();
+            sqp.post_recv(2, rbuf).unwrap();
+            let recv_cqe = scq.next().await;
+            assert_eq!(recv_cqe.wr_id, 2);
+            assert_eq!(b.read_mem(rbuf.addr, 5).unwrap(), b"early");
+            assert!(ccq.next().await.status.is_ok());
+        });
+    }
+
+    #[test]
+    fn recv_overflow_reported_both_sides() {
+        connected(|a, b, cqp, ccq, sqp, scq| async move {
+            let rbuf = b.alloc(2).unwrap();
+            sqp.post_recv(1, rbuf).unwrap();
+            let src = a.alloc_init(b"too large for two bytes").unwrap();
+            cqp.post_send(2, src, None).unwrap();
+            assert_eq!(scq.next().await.status, CqStatus::RecvOverflow);
+            assert_eq!(ccq.next().await.status, CqStatus::RecvOverflow);
+        });
+    }
+
+    #[test]
+    fn atomics_fetch_add_and_cas() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let counter = b.alloc(8).unwrap();
+            b.write_u64(counter.addr, 100).unwrap();
+            let mr = b.reg_mr(counter, Access::REMOTE_ATOMIC).unwrap();
+            let result = a.alloc(8).unwrap();
+
+            cqp.post_faa(1, result, mr.token().at(0, 8).unwrap(), 5).unwrap();
+            let cqe = ccq.next().await;
+            assert!(cqe.status.is_ok());
+            assert_eq!(a.read_u64(result.addr).unwrap(), 100);
+            assert_eq!(b.read_u64(counter.addr).unwrap(), 105);
+
+            // Successful CAS.
+            cqp.post_cas(2, result, mr.token().at(0, 8).unwrap(), 105, 7)
+                .unwrap();
+            ccq.next().await;
+            assert_eq!(a.read_u64(result.addr).unwrap(), 105);
+            assert_eq!(b.read_u64(counter.addr).unwrap(), 7);
+
+            // Failed CAS leaves the value.
+            cqp.post_cas(3, result, mr.token().at(0, 8).unwrap(), 999, 1)
+                .unwrap();
+            ccq.next().await;
+            assert_eq!(a.read_u64(result.addr).unwrap(), 7);
+            assert_eq!(b.read_u64(counter.addr).unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn connect_to_missing_service_refused() {
+        let (sim, _fabric, a, b) = two_devices();
+        let err = sim.block_on(async move {
+            let cq = CompletionQueue::new();
+            a.connect(b.node(), 99, &cq).await.err().unwrap()
+        });
+        assert_eq!(err, RdmaError::ConnectionRefused);
+    }
+
+    #[test]
+    fn connect_to_dead_node_times_out() {
+        let (sim, fabric, a, b) = two_devices();
+        fabric.set_node_up(b.node(), false);
+        let err = sim.block_on(async move {
+            let cq = CompletionQueue::new();
+            a.connect(b.node(), 7, &cq).await.err().unwrap()
+        });
+        assert_eq!(err, RdmaError::Timeout);
+    }
+
+    #[test]
+    fn op_to_dead_node_times_out_and_flushes() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            // Kill the server mid-connection.
+            let fabric_down = b.clone();
+            fabric_down
+                .fabric
+                .set_node_up(b.node(), false);
+            let dst = a.alloc(8).unwrap();
+            cqp.post_read(1, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            cqp.post_read(2, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            let c1 = ccq.next().await;
+            let c2 = ccq.next().await;
+            assert_eq!(c1.status, CqStatus::Timeout);
+            assert_eq!(c2.status, CqStatus::Flushed);
+            assert!(cqp.is_errored());
+            let err = cqp.post_read(3, dst, mr.token().at(0, 8).unwrap());
+            assert_eq!(err, Err(RdmaError::QpError));
+        });
+    }
+
+    #[test]
+    fn large_read_bandwidth_near_line_rate() {
+        let (secs, bytes) = connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let len = 512u64 << 20; // 512 MiB, synthetic so no real copy
+            let server_buf = b.alloc_synthetic(len).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc_synthetic(len).unwrap();
+            let t0 = a.sim().now();
+            cqp.post_read(1, dst, mr.token().at(0, len).unwrap()).unwrap();
+            let cqe = ccq.next().await;
+            assert!(cqe.status.is_ok());
+            ((a.sim().now() - t0).as_secs_f64(), len)
+        });
+        let gbps = bytes as f64 * 8.0 / secs / 1e9;
+        assert!(
+            (gbps - 54.3).abs() < 1.5,
+            "single-flow read should run near line rate, got {gbps:.2} Gb/s"
+        );
+    }
+
+    #[test]
+    fn fluid_write_does_not_touch_backed_memory() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"keepme!!").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            let src = a.alloc_synthetic(8).unwrap();
+            cqp.post_write(1, src, mr.token().at(0, 8).unwrap()).unwrap();
+            assert!(ccq.next().await.status.is_ok());
+            // Synthetic payloads move no bytes.
+            assert_eq!(b.read_mem(server_buf.addr, 8).unwrap(), b"keepme!!");
+        });
+    }
+
+    #[test]
+    fn remote_mr_at_checks_bounds() {
+        let mr = RemoteMr {
+            node: NodeId(0),
+            addr: 1000,
+            len: 100,
+            rkey: RKey(1),
+        };
+        assert_eq!(mr.at(50, 50).unwrap().addr, 1050);
+        assert!(mr.at(50, 51).is_err());
+    }
+
+    #[test]
+    fn dereg_mr_blocks_subsequent_access() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let buf = b.alloc(8).unwrap();
+            let mr = b.reg_mr(buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(8).unwrap();
+            cqp.post_read(1, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            assert!(ccq.next().await.status.is_ok());
+            b.dereg_mr(mr.rkey).unwrap();
+            cqp.post_read(2, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::RemoteAccess);
+        });
+    }
+
+    #[test]
+    fn listener_drop_refuses_new_connections() {
+        let (sim, _fabric, a, b) = {
+            let (sim, fabric, a, b) = {
+                let sim = Sim::new();
+                let fabric = Fabric::new(sim.clone(), fabric::FabricConfig::default());
+                let a = RdmaDevice::new(&fabric, RdmaConfig::default());
+                let b = RdmaDevice::new(&fabric, RdmaConfig::default());
+                (sim, fabric, a, b)
+            };
+            (sim, fabric, a, b)
+        };
+        let err = sim.block_on(async move {
+            {
+                let _listener = b.listen(5).unwrap();
+                // Listener dropped at end of scope without accepting.
+            }
+            let cq = CompletionQueue::new();
+            a.connect(b.node(), 5, &cq).await.err().unwrap()
+        });
+        assert_eq!(err, RdmaError::ConnectionRefused);
+    }
+
+    #[test]
+    fn many_qps_between_one_pair_are_independent() {
+        let (sim, _fabric, a, b) = two_devices();
+        sim.block_on(async move {
+            let mut listener = b.listen(7).unwrap();
+            let scq = CompletionQueue::new();
+            let b2 = b.clone();
+            b.sim().spawn(async move {
+                loop {
+                    if listener.accept(&scq).await.is_err() {
+                        break;
+                    }
+                }
+            });
+            let data = b2.alloc_init(b"independent-qps!").unwrap();
+            let mr = b2.reg_mr(data, Access::REMOTE_READ).unwrap();
+            let mut qps = Vec::new();
+            for _ in 0..8 {
+                let cq = CompletionQueue::new();
+                let qp = a.connect(b2.node(), 7, &cq).await.unwrap();
+                qps.push((qp, cq));
+            }
+            // Issue one read per QP concurrently; each completes on its own CQ.
+            let mut dsts = Vec::new();
+            for (i, (qp, _)) in qps.iter().enumerate() {
+                let dst = a.alloc(16).unwrap();
+                qp.post_read(i as u64, dst, mr.token().at(0, 16).unwrap())
+                    .unwrap();
+                dsts.push(dst);
+            }
+            for (i, (_, cq)) in qps.iter().enumerate() {
+                let cqe = cq.next().await;
+                assert_eq!(cqe.wr_id, i as u64);
+                assert!(cqe.status.is_ok());
+            }
+            for dst in dsts {
+                assert_eq!(a.read_mem(dst.addr, 16).unwrap(), b"independent-qps!");
+            }
+        });
+    }
+
+    #[test]
+    fn pipelined_sends_drain_rnr_queue_in_order() {
+        connected(|a, b, cqp, _ccq, sqp, scq| async move {
+            // Five SENDs before any receive is posted.
+            for i in 0..5u8 {
+                let src = a.alloc_init(&[i; 4]).unwrap();
+                cqp.post_send(i as u64, src, None).unwrap();
+            }
+            a.sim().sleep(Duration::from_micros(10)).await;
+            // Post receives one by one: deliveries must come in send order.
+            for i in 0..5u8 {
+                let rbuf = b.alloc(4).unwrap();
+                sqp.post_recv(100 + i as u64, rbuf).unwrap();
+                let cqe = scq.next().await;
+                assert_eq!(cqe.wr_id, 100 + i as u64);
+                assert_eq!(b.read_mem(rbuf.addr, 4).unwrap(), vec![i; 4]);
+            }
+        });
+    }
+
+    #[test]
+    fn mem_used_tracks_alloc_and_free() {
+        let (_sim, _fabric, a, _b) = two_devices();
+        assert_eq!(a.mem_used(), 0);
+        let b1 = a.alloc(100).unwrap();
+        let b2 = a.alloc_synthetic(1 << 30).unwrap();
+        assert_eq!(a.mem_used(), 100 + (1 << 30));
+        a.free(b1).unwrap();
+        a.free(b2).unwrap();
+        assert_eq!(a.mem_used(), 0);
+    }
+}

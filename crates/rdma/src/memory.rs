@@ -1,0 +1,490 @@
+//! Device memory: a per-node arena with registration-based access control.
+//!
+//! Real RDMA requires memory to be registered with the NIC before it can be
+//! the source or target of DMA. We model a node's DRAM as a 64-bit address
+//! space managed by a first-fit free-list allocator; each allocation may be
+//! *backed* (a real `Vec<u8>`, bytes actually move) or *synthetic* (no
+//! backing store — used for fluid-mode experiments at the 256 GB scale where
+//! only sizes and timing matter).
+
+use std::collections::BTreeMap;
+
+use crate::types::{Access, RKey, RdmaError, Result};
+
+/// A handle to an allocation in a device arena.
+///
+/// Plain descriptor (cheap `Copy`); the arena owns the bytes. Buffers are
+/// implicitly DMA-able locally (a simplification over verbs' lkeys — see
+/// crate docs); *remote* access additionally requires [`Arena::register`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DmaBuf {
+    /// Start address within the owning device's arena.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl DmaBuf {
+    /// A sub-range of this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the buffer.
+    pub fn slice(&self, offset: u64, len: u64) -> DmaBuf {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice out of bounds"
+        );
+        DmaBuf {
+            addr: self.addr + offset,
+            len,
+        }
+    }
+}
+
+/// A registered memory region (the device-side record).
+#[derive(Clone, Copy, Debug)]
+pub struct MrEntry {
+    /// Region start address.
+    pub addr: u64,
+    /// Region length.
+    pub len: u64,
+    /// Granted remote rights.
+    pub access: Access,
+    /// The key remote peers must present.
+    pub rkey: RKey,
+}
+
+impl MrEntry {
+    /// Checks that `[addr, addr+len)` lies inside the region and the region
+    /// grants `needed`.
+    pub fn check(&self, addr: u64, len: u64, needed: Access) -> Result<()> {
+        if !self.access.allows(needed) {
+            return Err(RdmaError::AccessDenied);
+        }
+        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        if addr < self.addr || end > self.addr + self.len {
+            return Err(RdmaError::OutOfBounds { addr, len });
+        }
+        Ok(())
+    }
+}
+
+struct Block {
+    len: u64,
+    /// `Some` for backed allocations, `None` for synthetic ones.
+    data: Option<Vec<u8>>,
+}
+
+/// The arena: allocator + backing storage + MR table for one device.
+pub struct Arena {
+    capacity: u64,
+    used: u64,
+    /// Free extents, keyed by start address.
+    free: BTreeMap<u64, u64>,
+    /// Live allocations, keyed by start address.
+    blocks: BTreeMap<u64, Block>,
+    mrs: BTreeMap<RKey, MrEntry>,
+    next_rkey: u64,
+}
+
+impl std::fmt::Debug for Arena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("blocks", &self.blocks.len())
+            .field("mrs", &self.mrs.len())
+            .finish()
+    }
+}
+
+impl Arena {
+    /// Creates an arena covering addresses `[0, capacity)`.
+    pub fn new(capacity: u64) -> Self {
+        let mut free = BTreeMap::new();
+        if capacity > 0 {
+            free.insert(0, capacity);
+        }
+        Arena {
+            capacity,
+            used: 0,
+            free,
+            blocks: BTreeMap::new(),
+            mrs: BTreeMap::new(),
+            next_rkey: 0x1000,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Allocates `len` bytes of backed memory (zero-initialized).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if no free extent is large enough.
+    pub fn alloc(&mut self, len: u64) -> Result<DmaBuf> {
+        self.alloc_inner(len, true)
+    }
+
+    /// Allocates `len` bytes of synthetic (unbacked) memory. Reads return
+    /// zeroes; writes are discarded. Timing and accounting behave exactly
+    /// like backed memory.
+    pub fn alloc_synthetic(&mut self, len: u64) -> Result<DmaBuf> {
+        self.alloc_inner(len, false)
+    }
+
+    fn alloc_inner(&mut self, len: u64, backed: bool) -> Result<DmaBuf> {
+        if len == 0 {
+            return Err(RdmaError::OutOfBounds { addr: 0, len });
+        }
+        // First fit.
+        let found = self
+            .free
+            .iter()
+            .find(|(_, &flen)| flen >= len)
+            .map(|(&addr, &flen)| (addr, flen));
+        let (addr, flen) = found.ok_or(RdmaError::OutOfMemory { requested: len })?;
+        self.free.remove(&addr);
+        if flen > len {
+            self.free.insert(addr + len, flen - len);
+        }
+        let data = if backed {
+            Some(vec![0u8; usize::try_from(len).map_err(|_| RdmaError::OutOfMemory { requested: len })?])
+        } else {
+            None
+        };
+        self.blocks.insert(addr, Block { len, data });
+        self.used += len;
+        Ok(DmaBuf { addr, len })
+    }
+
+    /// Frees an allocation previously returned by an alloc call, coalescing
+    /// adjacent free extents. Any MRs covering it are deregistered.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if `addr` is not an allocation start.
+    pub fn free(&mut self, buf: DmaBuf) -> Result<()> {
+        let block = self
+            .blocks
+            .remove(&buf.addr)
+            .ok_or(RdmaError::InvalidHandle)?;
+        debug_assert_eq!(block.len, buf.len, "free with mismatched length");
+        self.used -= block.len;
+        self.mrs
+            .retain(|_, mr| mr.addr + mr.len <= buf.addr || mr.addr >= buf.addr + block.len);
+
+        // Insert and coalesce with neighbours.
+        let mut start = buf.addr;
+        let mut len = block.len;
+        if let Some((&paddr, &plen)) = self.free.range(..start).next_back() {
+            if paddr + plen == start {
+                self.free.remove(&paddr);
+                start = paddr;
+                len += plen;
+            }
+        }
+        if let Some((&naddr, &nlen)) = self.free.range(start + len..).next() {
+            if start + len == naddr {
+                self.free.remove(&naddr);
+                len += nlen;
+            }
+        }
+        self.free.insert(start, len);
+        Ok(())
+    }
+
+    /// Registers a memory region over `buf` with the given remote rights,
+    /// returning its entry (including the generated rkey).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if `buf` does not lie within a single live
+    /// allocation.
+    pub fn register(&mut self, buf: DmaBuf, access: Access) -> Result<MrEntry> {
+        self.containing_block(buf.addr, buf.len)?;
+        self.next_rkey += 0x11;
+        let rkey = RKey(self.next_rkey);
+        let entry = MrEntry {
+            addr: buf.addr,
+            len: buf.len,
+            access,
+            rkey,
+        };
+        self.mrs.insert(rkey, entry);
+        Ok(entry)
+    }
+
+    /// Removes a registration.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if the rkey is unknown.
+    pub fn deregister(&mut self, rkey: RKey) -> Result<()> {
+        self.mrs
+            .remove(&rkey)
+            .map(|_| ())
+            .ok_or(RdmaError::InvalidHandle)
+    }
+
+    /// Looks up an MR by rkey.
+    pub fn mr(&self, rkey: RKey) -> Option<MrEntry> {
+        self.mrs.get(&rkey).copied()
+    }
+
+    /// Number of live registrations.
+    pub fn mr_count(&self) -> usize {
+        self.mrs.len()
+    }
+
+    fn containing_block(&self, addr: u64, len: u64) -> Result<(u64, &Block)> {
+        let (baddr, block) = self
+            .blocks
+            .range(..=addr)
+            .next_back()
+            .ok_or(RdmaError::OutOfBounds { addr, len })?;
+        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        if end > baddr + block.len {
+            return Err(RdmaError::OutOfBounds { addr, len });
+        }
+        Ok((*baddr, block))
+    }
+
+    fn containing_block_mut(&mut self, addr: u64, len: u64) -> Result<(u64, &mut Block)> {
+        let (baddr, block) = self
+            .blocks
+            .range_mut(..=addr)
+            .next_back()
+            .ok_or(RdmaError::OutOfBounds { addr, len })?;
+        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        if end > *baddr + block.len {
+            return Err(RdmaError::OutOfBounds { addr, len });
+        }
+        Ok((*baddr, block))
+    }
+
+    /// Copies bytes out of the arena. Synthetic allocations read as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn read(&self, addr: u64, len: u64) -> Result<Vec<u8>> {
+        let (baddr, block) = self.containing_block(addr, len)?;
+        Ok(match &block.data {
+            Some(data) => {
+                let off = (addr - baddr) as usize;
+                data[off..off + len as usize].to_vec()
+            }
+            None => vec![0u8; len as usize],
+        })
+    }
+
+    /// Copies bytes into the arena. Writes to synthetic allocations are
+    /// discarded (timing only).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<()> {
+        let (baddr, block) = self.containing_block_mut(addr, bytes.len() as u64)?;
+        if let Some(data) = &mut block.data {
+            let off = (addr - baddr) as usize;
+            data[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    /// Reads a range as a [`Payload`](crate::wire::Payload): backed
+    /// allocations yield real bytes, synthetic ones a size-only payload —
+    /// crucially *without* materializing huge zero buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn read_payload(&self, addr: u64, len: u64) -> Result<crate::wire::Payload> {
+        let (baddr, block) = self.containing_block(addr, len)?;
+        Ok(match &block.data {
+            Some(data) => {
+                let off = (addr - baddr) as usize;
+                crate::wire::Payload::Bytes(data[off..off + len as usize].to_vec())
+            }
+            None => crate::wire::Payload::Synthetic(len),
+        })
+    }
+
+    /// Writes a payload into the arena. Real bytes land in backed
+    /// allocations; synthetic payloads (or writes into synthetic blocks)
+    /// affect timing and accounting only.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn write_payload(&mut self, addr: u64, payload: &crate::wire::Payload) -> Result<()> {
+        let len = payload.len();
+        let (baddr, block) = self.containing_block_mut(addr, len)?;
+        if let (Some(data), crate::wire::Payload::Bytes(bytes)) = (&mut block.data, payload) {
+            let off = (addr - baddr) as usize;
+            data[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    /// Atomically reads a u64 (little-endian) at an 8-byte-aligned address.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] on bad range or misalignment.
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        if !addr.is_multiple_of(8) {
+            return Err(RdmaError::OutOfBounds { addr, len: 8 });
+        }
+        let bytes = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Writes a u64 (little-endian) at an 8-byte-aligned address.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] on bad range or misalignment.
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<()> {
+        if !addr.is_multiple_of(8) {
+            return Err(RdmaError::OutOfBounds { addr, len: 8 });
+        }
+        self.write(addr, &value.to_le_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip_restores_capacity() {
+        let mut a = Arena::new(1024);
+        let b1 = a.alloc(100).unwrap();
+        let b2 = a.alloc(200).unwrap();
+        assert_eq!(a.used(), 300);
+        a.free(b1).unwrap();
+        a.free(b2).unwrap();
+        assert_eq!(a.used(), 0);
+        // Full coalescing: a single 1024-byte allocation must succeed again.
+        let big = a.alloc(1024).unwrap();
+        assert_eq!(big.len, 1024);
+    }
+
+    #[test]
+    fn alloc_fails_when_fragmented_but_not_out_of_total() {
+        let mut a = Arena::new(300);
+        let b1 = a.alloc(100).unwrap();
+        let _b2 = a.alloc(100).unwrap();
+        let _b3 = a.alloc(100).unwrap();
+        a.free(b1).unwrap();
+        // 100 free at front, but a 150 request cannot fit contiguously.
+        assert_eq!(
+            a.alloc(150),
+            Err(RdmaError::OutOfMemory { requested: 150 })
+        );
+        assert!(a.alloc(100).is_ok());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut a = Arena::new(4096);
+        let b = a.alloc(64).unwrap();
+        a.write(b.addr + 8, b"hello").unwrap();
+        assert_eq!(a.read(b.addr + 8, 5).unwrap(), b"hello");
+        assert_eq!(a.read(b.addr, 1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn access_spanning_allocations_rejected() {
+        let mut a = Arena::new(4096);
+        let b1 = a.alloc(64).unwrap();
+        let _b2 = a.alloc(64).unwrap();
+        assert!(matches!(
+            a.read(b1.addr + 32, 64),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn synthetic_blocks_read_zero_and_ignore_writes() {
+        let mut a = Arena::new(1 << 40);
+        let b = a.alloc_synthetic(1 << 35).unwrap(); // 32 GiB, no real memory
+        a.write(b.addr, b"data").unwrap();
+        assert_eq!(a.read(b.addr, 4).unwrap(), vec![0; 4]);
+    }
+
+    #[test]
+    fn register_and_check_access() {
+        let mut a = Arena::new(4096);
+        let b = a.alloc(128).unwrap();
+        let mr = a.register(b, Access::REMOTE_READ).unwrap();
+        assert!(mr.check(b.addr, 128, Access::REMOTE_READ).is_ok());
+        assert_eq!(
+            mr.check(b.addr, 128, Access::REMOTE_WRITE),
+            Err(RdmaError::AccessDenied)
+        );
+        assert!(matches!(
+            mr.check(b.addr + 100, 64, Access::REMOTE_READ),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
+        assert_eq!(a.mr(mr.rkey).unwrap().len, 128);
+    }
+
+    #[test]
+    fn free_drops_covering_mrs() {
+        let mut a = Arena::new(4096);
+        let b = a.alloc(128).unwrap();
+        let mr = a.register(b, Access::REMOTE_ALL).unwrap();
+        a.free(b).unwrap();
+        assert!(a.mr(mr.rkey).is_none());
+        assert_eq!(a.mr_count(), 0);
+    }
+
+    #[test]
+    fn deregister_unknown_rkey_errors() {
+        let mut a = Arena::new(64);
+        assert_eq!(a.deregister(RKey(99)), Err(RdmaError::InvalidHandle));
+    }
+
+    #[test]
+    fn double_free_errors() {
+        let mut a = Arena::new(64);
+        let b = a.alloc(32).unwrap();
+        a.free(b).unwrap();
+        assert_eq!(a.free(b), Err(RdmaError::InvalidHandle));
+    }
+
+    #[test]
+    fn u64_helpers_enforce_alignment() {
+        let mut a = Arena::new(64);
+        let b = a.alloc(16).unwrap();
+        a.write_u64(b.addr, 0xDEAD_BEEF).unwrap();
+        assert_eq!(a.read_u64(b.addr).unwrap(), 0xDEAD_BEEF);
+        assert!(a.read_u64(b.addr + 1).is_err());
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let b = DmaBuf { addr: 10, len: 20 };
+        let s = b.slice(5, 10);
+        assert_eq!((s.addr, s.len), (15, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_overrun_panics() {
+        DmaBuf { addr: 0, len: 8 }.slice(4, 8);
+    }
+}

@@ -1,0 +1,161 @@
+//! Identifier newtypes, access flags, and error types for the verbs layer.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Queue pair number, unique per device.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Qpn(pub u64);
+
+impl fmt::Display for Qpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qp{}", self.0)
+    }
+}
+
+/// Remote key authorizing access to a memory region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RKey(pub u64);
+
+impl fmt::Display for RKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rkey{:#x}", self.0)
+    }
+}
+
+/// Access rights attached to a memory region at registration time.
+///
+/// A tiny hand-rolled bitset (the workspace avoids the `bitflags` dependency;
+/// there are only three flags).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Access(u8);
+
+impl Access {
+    /// No remote rights: local-only region.
+    pub const LOCAL_ONLY: Access = Access(0);
+    /// Remote RDMA READ allowed.
+    pub const REMOTE_READ: Access = Access(1);
+    /// Remote RDMA WRITE allowed.
+    pub const REMOTE_WRITE: Access = Access(2);
+    /// Remote atomics (CAS / fetch-add) allowed.
+    pub const REMOTE_ATOMIC: Access = Access(4);
+    /// All remote rights.
+    pub const REMOTE_ALL: Access = Access(7);
+
+    /// Whether all flags in `other` are present in `self`.
+    pub fn allows(self, other: Access) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for Access {
+    type Output = Access;
+    fn bitor(self, rhs: Access) -> Access {
+        Access(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Access {
+    fn bitor_assign(&mut self, rhs: Access) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.allows(Access::REMOTE_READ) {
+            parts.push("R");
+        }
+        if self.allows(Access::REMOTE_WRITE) {
+            parts.push("W");
+        }
+        if self.allows(Access::REMOTE_ATOMIC) {
+            parts.push("A");
+        }
+        if parts.is_empty() {
+            parts.push("local");
+        }
+        write!(f, "{}", parts.join("+"))
+    }
+}
+
+/// Errors surfaced by verbs-layer calls.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RdmaError {
+    /// The device arena has no block large enough.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// An address range fell outside its allocation or region.
+    OutOfBounds {
+        /// Offending start address.
+        addr: u64,
+        /// Length of the access.
+        len: u64,
+    },
+    /// An rkey was unknown or its region lacked the required rights.
+    AccessDenied,
+    /// No listener at the requested service id, or the peer rejected us.
+    ConnectionRefused,
+    /// The peer did not answer within the timeout (node down / partition).
+    Timeout,
+    /// The queue pair is in the error state; the work request was flushed.
+    QpError,
+    /// Free/dereg of an address that is not an allocation start.
+    InvalidHandle,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::OutOfMemory { requested } => {
+                write!(f, "device arena exhausted (requested {requested} bytes)")
+            }
+            RdmaError::OutOfBounds { addr, len } => {
+                write!(f, "access [{addr}, +{len}) outside allocation or region")
+            }
+            RdmaError::AccessDenied => write!(f, "unknown rkey or insufficient access rights"),
+            RdmaError::ConnectionRefused => write!(f, "connection refused"),
+            RdmaError::Timeout => write!(f, "operation timed out"),
+            RdmaError::QpError => write!(f, "queue pair is in the error state"),
+            RdmaError::InvalidHandle => write!(f, "invalid buffer or region handle"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}
+
+/// Convenient result alias for verbs-layer calls.
+pub type Result<T> = std::result::Result<T, RdmaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_flags_compose() {
+        let rw = Access::REMOTE_READ | Access::REMOTE_WRITE;
+        assert!(rw.allows(Access::REMOTE_READ));
+        assert!(rw.allows(Access::REMOTE_WRITE));
+        assert!(!rw.allows(Access::REMOTE_ATOMIC));
+        assert!(Access::REMOTE_ALL.allows(rw));
+        assert!(rw.allows(Access::LOCAL_ONLY));
+    }
+
+    #[test]
+    fn access_display_lists_rights() {
+        assert_eq!(Access::LOCAL_ONLY.to_string(), "local");
+        assert_eq!(
+            (Access::REMOTE_READ | Access::REMOTE_ATOMIC).to_string(),
+            "R+A"
+        );
+    }
+
+    #[test]
+    fn errors_format() {
+        let e = RdmaError::OutOfBounds { addr: 16, len: 32 };
+        assert!(e.to_string().contains("[16, +32)"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Compute-cost model for graph workers.
+
+use std::time::Duration;
+
+/// Per-operation CPU costs charged (as virtual time) by graph workers.
+///
+/// These stand in for the arithmetic the real system would do; the defaults
+/// are in the range measured for in-memory PageRank kernels of the era
+/// (a few ns per edge on a 2.5 GHz core).
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Cost per edge scanned in a superstep.
+    pub per_edge: Duration,
+    /// Cost per owned vertex per superstep.
+    pub per_vertex: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_edge: Duration::from_nanos(4),
+            per_vertex: Duration::from_nanos(12),
+        }
+    }
+}
+
+impl CostModel {
+    /// Total compute time for a superstep touching `edges` edges and
+    /// `vertices` vertices.
+    pub fn superstep(&self, edges: u64, vertices: u64) -> Duration {
+        Duration::from_nanos(
+            self.per_edge.as_nanos() as u64 * edges + self.per_vertex.as_nanos() as u64 * vertices,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn superstep_cost_scales() {
+        let c = CostModel::default();
+        assert_eq!(
+            c.superstep(1000, 100),
+            Duration::from_nanos(4 * 1000 + 12 * 100)
+        );
+        assert!(c.superstep(0, 0).is_zero());
+    }
+}

@@ -1,0 +1,113 @@
+//! Vertex range partitioning across workers.
+
+/// A balanced contiguous partition of vertices `0..n` across `k` workers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VertexPartition {
+    /// Total vertices.
+    pub n: u64,
+    /// Number of workers.
+    pub k: u64,
+}
+
+impl VertexPartition {
+    /// Creates a partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(n: u64, k: u64) -> Self {
+        assert!(k > 0, "at least one worker required");
+        VertexPartition { n, k }
+    }
+
+    /// First vertex owned by worker `i`.
+    pub fn start(&self, i: u64) -> u64 {
+        i * self.n / self.k
+    }
+
+    /// One past the last vertex owned by worker `i`.
+    pub fn end(&self, i: u64) -> u64 {
+        (i + 1) * self.n / self.k
+    }
+
+    /// The `[start, end)` range of worker `i`.
+    pub fn range(&self, i: u64) -> (u64, u64) {
+        (self.start(i), self.end(i))
+    }
+
+    /// Number of vertices owned by worker `i`.
+    pub fn count(&self, i: u64) -> u64 {
+        self.end(i) - self.start(i)
+    }
+
+    /// The worker owning vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `v >= n`.
+    pub fn owner(&self, v: u64) -> u64 {
+        debug_assert!(v < self.n, "vertex out of range");
+        // The unique i with start(i) <= v < end(i). Empty ranges (k > n)
+        // make an arithmetic guess unreliable, so binary-search on end().
+        let (mut lo, mut hi) = (0u64, self.k - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.end(mid) <= v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for (n, k) in [(10u64, 3u64), (100, 7), (5, 5), (1, 1), (1000, 12)] {
+            let p = VertexPartition::new(n, k);
+            let mut covered = 0;
+            for i in 0..k {
+                let (s, e) = p.range(i);
+                assert_eq!(s, covered);
+                covered = e;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        for (n, k) in [(10u64, 3u64), (101, 7), (12, 12), (997, 12)] {
+            let p = VertexPartition::new(n, k);
+            for v in 0..n {
+                let o = p.owner(v);
+                assert!(p.start(o) <= v && v < p.end(o), "v={v} o={o} n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_is_within_one() {
+        let p = VertexPartition::new(100, 7);
+        let counts: Vec<u64> = (0..7).map(|i| p.count(i)).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max - min <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn more_workers_than_vertices() {
+        let p = VertexPartition::new(3, 5);
+        let total: u64 = (0..5).map(|i| p.count(i)).sum();
+        assert_eq!(total, 3);
+        for v in 0..3 {
+            let o = p.owner(v);
+            assert!(p.start(o) <= v && v < p.end(o));
+        }
+    }
+}

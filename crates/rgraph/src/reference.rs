@@ -1,0 +1,219 @@
+//! Single-node reference implementations used to verify the distributed
+//! algorithms.
+
+use workload::CsrGraph;
+
+/// Pull-style PageRank, `iters` synchronous iterations with damping `d`.
+/// Matches the distributed kernel exactly (same summation order), so results
+/// agree to floating-point exactness.
+pub fn pagerank(g: &CsrGraph, iters: usize, d: f64) -> Vec<f64> {
+    let n = g.n as usize;
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut contrib: Vec<f64> = (0..n)
+        .map(|v| {
+            let deg = g.out_degree(v as u64);
+            if deg > 0 {
+                rank[v] / deg as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    for _ in 0..iters {
+        let mut new_contrib = vec![0.0; n];
+        for v in 0..n {
+            let mut sum = 0.0;
+            for &u in g.in_neighbors(v as u64) {
+                sum += contrib[u as usize];
+            }
+            let r = (1.0 - d) / n as f64 + d * sum;
+            rank[v] = r;
+            let deg = g.out_degree(v as u64);
+            new_contrib[v] = if deg > 0 { r / deg as f64 } else { 0.0 };
+        }
+        contrib = new_contrib;
+    }
+    rank
+}
+
+/// BFS levels from `src` over out-edges; unreachable vertices get
+/// `u64::MAX`.
+pub fn bfs(g: &CsrGraph, src: u64) -> Vec<u64> {
+    let mut levels = vec![u64::MAX; g.n as usize];
+    levels[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut depth = 0u64;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in g.out_neighbors(v) {
+                if levels[u as usize] == u64::MAX {
+                    levels[u as usize] = depth;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    levels
+}
+
+/// Weakly connected components by iterated min-label propagation over both
+/// edge directions (matches the distributed Jacobi kernel's fixpoint).
+pub fn wcc(g: &CsrGraph) -> Vec<u64> {
+    let n = g.n as usize;
+    let mut label: Vec<u64> = (0..n as u64).collect();
+    loop {
+        let mut changed = false;
+        let mut next = label.clone();
+        for v in 0..n {
+            let mut m = label[v];
+            for &u in g.in_neighbors(v as u64) {
+                m = m.min(label[u as usize]);
+            }
+            for &u in g.out_neighbors(v as u64) {
+                m = m.min(label[u as usize]);
+            }
+            if m < next[v] {
+                next[v] = m;
+                changed = true;
+            }
+        }
+        label = next;
+        if !changed {
+            return label;
+        }
+    }
+}
+
+/// The deterministic synthetic edge weight used by SSSP: in `[1, 16]`.
+pub fn edge_weight(u: u64, v: u64) -> u64 {
+    let mut x = u.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ v.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    1 + (x % 16)
+}
+
+/// Single-source shortest paths (Bellman-Ford over in-edges) with the
+/// synthetic [`edge_weight`]; unreachable vertices get `u64::MAX`.
+pub fn sssp(g: &CsrGraph, src: u64) -> Vec<u64> {
+    let n = g.n as usize;
+    let mut dist = vec![u64::MAX; n];
+    dist[src as usize] = 0;
+    loop {
+        let mut changed = false;
+        let mut next = dist.clone();
+        for v in 0..n {
+            let mut best = dist[v];
+            for &u in g.in_neighbors(v as u64) {
+                if dist[u as usize] != u64::MAX {
+                    best = best.min(dist[u as usize] + edge_weight(u, v as u64));
+                }
+            }
+            if best < next[v] {
+                next[v] = best;
+                changed = true;
+            }
+        }
+        dist = next;
+        if !changed {
+            return dist;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{rmat_graph, uniform_graph, CsrGraph};
+
+    fn line_graph(n: u64) -> CsrGraph {
+        let edges: Vec<(u64, u64)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn pagerank_sums_stay_bounded() {
+        let g = rmat_graph(8, 2048, 11);
+        let ranks = pagerank(&g, 20, 0.85);
+        let total: f64 = ranks.iter().sum();
+        // With dangling mass leaking, total is in (0, 1].
+        assert!(total > 0.2 && total <= 1.0 + 1e-9, "total {total}");
+        assert!(ranks.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_hub_ranks_higher() {
+        // Star: everyone points at vertex 0.
+        let edges: Vec<(u64, u64)> = (1..50).map(|i| (i, 0)).collect();
+        let g = CsrGraph::from_edges(50, &edges);
+        let ranks = pagerank(&g, 30, 0.85);
+        assert!(ranks[0] > ranks[1] * 10.0);
+    }
+
+    #[test]
+    fn bfs_levels_on_line() {
+        let g = line_graph(6);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4, 5]);
+        let levels = bfs(&g, 3);
+        assert_eq!(levels[3], 0);
+        assert_eq!(levels[5], 2);
+        assert_eq!(levels[0], u64::MAX, "line edges are directed");
+    }
+
+    #[test]
+    fn wcc_finds_components() {
+        // Two disjoint triangles.
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let g = CsrGraph::from_edges(6, &edges);
+        let labels = wcc(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let g = CsrGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        let labels = wcc(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn sssp_on_line_accumulates_weights() {
+        let g = line_graph(4);
+        let d = sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], edge_weight(0, 1));
+        assert_eq!(d[2], d[1] + edge_weight(1, 2));
+        assert_eq!(d[3], d[2] + edge_weight(2, 3));
+    }
+
+    #[test]
+    fn sssp_never_exceeds_bfs_times_max_weight() {
+        let g = uniform_graph(200, 1200, 5);
+        let levels = bfs(&g, 0);
+        let dists = sssp(&g, 0);
+        for v in 0..200usize {
+            assert_eq!(levels[v] == u64::MAX, dists[v] == u64::MAX);
+            if levels[v] != u64::MAX {
+                assert!(dists[v] <= levels[v] * 16);
+                assert!(dists[v] >= levels[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weight_in_range_and_deterministic() {
+        for u in 0..50u64 {
+            for v in 0..50u64 {
+                let w = edge_weight(u, v);
+                assert!((1..=16).contains(&w));
+                assert_eq!(w, edge_weight(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Distributed single-source shortest paths (Bellman-Ford supersteps) with
+//! the deterministic synthetic edge weights of
+//! [`reference::edge_weight`](crate::reference::edge_weight).
+
+use fabric::NodeId;
+use rdma::RdmaDevice;
+use rstore::Result;
+
+use crate::jacobi::{self, JacobiConfig, JacobiKind, JacobiOutcome};
+
+/// Runs distributed SSSP from `src`, one worker per device.
+/// `outcome.values[v]` is the distance from `src` (`u64::MAX` if
+/// unreachable).
+///
+/// # Errors
+///
+/// Store or IO failures from any worker.
+///
+/// # Panics
+///
+/// Panics if `devs` is empty.
+pub async fn run(
+    devs: &[RdmaDevice],
+    master: NodeId,
+    graph: &str,
+    src: u64,
+    cfg: JacobiConfig,
+) -> Result<JacobiOutcome> {
+    jacobi::run(devs, master, graph, JacobiKind::Sssp { src }, cfg).await
+}

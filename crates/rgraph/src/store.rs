@@ -1,0 +1,172 @@
+//! Publishing graphs into RStore regions.
+//!
+//! A graph named `g` occupies these regions in the master's namespace:
+//!
+//! | region | contents |
+//! |---|---|
+//! | `g/meta` | `n`, `m` as little-endian u64 |
+//! | `g/in_xadj` | in-edge index, `(n+1) × 8` bytes |
+//! | `g/in_adj` | in-edge sources, `m × 8` bytes |
+//! | `g/out_xadj` | out-edge index |
+//! | `g/out_adj` | out-edge targets |
+//! | `g/out_deg` | out-degrees, `n × 8` bytes |
+//! | `g/val_a`, `g/val_b` | double-buffered per-vertex value vectors |
+//!
+//! Loading the structure is a one-time control-path action; supersteps touch
+//! only the value vectors.
+
+use rstore::{AllocOptions, RStoreClient, Region, Result};
+use workload::CsrGraph;
+
+/// Converts a u64 slice to little-endian bytes.
+pub fn u64s_to_bytes(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+/// Parses little-endian bytes into u64s.
+///
+/// # Panics
+///
+/// Panics if the length is not a multiple of 8.
+pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
+    assert_eq!(b.len() % 8, 0, "not a u64 vector");
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// A handle to a graph stored in RStore.
+#[derive(Debug)]
+pub struct GraphStore {
+    /// Graph name (region prefix).
+    pub name: String,
+    /// Vertex count.
+    pub n: u64,
+    /// Edge count.
+    pub m: u64,
+}
+
+/// Write chunk for bulk region loads (stays under the staging allocation).
+const LOAD_CHUNK: usize = 8 * 1024 * 1024;
+
+async fn write_vec(region: &Region, bytes: &[u8]) -> Result<()> {
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let end = (off + LOAD_CHUNK).min(bytes.len());
+        region.write(off as u64, &bytes[off..end]).await?;
+        off = end;
+    }
+    Ok(())
+}
+
+impl GraphStore {
+    /// Publishes a graph into RStore under `name`, striped across the
+    /// cluster with the given options.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or IO failures from the store.
+    pub async fn publish(
+        client: &RStoreClient,
+        name: &str,
+        graph: &CsrGraph,
+        opts: AllocOptions,
+    ) -> Result<GraphStore> {
+        let n = graph.n;
+        let m = graph.m();
+        let alloc = |suffix: &str, size: u64| {
+            let name = format!("{name}/{suffix}");
+            let client = client.clone();
+            async move { client.alloc(&name, size.max(8), opts).await }
+        };
+
+        let meta = alloc("meta", 16).await?;
+        meta.write(0, &u64s_to_bytes(&[n, m])).await?;
+
+        let r = alloc("in_xadj", (n + 1) * 8).await?;
+        write_vec(&r, &u64s_to_bytes(&graph.in_xadj)).await?;
+        let r = alloc("in_adj", m * 8).await?;
+        write_vec(&r, &u64s_to_bytes(&graph.in_adj)).await?;
+        let r = alloc("out_xadj", (n + 1) * 8).await?;
+        write_vec(&r, &u64s_to_bytes(&graph.out_xadj)).await?;
+        let r = alloc("out_adj", m * 8).await?;
+        write_vec(&r, &u64s_to_bytes(&graph.out_adj)).await?;
+
+        let degs: Vec<u64> = (0..n).map(|v| graph.out_degree(v)).collect();
+        let r = alloc("out_deg", n * 8).await?;
+        write_vec(&r, &u64s_to_bytes(&degs)).await?;
+
+        alloc("val_a", n * 8).await?;
+        alloc("val_b", n * 8).await?;
+
+        Ok(GraphStore {
+            name: name.to_owned(),
+            n,
+            m,
+        })
+    }
+
+    /// Opens a published graph by name.
+    ///
+    /// # Errors
+    ///
+    /// [`rstore::RStoreError::NotFound`] if the graph was not published.
+    pub async fn open(client: &RStoreClient, name: &str) -> Result<GraphStore> {
+        let meta = client.map(&format!("{name}/meta")).await?;
+        let bytes = meta.read(0, 16).await?;
+        let v = bytes_to_u64s(&bytes);
+        Ok(GraphStore {
+            name: name.to_owned(),
+            n: v[0],
+            m: v[1],
+        })
+    }
+
+    /// Maps one of the graph's regions from this client.
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures from the store.
+    pub async fn map(&self, client: &RStoreClient, suffix: &str) -> Result<Region> {
+        client.map(&format!("{}/{}", self.name, suffix)).await
+    }
+
+    /// Reads a u64 slice `[first, first + count)` out of one of the graph's
+    /// vector regions.
+    ///
+    /// # Errors
+    ///
+    /// Mapping or IO failures.
+    pub async fn read_u64s(
+        &self,
+        client: &RStoreClient,
+        suffix: &str,
+        first: u64,
+        count: u64,
+    ) -> Result<Vec<u64>> {
+        let region = self.map(client, suffix).await?;
+        let bytes = region.read(first * 8, count * 8).await?;
+        Ok(bytes_to_u64s(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_codec_round_trips() {
+        let v = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(bytes_to_u64s(&u64s_to_bytes(&v)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a u64 vector")]
+    fn ragged_bytes_panic() {
+        bytes_to_u64s(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Distributed weakly-connected components (min-label propagation).
+
+use fabric::NodeId;
+use rdma::RdmaDevice;
+use rstore::Result;
+
+use crate::jacobi::{self, JacobiConfig, JacobiKind, JacobiOutcome};
+
+/// Runs distributed WCC on a published graph, one worker per device.
+/// `outcome.values[v]` is the smallest vertex id in `v`'s component.
+///
+/// # Errors
+///
+/// Store or IO failures from any worker.
+///
+/// # Panics
+///
+/// Panics if `devs` is empty.
+pub async fn run(
+    devs: &[RdmaDevice],
+    master: NodeId,
+    graph: &str,
+    cfg: JacobiConfig,
+) -> Result<JacobiOutcome> {
+    jacobi::run(devs, master, graph, JacobiKind::Wcc, cfg).await
+}

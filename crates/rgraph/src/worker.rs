@@ -1,0 +1,385 @@
+//! Worker-side building blocks: partition slices, page-granular gathers,
+//! one-sided mailboxes, and the convergence board.
+//!
+//! These encode the RStore idioms the paper's graph framework is built from:
+//! *setup once* (map regions, load static structure), then supersteps that
+//! touch remote memory only through batched one-sided reads and writes.
+
+use std::collections::HashMap;
+
+use rdma::DmaBuf;
+use rstore::{AllocOptions, RStoreClient, Region, Result};
+
+use crate::partition::VertexPartition;
+use crate::store::{bytes_to_u64s, u64s_to_bytes, GraphStore};
+
+/// The static, per-worker slice of a CSR index: the `adj` range of every
+/// owned vertex, loaded once at startup.
+#[derive(Debug)]
+pub struct CsrSlice {
+    /// First owned vertex.
+    pub start: u64,
+    /// Rebased index: `adj[xadj[i] .. xadj[i+1]]` are the neighbours of
+    /// vertex `start + i`.
+    pub xadj: Vec<u64>,
+    /// Neighbour ids.
+    pub adj: Vec<u64>,
+}
+
+impl CsrSlice {
+    /// Loads the slice `[start, end)` of `<which>_xadj` / `<which>_adj`
+    /// (`which` is `"in"` or `"out"`).
+    ///
+    /// # Errors
+    ///
+    /// Mapping or IO failures.
+    pub async fn load(
+        store: &GraphStore,
+        client: &RStoreClient,
+        which: &str,
+        start: u64,
+        end: u64,
+    ) -> Result<CsrSlice> {
+        let raw_xadj = store
+            .read_u64s(client, &format!("{which}_xadj"), start, end - start + 1)
+            .await?;
+        let lo = raw_xadj[0];
+        let hi = *raw_xadj.last().expect("non-empty");
+        let adj = if hi > lo {
+            store
+                .read_u64s(client, &format!("{which}_adj"), lo, hi - lo)
+                .await?
+        } else {
+            Vec::new()
+        };
+        let xadj = raw_xadj.iter().map(|x| x - lo).collect();
+        Ok(CsrSlice { start, xadj, adj })
+    }
+
+    /// Neighbours of owned vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not in the loaded slice.
+    pub fn neighbors(&self, v: u64) -> &[u64] {
+        let i = (v - self.start) as usize;
+        &self.adj[self.xadj[i] as usize..self.xadj[i + 1] as usize]
+    }
+
+    /// Total edges in the slice.
+    pub fn edge_count(&self) -> u64 {
+        self.adj.len() as u64
+    }
+}
+
+/// A reusable page-granular gather over a u64/f64 vector region.
+///
+/// Built once from the set of element ids a worker needs every superstep
+/// (the in-neighbour closure); [`PageGather::fetch`] then issues one batched
+/// round of one-sided reads per superstep.
+pub struct PageGather {
+    region: Region,
+    page_elems: u64,
+    pages: Vec<u64>,
+    slot_of: HashMap<u64, usize>,
+    buf: DmaBuf,
+    values: Vec<u64>,
+    total_elems: u64,
+}
+
+impl std::fmt::Debug for PageGather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageGather")
+            .field("pages", &self.pages.len())
+            .field("page_elems", &self.page_elems)
+            .finish()
+    }
+}
+
+impl PageGather {
+    /// Plans a gather of the given element ids from `region` (a vector of
+    /// 8-byte elements), using pages of `page_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Buffer allocation failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is not a multiple of 8 or zero.
+    pub fn plan(
+        region: Region,
+        ids: impl IntoIterator<Item = u64>,
+        page_bytes: u64,
+    ) -> Result<PageGather> {
+        assert!(page_bytes >= 8 && page_bytes.is_multiple_of(8), "bad page size");
+        let page_elems = page_bytes / 8;
+        let total_elems = region.size() / 8;
+        let mut pages: Vec<u64> = ids.into_iter().map(|id| id / page_elems).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        let slot_of = pages
+            .iter()
+            .enumerate()
+            .map(|(slot, &p)| (p, slot))
+            .collect();
+        let dev = region.client().device().clone();
+        let buf = dev.alloc((pages.len() as u64 * page_bytes).max(8))?;
+        Ok(PageGather {
+            region,
+            page_elems,
+            pages,
+            slot_of,
+            buf,
+            values: Vec::new(),
+            total_elems,
+        })
+    }
+
+    /// Number of pages fetched per superstep.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Issues all page reads (pipelined) and waits for completion.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn fetch(&mut self) -> Result<()> {
+        let page_bytes = self.page_elems * 8;
+        let mut handles = Vec::with_capacity(self.pages.len());
+        for (slot, &p) in self.pages.iter().enumerate() {
+            let offset = p * page_bytes;
+            let len = page_bytes.min(self.total_elems * 8 - offset);
+            let dst = self.buf.slice(slot as u64 * page_bytes, len);
+            handles.push(self.region.start_read(offset, dst)?);
+        }
+        for h in handles {
+            h.wait().await?;
+        }
+        let dev = self.region.client().device().clone();
+        let bytes = dev.read_mem(self.buf.addr, self.pages.len() as u64 * page_bytes)?;
+        self.values = bytes_to_u64s(&bytes);
+        Ok(())
+    }
+
+    /// The fetched element `id`, as raw u64 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id`'s page was not part of the plan or
+    /// [`PageGather::fetch`] has not run.
+    pub fn get(&self, id: u64) -> u64 {
+        let page = id / self.page_elems;
+        let slot = *self.slot_of.get(&page).expect("id not in gather plan");
+        self.values[slot * self.page_elems as usize + (id % self.page_elems) as usize]
+    }
+
+    /// The fetched element `id`, as f64.
+    ///
+    /// # Panics
+    ///
+    /// As for [`PageGather::get`].
+    pub fn get_f64(&self, id: u64) -> f64 {
+        f64::from_bits(self.get(id))
+    }
+}
+
+/// All-to-all one-sided mailboxes: worker `i` writes its outbox for worker
+/// `j` directly into `j`'s mailbox region; after a barrier, `j` reads its
+/// row. Message passing without any receiver CPU.
+pub struct Mailboxes {
+    prefix: String,
+    k: u64,
+    me: u64,
+    cap: u64,
+    /// `out[j]`: the region this worker writes for worker `j`.
+    out: Vec<Region>,
+    /// `inn[i]`: the region worker `i` writes for this worker.
+    inn: Vec<Region>,
+}
+
+impl std::fmt::Debug for Mailboxes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailboxes")
+            .field("prefix", &self.prefix)
+            .field("k", &self.k)
+            .field("me", &self.me)
+            .finish()
+    }
+}
+
+impl Mailboxes {
+    /// Allocates the `k × k` mailbox regions, each holding up to `cap`
+    /// u64 payload elements (plus a count header). Call once per job.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub async fn create(
+        client: &RStoreClient,
+        prefix: &str,
+        k: u64,
+        cap: u64,
+        opts: AllocOptions,
+    ) -> Result<()> {
+        for i in 0..k {
+            for j in 0..k {
+                client
+                    .alloc(&format!("{prefix}/mbox_{i}_{j}"), (cap + 1) * 8, opts)
+                    .await?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps this worker's row and column.
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures.
+    pub async fn open(client: &RStoreClient, prefix: &str, k: u64, me: u64) -> Result<Mailboxes> {
+        let mut out = Vec::with_capacity(k as usize);
+        let mut inn = Vec::with_capacity(k as usize);
+        for j in 0..k {
+            out.push(client.map(&format!("{prefix}/mbox_{me}_{j}")).await?);
+        }
+        for i in 0..k {
+            inn.push(client.map(&format!("{prefix}/mbox_{i}_{me}")).await?);
+        }
+        let cap = out[0].size() / 8 - 1;
+        Ok(Mailboxes {
+            prefix: prefix.to_owned(),
+            k,
+            me,
+            cap,
+            out,
+            inn,
+        })
+    }
+
+    /// Writes one outbox per destination worker (index = worker id).
+    ///
+    /// # Errors
+    ///
+    /// IO failures, or [`rstore::RStoreError::OutOfRange`] if an outbox
+    /// exceeds the mailbox capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outboxes.len() != k`.
+    pub async fn send_all(&self, outboxes: &[Vec<u64>]) -> Result<()> {
+        assert_eq!(outboxes.len() as u64, self.k, "one outbox per worker");
+        for (j, outbox) in outboxes.iter().enumerate() {
+            let mut msg = Vec::with_capacity(outbox.len() + 1);
+            msg.push(outbox.len() as u64);
+            msg.extend_from_slice(outbox);
+            self.out[j].write(0, &u64s_to_bytes(&msg)).await?;
+        }
+        Ok(())
+    }
+
+    /// Reads every incoming mailbox (call after the superstep barrier).
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn recv_all(&self) -> Result<Vec<Vec<u64>>> {
+        let mut all = Vec::with_capacity(self.k as usize);
+        for i in 0..self.k as usize {
+            let count = bytes_to_u64s(&self.inn[i].read(0, 8).await?)[0];
+            debug_assert!(count <= self.cap, "corrupt mailbox header");
+            let payload = if count > 0 {
+                bytes_to_u64s(&self.inn[i].read(8, count * 8).await?)
+            } else {
+                Vec::new()
+            };
+            all.push(payload);
+        }
+        Ok(all)
+    }
+
+    /// Groups items by destination worker, producing the outbox layout
+    /// expected by [`Mailboxes::send_all`].
+    pub fn route(
+        part: &VertexPartition,
+        items: impl IntoIterator<Item = u64>,
+    ) -> Vec<Vec<u64>> {
+        let mut outboxes = vec![Vec::new(); part.k as usize];
+        for v in items {
+            outboxes[part.owner(v) as usize].push(v);
+        }
+        outboxes
+    }
+}
+
+/// A tiny shared scoreboard: each worker posts one u64 per superstep (e.g.
+/// its local change count); everyone reads the vector after the barrier to
+/// decide termination — distributed convergence without a coordinator.
+pub struct ConvBoard {
+    region: Region,
+    k: u64,
+}
+
+impl std::fmt::Debug for ConvBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConvBoard").field("k", &self.k).finish()
+    }
+}
+
+impl ConvBoard {
+    /// Allocates the scoreboard region (call once per job).
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub async fn create(
+        client: &RStoreClient,
+        name: &str,
+        k: u64,
+        opts: AllocOptions,
+    ) -> Result<()> {
+        client.alloc(name, k * 8, opts).await?;
+        Ok(())
+    }
+
+    /// Maps the scoreboard.
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures.
+    pub async fn open(client: &RStoreClient, name: &str, k: u64) -> Result<ConvBoard> {
+        Ok(ConvBoard {
+            region: client.map(name).await?,
+            k,
+        })
+    }
+
+    /// Posts this worker's value.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn post(&self, me: u64, value: u64) -> Result<()> {
+        self.region.write(me * 8, &value.to_le_bytes()).await
+    }
+
+    /// Reads every worker's value.
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn read_all(&self) -> Result<Vec<u64>> {
+        Ok(bytes_to_u64s(&self.region.read(0, self.k * 8).await?))
+    }
+
+    /// Sum of all posted values (the usual termination metric).
+    ///
+    /// # Errors
+    ///
+    /// IO failures.
+    pub async fn total(&self) -> Result<u64> {
+        Ok(self.read_all().await?.iter().sum())
+    }
+}

@@ -1,0 +1,195 @@
+//! A distributed Key-Value sorter on RStore — the paper's second showcase
+//! application (TeraSort-style: 10-byte keys, 100-byte records).
+//!
+//! The sorter showcases what RStore's one-sided, memory-like API buys a data
+//! pipeline: after splitter agreement, the entire shuffle is RDMA writes to
+//! *final* output locations — there is no receiving CPU, no re-spooling, no
+//! framework between a worker and remote DRAM. See [`distributed`] for the
+//! phase structure and [`plan`] for the routing math.
+//!
+//! # Example
+//!
+//! ```rust
+//! use rstore::{Cluster, ClusterConfig};
+//! use rsort::{distributed, SortConfig};
+//!
+//! # fn main() -> rstore::Result<()> {
+//! let cluster = Cluster::boot(ClusterConfig {
+//!     clients: 2,
+//!     ..ClusterConfig::with_servers(3)
+//! })?;
+//! let sim = cluster.sim.clone();
+//! let sorted = sim.block_on(async move {
+//!     let loader = cluster.client(0).await.unwrap();
+//!     let cfg = SortConfig::default();
+//!     let input = workload::teragen(1000, 7);
+//!     distributed::load_input(&loader, &cfg, &input).await.unwrap();
+//!     distributed::run(&cluster.client_devs, cluster.master_node(), cfg.clone())
+//!         .await
+//!         .unwrap();
+//!     let out = loader.map("sort/output").await.unwrap();
+//!     let bytes = out.read(0, out.size()).await.unwrap();
+//!     workload::is_sorted(&bytes)
+//! });
+//! assert!(sorted);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod distributed;
+pub mod plan;
+
+pub use distributed::{
+    create_fluid_input, load_input, run, PhaseTimes, SortConfig, SortCostModel, SortMode,
+    SortOutcome,
+};
+pub use plan::{choose_splitters, dest_of, partition_records, Key, ShufflePlan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
+    use workload::{is_sorted, teragen, RECORD_BYTES};
+
+    fn cluster(servers: usize, clients: usize) -> Cluster {
+        Cluster::boot(ClusterConfig {
+            clients,
+            ..ClusterConfig::with_servers(servers)
+        })
+        .expect("boot")
+    }
+
+    /// Order-independent multiset fingerprint of the records in a buffer.
+    fn fingerprint(buf: &[u8]) -> u128 {
+        buf.chunks_exact(RECORD_BYTES)
+            .map(|rec| {
+                let mut h = 0xcbf29ce484222325u128;
+                for &b in rec {
+                    h = (h ^ b as u128).wrapping_mul(0x100000001b3);
+                }
+                h
+            })
+            .fold(0u128, |acc, h| acc.wrapping_add(h))
+    }
+
+    fn run_real_sort(workers: usize, records: u64, seed: u64) -> (Vec<u8>, Vec<u8>, SortOutcome) {
+        let cl = cluster(3, workers);
+        let sim = cl.sim.clone();
+        let devs = cl.client_devs.clone();
+        let master = cl.master_node();
+        sim.block_on(async move {
+            let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+            let cfg = SortConfig {
+                io_chunk: 64 * 1024,
+                opts: AllocOptions {
+                    stripe_size: 256 * 1024,
+                    ..AllocOptions::default()
+                },
+                ..SortConfig::default()
+            };
+            let input = teragen(records, seed);
+            distributed::load_input(&loader, &cfg, &input).await.unwrap();
+            let outcome = distributed::run(&devs, master, cfg).await.unwrap();
+            let out = loader.map("sort/output").await.unwrap();
+            let bytes = out.read(0, out.size()).await.unwrap();
+            (input, bytes, outcome)
+        })
+    }
+
+    #[test]
+    fn sorts_correctly_with_multiple_workers() {
+        let (input, output, outcome) = run_real_sort(4, 2000, 11);
+        assert_eq!(output.len(), input.len());
+        assert!(is_sorted(&output), "output must be globally sorted");
+        assert_eq!(
+            fingerprint(&input),
+            fingerprint(&output),
+            "output must be a permutation of the input"
+        );
+        assert_eq!(outcome.records, 2000);
+        assert!(outcome.phases.total() <= outcome.total);
+    }
+
+    #[test]
+    fn single_worker_sort_works() {
+        let (_, output, outcome) = run_real_sort(1, 500, 3);
+        assert!(is_sorted(&output));
+        assert_eq!(outcome.records, 500);
+    }
+
+    #[test]
+    fn skewed_worker_counts_handle_remainders() {
+        // 7 workers over 1001 records: uneven slices everywhere.
+        let (input, output, _) = run_real_sort(7, 1001, 23);
+        assert!(is_sorted(&output));
+        assert_eq!(fingerprint(&input), fingerprint(&output));
+    }
+
+    #[test]
+    fn fluid_sort_reports_paper_scale_timing() {
+        // 1 GB fluid sort on 4 workers: no data moves, but the phase times
+        // must be consistent with link bandwidth.
+        let cl = cluster(4, 4);
+        let sim = cl.sim.clone();
+        let devs = cl.client_devs.clone();
+        let master = cl.master_node();
+        let outcome = sim.block_on(async move {
+            let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+            let cfg = SortConfig {
+                mode: SortMode::Fluid,
+                job: "fsort".into(),
+                opts: AllocOptions {
+                    stripe_size: 16 * 1024 * 1024,
+                    ..AllocOptions::default()
+                },
+                ..SortConfig::default()
+            };
+            let records = (1u64 << 30) / RECORD_BYTES as u64;
+            distributed::create_fluid_input(&loader, &cfg, records)
+                .await
+                .unwrap();
+            distributed::run(&devs, master, cfg).await.unwrap()
+        });
+        let gb = 1.0f64;
+        let secs = outcome.total.as_secs_f64();
+        // 4 workers with ~6.8 GB/s links: a 1 GB end-to-end sort (read +
+        // shuffle + sort + write) should take a fraction of a second but
+        // clearly more than a single pass at aggregate bandwidth.
+        assert!(secs > gb / (4.0 * 6.79) / 4.0, "too fast: {secs}s");
+        assert!(secs < 3.0, "too slow: {secs}s");
+        assert!(outcome.phases.shuffle > std::time::Duration::ZERO);
+        assert!(outcome.phases.local_sort > outcome.phases.sample);
+    }
+
+    #[test]
+    fn fluid_and_real_phase_structure_agree() {
+        // At the same (small) size, fluid timing should approximate real
+        // timing: the model is the same machinery minus the memcpys.
+        let (.., real) = run_real_sort(2, 2000, 5);
+        let cl = cluster(3, 2);
+        let sim = cl.sim.clone();
+        let devs = cl.client_devs.clone();
+        let master = cl.master_node();
+        let fluid = sim.block_on(async move {
+            let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+            let cfg = SortConfig {
+                mode: SortMode::Fluid,
+                io_chunk: 64 * 1024,
+                job: "fsort2".into(),
+                opts: AllocOptions {
+                    stripe_size: 256 * 1024,
+                    ..AllocOptions::default()
+                },
+                ..SortConfig::default()
+            };
+            distributed::create_fluid_input(&loader, &cfg, 2000).await.unwrap();
+            distributed::run(&devs, master, cfg).await.unwrap()
+        });
+        let r = real.total.as_secs_f64();
+        let f = fluid.total.as_secs_f64();
+        assert!(
+            (f / r) > 0.4 && (f / r) < 2.5,
+            "fluid ({f:.6}s) should approximate real ({r:.6}s)"
+        );
+    }
+}

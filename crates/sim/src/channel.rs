@@ -1,0 +1,368 @@
+//! Asynchronous channels for communication between simulated tasks.
+//!
+//! Two flavours are provided:
+//!
+//! * [`channel`] — an unbounded multi-producer channel with asynchronous
+//!   receive; the workhorse for RPC inboxes and NIC dispatch queues.
+//! * [`oneshot`] — a single-value channel used for request/response rendezvous.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct ChanState<T> {
+    queue: VecDeque<T>,
+    waiters: VecDeque<Waker>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+impl<T> ChanState<T> {
+    fn wake_one(&mut self) {
+        if let Some(w) = self.waiters.pop_front() {
+            w.wake();
+        }
+    }
+    fn wake_all(&mut self) {
+        for w in self.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Sending half of an unbounded channel; clonable.
+pub struct Sender<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    state: Rc<RefCell<ChanState<T>>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sender")
+            .field("queued", &self.state.borrow().queue.len())
+            .finish()
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receiver")
+            .field("queued", &self.state.borrow().queue.len())
+            .finish()
+    }
+}
+
+/// Error returned by [`Sender::send`] when the receiver has been dropped.
+/// The unsent value is handed back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiver was dropped")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Creates a new unbounded channel.
+///
+/// ```rust
+/// use sim::Sim;
+/// let sim = Sim::new();
+/// let (tx, mut rx) = sim::channel::<u32>();
+/// sim.spawn(async move { tx.send(5).unwrap() });
+/// let got = sim.block_on(async move { rx.recv().await });
+/// assert_eq!(got, Some(5));
+/// ```
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let state = Rc::new(RefCell::new(ChanState {
+        queue: VecDeque::new(),
+        waiters: VecDeque::new(),
+        senders: 1,
+        receiver_alive: true,
+    }));
+    (
+        Sender {
+            state: state.clone(),
+        },
+        Receiver { state },
+    )
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.state.borrow_mut().senders += 1;
+        Sender {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.state.borrow_mut();
+        st.senders -= 1;
+        if st.senders == 0 {
+            st.wake_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.state.borrow_mut().receiver_alive = false;
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a value and wakes the receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back inside [`SendError`] if the receiver has been
+    /// dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.state.borrow_mut();
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        st.wake_one();
+        Ok(())
+    }
+
+    /// Returns true if the receiving half is still alive.
+    pub fn is_connected(&self) -> bool {
+        self.state.borrow().receiver_alive
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Waits for the next value; resolves to `None` once every sender has
+    /// been dropped and the queue is empty.
+    pub fn recv(&mut self) -> Recv<'_, T> {
+        Recv { rx: self }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&mut self) -> Option<T> {
+        self.state.borrow_mut().queue.pop_front()
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.state.borrow().queue.len()
+    }
+
+    /// Returns true if no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Future returned by [`Receiver::recv`].
+#[derive(Debug)]
+pub struct Recv<'a, T> {
+    rx: &'a mut Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+        let mut st = self.rx.state.borrow_mut();
+        if let Some(v) = st.queue.pop_front() {
+            return Poll::Ready(v.into());
+        }
+        if st.senders == 0 {
+            return Poll::Ready(None);
+        }
+        st.waiters.push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+// --- oneshot ---------------------------------------------------------------
+
+/// Oneshot channels: a rendezvous carrying exactly one value.
+pub mod oneshot {
+    use super::*;
+
+    struct OneState<T> {
+        value: Option<T>,
+        waker: Option<Waker>,
+        sender_alive: bool,
+    }
+
+    /// Sending half of a oneshot channel.
+    pub struct Sender<T> {
+        state: Rc<RefCell<OneState<T>>>,
+    }
+
+    /// Receiving half of a oneshot channel; a future resolving to the value,
+    /// or `None` if the sender was dropped without sending.
+    pub struct Receiver<T> {
+        state: Rc<RefCell<OneState<T>>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Sender")
+        }
+    }
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Receiver")
+        }
+    }
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let state = Rc::new(RefCell::new(OneState {
+            value: None,
+            waker: None,
+            sender_alive: true,
+        }));
+        (
+            Sender {
+                state: state.clone(),
+            },
+            Receiver { state },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers the value, waking the receiver. Consumes the sender.
+        pub fn send(self, value: T) {
+            let mut st = self.state.borrow_mut();
+            st.value = Some(value);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.state.borrow_mut();
+            st.sender_alive = false;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut st = self.state.borrow_mut();
+            if let Some(v) = st.value.take() {
+                return Poll::Ready(Some(v));
+            }
+            if !st.sender_alive {
+                return Poll::Ready(None);
+            }
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::time::Duration;
+
+    #[test]
+    fn send_before_recv_is_buffered() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let got = sim.block_on(async move { (rx.recv().await, rx.recv().await) });
+        assert_eq!(got, (Some(1), Some(2)));
+    }
+
+    #[test]
+    fn recv_wakes_on_late_send() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<&'static str>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_micros(1)).await;
+            tx.send("hello").unwrap();
+        });
+        let got = sim.block_on(async move { rx.recv().await });
+        assert_eq!(got, Some("hello"));
+    }
+
+    #[test]
+    fn recv_returns_none_when_all_senders_dropped() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(9).unwrap();
+        drop(tx2);
+        let got = sim.block_on(async move { (rx.recv().await, rx.recv().await) });
+        assert_eq!(got, (Some(9), None));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_errors() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(SendError(3)));
+        assert!(!tx.is_connected());
+    }
+
+    #[test]
+    fn oneshot_round_trip() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::channel::<u64>();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_nanos(50)).await;
+            tx.send(99);
+        });
+        assert_eq!(sim.block_on(rx), Some(99));
+    }
+
+    #[test]
+    fn oneshot_dropped_sender_yields_none() {
+        let sim = Sim::new();
+        let (tx, rx) = oneshot::channel::<u64>();
+        drop(tx);
+        assert_eq!(sim.block_on(rx), None);
+    }
+
+    #[test]
+    fn multiple_receiver_tasks_each_get_one_value() {
+        let sim = Sim::new();
+        let (tx, mut rx) = channel::<u32>();
+        let collector = sim.spawn(async move {
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        sim.run();
+        assert_eq!(collector.try_result().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,593 @@
+//! The simulation executor: tasks, events, and the virtual-time run loop.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::{Rc, Weak};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// Handle to a running simulation.
+///
+/// `Sim` is a cheap reference-counted handle; clone it freely and hand clones
+/// to every simulated component. All state lives behind a single-threaded
+/// `Rc<RefCell<..>>`, which is what makes runs deterministic: there is exactly
+/// one runnable entity at any instant.
+///
+/// The executor interleaves two queues:
+///
+/// * a FIFO of *ready tasks* (woken futures), all considered to happen at the
+///   current virtual instant, and
+/// * a priority queue of *events* keyed by `(time, sequence)`; when no task is
+///   ready the clock jumps to the earliest event.
+///
+/// ```rust
+/// use sim::{Sim, Duration};
+/// let sim = Sim::new();
+/// let s2 = sim.clone();
+/// sim.spawn(async move { s2.sleep(Duration::from_nanos(10)).await });
+/// sim.run();
+/// assert_eq!(sim.now().as_nanos(), 10);
+/// ```
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("Sim")
+            .field("now", &core.now)
+            .field("pending_events", &core.events.len())
+            .field("ready_tasks", &core.ready.len())
+            .field("live_tasks", &core.live_tasks)
+            .finish()
+    }
+}
+
+struct Core {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    ready: VecDeque<Rc<Task>>,
+    next_task_id: u64,
+    live_tasks: usize,
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    action: EventAction,
+}
+
+enum EventAction {
+    Wake(Waker),
+    Call(Box<dyn FnOnce()>),
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Task {
+    id: u64,
+    core: Weak<RefCell<Core>>,
+    future: RefCell<Option<Pin<Box<dyn Future<Output = ()>>>>>,
+    queued: Cell<bool>,
+}
+
+impl Task {
+    fn schedule(self: &Rc<Self>) {
+        if self.queued.replace(true) {
+            return;
+        }
+        if let Some(core) = self.core.upgrade() {
+            core.borrow_mut().ready.push_back(self.clone());
+        }
+    }
+}
+
+impl Drop for Task {
+    fn drop(&mut self) {
+        // A task dropped before completion (e.g. blocked on a channel whose
+        // peer went away) still counts down the live-task gauge.
+        if self.future.borrow().is_some() {
+            if let Some(core) = self.core.upgrade() {
+                core.borrow_mut().live_tasks -= 1;
+            }
+        }
+    }
+}
+
+// --- Waker plumbing -------------------------------------------------------
+//
+// The waker holds an `Rc<Task>`. The executor is strictly single-threaded and
+// all futures are `!Send`; wakers never cross threads, so the (unsafe,
+// thread-affine) vtable below upholds the `RawWaker` contract in practice.
+
+const VTABLE: RawWakerVTable = RawWakerVTable::new(clone_raw, wake_raw, wake_by_ref_raw, drop_raw);
+
+fn raw_waker(task: Rc<Task>) -> RawWaker {
+    RawWaker::new(Rc::into_raw(task) as *const (), &VTABLE)
+}
+
+unsafe fn clone_raw(ptr: *const ()) -> RawWaker {
+    let task = Rc::from_raw(ptr as *const Task);
+    let cloned = task.clone();
+    std::mem::forget(task);
+    raw_waker(cloned)
+}
+
+unsafe fn wake_raw(ptr: *const ()) {
+    let task = Rc::from_raw(ptr as *const Task);
+    task.schedule();
+}
+
+unsafe fn wake_by_ref_raw(ptr: *const ()) {
+    let task = Rc::from_raw(ptr as *const Task);
+    task.schedule();
+    std::mem::forget(task);
+}
+
+unsafe fn drop_raw(ptr: *const ()) {
+    drop(Rc::from_raw(ptr as *const Task));
+}
+
+fn task_waker(task: Rc<Task>) -> Waker {
+    // SAFETY: the vtable functions above correctly manage the Rc refcount and
+    // the waker is only ever used on the executor thread.
+    unsafe { Waker::from_raw(raw_waker(task)) }
+}
+
+// --- Join handles ---------------------------------------------------------
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// A handle to a spawned task that resolves to the task's output.
+///
+/// Awaiting the handle inside another task yields the result once the task
+/// finishes; outside the simulation, [`JoinHandle::try_result`] extracts the
+/// value after [`Sim::run`] has completed.
+///
+/// Dropping the handle detaches the task (it keeps running).
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("finished", &self.state.borrow().result.is_some())
+            .finish()
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns the task's output if it has finished, consuming the stored
+    /// value. Returns `None` if the task is still pending (or the value was
+    /// already taken).
+    pub fn try_result(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Returns true once the task has produced its output.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(v) = st.result.take() {
+            Poll::Ready(v)
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// --- Sleep future ---------------------------------------------------------
+
+/// Future returned by [`Sim::sleep`] and [`Sim::sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.sim.schedule_wake_at(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates a new, empty simulation at time zero.
+    pub fn new() -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                ready: VecDeque::new(),
+                next_task_id: 0,
+                live_tasks: 0,
+            })),
+        }
+    }
+
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Number of spawned tasks that have not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.borrow().live_tasks
+    }
+
+    /// Spawns a future as a new task and returns a [`JoinHandle`] for its
+    /// output. The task starts running at the next executor step.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = state.clone();
+        let wrapped = async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        };
+        let task = {
+            let mut core = self.core.borrow_mut();
+            core.next_task_id += 1;
+            core.live_tasks += 1;
+            Rc::new(Task {
+                id: core.next_task_id,
+                core: Rc::downgrade(&self.core),
+                future: RefCell::new(Some(Box::pin(wrapped))),
+                queued: Cell::new(false),
+            })
+        };
+        task.schedule();
+        JoinHandle { state }
+    }
+
+    /// Sleeps for `d` of virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Sleeps until the given virtual instant (returns immediately if it is
+    /// in the past).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Schedules `f` to run at `now + delay` as a standalone event (not a
+    /// task). Used by lower layers (e.g. the network fabric) to model
+    /// hardware actions.
+    pub fn schedule<F>(&self, delay: Duration, f: F)
+    where
+        F: FnOnce() + 'static,
+    {
+        let at = self.now() + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Schedules `f` at an absolute virtual instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at<F>(&self, at: SimTime, f: F)
+    where
+        F: FnOnce() + 'static,
+    {
+        let mut core = self.core.borrow_mut();
+        assert!(at >= core.now, "cannot schedule into the past");
+        core.seq += 1;
+        let seq = core.seq;
+        core.events.push(Reverse(Event {
+            at,
+            seq,
+            action: EventAction::Call(Box::new(f)),
+        }));
+    }
+
+    fn schedule_wake_at(&self, at: SimTime, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        let at = at.max(core.now);
+        core.seq += 1;
+        let seq = core.seq;
+        core.events.push(Reverse(Event {
+            at,
+            seq,
+            action: EventAction::Wake(waker),
+        }));
+    }
+
+    /// Runs the simulation until no tasks are runnable and no events remain.
+    ///
+    /// Returns the final virtual time. Tasks that are still blocked (e.g. on
+    /// a channel no one will ever write to) are left pending; inspect
+    /// [`Sim::live_tasks`] to detect deadlocks in tests.
+    pub fn run(&self) -> SimTime {
+        self.run_inner(None)
+    }
+
+    /// Runs the simulation, but stops (without firing further events) once
+    /// the clock would pass `deadline`. Returns the time at which execution
+    /// stopped.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        self.run_inner(Some(deadline))
+    }
+
+    /// Spawns `fut` and steps the simulation until the task completes,
+    /// returning its output. Unlike [`Sim::run`], this stops as soon as the
+    /// future resolves, so it terminates even when perpetual background
+    /// tasks (heartbeats, sweeps) keep scheduling events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs out of events before the future
+    /// resolves (i.e. the future deadlocked).
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + 'static,
+    {
+        let handle = self.spawn(fut);
+        loop {
+            if let Some(v) = handle.try_result() {
+                return v;
+            }
+            assert!(
+                self.step(None),
+                "block_on: simulation ran dry before the future resolved"
+            );
+        }
+    }
+
+    /// Executes one unit of work: the next ready task, or — when none is
+    /// ready — the earliest event (advancing the clock). Returns `false` if
+    /// there was nothing to do, or if the next event lies beyond `deadline`.
+    fn step(&self, deadline: Option<SimTime>) -> bool {
+        let task = self.core.borrow_mut().ready.pop_front();
+        if let Some(task) = task {
+            self.poll_task(task);
+            return true;
+        }
+        let action = {
+            let mut core = self.core.borrow_mut();
+            match core.events.pop() {
+                Some(Reverse(ev)) => {
+                    if let Some(d) = deadline {
+                        if ev.at > d {
+                            // Put it back; the caller may resume later.
+                            core.events.push(Reverse(ev));
+                            core.now = d.max(core.now);
+                            return false;
+                        }
+                    }
+                    debug_assert!(ev.at >= core.now, "event time went backwards");
+                    core.now = ev.at;
+                    ev.action
+                }
+                None => return false,
+            }
+        };
+        match action {
+            EventAction::Wake(w) => w.wake(),
+            EventAction::Call(f) => f(),
+        }
+        true
+    }
+
+    fn run_inner(&self, deadline: Option<SimTime>) -> SimTime {
+        while self.step(deadline) {}
+        self.core.borrow().now
+    }
+
+    fn poll_task(&self, task: Rc<Task>) {
+        task.queued.set(false);
+        // Take the future out so the RefCell is not held across the poll
+        // (the future may re-entrantly wake or spawn).
+        let fut = task.future.borrow_mut().take();
+        let mut fut = match fut {
+            Some(f) => f,
+            None => return, // already completed
+        };
+        let waker = task_waker(task.clone());
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.core.borrow_mut().live_tasks -= 1;
+                let _ = task.id;
+            }
+            Poll::Pending => {
+                *task.future.borrow_mut() = Some(fut);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn spawn_and_block_on_returns_value() {
+        let sim = Sim::new();
+        let v = sim.block_on(async { 41 + 1 });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            s.sleep(Duration::from_secs(3600)).await;
+            s.now()
+        });
+        assert_eq!(t.as_nanos(), 3600 * 1_000_000_000);
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(30u64, 'c'), (10, 'a'), (10, 'b'), (20, 'x')] {
+            let log = log.clone();
+            sim.schedule(Duration::from_nanos(delay), move || {
+                log.borrow_mut().push(tag)
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'x', 'c']);
+    }
+
+    #[test]
+    fn join_handle_awaits_child() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let child = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(Duration::from_nanos(100)).await;
+                    7
+                }
+            });
+            child.await * 3
+        });
+        assert_eq!(out, 21);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let h = sim.spawn(async move {
+            s.sleep(Duration::from_nanos(1000)).await;
+        });
+        let stopped = sim.run_until(SimTime::from_nanos(500));
+        assert_eq!(stopped.as_nanos(), 500);
+        assert!(!h.is_finished());
+        sim.run();
+        assert!(h.is_finished());
+        assert_eq!(sim.now().as_nanos(), 1000);
+    }
+
+    #[test]
+    fn live_tasks_counts_deadlocked_tasks() {
+        let sim = Sim::new();
+        let (_tx, mut rx) = channel::<u32>();
+        sim.spawn(async move {
+            // Never receives anything; _tx is alive in the test scope until
+            // `run` returns, so the task stays blocked.
+            let _ = rx.recv().await;
+        });
+        sim.run();
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn tasks_at_same_instant_run_fifo() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = log.clone();
+            sim.spawn(async move { log.borrow_mut().push(i) });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ran dry")]
+    fn block_on_panics_on_deadlock() {
+        let sim = Sim::new();
+        let (_tx, mut rx) = channel::<u32>();
+        sim.block_on(async move {
+            rx.recv().await;
+        });
+    }
+
+    #[test]
+    fn determinism_two_identical_runs() {
+        fn run_once() -> Vec<u64> {
+            let sim = Sim::new();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 1..=10u64 {
+                let s = sim.clone();
+                let log = log.clone();
+                sim.spawn(async move {
+                    s.sleep(Duration::from_nanos(i * 7 % 5 + 1)).await;
+                    log.borrow_mut().push(s.now().as_nanos() * 100 + i);
+                });
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

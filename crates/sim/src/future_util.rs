@@ -1,0 +1,161 @@
+//! Minimal future combinators (the workspace uses no external futures crate).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Polls a set of futures concurrently and resolves once all have finished,
+/// yielding their outputs in input order.
+///
+/// ```rust
+/// use sim::{Sim, Duration, join_all};
+/// let sim = Sim::new();
+/// let s = sim.clone();
+/// let out = sim.block_on(async move {
+///     let futs = (1..=3u64).map(|i| {
+///         let s = s.clone();
+///         async move { s.sleep(Duration::from_nanos(i)).await; i }
+///     });
+///     join_all(futs).await
+/// });
+/// assert_eq!(out, vec![1, 2, 3]);
+/// ```
+pub fn join_all<I>(futures: I) -> JoinAll<<I as IntoIterator>::Item>
+where
+    I: IntoIterator,
+    I::Item: Future,
+{
+    JoinAll {
+        slots: futures
+            .into_iter()
+            .map(|f| Slot::Pending(Box::pin(f)))
+            .collect(),
+    }
+}
+
+enum Slot<F: Future> {
+    Pending(Pin<Box<F>>),
+    Done(Option<F::Output>),
+}
+
+/// Future returned by [`join_all`].
+pub struct JoinAll<F: Future> {
+    slots: Vec<Slot<F>>,
+}
+
+impl<F: Future> std::fmt::Debug for JoinAll<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinAll")
+            .field("total", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<F: Future> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<F::Output>> {
+        let this = unsafe { self.get_unchecked_mut() };
+        let mut all_done = true;
+        for slot in &mut this.slots {
+            if let Slot::Pending(f) = slot {
+                match f.as_mut().poll(cx) {
+                    Poll::Ready(v) => *slot = Slot::Done(Some(v)),
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(
+                this.slots
+                    .iter_mut()
+                    .map(|s| match s {
+                        Slot::Done(v) => v.take().expect("output taken twice"),
+                        Slot::Pending(_) => unreachable!(),
+                    })
+                    .collect(),
+            )
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+/// Yields control back to the executor once, letting other tasks runnable at
+/// the same virtual instant proceed.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    #[test]
+    fn join_all_preserves_order_despite_completion_order() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let futs: Vec<_> = [30u64, 10, 20]
+                .iter()
+                .map(|&d| {
+                    let s = s.clone();
+                    async move {
+                        s.sleep(Duration::from_nanos(d)).await;
+                        d
+                    }
+                })
+                .collect();
+            join_all(futs).await
+        });
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn join_all_empty_is_immediate() {
+        let sim = Sim::new();
+        let out: Vec<u32> =
+            sim.block_on(async move { join_all(Vec::<std::future::Ready<u32>>::new()).await });
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..2 {
+            let log = log.clone();
+            sim.spawn(async move {
+                log.borrow_mut().push((id, 0));
+                yield_now().await;
+                log.borrow_mut().push((id, 1));
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Lightweight metrics shared between simulated components.
+//!
+//! The benchmark harness reads these to build the tables in
+//! `EXPERIMENTS.md`: byte counters for bandwidth figures and latency samples
+//! for percentile tables.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A clonable handle to a metrics registry.
+///
+/// Counters are monotonically increasing `u64`s; histograms store raw
+/// nanosecond samples (simulations are short enough that exact percentiles
+/// are affordable and preferable to bucketed approximations).
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Rc<RefCell<Registry>>,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let reg = self.inner.borrow();
+        f.debug_struct("Metrics")
+            .field("counters", &reg.counters.len())
+            .field("histograms", &reg.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut reg = self.inner.borrow_mut();
+        match reg.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                reg.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Reads a counter (zero if it was never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .borrow()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records a duration sample into the named histogram.
+    pub fn record(&self, name: &str, sample: Duration) {
+        let mut reg = self.inner.borrow_mut();
+        reg.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(sample.as_nanos() as u64);
+    }
+
+    /// Returns a snapshot of the named histogram, if any samples exist.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.borrow().histograms.get(name).cloned()
+    }
+
+    /// All counter names currently registered.
+    pub fn counter_names(&self) -> Vec<String> {
+        self.inner.borrow().counters.keys().cloned().collect()
+    }
+
+    /// Resets every counter and histogram (used between benchmark phases).
+    pub fn reset(&self) {
+        let mut reg = self.inner.borrow_mut();
+        reg.counters.clear();
+        reg.histograms.clear();
+    }
+}
+
+/// An exact-sample latency histogram (nanoseconds).
+#[derive(Clone, Default, Debug)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Records one nanosecond sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean in nanoseconds (zero if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Exact percentile (`p` in `[0, 100]`) in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is out of range.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!(!self.samples.is_empty(), "percentile of empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).floor() as usize;
+        self.samples[rank]
+    }
+
+    /// Minimum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn min(&self) -> u64 {
+        *self.samples.iter().min().expect("empty histogram")
+    }
+
+    /// Maximum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    pub fn max(&self) -> u64 {
+        *self.samples.iter().max().expect("empty histogram")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.add("bytes", 10);
+        m.add("bytes", 32);
+        m.incr("ops");
+        assert_eq!(m.counter("bytes"), 42);
+        assert_eq!(m.counter("ops"), 1);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_percentiles_exact() {
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record("lat", Duration::from_nanos(i));
+        }
+        let mut h = m.histogram("lat").unwrap();
+        assert_eq!(h.len(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(100.0), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = Metrics::new();
+        m.add("a", 5);
+        m.record("h", Duration::from_nanos(3));
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.add("x", 7);
+        assert_eq!(m.counter("x"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn percentile_of_empty_panics() {
+        Histogram::default().percentile(50.0);
+    }
+}

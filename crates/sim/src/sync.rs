@@ -1,0 +1,424 @@
+//! Synchronization primitives operating in virtual time.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+// --- Semaphore --------------------------------------------------------------
+
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<Waker>,
+}
+
+/// A counting semaphore for limiting concurrency between simulated tasks
+/// (e.g. bounding the number of outstanding work requests on a queue pair).
+///
+/// Permits are acquired with [`Semaphore::acquire`] and returned explicitly
+/// with [`Semaphore::release`] — no RAII guard is used, because simulated
+/// NIC pipelines often release a permit from a completion handler rather
+/// than from the acquiring task.
+#[derive(Clone)]
+pub struct Semaphore {
+    state: Rc<RefCell<SemState>>,
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("permits", &self.state.borrow().permits)
+            .field("waiters", &self.state.borrow().waiters.len())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            state: Rc::new(RefCell::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Waits until a permit is available and takes it.
+    pub fn acquire(&self) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            queued: false,
+        }
+    }
+
+    /// Attempts to take a permit without waiting.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.state.borrow_mut();
+        if st.permits > 0 {
+            st.permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns a permit, waking one waiter if any.
+    pub fn release(&self) {
+        let mut st = self.state.borrow_mut();
+        st.permits += 1;
+        if let Some(w) = st.waiters.pop_front() {
+            w.wake();
+        }
+    }
+
+    /// Current number of free permits.
+    pub fn available(&self) -> usize {
+        self.state.borrow().permits
+    }
+}
+
+/// Future returned by [`Semaphore::acquire`].
+#[derive(Debug)]
+pub struct Acquire {
+    sem: Semaphore,
+    queued: bool,
+}
+
+impl Future for Acquire {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.sem.state.borrow_mut();
+        if st.permits > 0 {
+            st.permits -= 1;
+            Poll::Ready(())
+        } else {
+            // Re-register each poll; the queue may hold stale wakers for this
+            // future, which is harmless (spurious wakeups re-check permits).
+            st.waiters.push_back(cx.waker().clone());
+            drop(st);
+            self.queued = true;
+            Poll::Pending
+        }
+    }
+}
+
+// --- Barrier -----------------------------------------------------------------
+
+struct BarrierState {
+    n: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<Waker>,
+}
+
+/// A reusable barrier for superstep-style coordination (graph supersteps,
+/// sort phases). All `n` participants must call [`Barrier::wait`] before any
+/// of them proceeds; the barrier then resets for the next round.
+#[derive(Clone)]
+pub struct Barrier {
+    state: Rc<RefCell<BarrierState>>,
+}
+
+impl fmt::Debug for Barrier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.borrow();
+        f.debug_struct("Barrier")
+            .field("n", &st.n)
+            .field("arrived", &st.arrived)
+            .field("generation", &st.generation)
+            .finish()
+    }
+}
+
+impl Barrier {
+    /// Creates a barrier for `n` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier must have at least one participant");
+        Barrier {
+            state: Rc::new(RefCell::new(BarrierState {
+                n,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Arrives at the barrier and waits for the rest of the group.
+    ///
+    /// Resolves to `true` for exactly one participant per round (the last
+    /// arriver), mirroring `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> BarrierWait {
+        BarrierWait {
+            barrier: self.clone(),
+            arrived_gen: None,
+        }
+    }
+}
+
+/// Future returned by [`Barrier::wait`].
+#[derive(Debug)]
+pub struct BarrierWait {
+    barrier: Barrier,
+    arrived_gen: Option<(u64, bool)>,
+}
+
+impl Future for BarrierWait {
+    type Output = bool;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<bool> {
+        let mut st = self.barrier.state.borrow_mut();
+        match self.arrived_gen {
+            None => {
+                st.arrived += 1;
+                if st.arrived == st.n {
+                    st.arrived = 0;
+                    st.generation += 1;
+                    for w in st.waiters.drain(..) {
+                        w.wake();
+                    }
+                    Poll::Ready(true)
+                } else {
+                    let gen = st.generation;
+                    st.waiters.push(cx.waker().clone());
+                    drop(st);
+                    self.arrived_gen = Some((gen, false));
+                    Poll::Pending
+                }
+            }
+            Some((gen, _)) => {
+                if st.generation != gen {
+                    Poll::Ready(false)
+                } else {
+                    st.waiters.push(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+// --- WaitGroup ----------------------------------------------------------------
+
+struct WgState {
+    count: usize,
+    waiters: Vec<Waker>,
+}
+
+/// A Go-style wait group: tracks a count of outstanding operations and lets
+/// tasks wait until the count drops to zero (e.g. "all outstanding one-sided
+/// writes have completed").
+#[derive(Clone)]
+pub struct WaitGroup {
+    state: Rc<RefCell<WgState>>,
+}
+
+impl fmt::Debug for WaitGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitGroup")
+            .field("count", &self.state.borrow().count)
+            .finish()
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WaitGroup {
+    /// Creates an empty wait group.
+    pub fn new() -> Self {
+        WaitGroup {
+            state: Rc::new(RefCell::new(WgState {
+                count: 0,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers `n` additional outstanding operations.
+    pub fn add(&self, n: usize) {
+        self.state.borrow_mut().count += n;
+    }
+
+    /// Marks one operation as done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more times than [`WaitGroup::add`] registered.
+    pub fn done(&self) {
+        let mut st = self.state.borrow_mut();
+        st.count = st
+            .count
+            .checked_sub(1)
+            .expect("WaitGroup::done called with zero outstanding operations");
+        if st.count == 0 {
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        }
+    }
+
+    /// Current outstanding count.
+    pub fn count(&self) -> usize {
+        self.state.borrow().count
+    }
+
+    /// Waits until the count reaches zero (resolves immediately if it is
+    /// already zero).
+    pub fn wait(&self) -> WgWait {
+        WgWait { wg: self.clone() }
+    }
+}
+
+/// Future returned by [`WaitGroup::wait`].
+#[derive(Debug)]
+pub struct WgWait {
+    wg: WaitGroup,
+}
+
+impl Future for WgWait {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut st = self.wg.state.borrow_mut();
+        if st.count == 0 {
+            Poll::Ready(())
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use std::time::Duration;
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sim = Sim::new();
+        let sem = Semaphore::new(2);
+        let active = Rc::new(RefCell::new((0usize, 0usize))); // (current, max)
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sem = sem.clone();
+            let active = active.clone();
+            let s = sim.clone();
+            handles.push(sim.spawn(async move {
+                sem.acquire().await;
+                {
+                    let mut a = active.borrow_mut();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                s.sleep(Duration::from_nanos(10)).await;
+                active.borrow_mut().0 -= 1;
+                sem.release();
+            }));
+        }
+        sim.run();
+        assert!(handles.iter().all(|h| h.is_finished()));
+        assert_eq!(active.borrow().1, 2, "max concurrency must equal permits");
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_empty() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        sem.release();
+        assert!(sem.try_acquire());
+    }
+
+    #[test]
+    fn barrier_releases_all_and_reuses() {
+        let sim = Sim::new();
+        let barrier = Barrier::new(3);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let b = barrier.clone();
+            let log = log.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(Duration::from_nanos(i as u64 * 10)).await;
+                log.borrow_mut().push(("arrive", i));
+                b.wait().await;
+                log.borrow_mut().push(("pass1", i));
+                b.wait().await;
+                log.borrow_mut().push(("pass2", i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        let pos = |tag: &str, i: u32| log.iter().position(|e| *e == (tag, i)).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(pos("arrive", i) < pos("pass1", j));
+                assert!(pos("pass1", i) < pos("pass2", j));
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_leader_flag_unique() {
+        let sim = Sim::new();
+        let barrier = Barrier::new(4);
+        let leaders = Rc::new(RefCell::new(0));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let leaders = leaders.clone();
+            sim.spawn(async move {
+                if b.wait().await {
+                    *leaders.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*leaders.borrow(), 1);
+    }
+
+    #[test]
+    fn wait_group_waits_for_all() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        wg.add(3);
+        for i in 0..3u64 {
+            let wg = wg.clone();
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(Duration::from_nanos(i * 5 + 1)).await;
+                wg.done();
+            });
+        }
+        let s = sim.clone();
+        let wg2 = wg.clone();
+        let t = sim.block_on(async move {
+            wg2.wait().await;
+            s.now().as_nanos()
+        });
+        assert_eq!(t, 11);
+        assert_eq!(wg.count(), 0);
+    }
+
+    #[test]
+    fn wait_group_empty_resolves_immediately() {
+        let sim = Sim::new();
+        let wg = WaitGroup::new();
+        sim.block_on(async move { wg.wait().await });
+    }
+}

@@ -1,0 +1,197 @@
+//! Graph generators and the CSR representation used by the graph framework.
+
+use sim::DetRng;
+
+/// A directed graph in compressed-sparse-row form, with both out-edge and
+/// in-edge indexes (the pull-style PageRank needs in-edges).
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// Number of vertices.
+    pub n: u64,
+    /// Out-edge index: `out_adj[out_xadj[v] .. out_xadj[v+1]]` are v's
+    /// out-neighbours.
+    pub out_xadj: Vec<u64>,
+    /// Out-edge targets.
+    pub out_adj: Vec<u64>,
+    /// In-edge index.
+    pub in_xadj: Vec<u64>,
+    /// In-edge sources.
+    pub in_adj: Vec<u64>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list; duplicate edges are kept,
+    /// self-loops allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: u64, edges: &[(u64, u64)]) -> CsrGraph {
+        for &(s, d) in edges {
+            assert!(s < n && d < n, "edge endpoint out of range");
+        }
+        let build = |key: fn(&(u64, u64)) -> u64, val: fn(&(u64, u64)) -> u64| {
+            let mut xadj = vec![0u64; n as usize + 1];
+            for e in edges {
+                xadj[key(e) as usize + 1] += 1;
+            }
+            for i in 0..n as usize {
+                xadj[i + 1] += xadj[i];
+            }
+            let mut cursor = xadj.clone();
+            let mut adj = vec![0u64; edges.len()];
+            for e in edges {
+                let k = key(e) as usize;
+                adj[cursor[k] as usize] = val(e);
+                cursor[k] += 1;
+            }
+            (xadj, adj)
+        };
+        let (out_xadj, out_adj) = build(|e| e.0, |e| e.1);
+        let (in_xadj, in_adj) = build(|e| e.1, |e| e.0);
+        CsrGraph {
+            n,
+            out_xadj,
+            out_adj,
+            in_xadj,
+            in_adj,
+        }
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> u64 {
+        self.out_adj.len() as u64
+    }
+
+    /// Out-degree of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn out_degree(&self, v: u64) -> u64 {
+        self.out_xadj[v as usize + 1] - self.out_xadj[v as usize]
+    }
+
+    /// Out-neighbours of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn out_neighbors(&self, v: u64) -> &[u64] {
+        &self.out_adj[self.out_xadj[v as usize] as usize..self.out_xadj[v as usize + 1] as usize]
+    }
+
+    /// In-neighbours of a vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn in_neighbors(&self, v: u64) -> &[u64] {
+        &self.in_adj[self.in_xadj[v as usize] as usize..self.in_xadj[v as usize + 1] as usize]
+    }
+}
+
+/// Generates a uniform random directed graph with `n` vertices and `m`
+/// edges.
+pub fn uniform_graph(n: u64, m: u64, seed: u64) -> CsrGraph {
+    let mut rng = DetRng::new(seed);
+    let edges: Vec<(u64, u64)> = (0..m)
+        .map(|_| (rng.range_u64(0, n), rng.range_u64(0, n)))
+        .collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Generates an RMAT (Kronecker) power-law graph — the skewed-degree shape
+/// of social and web graphs that the paper's PageRank evaluation targets.
+///
+/// `scale` is log2 of the vertex count; `m` the number of edges; `(a, b, c)`
+/// the standard RMAT quadrant probabilities (Graph500 uses 0.57/0.19/0.19).
+pub fn rmat_graph(scale: u32, m: u64, seed: u64) -> CsrGraph {
+    let n = 1u64 << scale;
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut rng = DetRng::new(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut src, mut dst) = (0u64, 0u64);
+        for bit in (0..scale).rev() {
+            let r = rng.f64();
+            let (sbit, dbit) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src |= sbit << bit;
+            dst |= dbit << bit;
+        }
+        edges.push((src, dst));
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_round_trips_edge_list() {
+        let edges = vec![(0, 1), (0, 2), (1, 2), (2, 0), (2, 0)];
+        let g = CsrGraph::from_edges(3, &edges);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(2), &[0, 0]);
+        assert_eq!(g.in_neighbors(0), &[2, 2]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.out_degree(1), 1);
+    }
+
+    #[test]
+    fn edge_count_conserved_both_indexes() {
+        let g = uniform_graph(100, 1000, 42);
+        assert_eq!(g.m(), 1000);
+        assert_eq!(g.in_adj.len(), 1000);
+        assert_eq!(*g.out_xadj.last().unwrap(), 1000);
+        assert_eq!(*g.in_xadj.last().unwrap(), 1000);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_graph(50, 200, 7);
+        let b = uniform_graph(50, 200, 7);
+        assert_eq!(a.out_adj, b.out_adj);
+        let a = rmat_graph(8, 1000, 7);
+        let b = rmat_graph(8, 1000, 7);
+        assert_eq!(a.out_adj, b.out_adj);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat_graph(10, 8 * 1024, 1);
+        let max_deg = (0..g.n).map(|v| g.out_degree(v)).max().unwrap();
+        let mean = g.m() as f64 / g.n as f64;
+        assert!(
+            max_deg as f64 > mean * 5.0,
+            "RMAT should produce hubs: max {max_deg}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn in_out_degree_sums_match() {
+        let g = rmat_graph(8, 2000, 3);
+        let out: u64 = (0..g.n).map(|v| g.out_degree(v)).sum();
+        let inn: u64 = (0..g.n)
+            .map(|v| g.in_xadj[v as usize + 1] - g.in_xadj[v as usize])
+            .sum();
+        assert_eq!(out, inn);
+        assert_eq!(out, g.m());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        CsrGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,170 @@
+//! TeraSort-style records and key distributions.
+
+use sim::DetRng;
+
+/// Size of a sort record: 10-byte key + 90-byte value, as in TeraGen.
+pub const RECORD_BYTES: usize = 100;
+/// Size of a record key.
+pub const KEY_BYTES: usize = 10;
+
+/// Generates `count` TeraGen-style records into a flat byte buffer
+/// (`count * 100` bytes). Keys are uniformly random; the value embeds the
+/// record index so corruption is detectable.
+pub fn teragen(count: u64, seed: u64) -> Vec<u8> {
+    let mut rng = DetRng::new(seed);
+    let mut out = vec![0u8; count as usize * RECORD_BYTES];
+    for i in 0..count as usize {
+        let rec = &mut out[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+        rng.fill_bytes(&mut rec[..KEY_BYTES]);
+        rec[KEY_BYTES..KEY_BYTES + 8].copy_from_slice(&(i as u64).to_le_bytes());
+        // The rest of the value is a fixed filler pattern.
+        for (j, b) in rec[KEY_BYTES + 8..].iter_mut().enumerate() {
+            *b = (j % 251) as u8;
+        }
+    }
+    out
+}
+
+/// Extracts the key of record `i` from a flat record buffer.
+///
+/// # Panics
+///
+/// Panics if the buffer does not contain record `i`.
+pub fn record_key(buf: &[u8], i: usize) -> &[u8] {
+    &buf[i * RECORD_BYTES..i * RECORD_BYTES + KEY_BYTES]
+}
+
+/// Checks that a flat record buffer is sorted by key.
+pub fn is_sorted(buf: &[u8]) -> bool {
+    let n = buf.len() / RECORD_BYTES;
+    (1..n).all(|i| record_key(buf, i - 1) <= record_key(buf, i))
+}
+
+/// Sorts a flat record buffer in place by key (the "local sort" phase).
+pub fn sort_records(buf: &mut [u8]) {
+    debug_assert_eq!(buf.len() % RECORD_BYTES, 0);
+    let n = buf.len() / RECORD_BYTES;
+    let mut index: Vec<usize> = (0..n).collect();
+    index.sort_by(|&a, &b| record_key(buf, a).cmp(record_key(buf, b)));
+    let mut out = vec![0u8; buf.len()];
+    for (pos, &src) in index.iter().enumerate() {
+        out[pos * RECORD_BYTES..(pos + 1) * RECORD_BYTES]
+            .copy_from_slice(&buf[src * RECORD_BYTES..(src + 1) * RECORD_BYTES]);
+    }
+    buf.copy_from_slice(&out);
+}
+
+/// A Zipf-distributed key sampler (for skewed KV access patterns).
+#[derive(Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: DetRng,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `theta` (0 = uniform;
+    /// 0.99 = YCSB's default skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: DetRng::new(seed),
+        }
+    }
+
+    /// Draws the next item index in `[0, n)`.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, needs no Option
+    pub fn next(&mut self) -> usize {
+        let r = self.rng.f64();
+        self.cdf.partition_point(|&c| c < r).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn teragen_is_deterministic_and_sized() {
+        let a = teragen(100, 1);
+        let b = teragen(100, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100 * RECORD_BYTES);
+        assert_ne!(a, teragen(100, 2));
+    }
+
+    #[test]
+    fn records_carry_index_in_value() {
+        let buf = teragen(10, 3);
+        for i in 0..10usize {
+            let rec = &buf[i * RECORD_BYTES..(i + 1) * RECORD_BYTES];
+            let idx = u64::from_le_bytes(rec[KEY_BYTES..KEY_BYTES + 8].try_into().unwrap());
+            assert_eq!(idx, i as u64);
+        }
+    }
+
+    #[test]
+    fn sort_records_orders_and_permutes() {
+        let mut buf = teragen(500, 9);
+        let mut before: Vec<Vec<u8>> = (0..500)
+            .map(|i| buf[i * RECORD_BYTES..(i + 1) * RECORD_BYTES].to_vec())
+            .collect();
+        sort_records(&mut buf);
+        assert!(is_sorted(&buf));
+        let mut after: Vec<Vec<u8>> = (0..500)
+            .map(|i| buf[i * RECORD_BYTES..(i + 1) * RECORD_BYTES].to_vec())
+            .collect();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after, "sorting must be a permutation");
+    }
+
+    #[test]
+    fn is_sorted_detects_disorder() {
+        let mut buf = teragen(50, 4);
+        sort_records(&mut buf);
+        assert!(is_sorted(&buf));
+        buf[0..KEY_BYTES].copy_from_slice(&[0xFF; KEY_BYTES]);
+        assert!(!is_sorted(&buf));
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indexes() {
+        let mut z = Zipf::new(1000, 0.99, 5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[z.next()] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        assert!(
+            head as f64 > 20_000.0 * 0.15,
+            "top-10 of 1000 should absorb >15% of zipf(0.99) draws, got {head}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut z = Zipf::new(10, 0.0, 6);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.next()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform-ish expected, got {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! A shared look-aside cache on the RStore KV facade: several application
+//! machines GET/PUT against one table with a Zipf-skewed key popularity —
+//! the classic memcached deployment, except every GET is a one-sided RDMA
+//! read and no cache server runs any code.
+//!
+//! ```text
+//! cargo run -p integration --release --example kv_cache
+//! ```
+
+use rstore::{AllocOptions, Cluster, ClusterConfig, KvConfig, KvTable};
+use sim::join_all;
+use workload::Zipf;
+
+const APPS: usize = 4;
+const KEYS: usize = 500;
+const OPS_EACH: usize = 500;
+
+fn main() -> rstore::Result<()> {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: APPS,
+        ..ClusterConfig::with_servers(4)
+    })?;
+    let sim = cluster.sim.clone();
+
+    sim.block_on(async move {
+        let cfg = KvConfig {
+            buckets: 2048,
+            slot_bytes: 256,
+            max_probe: 32,
+            opts: AllocOptions {
+                stripe_size: 64 * 1024,
+                ..AllocOptions::default()
+            },
+        };
+        // One machine creates and warms the cache.
+        let creator = cluster.client(0).await?;
+        let kv = KvTable::create(&creator, "cache", cfg).await?;
+        for k in 0..KEYS {
+            kv.put(format!("item:{k}").as_bytes(), format!("value-of-{k}").as_bytes())
+                .await?;
+        }
+        println!("cache warmed with {KEYS} items across the cluster");
+
+        // Application machines: 90% GET / 10% PUT with Zipf(0.99) keys.
+        let t0 = cluster.sim.now();
+        let mut tasks = Vec::new();
+        for app in 0..APPS {
+            let client = cluster.client(app).await?;
+            tasks.push(async move {
+                let kv = KvTable::open(&client, "cache", cfg.slot_bytes, cfg.max_probe).await?;
+                let mut zipf = Zipf::new(KEYS, 0.99, app as u64 + 1);
+                let (mut hits, mut misses) = (0u32, 0u32);
+                for op in 0..OPS_EACH {
+                    let k = zipf.next();
+                    let key = format!("item:{k}");
+                    if op % 10 == 9 {
+                        kv.put(key.as_bytes(), format!("app{app}-op{op}").as_bytes())
+                            .await?;
+                    } else {
+                        match kv.get(key.as_bytes()).await? {
+                            Some(_) => hits += 1,
+                            None => misses += 1,
+                        }
+                    }
+                }
+                Ok::<_, rstore::RStoreError>((hits, misses))
+            });
+        }
+        let mut hits = 0;
+        let mut misses = 0;
+        for r in join_all(tasks).await {
+            let (h, m) = r?;
+            hits += h;
+            misses += m;
+        }
+        let elapsed = cluster.sim.now() - t0;
+        let total_ops = (APPS * OPS_EACH) as f64;
+        println!(
+            "{} ops from {APPS} machines in {elapsed:?} (virtual) = {:.0} ops/s/machine",
+            APPS * OPS_EACH,
+            total_ops / APPS as f64 / elapsed.as_secs_f64()
+        );
+        println!("GET hit rate: {hits}/{} ({misses} misses)", hits + misses);
+        assert_eq!(misses, 0, "every key was warmed");
+        Ok(())
+    })
+}

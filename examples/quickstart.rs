@@ -1,0 +1,66 @@
+//! Quickstart: boot a simulated RStore cluster, allocate a region of
+//! distributed DRAM, and use it like memory.
+//!
+//! ```text
+//! cargo run -p integration --release --example quickstart
+//! ```
+
+use rstore::{AllocOptions, Cluster, ClusterConfig, Policy};
+
+fn main() -> rstore::Result<()> {
+    // Four memory servers, two client machines, FDR-calibrated fabric.
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 2,
+        ..ClusterConfig::with_servers(4)
+    })?;
+    let sim = cluster.sim.clone();
+
+    sim.block_on(async move {
+        // --- control path: pay once ---------------------------------------
+        let alice = cluster.client(0).await?;
+        let region = alice
+            .alloc(
+                "demo/numbers",
+                64 << 20, // 64 MiB, striped over all four servers
+                AllocOptions {
+                    stripe_size: 4 << 20,
+                    policy: Policy::RoundRobin,
+                    ..AllocOptions::default()
+                },
+            )
+            .await?;
+        println!(
+            "allocated {:?}: {} stripes across the cluster",
+            region.name(),
+            region.desc().groups.len()
+        );
+
+        // --- data path: one-sided reads and writes ------------------------
+        let t0 = cluster.sim.now();
+        region.write(0, b"The quick brown fox").await?;
+        region.write(32 << 20, &[42u8; 1 << 20]).await?;
+        println!("writes took {:?} (virtual)", cluster.sim.now() - t0);
+
+        // A second machine maps the same region by name and sees the data.
+        let bob = cluster.client(1).await?;
+        let view = bob.map("demo/numbers").await?;
+        let t0 = cluster.sim.now();
+        let head = view.read(0, 19).await?;
+        println!(
+            "bob read {:?} in {:?} (virtual)",
+            String::from_utf8_lossy(&head),
+            cluster.sim.now() - t0
+        );
+        assert_eq!(head, b"The quick brown fox");
+
+        let stats = alice.stats().await?;
+        println!(
+            "cluster: {} servers, {} regions, {}/{} bytes used",
+            stats.servers, stats.regions, stats.used, stats.capacity
+        );
+
+        alice.free("demo/numbers").await?;
+        println!("region freed; capacity reclaimed");
+        Ok(())
+    })
+}

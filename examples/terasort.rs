@@ -1,0 +1,84 @@
+//! The Key-Value sorter end to end: a real, verified sort at laptop scale,
+//! then a paper-scale fluid run against the Hadoop TeraSort model.
+//!
+//! ```text
+//! cargo run -p integration --release --example terasort
+//! ```
+
+use baseline::hadoop::{terasort_time, HadoopConfig};
+use fabric::FabricConfig;
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
+use rsort::{distributed, SortConfig, SortMode};
+use workload::{is_sorted, teragen, RECORD_BYTES};
+
+fn main() -> rstore::Result<()> {
+    // --- part 1: real data, fully verified --------------------------------
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 8,
+        ..ClusterConfig::with_servers(4)
+    })?;
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let (records, secs, sorted) = sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await?;
+        let cfg = SortConfig {
+            opts: AllocOptions {
+                stripe_size: 1 << 20,
+                ..AllocOptions::default()
+            },
+            ..SortConfig::default()
+        };
+        let input = teragen(200_000, 7); // 20 MB of 100-byte records
+        distributed::load_input(&loader, &cfg, &input).await?;
+        let outcome = distributed::run(&devs, master, cfg).await?;
+        let out = loader.map("sort/output").await?;
+        let bytes = out.read(0, out.size()).await?;
+        Ok::<_, rstore::RStoreError>((
+            outcome.records,
+            outcome.total.as_secs_f64(),
+            is_sorted(&bytes),
+        ))
+    })?;
+    println!("real sort: {records} records in {secs:.4}s (virtual), sorted = {sorted}");
+    assert!(sorted);
+
+    // --- part 2: 64 GiB fluid run vs Hadoop model ---------------------------
+    let gib = 64u64;
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 12,
+        fabric: FabricConfig::fluid(),
+        ..ClusterConfig::with_servers(12)
+    })?;
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let outcome = sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await?;
+        let cfg = SortConfig {
+            mode: SortMode::Fluid,
+            io_chunk: 64 << 20,
+            opts: AllocOptions {
+                stripe_size: 64 << 20,
+                ..AllocOptions::default()
+            },
+            ..SortConfig::default()
+        };
+        distributed::create_fluid_input(&loader, &cfg, (gib << 30) / RECORD_BYTES as u64).await?;
+        distributed::run(&devs, master, cfg).await
+    })?;
+    let hadoop = terasort_time(&HadoopConfig::default(), gib << 30);
+    println!(
+        "rsort  {gib} GiB on 12 machines: {:.1}s  (partition {:.1}s, shuffle {:.1}s, sort {:.1}s)",
+        outcome.total.as_secs_f64(),
+        outcome.phases.partition.as_secs_f64(),
+        outcome.phases.shuffle.as_secs_f64(),
+        outcome.phases.local_sort.as_secs_f64(),
+    );
+    println!(
+        "hadoop {gib} GiB on 12 nodes   : {:.1}s  -> rsort is {:.1}x faster",
+        hadoop.total().as_secs_f64(),
+        hadoop.total().as_secs_f64() / outcome.total.as_secs_f64()
+    );
+    Ok(())
+}

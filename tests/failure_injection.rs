@@ -1,0 +1,192 @@
+//! Failure injection across the stack: dead servers, dead masters,
+//! partitions, and recovery.
+
+use std::time::Duration;
+
+use rstore::{AllocOptions, Cluster, ClusterConfig, MasterConfig, RStoreClient, RStoreError};
+
+fn boot(servers: usize, clients: usize) -> Cluster {
+    Cluster::boot(ClusterConfig {
+        clients,
+        // Short leases so failure tests converge quickly (virtual time).
+        master: MasterConfig {
+            lease: Duration::from_millis(50),
+            sweep_interval: Duration::from_millis(20),
+            ..MasterConfig::default()
+        },
+        server: rstore::ServerConfig {
+            heartbeat: Duration::from_millis(10),
+            ..rstore::ServerConfig::default()
+        },
+        ..ClusterConfig::with_servers(servers)
+    })
+    .expect("boot")
+}
+
+#[test]
+fn unreplicated_io_to_dead_server_errors_but_does_not_hang() {
+    let cluster = boot(2, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let victim = cluster.servers[0].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let region = c
+            .alloc(
+                "doomed",
+                256 * 1024,
+                AllocOptions {
+                    stripe_size: 4096,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &[9u8; 64 * 1024]).await.unwrap();
+        fabric.set_node_up(victim, false);
+        // Reads spanning the dead server must surface an IO error.
+        let err = region.read(0, 64 * 1024).await.err().unwrap();
+        assert!(matches!(err, RStoreError::Io(_)), "got {err:?}");
+    });
+}
+
+#[test]
+fn master_detects_death_and_recovery() {
+    let cluster = boot(3, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let master_handle = cluster.master.clone();
+    let victim = cluster.servers[1].node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        assert_eq!(master_handle.live_servers(), 3);
+        fabric.set_node_up(victim, false);
+        s.sleep(Duration::from_millis(200)).await;
+        assert_eq!(master_handle.live_servers(), 2, "lease must expire");
+        fabric.set_node_up(victim, true);
+        // Recovery is bounded by the RC retry budget (~2 s) before the
+        // server's heartbeat loop notices the broken connection and redials.
+        s.sleep(Duration::from_secs(5)).await;
+        assert_eq!(master_handle.live_servers(), 3, "heartbeats must revive");
+    });
+}
+
+#[test]
+fn allocation_avoids_dead_servers() {
+    let cluster = boot(3, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let victim = cluster.servers[0].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        fabric.set_node_up(victim, false);
+        s.sleep(Duration::from_millis(200)).await;
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let region = c
+            .alloc(
+                "survivors",
+                1 << 20,
+                AllocOptions {
+                    stripe_size: 64 * 1024,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        // Every extent must be on one of the two live servers.
+        for g in &region.desc().groups {
+            for x in &g.replicas {
+                assert_ne!(x.node, victim.0, "placed on a dead server");
+            }
+        }
+        region.write(0, b"alive").await.unwrap();
+        assert_eq!(region.read(0, 5).await.unwrap(), b"alive");
+    });
+}
+
+#[test]
+fn master_death_spares_data_path_but_kills_control_path() {
+    let cluster = boot(3, 2);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let master_node = cluster.master_node();
+    let devs = cluster.client_devs.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master_node).await.unwrap();
+        let region = c
+            .alloc("pre-mapped", 1 << 20, AllocOptions::default())
+            .await
+            .unwrap();
+        region.write(0, b"before death").await.unwrap();
+        fabric.set_node_up(master_node, false);
+
+        // Data path: unaffected.
+        assert_eq!(region.read(0, 12).await.unwrap(), b"before death");
+        region.write(100, b"still writable").await.unwrap();
+
+        // Control path: alloc/map must fail, not hang.
+        let err = c
+            .alloc("post-mortem", 4096, AllocOptions::default())
+            .await
+            .err()
+            .unwrap();
+        assert!(matches!(err, RStoreError::Io(_)), "got {err:?}");
+    });
+}
+
+#[test]
+fn flapping_server_does_not_corrupt_capacity_accounting() {
+    let cluster = boot(2, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let master_handle = cluster.master.clone();
+    let victim = cluster.servers[0].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        for round in 0..3 {
+            fabric.set_node_up(victim, false);
+            s.sleep(Duration::from_millis(150)).await;
+            fabric.set_node_up(victim, true);
+            s.sleep(Duration::from_secs(5)).await;
+            assert_eq!(master_handle.live_servers(), 2, "round {round}");
+            let name = format!("flap{round}");
+            let r = c.alloc(&name, 64 * 1024, AllocOptions::default()).await.unwrap();
+            r.write(0, b"ok").await.unwrap();
+            c.free(&name).await.unwrap();
+        }
+        let stats = c.stats().await.unwrap();
+        assert_eq!(stats.used, 0);
+    });
+}
+
+#[test]
+fn partitioned_client_times_out_cleanly() {
+    let cluster = boot(2, 2);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c0 = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let region = c0
+            .alloc("island", 64 * 1024, AllocOptions::default())
+            .await
+            .unwrap();
+        // Cut the client itself off.
+        fabric.set_node_up(devs[0].node(), false);
+        let err = region.write(0, b"into the void").await.err().unwrap();
+        assert!(matches!(err, RStoreError::Io(_)));
+        // The rest of the cluster still works.
+        let c1 = RStoreClient::connect(&devs[1], master).await.unwrap();
+        let r1 = c1.map_degraded("island").await.unwrap();
+        r1.write(0, b"other client").await.unwrap();
+        assert_eq!(r1.read(0, 12).await.unwrap(), b"other client");
+    });
+}

@@ -1,0 +1,172 @@
+//! End-to-end graph processing: publish once, run the whole algorithm suite
+//! on the same cluster, and cross-check everything against single-node
+//! references and the message-passing baseline.
+
+use std::rc::Rc;
+
+use rgraph::{bfs, pagerank, reference, sssp, wcc, BfsConfig, GraphStore, JacobiConfig, PageRankConfig};
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
+use workload::rmat_graph;
+
+#[test]
+fn full_suite_on_one_published_graph() {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 6,
+        ..ClusterConfig::with_servers(4)
+    })
+    .expect("boot");
+    let g = rmat_graph(10, 8 * 1024, 77);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+
+    let expect_pr = reference::pagerank(&g, 4, 0.85);
+    let expect_bfs = reference::bfs(&g, 3);
+    let expect_wcc = reference::wcc(&g);
+    let expect_sssp = reference::sssp(&g, 3);
+
+    let g2 = g.clone();
+    sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+        GraphStore::publish(
+            &loader,
+            "suite",
+            &g2,
+            AllocOptions {
+                stripe_size: 256 * 1024,
+                ..AllocOptions::default()
+            },
+        )
+        .await
+        .unwrap();
+
+        let pr = pagerank::run(
+            &devs,
+            master,
+            "suite",
+            PageRankConfig {
+                iters: 4,
+                ..PageRankConfig::default()
+            },
+        )
+        .await
+        .unwrap();
+        for (a, b) in pr.ranks.iter().zip(&expect_pr) {
+            assert!((a - b).abs() < 1e-12);
+        }
+
+        let b = bfs::run(&devs, master, "suite", 3, BfsConfig::default())
+            .await
+            .unwrap();
+        assert_eq!(b.levels, expect_bfs);
+
+        let w = wcc::run(&devs, master, "suite", JacobiConfig::default())
+            .await
+            .unwrap();
+        assert_eq!(w.values, expect_wcc);
+
+        let s = sssp::run(
+            &devs,
+            master,
+            "suite",
+            3,
+            JacobiConfig {
+                job_nonce: 1,
+                ..JacobiConfig::default()
+            },
+        )
+        .await
+        .unwrap();
+        assert_eq!(s.values, expect_sssp);
+    });
+}
+
+#[test]
+fn rstore_framework_beats_message_passing_on_powerlaw() {
+    // The E6 effect as a regression test: at least 2x on a power-law graph.
+    let g = rmat_graph(11, 16 * 2048, 5);
+
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 8,
+        ..ClusterConfig::with_servers(8)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let g2 = g.clone();
+    let rstore_total = sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+        GraphStore::publish(&loader, "fast", &g2, AllocOptions::default())
+            .await
+            .unwrap();
+        pagerank::run(
+            &devs,
+            master,
+            "fast",
+            PageRankConfig {
+                iters: 3,
+                ..PageRankConfig::default()
+            },
+        )
+        .await
+        .unwrap()
+        .total
+    });
+
+    let sim = sim::Sim::new();
+    let fabric = fabric::Fabric::new(sim.clone(), fabric::FabricConfig::default());
+    let devs: Vec<rdma::RdmaDevice> = (0..8)
+        .map(|_| rdma::RdmaDevice::new(&fabric, rdma::RdmaConfig::default()))
+        .collect();
+    let g = Rc::new(g);
+    let msg_total = sim.block_on(async move {
+        baseline::msg_graph::run(
+            &devs,
+            g,
+            baseline::msg_graph::MsgPageRankConfig {
+                iters: 3,
+                ..Default::default()
+            },
+        )
+        .await
+        .unwrap()
+        .total
+    });
+
+    let speedup = msg_total.as_secs_f64() / rstore_total.as_secs_f64();
+    assert!(
+        speedup > 2.0,
+        "expected >2x on power-law graphs, got {speedup:.2}x"
+    );
+}
+
+#[test]
+fn graph_survives_reopen_from_new_client() {
+    // Publish with one client; a completely fresh client on another machine
+    // opens by name and reads consistent structure.
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 2,
+        ..ClusterConfig::with_servers(3)
+    })
+    .expect("boot");
+    let g = rmat_graph(8, 1024, 13);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let (n, m) = (g.n, g.m());
+    sim.block_on(async move {
+        let loader = RStoreClient::connect(&devs[0], master).await.unwrap();
+        GraphStore::publish(&loader, "persisted", &g, AllocOptions::default())
+            .await
+            .unwrap();
+
+        let other = RStoreClient::connect(&devs[1], master).await.unwrap();
+        let store = GraphStore::open(&other, "persisted").await.unwrap();
+        assert_eq!((store.n, store.m), (n, m));
+        let xadj = store.read_u64s(&other, "out_xadj", 0, n + 1).await.unwrap();
+        assert_eq!(xadj[0], 0);
+        assert_eq!(*xadj.last().unwrap(), m);
+        assert!(xadj.windows(2).all(|w| w[0] <= w[1]));
+    });
+}

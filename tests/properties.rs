@@ -1,0 +1,338 @@
+//! Property-based tests over the core data structures and invariants
+//! (`proptest`).
+
+use proptest::prelude::*;
+
+use rdma::memory::Arena;
+use rdma::{Access, DmaBuf};
+use rsort::{choose_splitters, dest_of, partition_records, ShufflePlan};
+use rstore::layout::Layout;
+use rstore::proto::{CtrlReq, CtrlResp, Extent, RegionDesc, RegionState, StripeGroup};
+use workload::{is_sorted, record_key, sort_records, teragen, KEY_BYTES, RECORD_BYTES};
+
+// --- arena allocator -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free interleavings never double-allocate, never lose
+    /// capacity, and always coalesce back to a fully free arena.
+    #[test]
+    fn arena_allocator_invariants(ops in proptest::collection::vec((0u8..2, 1u64..2000), 1..120)) {
+        let capacity = 64 * 1024;
+        let mut arena = Arena::new(capacity);
+        let mut live: Vec<DmaBuf> = Vec::new();
+        for (kind, val) in ops {
+            match kind {
+                0 => {
+                    if let Ok(buf) = arena.alloc(val) {
+                        // No overlap with any live allocation.
+                        for other in &live {
+                            let disjoint = buf.addr + buf.len <= other.addr
+                                || other.addr + other.len <= buf.addr;
+                            prop_assert!(disjoint, "overlapping allocations");
+                        }
+                        live.push(buf);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let buf = live.swap_remove((val as usize) % live.len());
+                        prop_assert!(arena.free(buf).is_ok());
+                    }
+                }
+            }
+            let used: u64 = live.iter().map(|b| b.len).sum();
+            prop_assert_eq!(arena.used(), used);
+        }
+        for buf in live.drain(..) {
+            arena.free(buf).unwrap();
+        }
+        // Fully coalesced: the whole capacity is allocatable again.
+        prop_assert!(arena.alloc(capacity).is_ok());
+    }
+
+    /// Registered regions always bound remote access.
+    #[test]
+    fn mr_checks_bound_access(start in 0u64..1000, len in 1u64..1000, off in 0u64..2000, alen in 1u64..2000) {
+        let mut arena = Arena::new(1 << 20);
+        let _pad = arena.alloc(start.max(1)).unwrap();
+        let buf = arena.alloc(len).unwrap();
+        let mr = arena.register(buf, Access::REMOTE_READ).unwrap();
+        let inside = off >= buf.addr.wrapping_sub(0)
+            && off.checked_add(alen).is_some_and(|e| off >= buf.addr && e <= buf.addr + buf.len);
+        let ok = mr.check(off, alen, Access::REMOTE_READ).is_ok();
+        prop_assert_eq!(ok, inside);
+    }
+}
+
+// --- stripe layout ---------------------------------------------------------------
+
+fn arb_desc() -> impl Strategy<Value = RegionDesc> {
+    proptest::collection::vec(1u64..5000, 1..40).prop_map(|lens| RegionDesc {
+        name: "p".into(),
+        size: lens.iter().sum(),
+        stripe_size: lens[0],
+        groups: lens
+            .iter()
+            .map(|&len| StripeGroup {
+                replicas: vec![Extent {
+                    node: 0,
+                    addr: 0,
+                    rkey: 0,
+                    len,
+                }],
+            })
+            .collect(),
+        state: RegionState::Healthy,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scatter/gather pieces tile the requested byte range exactly: a
+    /// bijection between buffer bytes and (stripe, offset) pairs.
+    #[test]
+    fn layout_pieces_tile_the_range(desc in arb_desc(), frac_off in 0.0f64..1.0, frac_len in 0.0f64..1.0) {
+        let layout = Layout::new(&desc);
+        let size = layout.size();
+        let offset = (frac_off * size as f64) as u64;
+        let len = ((frac_len * (size - offset) as f64) as u64).min(size - offset);
+        let pieces = layout.pieces(offset, len).unwrap();
+        let mut cursor_buf = 0u64;
+        let mut cursor_log = offset;
+        for p in &pieces {
+            prop_assert_eq!(p.buf_offset, cursor_buf);
+            // Logical position of the piece = stripe start + in-stripe offset.
+            let stripe_start: u64 = desc.groups[..p.group].iter().map(|g| g.len()).sum();
+            prop_assert_eq!(stripe_start + p.offset_in_stripe, cursor_log);
+            prop_assert!(p.len > 0);
+            prop_assert!(p.offset_in_stripe + p.len <= desc.groups[p.group].len());
+            cursor_buf += p.len;
+            cursor_log += p.len;
+        }
+        prop_assert_eq!(cursor_buf, len);
+    }
+
+    /// Control-plane messages survive an encode/decode round trip.
+    #[test]
+    fn proto_round_trip_fuzzed(name in "[a-z/]{0,20}", size in 0u64..u64::MAX, stripe in 1u64..u64::MAX) {
+        let req = CtrlReq::Alloc {
+            name: name.clone(),
+            size,
+            opts: rstore::AllocOptions { stripe_size: stripe, ..Default::default() },
+        };
+        prop_assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
+        let resp = CtrlResp::Err(name);
+        prop_assert_eq!(CtrlResp::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Arbitrary byte garbage never panics the decoder.
+    #[test]
+    fn proto_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = CtrlReq::decode(&bytes);
+        let _ = CtrlResp::decode(&bytes);
+    }
+}
+
+// --- sort planning -----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitioning + shuffle-plan offsets reassemble into a dense,
+    /// ordered output for any record set and worker count.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn shuffle_plan_reassembles_exactly(records in 1u64..400, k in 1usize..9, seed in any::<u64>()) {
+        let input = teragen(records, seed);
+        // Sample all keys for splitters (worst-case accurate).
+        let mut sample: Vec<[u8; KEY_BYTES]> = (0..records as usize)
+            .map(|i| record_key(&input, i).try_into().unwrap())
+            .collect();
+        let splitters = choose_splitters(&mut sample, k);
+
+        // Emulate the distributed flow: split input across k workers,
+        // partition each, build the counts matrix.
+        let mut per_worker: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut counts = vec![vec![0u64; k]; k];
+        for w in 0..k {
+            let lo = (w as u64 * records / k as u64) as usize * RECORD_BYTES;
+            let hi = ((w as u64 + 1) * records / k as u64) as usize * RECORD_BYTES;
+            let parts = partition_records(&input[lo..hi], &splitters);
+            for (j, part) in parts.iter().enumerate() {
+                counts[w][j] = (part.len() / RECORD_BYTES) as u64;
+            }
+            per_worker.push(parts);
+        }
+        let plan = ShufflePlan::new(counts);
+        prop_assert_eq!(plan.total(), records);
+
+        // Shuffle into the output using the plan's offsets.
+        let mut output = vec![0u8; input.len()];
+        for (w, parts) in per_worker.iter().enumerate() {
+            for (j, part) in parts.iter().enumerate() {
+                let at = plan.write_index(w, j) as usize * RECORD_BYTES;
+                output[at..at + part.len()].copy_from_slice(part);
+            }
+        }
+        // Local-sort each partition; result must be globally sorted and a
+        // permutation of the input.
+        for j in 0..k {
+            let (s, e) = plan.partition_range(j);
+            sort_records(&mut output[s as usize * RECORD_BYTES..e as usize * RECORD_BYTES]);
+        }
+        prop_assert!(is_sorted(&output));
+        let mut expect = input.clone();
+        sort_records(&mut expect);
+        prop_assert_eq!(output, expect);
+    }
+
+    /// dest_of is the inverse of the splitter ordering.
+    #[test]
+    fn dest_of_monotone(keys in proptest::collection::vec(any::<[u8; KEY_BYTES]>(), 2..200), k in 1usize..10) {
+        let mut sample = keys.clone();
+        let splitters = choose_splitters(&mut sample, k);
+        let mut sorted = keys;
+        sorted.sort_unstable();
+        let dests: Vec<usize> = sorted.iter().map(|key| dest_of(key, &splitters)).collect();
+        prop_assert!(dests.windows(2).all(|w| w[0] <= w[1]), "routing must be monotone in key order");
+        prop_assert!(dests.iter().all(|&d| d < k));
+    }
+}
+
+// --- virtual-time executor -----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scheduled events always fire in (time, insertion) order regardless
+    /// of the order they were scheduled in.
+    #[test]
+    fn executor_fires_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let sim = sim::Sim::new();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
+        for (i, &d) in delays.iter().enumerate() {
+            let log = log.clone();
+            let s = sim.clone();
+            sim.schedule(std::time::Duration::from_nanos(d), move || {
+                log.borrow_mut().push((s.now().as_nanos(), i));
+            });
+        }
+        sim.run();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "same-instant events must keep insertion order");
+            }
+        }
+        for &(t, i) in log.iter() {
+            prop_assert_eq!(t, delays[i]);
+        }
+    }
+
+    /// Fabric byte accounting conserves: delivered bytes equal sent bytes
+    /// for any message pattern between live nodes.
+    #[test]
+    fn fabric_conserves_bytes(msgs in proptest::collection::vec((0u32..4, 0u32..4, 1u64..100_000), 1..60)) {
+        let sim = sim::Sim::new();
+        let fabric: fabric::Fabric<u32> = fabric::Fabric::new(sim.clone(), fabric::FabricConfig::default());
+        let nodes: Vec<_> = (0..4).map(|_| fabric.add_node()).collect();
+        let mut rxs = Vec::new();
+        for &n in &nodes {
+            rxs.push(fabric.attach(n));
+        }
+        let mut expect_total = 0u64;
+        for &(src, dst, bytes) in &msgs {
+            fabric.send(nodes[src as usize], nodes[dst as usize], bytes, 0);
+            expect_total += bytes;
+        }
+        for mut rx in rxs {
+            sim.spawn(async move { while rx.recv().await.is_some() {} });
+        }
+        drop(fabric.clone()); // keep handle alive through run
+        sim.run();
+        let tx: u64 = nodes.iter().map(|&n| fabric.tx_bytes(n)).sum();
+        let rx: u64 = nodes.iter().map(|&n| fabric.rx_bytes(n)).sum();
+        prop_assert_eq!(tx, expect_total);
+        prop_assert_eq!(tx, rx);
+    }
+}
+
+// --- KV table vs model ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A random op sequence against the distributed KV table agrees with a
+    /// `HashMap` executed in lockstep.
+    #[test]
+    fn kv_table_matches_hashmap_model(
+        ops in proptest::collection::vec((0u8..3, 0u8..24, proptest::collection::vec(any::<u8>(), 0..40)), 1..60)
+    ) {
+        use std::collections::HashMap;
+        use rstore::{Cluster, ClusterConfig, KvConfig, KvTable};
+
+        let cluster = Cluster::boot(ClusterConfig {
+            clients: 1,
+            ..ClusterConfig::with_servers(2)
+        }).expect("boot");
+        let sim = cluster.sim.clone();
+        let devs = cluster.client_devs.clone();
+        let master = cluster.master_node();
+        let outcome: Result<(), String> = sim.block_on(async move {
+            let client = rstore::RStoreClient::connect(&devs[0], master)
+                .await
+                .map_err(|e| e.to_string())?;
+            let kv = KvTable::create(
+                &client,
+                "prop_kv",
+                KvConfig {
+                    buckets: 64,
+                    slot_bytes: 128,
+                    max_probe: 64,
+                    ..KvConfig::default()
+                },
+            )
+            .await
+            .map_err(|e| e.to_string())?;
+            let mut model: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+            for (op, keyid, value) in ops {
+                let key = format!("key-{keyid}").into_bytes();
+                match op {
+                    0 => {
+                        kv.put(&key, &value).await.map_err(|e| e.to_string())?;
+                        model.insert(key, value);
+                    }
+                    1 => {
+                        let deleted = kv.delete(&key).await.map_err(|e| e.to_string())?;
+                        let expected = model.remove(&key).is_some();
+                        if deleted != expected {
+                            return Err(format!("delete mismatch for {key:?}"));
+                        }
+                    }
+                    _ => {
+                        let got = kv.get(&key).await.map_err(|e| e.to_string())?;
+                        if got.as_ref() != model.get(&key) {
+                            return Err(format!("get mismatch for {key:?}"));
+                        }
+                    }
+                }
+            }
+            // Final full check.
+            for (key, value) in &model {
+                let got = kv.get(key).await.map_err(|e| e.to_string())?;
+                if got.as_deref() != Some(value.as_slice()) {
+                    return Err(format!("final state mismatch for {key:?}"));
+                }
+            }
+            Ok(())
+        });
+        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    }
+}
