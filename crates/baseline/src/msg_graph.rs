@@ -153,16 +153,17 @@ pub async fn run(
                     let msgs = req.len() / 16;
                     sim.sleep(
                         cost.per_batch
-                            + Duration::from_nanos(cost.per_message.as_nanos() as u64 * msgs as u64),
+                            + Duration::from_nanos(
+                                cost.per_message.as_nanos() as u64 * msgs as u64,
+                            ),
                     )
                     .await;
                     let mut acc = accum.borrow_mut();
                     let start = acc.start;
                     for chunk in req.chunks_exact(16) {
                         let v = u64::from_le_bytes(chunk[..8].try_into().expect("8"));
-                        let c = f64::from_bits(u64::from_le_bytes(
-                            chunk[8..].try_into().expect("8"),
-                        ));
+                        let c =
+                            f64::from_bits(u64::from_le_bytes(chunk[8..].try_into().expect("8")));
                         acc.sums[(v - start) as usize] += c;
                     }
                     vec![0u8]

@@ -248,19 +248,29 @@ mod tests {
             let sim = sim.clone();
             async move {
                 let cq = rdma::CompletionQueue::new();
-                let qp = client.connect(mr.node, {
-                    // data service: use a raw listener on the server side
-                    let mut l = server.listen(42).unwrap();
-                    let scq = rdma::CompletionQueue::new();
-                    server.sim().spawn(async move { l.accept(&scq).await.unwrap() });
-                    42
-                }, &cq).await.unwrap();
+                let qp = client
+                    .connect(
+                        mr.node,
+                        {
+                            // data service: use a raw listener on the server side
+                            let mut l = server.listen(42).unwrap();
+                            let scq = rdma::CompletionQueue::new();
+                            server
+                                .sim()
+                                .spawn(async move { l.accept(&scq).await.unwrap() });
+                            42
+                        },
+                        &cq,
+                    )
+                    .await
+                    .unwrap();
                 let dst = client.alloc(64).unwrap();
                 qp.post_read(1, dst, mr.token().at(0, 64).unwrap()).unwrap();
                 cq.next().await; // warm
                 let t0 = sim.now();
                 for i in 0..10 {
-                    qp.post_read(2 + i, dst, mr.token().at(0, 64).unwrap()).unwrap();
+                    qp.post_read(2 + i, dst, mr.token().at(0, 64).unwrap())
+                        .unwrap();
                     cq.next().await;
                 }
                 (sim.now() - t0) / 10

@@ -1,17 +1,8 @@
-//! Criterion bench: real-time cost of the E1 verbs-latency kernel (tracks
+//! Self-timed bench: real-time cost of the E1 verbs-latency kernel (tracks
 //! simulator engine performance; virtual-time results come from `figures`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_e1(c: &mut Criterion) {
-    c.bench_function("e1_verbs_latency_sweep", |b| {
-        b.iter(bench::experiments::e1_verbs::run)
+fn main() {
+    bench::selftime::bench("e1_verbs_latency_sweep", 10, || {
+        bench::experiments::e1_verbs::run();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_e1
-}
-criterion_main!(benches);

@@ -1,16 +1,7 @@
-//! Criterion bench: real-time cost of the E3 data-path comparison kernel.
+//! Self-timed bench: real-time cost of the E3 data-path comparison kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_e3(c: &mut Criterion) {
-    c.bench_function("e3_datapath_comparison", |b| {
-        b.iter(bench::experiments::e3_datapath::run)
+fn main() {
+    bench::selftime::bench("e3_datapath_comparison", 10, || {
+        bench::experiments::e3_datapath::run();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_e3
-}
-criterion_main!(benches);

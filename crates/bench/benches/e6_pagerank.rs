@@ -1,22 +1,14 @@
-//! Criterion bench: real-time cost of a small distributed PageRank run
+//! Self-timed bench: real-time cost of a small distributed PageRank run
 //! (both frameworks) — engine throughput tracking for E6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use workload::rmat_graph;
 
-fn bench_e6(c: &mut Criterion) {
+fn main() {
     let g = rmat_graph(10, 16 * 1024, 7);
-    c.bench_function("e6_pagerank_rstore_small", |b| {
-        b.iter(|| bench::experiments::e6_pagerank::run_rstore(&g))
+    bench::selftime::bench("e6_pagerank_rstore_small", 10, || {
+        bench::experiments::e6_pagerank::run_rstore(&g);
     });
-    c.bench_function("e6_pagerank_msg_small", |b| {
-        b.iter(|| bench::experiments::e6_pagerank::run_msg(&g))
+    bench::selftime::bench("e6_pagerank_msg_small", 10, || {
+        bench::experiments::e6_pagerank::run_msg(&g);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_e6
-}
-criterion_main!(benches);

@@ -1,20 +1,11 @@
-//! Criterion bench: real-time cost of the sort kernels — a real verified
+//! Self-timed bench: real-time cost of the sort kernels — a real verified
 //! 10 MB sort and an 8 GiB fluid run (engine tracking for E8/E9).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-fn bench_e8(c: &mut Criterion) {
-    c.bench_function("e8_sort_real_10mb", |b| {
-        b.iter(|| assert!(bench::experiments::e8_sort::real_verified_sort()))
+fn main() {
+    bench::selftime::bench("e8_sort_real_10mb", 10, || {
+        assert!(bench::experiments::e8_sort::real_verified_sort());
     });
-    c.bench_function("e8_sort_fluid_8gib", |b| {
-        b.iter(|| bench::experiments::e8_sort::fluid_sort(8 << 30, 12))
+    bench::selftime::bench("e8_sort_fluid_8gib", 10, || {
+        bench::experiments::e8_sort::fluid_sort(8 << 30, 12);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_e8
-}
-criterion_main!(benches);

@@ -3,19 +3,86 @@
 //! Usage:
 //!
 //! ```text
-//! figures all          # every experiment, E1..E9
-//! figures e1 e4 e8     # a selection
+//! figures all                  # every experiment, E1..E9, as text tables
+//! figures e1 e4 e8             # a selection
+//! figures --json e3            # also write BENCH_<runid>.json
+//! figures --trace              # write TRACE_<runid>.json (Chrome trace)
+//! figures --json --runid ci e3 # fixed run id (stable filename)
 //! ```
+//!
+//! `--json` writes per-experiment tables plus structured extras (E3 gains a
+//! per-layer READ-latency attribution) to `BENCH_<runid>.json`. `--trace`
+//! runs a traced cluster lifecycle and writes Chrome trace-event JSON
+//! loadable in Perfetto / `chrome://tracing`. The run id defaults to the
+//! Unix timestamp; pass `--runid` to pin it.
 
-use bench::experiments;
+use bench::{experiments, json, report};
+
+/// Run ids are embedded in output filenames (`BENCH_<runid>.json`), so they
+/// must not contain path separators or shell metacharacters.
+fn valid_runid_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    eprintln!("usage: figures [--json] [--trace] [--runid ID] [all | e1 e2 ...]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut json_mode = false;
+    let mut trace_mode = false;
+    let mut run_id: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_mode = true,
+            "--trace" => trace_mode = true,
+            "--runid" => match args.next() {
+                Some(v) if !v.is_empty() && v.chars().all(valid_runid_char) => run_id = Some(v),
+                Some(v) => usage_error(&format!(
+                    "invalid --runid {v:?}: only [A-Za-z0-9_-] is allowed"
+                )),
+                None => usage_error("--runid needs a value"),
+            },
+            other => ids.push(other.to_string()),
+        }
+    }
+    let explicit_ids = !ids.is_empty();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         experiments::ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
+    let run_id = run_id.unwrap_or_else(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|_| "0".to_string())
+    });
+
+    if trace_mode {
+        let trace = report::trace_cluster_lifecycle();
+        json::validate(&trace).expect("trace export must be valid JSON");
+        let path = format!("TRACE_{run_id}.json");
+        std::fs::write(&path, &trace).expect("write trace file");
+        eprintln!("[wrote {path}]");
+        if !json_mode && !explicit_ids {
+            return;
+        }
+    }
+
+    if json_mode {
+        let doc = report::bench_report(&ids, &run_id).render();
+        json::validate(&doc).expect("bench report must be valid JSON");
+        let path = format!("BENCH_{run_id}.json");
+        std::fs::write(&path, &doc).expect("write bench report");
+        eprintln!("[wrote {path}]");
+        return;
+    }
+
     for id in ids {
         let start = std::time::Instant::now();
         for t in experiments::run(id) {

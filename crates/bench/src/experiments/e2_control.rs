@@ -20,17 +20,10 @@ pub fn run() -> Vec<Table> {
         "E2a: control-path latency vs region size (11 servers, 16MiB stripes)",
         &["region size", "alloc", "map (2nd client)", "per-GiB alloc"],
     );
-    for &size in &[
-        1u64 << 20,
-        16 << 20,
-        256 << 20,
-        1 << 30,
-        8u64 << 30,
-    ] {
+    for &size in &[1u64 << 20, 16 << 20, 256 << 20, 1 << 30, 8u64 << 30] {
         let (alloc, map) = measure_size(11, size);
-        let per_gib = Duration::from_nanos(
-            (alloc.as_nanos() * (1u128 << 30) / size as u128) as u64,
-        );
+        let per_gib =
+            Duration::from_nanos((alloc.as_nanos() * (1u128 << 30) / size as u128) as u64);
         a.row(vec![
             fmt_bytes(size),
             fmt_dur(alloc),
@@ -64,8 +57,12 @@ fn measure_size(servers: usize, size: u64) -> (Duration, Duration) {
     sim.block_on({
         let sim = sim.clone();
         async move {
-            let c0 = RStoreClient::connect(&devs[0], master).await.expect("connect");
-            let c1 = RStoreClient::connect(&devs[1], master).await.expect("connect");
+            let c0 = RStoreClient::connect(&devs[0], master)
+                .await
+                .expect("connect");
+            let c1 = RStoreClient::connect(&devs[1], master)
+                .await
+                .expect("connect");
             let opts = AllocOptions {
                 synthetic: true, // isolate control-path cost; no data pages
                 ..AllocOptions::default()

@@ -48,8 +48,104 @@ pub fn run() -> Vec<Table> {
     for (i, &size) in SIZES.iter().enumerate() {
         wtable.row(vec![fmt_bytes(size), fmt_dur(rw[i]), fmt_dur(tw[i])]);
     }
-    kv_table.note("KV facade (extension): GET = 1 one-sided read; PUT = probe + CAS lock + 2 writes");
+    kv_table
+        .note("KV facade (extension): GET = 1 one-sided read; PUT = probe + CAS lock + 2 writes");
     vec![table, wtable, kv_table]
+}
+
+/// One row of E3's per-layer latency attribution (for the JSON export).
+///
+/// `doorbell`, `nic` and `wire` are derived from the simulator's configured
+/// hardware constants ([`RdmaConfig`] / [`FabricConfig`]); `software` is the
+/// residual of the measured mean over those — striping lookup, completion
+/// routing and scheduler overhead. Percentiles come from the per-WR
+/// `rdma.wr_latency.read` histogram of the same run.
+#[derive(Clone, Debug)]
+pub struct LayerStat {
+    /// Transfer size in bytes.
+    pub size: u64,
+    /// Measured mean READ latency (virtual nanoseconds).
+    pub total_ns: u64,
+    /// Median per-WR latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-WR latency.
+    pub p99_ns: u64,
+    /// CPU doorbell/DMA-post cost.
+    pub doorbell_ns: u64,
+    /// NIC processing, both endpoints.
+    pub nic_ns: u64,
+    /// Wire time: serialization + propagation + switch, request and response.
+    pub wire_ns: u64,
+    /// Residual attributed to RStore/driver software.
+    pub software_ns: u64,
+}
+
+/// Measures RStore READ latency per size and decomposes it into
+/// doorbell / NIC / wire / software layers.
+pub fn attribution() -> Vec<LayerStat> {
+    let rdma_cfg = RdmaConfig::default();
+    let fab_cfg = FabricConfig::default();
+    let doorbell_ns = rdma_cfg.post_overhead.as_nanos() as u64;
+    let nic_ns = 2 * rdma_cfg.nic_delay.as_nanos() as u64;
+    // One cut-through switched hop each way: sender host overhead,
+    // propagation and switch forwarding, paid for the (tiny) request and
+    // again for the payload-bearing response.
+    let hop_ns =
+        (fab_cfg.host_overhead + fab_cfg.link_latency + fab_cfg.switch_delay).as_nanos() as u64;
+
+    let (cluster, sim) = rstore_cluster();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let metrics = cluster.fabric.metrics().clone();
+    let totals = sim.block_on({
+        let sim = sim.clone();
+        let metrics = metrics.clone();
+        async move {
+            let client = RStoreClient::connect(&devs[0], master)
+                .await
+                .expect("connect");
+            let region = client
+                .alloc("e3attr", 16 << 20, AllocOptions::default())
+                .await
+                .expect("alloc");
+            let dev = client.device().clone();
+            let mut out = Vec::new();
+            for &size in &SIZES {
+                let buf = dev.alloc(size).expect("buf");
+                region.read_into(0, buf).await.expect("warm");
+                metrics.reset();
+                let t0 = sim.now();
+                for _ in 0..REPS {
+                    region.read_into(0, buf).await.expect("read");
+                }
+                let mean = ((sim.now() - t0) / REPS as u32).as_nanos() as u64;
+                let wr = metrics
+                    .histogram("rdma.wr_latency.read")
+                    .expect("read WR latency histogram");
+                out.push((size, mean, wr.p50(), wr.p99()));
+                dev.free(buf).expect("free");
+            }
+            out
+        }
+    });
+    totals
+        .into_iter()
+        .map(|(size, total_ns, p50_ns, p99_ns)| {
+            let ser_ns = size * 8 * 1_000_000_000 / fab_cfg.link_bps;
+            let wire_ns = 2 * hop_ns + ser_ns;
+            let software_ns = total_ns.saturating_sub(doorbell_ns + nic_ns + wire_ns);
+            LayerStat {
+                size,
+                total_ns,
+                p50_ns,
+                p99_ns,
+                doorbell_ns,
+                nic_ns,
+                wire_ns,
+                software_ns,
+            }
+        })
+        .collect()
 }
 
 fn kv_latency() -> Table {
@@ -120,7 +216,9 @@ fn measure_rstore() -> Vec<Duration> {
     sim.block_on({
         let sim = sim.clone();
         async move {
-            let client = RStoreClient::connect(&devs[0], master).await.expect("connect");
+            let client = RStoreClient::connect(&devs[0], master)
+                .await
+                .expect("connect");
             let region = client
                 .alloc("e3", 16 << 20, AllocOptions::default())
                 .await
@@ -149,7 +247,9 @@ fn measure_rstore_write() -> Vec<Duration> {
     sim.block_on({
         let sim = sim.clone();
         async move {
-            let client = RStoreClient::connect(&devs[0], master).await.expect("connect");
+            let client = RStoreClient::connect(&devs[0], master)
+                .await
+                .expect("connect");
             let region = client
                 .alloc("e3w", 16 << 20, AllocOptions::default())
                 .await
@@ -222,7 +322,9 @@ fn measure_twosided() -> Vec<Duration> {
     sim.block_on({
         let sim = sim.clone();
         async move {
-            let c = TwoSidedClient::connect(&client, node).await.expect("connect");
+            let c = TwoSidedClient::connect(&client, node)
+                .await
+                .expect("connect");
             let mut out = Vec::new();
             for &size in &SIZES {
                 c.read(0, size).await.expect("warm");
@@ -243,7 +345,9 @@ fn measure_twosided_write() -> Vec<Duration> {
     sim.block_on({
         let sim = sim.clone();
         async move {
-            let c = TwoSidedClient::connect(&client, node).await.expect("connect");
+            let c = TwoSidedClient::connect(&client, node)
+                .await
+                .expect("connect");
             let mut out = Vec::new();
             for &size in &SIZES {
                 let data = vec![7u8; size as usize];

@@ -48,7 +48,9 @@ fn measure(m: usize) -> f64 {
         let sim = sim.clone();
         async move {
             // Set up the striped region (control path, not timed).
-            let owner = RStoreClient::connect(&devs[0], master).await.expect("connect");
+            let owner = RStoreClient::connect(&devs[0], master)
+                .await
+                .expect("connect");
             let opts = AllocOptions {
                 synthetic: true,
                 stripe_size: 16 << 20,

@@ -192,7 +192,10 @@ fn amortization() -> Table {
     } else {
         "never".into()
     };
-    t.row(vec!["setup (alloc 64MiB, 4 servers)".into(), fmt_dur(setup)]);
+    t.row(vec![
+        "setup (alloc 64MiB, 4 servers)".into(),
+        fmt_dur(setup),
+    ]);
     t.row(vec!["RStore 4KiB read".into(), fmt_dur(rstore_io)]);
     t.row(vec!["two-sided 4KiB read".into(), fmt_dur(two_io)]);
     t.row(vec!["per-IO gain".into(), fmt_dur(gain)]);

@@ -78,7 +78,9 @@ pub fn run_rstore(g: &CsrGraph) -> (std::time::Duration, std::time::Duration) {
             stripe_size: 1 << 20,
             ..AllocOptions::default()
         };
-        GraphStore::publish(&loader, "e6", &g, opts).await.expect("publish");
+        GraphStore::publish(&loader, "e6", &g, opts)
+            .await
+            .expect("publish");
         let cfg = PageRankConfig {
             iters: ITERS,
             ..PageRankConfig::default()

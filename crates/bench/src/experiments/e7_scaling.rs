@@ -34,7 +34,9 @@ fn publish(cluster: &Cluster, name: &str, g: &CsrGraph) {
             stripe_size: 1 << 20,
             ..AllocOptions::default()
         };
-        GraphStore::publish(&loader, &name, &g, opts).await.expect("publish");
+        GraphStore::publish(&loader, &name, &g, opts)
+            .await
+            .expect("publish");
     });
 }
 

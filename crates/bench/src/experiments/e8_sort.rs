@@ -8,8 +8,8 @@
 
 use baseline::hadoop::{terasort_time, HadoopConfig};
 use fabric::FabricConfig;
-use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient, ServerConfig};
 use rsort::{distributed, SortConfig, SortMode, SortOutcome};
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient, ServerConfig};
 use workload::{is_sorted, teragen};
 
 use crate::table::{fmt_dur, Table};
@@ -31,7 +31,11 @@ pub fn run() -> Vec<Table> {
 
     // Part 2: 256 GB fluid run.
     let outcome = fluid_sort(256u64 << 30, 12);
-    t.row(vec!["rsort 256GB".into(), "sample".into(), fmt_dur(outcome.phases.sample)]);
+    t.row(vec![
+        "rsort 256GB".into(),
+        "sample".into(),
+        fmt_dur(outcome.phases.sample),
+    ]);
     t.row(vec![
         "rsort 256GB".into(),
         "partition+count".into(),
@@ -55,12 +59,32 @@ pub fn run() -> Vec<Table> {
 
     // Part 3: Hadoop model.
     let est = terasort_time(&HadoopConfig::default(), 256 << 30);
-    t.row(vec!["hadoop 256GB".into(), "startup".into(), fmt_dur(est.startup)]);
+    t.row(vec![
+        "hadoop 256GB".into(),
+        "startup".into(),
+        fmt_dur(est.startup),
+    ]);
     t.row(vec!["hadoop 256GB".into(), "map".into(), fmt_dur(est.map)]);
-    t.row(vec!["hadoop 256GB".into(), "shuffle".into(), fmt_dur(est.shuffle)]);
-    t.row(vec!["hadoop 256GB".into(), "reduce".into(), fmt_dur(est.reduce)]);
-    t.row(vec!["hadoop 256GB".into(), "output(x3)".into(), fmt_dur(est.output)]);
-    t.row(vec!["hadoop 256GB".into(), "TOTAL".into(), fmt_dur(est.total())]);
+    t.row(vec![
+        "hadoop 256GB".into(),
+        "shuffle".into(),
+        fmt_dur(est.shuffle),
+    ]);
+    t.row(vec![
+        "hadoop 256GB".into(),
+        "reduce".into(),
+        fmt_dur(est.reduce),
+    ]);
+    t.row(vec![
+        "hadoop 256GB".into(),
+        "output(x3)".into(),
+        fmt_dur(est.output),
+    ]);
+    t.row(vec![
+        "hadoop 256GB".into(),
+        "TOTAL".into(),
+        fmt_dur(est.total()),
+    ]);
 
     let ratio = est.total().as_secs_f64() / outcome.total.as_secs_f64();
     t.row(vec![
@@ -92,7 +116,9 @@ pub fn real_verified_sort() -> bool {
             ..SortConfig::default()
         };
         let input = teragen(100_000, 42); // 10 MB
-        distributed::load_input(&loader, &cfg, &input).await.expect("load");
+        distributed::load_input(&loader, &cfg, &input)
+            .await
+            .expect("load");
         distributed::run(&devs, master, cfg).await.expect("sort");
         let out = loader.map("sort/output").await.expect("map");
         let bytes = out.read(0, out.size()).await.expect("read");

@@ -8,12 +8,15 @@
 //! cargo run -p bench --release --bin figures -- e4 e6
 //! ```
 //!
-//! The Criterion benches under `benches/` track the *real-time* cost of the
-//! simulator on representative experiment kernels (the experiments
-//! themselves are measured in deterministic virtual time, so Criterion's
+//! The self-timed benches under `benches/` track the *real-time* cost of
+//! the simulator on representative experiment kernels (the experiments
+//! themselves are measured in deterministic virtual time, so the benches'
 //! statistics apply to the engine, not the paper's claims).
 
 pub mod experiments;
+pub mod json;
+pub mod report;
+pub mod selftime;
 pub mod table;
 
 pub use table::Table;

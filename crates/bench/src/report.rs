@@ -1,0 +1,143 @@
+//! Machine-readable benchmark output.
+//!
+//! `figures --json` builds a `BENCH_<runid>.json` document through this
+//! module: every experiment's tables, plus structured extras where a table
+//! is too lossy (E3 gets a per-layer latency attribution with percentiles).
+//! `figures --trace` captures a representative cluster lifecycle with the
+//! simulator's tracer enabled and dumps it as Chrome trace-event JSON.
+
+use crate::experiments;
+use crate::experiments::e3_datapath::{self, LayerStat};
+use crate::json::Json;
+use crate::table::Table;
+
+use rstore::{AllocOptions, Cluster, ClusterConfig};
+
+/// Serialises one result table: headers, rows and notes verbatim.
+pub fn table_json(t: &Table) -> Json {
+    Json::obj([
+        ("title".to_string(), Json::str(&t.title)),
+        (
+            "headers".to_string(),
+            Json::Arr(t.headers.iter().map(Json::str).collect()),
+        ),
+        (
+            "rows".to_string(),
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|r| Json::Arr(r.iter().map(Json::str).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "notes".to_string(),
+            Json::Arr(t.notes.iter().map(Json::str).collect()),
+        ),
+    ])
+}
+
+fn layer_stat_json(s: &LayerStat) -> Json {
+    Json::obj([
+        ("size_bytes".to_string(), Json::int(s.size)),
+        ("total_ns".to_string(), Json::int(s.total_ns)),
+        ("p50_ns".to_string(), Json::int(s.p50_ns)),
+        ("p99_ns".to_string(), Json::int(s.p99_ns)),
+        (
+            "layers_ns".to_string(),
+            Json::obj([
+                ("doorbell".to_string(), Json::int(s.doorbell_ns)),
+                ("nic".to_string(), Json::int(s.nic_ns)),
+                ("wire".to_string(), Json::int(s.wire_ns)),
+                ("software".to_string(), Json::int(s.software_ns)),
+            ]),
+        ),
+    ])
+}
+
+/// Runs experiment `id` and returns its JSON document: the same tables the
+/// text mode prints, plus structured extras for experiments that have them.
+pub fn experiment_json(id: &str) -> Json {
+    let tables: Vec<Json> = experiments::run(id).iter().map(table_json).collect();
+    let mut fields = vec![
+        ("id".to_string(), Json::str(id)),
+        ("tables".to_string(), Json::Arr(tables)),
+    ];
+    if id == "e3" {
+        let attr: Vec<Json> = e3_datapath::attribution()
+            .iter()
+            .map(layer_stat_json)
+            .collect();
+        fields.push(("read_latency_attribution".to_string(), Json::Arr(attr)));
+    }
+    Json::obj(fields)
+}
+
+/// Builds the full `BENCH_*.json` document for a set of experiment ids.
+pub fn bench_report(ids: &[&str], run_id: &str) -> Json {
+    Json::obj([
+        ("schema".to_string(), Json::str("rstore-bench-v1")),
+        ("run_id".to_string(), Json::str(run_id)),
+        (
+            "experiments".to_string(),
+            Json::obj(
+                ids.iter()
+                    .map(|id| ((*id).to_string(), experiment_json(id))),
+            ),
+        ),
+    ])
+}
+
+/// Runs a representative cluster lifecycle (boot, alloc, write, read, grow,
+/// free) with tracing enabled and returns the Chrome trace-event JSON.
+///
+/// The run is fully deterministic: two calls return byte-identical output.
+pub fn trace_cluster_lifecycle() -> String {
+    let cluster = Cluster::boot(ClusterConfig::with_servers(3)).expect("boot");
+    let sim = cluster.sim.clone();
+    let tracer = sim.tracer();
+    tracer.enable(1 << 16);
+    sim.block_on(async move {
+        let client = cluster.client(0).await.expect("client");
+        let opts = AllocOptions {
+            stripe_size: 64 * 1024,
+            ..AllocOptions::default()
+        };
+        let region = client
+            .alloc("lifecycle", 1 << 20, opts)
+            .await
+            .expect("alloc");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        region.write(0, &payload).await.expect("write");
+        region.read(0, 4096).await.expect("read");
+        let grown = client.grow("lifecycle", 1 << 20, opts).await.expect("grow");
+        grown.write((1 << 20) + 512, b"tail").await.expect("write2");
+        client.free("lifecycle").await.expect("free");
+    });
+    tracer.export_chrome_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+
+    #[test]
+    fn table_json_is_valid() {
+        let mut t = Table::new("T: \"quoted\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        t.note("n");
+        validate(&table_json(&t).render()).expect("valid JSON");
+    }
+
+    #[test]
+    fn lifecycle_trace_is_valid_and_deterministic() {
+        let a = trace_cluster_lifecycle();
+        validate(&a).expect("chrome trace must be valid JSON");
+        assert!(a.contains("\"traceEvents\""));
+        assert!(a.contains("rstore.ctrl.alloc"));
+        assert!(a.contains("rstore.read"));
+        let b = trace_cluster_lifecycle();
+        assert_eq!(a, b, "seeded runs must trace identically");
+    }
+}

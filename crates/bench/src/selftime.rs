@@ -1,0 +1,30 @@
+//! Minimal self-timing harness for the `benches/` targets.
+//!
+//! The workspace builds without crates.io dependencies, so the benches are
+//! plain `harness = false` binaries that time their kernel with
+//! [`std::time::Instant`] and print min/median/mean wall-clock per
+//! iteration. These track the *real-time* cost of the simulator engine;
+//! the experiments themselves are measured in deterministic virtual time
+//! by the `figures` binary.
+
+use std::time::{Duration, Instant};
+
+/// Times `iters` runs of `body` (after one untimed warmup) and prints a
+/// one-line summary.
+pub fn bench(name: &str, iters: u32, mut body: impl FnMut()) {
+    assert!(iters > 0, "bench({name:?}) needs iters > 0");
+    body(); // warmup
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        body();
+        samples.push(t0.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / iters;
+    println!(
+        "{name:<28} iters={iters:<3} min={min:>12.3?} median={median:>12.3?} mean={mean:>12.3?}"
+    );
+}

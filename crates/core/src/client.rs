@@ -237,7 +237,15 @@ impl RStoreClient {
     #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim; semaphore-guarded
     async fn ctrl_call(&self, req: CtrlReq) -> Result<CtrlResp> {
         let s = &self.shared;
+        let (span_name, latency_metric) = ctrl_op_names(&req);
         s.ctrl_sem.acquire().await;
+        // The span (and histogram) cover the RPC itself, not time queued
+        // behind this client's other control calls.
+        let span = s
+            .sim
+            .tracer()
+            .span("core", span_name, s.dev.node().0 as u64);
+        let t0 = s.sim.now();
         let result = async {
             let mut conn = match s.ctrl.borrow_mut().take() {
                 Some(c) => c,
@@ -253,6 +261,10 @@ impl RStoreClient {
         }
         .await;
         s.ctrl_sem.release();
+        span.end();
+        s.dev
+            .metrics()
+            .record(latency_metric, s.sim.now().saturating_since(t0));
         result
     }
 
@@ -288,6 +300,19 @@ impl RStoreClient {
             }
         }
         Ok(Region::new(self.clone(), desc))
+    }
+}
+
+/// Trace span and latency histogram names for a control-path request.
+fn ctrl_op_names(req: &CtrlReq) -> (&'static str, &'static str) {
+    match req {
+        CtrlReq::Alloc { .. } => ("rstore.ctrl.alloc", "rstore.ctrl_latency.alloc"),
+        CtrlReq::Grow { .. } => ("rstore.ctrl.grow", "rstore.ctrl_latency.grow"),
+        CtrlReq::Lookup { .. } => ("rstore.ctrl.lookup", "rstore.ctrl_latency.lookup"),
+        CtrlReq::Free { .. } => ("rstore.ctrl.free", "rstore.ctrl_latency.free"),
+        CtrlReq::Stat => ("rstore.ctrl.stat", "rstore.ctrl_latency.stat"),
+        CtrlReq::RegisterServer { .. } => ("rstore.ctrl.register", "rstore.ctrl_latency.register"),
+        CtrlReq::Heartbeat { .. } => ("rstore.ctrl.heartbeat", "rstore.ctrl_latency.heartbeat"),
     }
 }
 

@@ -64,7 +64,10 @@ impl fmt::Display for RStoreError {
                 write!(f, "region {n:?} is degraded (memory server down)")
             }
             RStoreError::OutOfRange { offset, len, size } => {
-                write!(f, "access [{offset}, +{len}) outside region of {size} bytes")
+                write!(
+                    f,
+                    "access [{offset}, +{len}) outside region of {size} bytes"
+                )
             }
             RStoreError::Protocol(m) => write!(f, "protocol error: {m}"),
             RStoreError::Remote(m) => write!(f, "remote error: {m}"),

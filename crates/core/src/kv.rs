@@ -290,10 +290,7 @@ impl KvTable {
         body.extend_from_slice(value);
         self.region.write(slot * self.slot_bytes + 8, &body).await?;
         self.region
-            .write(
-                slot * self.slot_bytes,
-                &(version + 2).to_le_bytes(),
-            )
+            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
             .await?;
         Ok(())
     }
@@ -453,7 +450,9 @@ mod tests {
         let sim = cluster.sim.clone();
         sim.block_on(async move {
             let client = cluster.client(0).await.unwrap();
-            let kv = KvTable::create(&client, "kvcol", small_cfg()).await.unwrap();
+            let kv = KvTable::create(&client, "kvcol", small_cfg())
+                .await
+                .unwrap();
             for i in 0..40u32 {
                 kv.put(format!("key-{i}").as_bytes(), &i.to_le_bytes())
                     .await
@@ -472,11 +471,16 @@ mod tests {
             }
             // Reuse the tombstones.
             for i in (0..40u32).step_by(2) {
-                kv.put(format!("key-{i}").as_bytes(), b"back").await.unwrap();
+                kv.put(format!("key-{i}").as_bytes(), b"back")
+                    .await
+                    .unwrap();
             }
             for i in (0..40u32).step_by(2) {
                 assert_eq!(
-                    kv.get(format!("key-{i}").as_bytes()).await.unwrap().unwrap(),
+                    kv.get(format!("key-{i}").as_bytes())
+                        .await
+                        .unwrap()
+                        .unwrap(),
                     b"back"
                 );
             }
@@ -538,7 +542,11 @@ mod tests {
             assert!(s.starts_with('w') && s.contains('r'), "got {s}");
             // Every private key has its writer's last round.
             for (i, kv) in kvs.iter().enumerate() {
-                let v = kv.get(format!("own-{i}").as_bytes()).await.unwrap().unwrap();
+                let v = kv
+                    .get(format!("own-{i}").as_bytes())
+                    .await
+                    .unwrap()
+                    .unwrap();
                 assert_eq!(v, 9u32.to_le_bytes());
             }
         });
@@ -550,7 +558,9 @@ mod tests {
         let sim = cluster.sim.clone();
         sim.block_on(async move {
             let client = cluster.client(0).await.unwrap();
-            let kv = KvTable::create(&client, "small", small_cfg()).await.unwrap();
+            let kv = KvTable::create(&client, "small", small_cfg())
+                .await
+                .unwrap();
             let err = kv.put(b"k", &[0u8; 200]).await.err().unwrap();
             assert!(matches!(err, RStoreError::Protocol(_)));
             assert!(kv.value_capacity(1) < 200);

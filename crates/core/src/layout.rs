@@ -136,9 +136,33 @@ mod tests {
         let l = Layout::new(&desc(&[64, 64, 36]));
         let p = l.pieces(60, 80).unwrap();
         assert_eq!(p.len(), 3);
-        assert_eq!(p[0], Piece { group: 0, offset_in_stripe: 60, len: 4, buf_offset: 0 });
-        assert_eq!(p[1], Piece { group: 1, offset_in_stripe: 0, len: 64, buf_offset: 4 });
-        assert_eq!(p[2], Piece { group: 2, offset_in_stripe: 0, len: 12, buf_offset: 68 });
+        assert_eq!(
+            p[0],
+            Piece {
+                group: 0,
+                offset_in_stripe: 60,
+                len: 4,
+                buf_offset: 0
+            }
+        );
+        assert_eq!(
+            p[1],
+            Piece {
+                group: 1,
+                offset_in_stripe: 0,
+                len: 64,
+                buf_offset: 4
+            }
+        );
+        assert_eq!(
+            p[2],
+            Piece {
+                group: 2,
+                offset_in_stripe: 0,
+                len: 12,
+                buf_offset: 68
+            }
+        );
     }
 
     #[test]

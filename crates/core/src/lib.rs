@@ -283,12 +283,7 @@ mod tests {
             region.write(0, b"x").await.unwrap();
             fabric.set_node_up(victim, false);
             // Wait out the lease so the master notices.
-            region
-                .client()
-                .shared
-                .sim
-                .sleep(master_cfg_lease * 3)
-                .await;
+            region.client().shared.sim.sleep(master_cfg_lease * 3).await;
             client.map("frail").await.err().unwrap()
         });
         assert_eq!(err, RStoreError::Degraded("frail".into()));
@@ -486,6 +481,39 @@ mod tests {
             client.free("tmp_grow").await.unwrap();
             assert_eq!(client.stats().await.unwrap().used, 0);
         });
+    }
+
+    #[test]
+    fn trace_spans_cover_control_and_data_path() {
+        let cluster = boot(2);
+        let sim = cluster.sim.clone();
+        let tracer = sim.tracer();
+        tracer.enable(4096);
+        let metrics = sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let region = client
+                .alloc("traced", 1 << 16, AllocOptions::default())
+                .await
+                .unwrap();
+            region.write(0, b"abc").await.unwrap();
+            region.read(0, 3).await.unwrap();
+            client.device().metrics().clone()
+        });
+        let names: Vec<&str> = tracer.events().iter().map(|e| e.name).collect();
+        for expected in ["rstore.ctrl.alloc", "rstore.write", "rstore.read"] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        let alloc_lat = metrics.histogram("rstore.ctrl_latency.alloc").unwrap();
+        assert_eq!(alloc_lat.len(), 1);
+        assert!(alloc_lat.min() > 0, "control RPC must take virtual time");
+        // The data-path spans must enclose their constituent WR completions.
+        let read_span = tracer
+            .events()
+            .iter()
+            .find(|e| e.name == "rstore.read")
+            .cloned()
+            .unwrap();
+        assert!(read_span.dur.unwrap_or(0) > 0);
     }
 
     #[test]

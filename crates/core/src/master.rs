@@ -19,8 +19,8 @@ use sim::{DetRng, Sim, SimTime};
 
 use crate::error::{RStoreError, Result};
 use crate::proto::{
-    AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc, RegionState,
-    SrvReq, SrvResp, StripeGroup,
+    AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc, RegionState, SrvReq,
+    SrvResp, StripeGroup,
 };
 use crate::rpc::{spawn_rpc_server, RpcClient};
 use crate::{CTRL_SERVICE, SRV_SERVICE};
@@ -214,9 +214,12 @@ impl Master {
                 match st.regions.get(&name) {
                     Some(desc) => {
                         let mut desc = desc.clone();
-                        desc.state = if desc.groups.iter().flat_map(|g| &g.replicas).all(|x| {
-                            st.servers.get(&x.node).is_some_and(|s| s.alive)
-                        }) {
+                        desc.state = if desc
+                            .groups
+                            .iter()
+                            .flat_map(|g| &g.replicas)
+                            .all(|x| st.servers.get(&x.node).is_some_and(|s| s.alive))
+                        {
                             RegionState::Healthy
                         } else {
                             RegionState::Degraded
@@ -243,12 +246,7 @@ impl Master {
     }
 
     /// Computes the per-stripe replica placement and reserves capacity.
-    fn place(
-        &self,
-        stripe_lens: &[u64],
-        replicas: usize,
-        policy: Policy,
-    ) -> Result<Vec<Vec<u32>>> {
+    fn place(&self, stripe_lens: &[u64], replicas: usize, policy: Policy) -> Result<Vec<Vec<u32>>> {
         let mut st = self.state.borrow_mut();
         let alive: Vec<u32> = st
             .servers
@@ -524,7 +522,9 @@ impl Master {
             if alive {
                 // Best effort: a server dying mid-free loses the memory
                 // anyway.
-                let _ = self.server_call(node, SrvReq::FreeExtents { extents }).await;
+                let _ = self
+                    .server_call(node, SrvReq::FreeExtents { extents })
+                    .await;
             }
             let mut st = self.state.borrow_mut();
             if let Some(info) = st.servers.get_mut(&node) {

@@ -467,7 +467,11 @@ impl CtrlResp {
                 desc.encode_into(&mut e);
             }
             CtrlResp::Stats(s) => {
-                e.u8(3).u32(s.servers).u32(s.regions).u64(s.capacity).u64(s.used);
+                e.u8(3)
+                    .u32(s.servers)
+                    .u32(s.regions)
+                    .u64(s.capacity)
+                    .u64(s.used);
             }
         }
         e.into_bytes()

@@ -139,6 +139,11 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn read_into(&self, offset: u64, dst: DmaBuf) -> Result<()> {
+        let s = &self.client.shared;
+        let _span = s
+            .sim
+            .tracer()
+            .span_arg("core", "rstore.read", s.dev.node().0 as u64, dst.len);
         let pieces = self.layout.pieces(offset, dst.len)?;
         // Post every piece's primary read in parallel.
         let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
@@ -185,6 +190,11 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn write_from(&self, offset: u64, src: DmaBuf) -> Result<()> {
+        let s = &self.client.shared;
+        let _span = s
+            .sim
+            .tracer()
+            .span_arg("core", "rstore.write", s.dev.node().0 as u64, src.len);
         self.start_write(offset, src)?.wait().await
     }
 

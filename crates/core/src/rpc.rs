@@ -38,7 +38,9 @@ pub struct RpcClient {
 
 impl std::fmt::Debug for RpcClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RpcClient").field("peer", &self.peer).finish()
+        f.debug_struct("RpcClient")
+            .field("peer", &self.peer)
+            .finish()
     }
 }
 

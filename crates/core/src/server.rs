@@ -157,12 +157,7 @@ impl MemServer {
     }
 }
 
-async fn handle_srv_req(
-    dev: &RdmaDevice,
-    sim: &Sim,
-    pin_per_mib: Duration,
-    req: &[u8],
-) -> SrvResp {
+async fn handle_srv_req(dev: &RdmaDevice, sim: &Sim, pin_per_mib: Duration, req: &[u8]) -> SrvResp {
     let req = match SrvReq::decode(req) {
         Ok(r) => r,
         Err(e) => return SrvResp::Err(e.to_string()),

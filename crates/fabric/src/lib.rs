@@ -46,7 +46,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use sim::channel::{channel, Receiver, Sender};
-use sim::{Metrics, Sim, SimTime};
+use sim::{Metrics, Sim, SimTime, Tracer};
 
 /// Identifies a machine attached to the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -154,10 +154,12 @@ struct NodeState<M> {
     inbox: Option<Sender<Delivery<M>>>,
     tx_bytes: u64,
     rx_bytes: u64,
+    /// Registry handle scoped to this node's link (`fabric.link<N>.*`).
+    link: Metrics,
 }
 
 impl<M> NodeState<M> {
-    fn new() -> Self {
+    fn new(link: Metrics) -> Self {
         NodeState {
             tx_flows: std::collections::HashMap::new(),
             tx_rr: VecDeque::new(),
@@ -167,6 +169,7 @@ impl<M> NodeState<M> {
             inbox: None,
             tx_bytes: 0,
             rx_bytes: 0,
+            link,
         }
     }
 }
@@ -184,6 +187,7 @@ pub struct Fabric<M> {
     sim: Sim,
     inner: Rc<RefCell<Inner<M>>>,
     metrics: Metrics,
+    tracer: Tracer,
 }
 
 impl<M> Clone for Fabric<M> {
@@ -192,6 +196,7 @@ impl<M> Clone for Fabric<M> {
             sim: self.sim.clone(),
             inner: self.inner.clone(),
             metrics: self.metrics.clone(),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -209,6 +214,7 @@ impl<M> fmt::Debug for Fabric<M> {
 impl<M: 'static> Fabric<M> {
     /// Creates an empty fabric on the given simulation.
     pub fn new(sim: Sim, cfg: FabricConfig) -> Self {
+        let tracer = sim.tracer();
         Fabric {
             sim,
             inner: Rc::new(RefCell::new(Inner {
@@ -217,6 +223,7 @@ impl<M: 'static> Fabric<M> {
                 dropped: 0,
             })),
             metrics: Metrics::new(),
+            tracer,
         }
     }
 
@@ -224,7 +231,8 @@ impl<M: 'static> Fabric<M> {
     pub fn add_node(&self) -> NodeId {
         let mut inner = self.inner.borrow_mut();
         let id = NodeId(inner.nodes.len() as u32);
-        inner.nodes.push(NodeState::new());
+        let link = self.metrics.scoped(&format!("fabric.link{}", id.0));
+        inner.nodes.push(NodeState::new(link));
         id
     }
 
@@ -313,12 +321,23 @@ impl<M: 'static> Fabric<M> {
             );
             if !inner.nodes[src.0 as usize].up || !inner.nodes[dst.0 as usize].up {
                 inner.dropped += 1;
-                self.metrics.incr("fabric.dropped");
+                self.metrics.incr("fabric.dropped.endpoint_down");
+                self.tracer.instant(
+                    "fabric",
+                    "fabric.drop.endpoint_down",
+                    dst.0 as u64,
+                    wire_bytes,
+                );
                 return;
             }
-            inner.nodes[src.0 as usize].tx_bytes += wire_bytes;
+            let st = &mut inner.nodes[src.0 as usize];
+            st.tx_bytes += wire_bytes;
+            st.link.add("tx_bytes", wire_bytes);
+            st.link.incr("tx_msgs");
             self.metrics.add("fabric.tx_bytes", wire_bytes);
         }
+        self.tracer
+            .instant("fabric", "fabric.tx", src.0 as u64, wire_bytes);
 
         if src == dst {
             let deliver_at = now + self.inner.borrow().cfg.host_overhead;
@@ -416,6 +435,10 @@ impl<M: 'static> Fabric<M> {
             let rx_start = (now + hop).max(rx.rx_busy_until);
             let rx_done = rx_start + ser;
             rx.rx_busy_until = rx_done;
+            // Time this chunk spent waiting behind other arrivals on the
+            // receive link (zero when the port is idle).
+            rx.link
+                .record("rx_queue_delay", rx_start.saturating_since(now + hop));
             Some((tx_done, rx_done, chunk))
         };
         let Some((tx_done, rx_done, chunk)) = next else {
@@ -435,30 +458,38 @@ impl<M: 'static> Fabric<M> {
             let st = &mut inner.nodes[dst.0 as usize];
             if !st.up {
                 inner.dropped += 1;
-                fabric.metrics.incr("fabric.dropped");
+                fabric.metrics.incr("fabric.dropped.dst_down");
+                fabric
+                    .tracer
+                    .instant("fabric", "fabric.drop.dst_down", dst.0 as u64, wire_bytes);
                 return;
             }
             st.rx_bytes += wire_bytes;
+            st.link.add("rx_bytes", wire_bytes);
+            st.link.incr("rx_msgs");
             fabric.metrics.add("fabric.rx_bytes", wire_bytes);
             let inbox = st.inbox.clone();
             drop(inner);
-            if let Some(inbox) = inbox {
-                // A dropped receiver means the node's device was torn down;
-                // treat like a failed node.
-                if inbox
+            fabric
+                .tracer
+                .instant("fabric", "fabric.rx", dst.0 as u64, wire_bytes);
+            // A missing or dropped receiver means the node's device was never
+            // attached or was torn down; treat like a failed node.
+            let delivered = inbox.is_some_and(|inbox| {
+                inbox
                     .send(Delivery {
                         src,
                         wire_bytes,
                         msg,
                     })
-                    .is_err()
-                {
-                    fabric.inner.borrow_mut().dropped += 1;
-                    fabric.metrics.incr("fabric.dropped");
-                }
-            } else {
+                    .is_ok()
+            });
+            if !delivered {
                 fabric.inner.borrow_mut().dropped += 1;
-                fabric.metrics.incr("fabric.dropped");
+                fabric.metrics.incr("fabric.dropped.no_inbox");
+                fabric
+                    .tracer
+                    .instant("fabric", "fabric.drop.no_inbox", dst.0 as u64, wire_bytes);
             }
         });
     }
@@ -589,6 +620,12 @@ mod tests {
         sim.run();
         assert_eq!(h.try_result().unwrap(), None);
         assert_eq!(fabric.dropped_messages(), 1);
+        // The reason-labelled counter attributes the drop to the send-time
+        // endpoint check.
+        let m = fabric.metrics();
+        assert_eq!(m.counter("fabric.dropped.endpoint_down"), 1);
+        assert_eq!(m.counter("fabric.dropped.dst_down"), 0);
+        assert_eq!(m.counter("fabric.dropped.no_inbox"), 0);
         fabric.set_node_up(b, true);
         assert!(fabric.is_node_up(b));
     }
@@ -607,6 +644,56 @@ mod tests {
         sim.run();
         assert_eq!(fabric.dropped_messages(), 1);
         assert_eq!(fabric.rx_bytes(b), 0);
+        // The node was up when the send was initiated, so the drop happens
+        // (and is attributed) at delivery time.
+        assert_eq!(fabric.metrics().counter("fabric.dropped.dst_down"), 1);
+        assert_eq!(fabric.metrics().counter("fabric.dropped.endpoint_down"), 0);
+    }
+
+    #[test]
+    fn delivery_without_inbox_is_dropped_with_reason() {
+        let sim = Sim::new();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node(); // never attached
+        fabric.send(a, b, 64, 1);
+        sim.run();
+        assert_eq!(fabric.dropped_messages(), 1);
+        assert_eq!(fabric.metrics().counter("fabric.dropped.no_inbox"), 1);
+        assert_eq!(fabric.metrics().counter("fabric.dropped.endpoint_down"), 0);
+        assert_eq!(fabric.metrics().counter("fabric.dropped.dst_down"), 0);
+    }
+
+    #[test]
+    fn per_link_counters_and_queue_delay() {
+        // Two senders into one port: per-link counters split traffic by
+        // node, and the shared receive link records queueing delay.
+        let sim = Sim::new();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let c = fabric.add_node();
+        let mut rx = fabric.attach(c);
+        let bytes = 1024 * 1024u64;
+        fabric.send(a, c, bytes, 1);
+        fabric.send(b, c, bytes, 2);
+        sim.spawn(async move {
+            rx.recv().await;
+            rx.recv().await;
+        });
+        sim.run();
+        let m = fabric.metrics();
+        assert_eq!(m.counter("fabric.link0.tx_bytes"), bytes);
+        assert_eq!(m.counter("fabric.link1.tx_bytes"), bytes);
+        assert_eq!(m.counter("fabric.link2.rx_bytes"), 2 * bytes);
+        assert_eq!(m.counter("fabric.link2.rx_msgs"), 2);
+        assert_eq!(m.counter("fabric.link2.tx_bytes"), 0);
+        let qd = m
+            .histogram("fabric.link2.rx_queue_delay")
+            .expect("queue delay recorded");
+        // With two flows contending for one receive link some chunk must
+        // have waited.
+        assert!(qd.max() > 0, "contention must produce queueing delay");
     }
 
     #[test]

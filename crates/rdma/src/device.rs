@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use fabric::{Delivery, Fabric, NodeId};
 use sim::channel::{channel, oneshot, Receiver, Sender};
-use sim::{Metrics, Sim};
+use sim::{Metrics, Sim, SimTime, Tracer};
 
 use crate::config::RdmaConfig;
 use crate::cq::{CompletionQueue, CqStatus, Cqe, CqeOpcode};
@@ -95,6 +95,8 @@ struct PendingWr {
     status: Option<CqStatus>,
     /// Destination for READ data / atomic prior value.
     local_dst: Option<DmaBuf>,
+    /// Virtual time the WR was posted; start of its trace span.
+    posted_at: SimTime,
 }
 
 struct RecvWr {
@@ -112,6 +114,8 @@ struct QpState {
     /// SENDs that arrived before a receive buffer was posted (RNR queue).
     unmatched: VecDeque<(u64, Payload, Option<u32>)>,
     error: bool,
+    /// Registry handle scoped to this QP (`rdma.n<node>.qp<qpn>.*`).
+    stats: Metrics,
 }
 
 struct PendingConn {
@@ -147,6 +151,7 @@ pub struct RdmaDevice {
     node: NodeId,
     cfg: Rc<RdmaConfig>,
     inner: Rc<RefCell<DevInner>>,
+    tracer: Tracer,
 }
 
 impl fmt::Debug for RdmaDevice {
@@ -167,6 +172,7 @@ impl RdmaDevice {
         let inbox = fabric.attach(node);
         let dev = RdmaDevice {
             sim: fabric.sim().clone(),
+            tracer: fabric.sim().tracer(),
             fabric: fabric.clone(),
             node,
             inner: Rc::new(RefCell::new(DevInner {
@@ -203,6 +209,12 @@ impl RdmaDevice {
     /// The device's timing configuration.
     pub fn config(&self) -> &RdmaConfig {
         &self.cfg
+    }
+
+    /// Registry handle scoped to one of this device's queue pairs.
+    fn qp_stats(&self, qpn: Qpn) -> Metrics {
+        self.metrics()
+            .scoped(&format!("rdma.n{}.qp{}", self.node.0, qpn.0))
     }
 
     // --- memory ------------------------------------------------------------
@@ -354,6 +366,7 @@ impl RdmaDevice {
                     recvq: VecDeque::new(),
                     unmatched: VecDeque::new(),
                     error: false,
+                    stats: self.qp_stats(qpn),
                 },
             );
             let conn_id = inner.next_conn;
@@ -484,14 +497,14 @@ impl RdmaDevice {
                     return; // stale message to a destroyed QP
                 };
                 let inner = self.inner.borrow();
-                let (status, payload) = match check(&inner.arena, rkey, raddr, len, Access::REMOTE_READ)
-                {
-                    Ok(()) => match inner.arena.read_payload(raddr, len) {
-                        Ok(p) => (WireStatus::Ok, p),
-                        Err(_) => (WireStatus::OutOfBounds, Payload::Bytes(Vec::new())),
-                    },
-                    Err(s) => (s, Payload::Bytes(Vec::new())),
-                };
+                let (status, payload) =
+                    match check(&inner.arena, rkey, raddr, len, Access::REMOTE_READ) {
+                        Ok(()) => match inner.arena.read_payload(raddr, len) {
+                            Ok(p) => (WireStatus::Ok, p),
+                            Err(_) => (WireStatus::OutOfBounds, Payload::Bytes(Vec::new())),
+                        },
+                        Err(s) => (s, Payload::Bytes(Vec::new())),
+                    };
                 drop(inner);
                 self.reply(
                     src,
@@ -513,14 +526,19 @@ impl RdmaDevice {
                     return;
                 };
                 let mut inner = self.inner.borrow_mut();
-                let status =
-                    match check(&inner.arena, rkey, raddr, payload.len(), Access::REMOTE_WRITE) {
-                        Ok(()) => match inner.arena.write_payload(raddr, &payload) {
-                            Ok(()) => WireStatus::Ok,
-                            Err(_) => WireStatus::OutOfBounds,
-                        },
-                        Err(s) => s,
-                    };
+                let status = match check(
+                    &inner.arena,
+                    rkey,
+                    raddr,
+                    payload.len(),
+                    Access::REMOTE_WRITE,
+                ) {
+                    Ok(()) => match inner.arena.write_payload(raddr, &payload) {
+                        Ok(()) => WireStatus::Ok,
+                        Err(_) => WireStatus::OutOfBounds,
+                    },
+                    Err(s) => s,
+                };
                 drop(inner);
                 self.reply(src, reply_to, QpMsg::WriteAck { req_id, status });
             }
@@ -559,7 +577,15 @@ impl RdmaDevice {
                     Err(s) => (s, 0),
                 };
                 drop(inner);
-                self.reply(src, reply_to, QpMsg::AtomicResp { req_id, status, old });
+                self.reply(
+                    src,
+                    reply_to,
+                    QpMsg::AtomicResp {
+                        req_id,
+                        status,
+                        old,
+                    },
+                );
             }
             QpMsg::Send {
                 req_id,
@@ -657,22 +683,40 @@ impl RdmaDevice {
 
         // Release completions strictly in post order.
         let qp = inner.qps.get_mut(&qpn.0).expect("qp still present");
+        let stats = qp.stats.clone();
         let mut cqes = Vec::new();
         let mut released = 0u64;
         while qp.sq.front().is_some_and(|w| w.status.is_some()) {
             let w = qp.sq.pop_front().expect("front checked");
             released += w.byte_len;
-            cqes.push(Cqe {
-                wr_id: w.wr_id,
-                opcode: w.opcode,
-                status: w.status.expect("status set"),
-                byte_len: w.byte_len,
-                imm: None,
-            });
+            cqes.push((
+                Cqe {
+                    wr_id: w.wr_id,
+                    opcode: w.opcode,
+                    status: w.status.expect("status set"),
+                    byte_len: w.byte_len,
+                    imm: None,
+                },
+                w.posted_at,
+            ));
         }
         inner.outstanding_bytes = inner.outstanding_bytes.saturating_sub(released);
         drop(inner);
-        for cqe in cqes {
+        let now = self.sim.now();
+        let metrics = self.metrics();
+        for (cqe, posted_at) in cqes {
+            stats.incr("completed");
+            metrics.record(
+                opcode_latency_metric(cqe.opcode),
+                now.saturating_since(posted_at),
+            );
+            self.tracer.complete_at(
+                "rdma",
+                opcode_trace_name(cqe.opcode),
+                qpn.0,
+                posted_at,
+                cqe.byte_len,
+            );
             cq.push(cqe);
         }
     }
@@ -685,10 +729,12 @@ impl RdmaDevice {
         };
         qp.error = true;
         let cq = qp.cq.clone();
+        let stats = qp.stats.clone();
         let mut cqes = Vec::new();
         let mut released = 0u64;
         for w in qp.sq.drain(..) {
             released += w.byte_len;
+            stats.incr("flushed");
             cqes.push(Cqe {
                 wr_id: w.wr_id,
                 opcode: w.opcode,
@@ -701,6 +747,8 @@ impl RdmaDevice {
                 imm: None,
             });
         }
+        self.tracer
+            .instant("rdma", "rdma.qp_error", qpn.0, victim_req);
         for r in qp.recvq.drain(..) {
             cqes.push(Cqe {
                 wr_id: r.wr_id,
@@ -718,7 +766,13 @@ impl RdmaDevice {
     }
 }
 
-fn check(arena: &Arena, rkey: RKey, addr: u64, len: u64, needed: Access) -> std::result::Result<(), WireStatus> {
+fn check(
+    arena: &Arena,
+    rkey: RKey,
+    addr: u64,
+    len: u64,
+    needed: Access,
+) -> std::result::Result<(), WireStatus> {
     let Some(mr) = arena.mr(rkey) else {
         return Err(WireStatus::AccessDenied);
     };
@@ -726,6 +780,30 @@ fn check(arena: &Arena, rkey: RKey, addr: u64, len: u64, needed: Access) -> std:
         Ok(()) => Ok(()),
         Err(RdmaError::AccessDenied) => Err(WireStatus::AccessDenied),
         Err(_) => Err(WireStatus::OutOfBounds),
+    }
+}
+
+/// Trace span name for a completed work request, by opcode.
+fn opcode_trace_name(op: CqeOpcode) -> &'static str {
+    match op {
+        CqeOpcode::Send => "rdma.wr.send",
+        CqeOpcode::Recv => "rdma.wr.recv",
+        CqeOpcode::Read => "rdma.wr.read",
+        CqeOpcode::Write => "rdma.wr.write",
+        CqeOpcode::CompSwap => "rdma.wr.comp_swap",
+        CqeOpcode::FetchAdd => "rdma.wr.fetch_add",
+    }
+}
+
+/// Latency histogram name for a completed work request, by opcode.
+fn opcode_latency_metric(op: CqeOpcode) -> &'static str {
+    match op {
+        CqeOpcode::Send => "rdma.wr_latency.send",
+        CqeOpcode::Recv => "rdma.wr_latency.recv",
+        CqeOpcode::Read => "rdma.wr_latency.read",
+        CqeOpcode::Write => "rdma.wr_latency.write",
+        CqeOpcode::CompSwap => "rdma.wr_latency.comp_swap",
+        CqeOpcode::FetchAdd => "rdma.wr_latency.fetch_add",
     }
 }
 
@@ -778,6 +856,7 @@ impl Listener {
                     recvq: VecDeque::new(),
                     unmatched: VecDeque::new(),
                     error: false,
+                    stats: self.dev.qp_stats(qpn),
                 },
             );
             qpn
@@ -860,18 +939,14 @@ impl Qp {
     /// [`RdmaError::QpError`] if the QP is in the error state;
     /// [`RdmaError::OutOfBounds`] if `dst` is not valid local memory.
     pub fn post_read(&self, wr_id: u64, dst: DmaBuf, remote: RemoteAddr) -> Result<()> {
-        self.post_one_sided(
-            wr_id,
-            CqeOpcode::Read,
-            dst.len,
-            Some(dst),
-            move |req_id| QpMsg::ReadReq {
+        self.post_one_sided(wr_id, CqeOpcode::Read, dst.len, Some(dst), move |req_id| {
+            QpMsg::ReadReq {
                 req_id,
                 raddr: remote.addr,
                 rkey: remote.rkey,
                 len: dst.len,
-            },
-        )
+            }
+        })
     }
 
     /// Posts a one-sided RDMA WRITE of the local buffer `src` to `remote`.
@@ -881,7 +956,12 @@ impl Qp {
     /// [`RdmaError::QpError`] if the QP is in the error state;
     /// [`RdmaError::OutOfBounds`] if `src` is not valid local memory.
     pub fn post_write(&self, wr_id: u64, src: DmaBuf, remote: RemoteAddr) -> Result<()> {
-        let payload = self.dev.inner.borrow().arena.read_payload(src.addr, src.len)?;
+        let payload = self
+            .dev
+            .inner
+            .borrow()
+            .arena
+            .read_payload(src.addr, src.len)?;
         self.post_one_sided(wr_id, CqeOpcode::Write, src.len, None, move |req_id| {
             QpMsg::WriteReq {
                 req_id,
@@ -906,18 +986,14 @@ impl Qp {
         expect: u64,
         swap: u64,
     ) -> Result<()> {
-        self.post_one_sided(
-            wr_id,
-            CqeOpcode::CompSwap,
-            8,
-            Some(result),
-            move |req_id| QpMsg::AtomicReq {
+        self.post_one_sided(wr_id, CqeOpcode::CompSwap, 8, Some(result), move |req_id| {
+            QpMsg::AtomicReq {
                 req_id,
                 raddr: remote.addr,
                 rkey: remote.rkey,
                 op: AtomicOp::CompareSwap { expect, swap },
-            },
-        )
+            }
+        })
     }
 
     /// Posts a fetch-and-add on a remote u64; the prior value lands in
@@ -927,18 +1003,14 @@ impl Qp {
     ///
     /// [`RdmaError::QpError`] / [`RdmaError::OutOfBounds`] as for reads.
     pub fn post_faa(&self, wr_id: u64, result: DmaBuf, remote: RemoteAddr, add: u64) -> Result<()> {
-        self.post_one_sided(
-            wr_id,
-            CqeOpcode::FetchAdd,
-            8,
-            Some(result),
-            move |req_id| QpMsg::AtomicReq {
+        self.post_one_sided(wr_id, CqeOpcode::FetchAdd, 8, Some(result), move |req_id| {
+            QpMsg::AtomicReq {
                 req_id,
                 raddr: remote.addr,
                 rkey: remote.rkey,
                 op: AtomicOp::FetchAdd { add },
-            },
-        )
+            }
+        })
     }
 
     /// Posts a two-sided SEND of the local buffer `src`, optionally carrying
@@ -948,7 +1020,12 @@ impl Qp {
     ///
     /// [`RdmaError::QpError`] / [`RdmaError::OutOfBounds`] as for writes.
     pub fn post_send(&self, wr_id: u64, src: DmaBuf, imm: Option<u32>) -> Result<()> {
-        let payload = self.dev.inner.borrow().arena.read_payload(src.addr, src.len)?;
+        let payload = self
+            .dev
+            .inner
+            .borrow()
+            .arena
+            .read_payload(src.addr, src.len)?;
         self.post_one_sided(wr_id, CqeOpcode::Send, src.len, None, move |req_id| {
             QpMsg::Send {
                 req_id,
@@ -981,7 +1058,8 @@ impl Qp {
             let status = self
                 .dev
                 .deliver_recv(&cq, RecvWr { wr_id, buf }, payload, imm);
-            self.dev.reply(peer, peer_qpn, QpMsg::SendAck { req_id, status });
+            self.dev
+                .reply(peer, peer_qpn, QpMsg::SendAck { req_id, status });
         } else {
             qp.recvq.push_back(RecvWr { wr_id, buf });
         }
@@ -1020,7 +1098,11 @@ impl Qp {
                 byte_len,
                 status: None,
                 local_dst,
+                posted_at: self.dev.sim.now(),
             });
+            qp.stats.incr("posted");
+            qp.stats
+                .record_value("outstanding_depth", qp.sq.len() as u64);
             (
                 req_id,
                 qp.remote_node,
@@ -1028,6 +1110,9 @@ impl Qp {
                 backlog,
             )
         };
+        let metrics = self.dev.metrics();
+        metrics.incr("rdma.doorbells");
+        metrics.record_value("rdma.doorbell_bytes", byte_len);
 
         let msg = NetMsg::Qp {
             dst: peer_qpn,
@@ -1049,12 +1134,11 @@ impl Qp {
         // granted wire time for that backlog too.
         let timeout = self.dev.cfg.op_timeout(byte_len.saturating_add(backlog));
         self.dev.sim.schedule(timeout, move || {
-            let still_pending = dev
-                .inner
-                .borrow()
-                .qps
-                .get(&qpn.0)
-                .is_some_and(|qp| qp.sq.iter().any(|w| w.req_id == req_id && w.status.is_none()));
+            let still_pending = dev.inner.borrow().qps.get(&qpn.0).is_some_and(|qp| {
+                qp.sq
+                    .iter()
+                    .any(|w| w.req_id == req_id && w.status.is_none())
+            });
             if still_pending {
                 if std::env::var_os("RDMA_DEBUG_TIMEOUT").is_some() {
                     eprintln!(
@@ -1103,7 +1187,9 @@ mod tests {
             let ccq = CompletionQueue::new();
             let b2 = b.clone();
             let scq2 = scq.clone();
-            let accept = b.sim().spawn(async move { listener.accept(&scq2).await.unwrap() });
+            let accept = b
+                .sim()
+                .spawn(async move { listener.accept(&scq2).await.unwrap() });
             let cqp = a.connect(b2.node(), 7, &ccq).await.unwrap();
             let sqp = accept.await;
             f(a, b2, cqp, ccq, sqp, scq).await
@@ -1133,7 +1219,8 @@ mod tests {
             let server_buf = b.alloc(16).unwrap();
             let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
             let src = a.alloc_init(b"hello, server").unwrap();
-            cqp.post_write(2, src, mr.token().at(0, 13).unwrap()).unwrap();
+            cqp.post_write(2, src, mr.token().at(0, 13).unwrap())
+                .unwrap();
             let cqe = ccq.next().await;
             assert!(cqe.status.is_ok());
             assert_eq!(b.read_mem(server_buf.addr, 13).unwrap(), b"hello, server");
@@ -1152,7 +1239,10 @@ mod tests {
             a.sim().now() - t0
         });
         // The paper's "close to hardware" claim: single-digit microseconds.
-        assert!(lat >= Duration::from_nanos(1200), "suspiciously fast: {lat:?}");
+        assert!(
+            lat >= Duration::from_nanos(1200),
+            "suspiciously fast: {lat:?}"
+        );
         assert!(lat <= Duration::from_micros(4), "too slow: {lat:?}");
     }
 
@@ -1163,7 +1253,8 @@ mod tests {
             // Registered read-only: writes must be rejected.
             let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
             let src = a.alloc(8).unwrap();
-            cqp.post_write(1, src, mr.token().at(0, 8).unwrap()).unwrap();
+            cqp.post_write(1, src, mr.token().at(0, 8).unwrap())
+                .unwrap();
             let cqe = ccq.next().await;
             assert_eq!(cqe.status, CqStatus::RemoteAccess);
 
@@ -1281,7 +1372,8 @@ mod tests {
             let mr = b.reg_mr(counter, Access::REMOTE_ATOMIC).unwrap();
             let result = a.alloc(8).unwrap();
 
-            cqp.post_faa(1, result, mr.token().at(0, 8).unwrap(), 5).unwrap();
+            cqp.post_faa(1, result, mr.token().at(0, 8).unwrap(), 5)
+                .unwrap();
             let cqe = ccq.next().await;
             assert!(cqe.status.is_ok());
             assert_eq!(a.read_u64(result.addr).unwrap(), 100);
@@ -1331,9 +1423,7 @@ mod tests {
             let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
             // Kill the server mid-connection.
             let fabric_down = b.clone();
-            fabric_down
-                .fabric
-                .set_node_up(b.node(), false);
+            fabric_down.fabric.set_node_up(b.node(), false);
             let dst = a.alloc(8).unwrap();
             cqp.post_read(1, dst, mr.token().at(0, 8).unwrap()).unwrap();
             cqp.post_read(2, dst, mr.token().at(0, 8).unwrap()).unwrap();
@@ -1355,7 +1445,8 @@ mod tests {
             let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
             let dst = a.alloc_synthetic(len).unwrap();
             let t0 = a.sim().now();
-            cqp.post_read(1, dst, mr.token().at(0, len).unwrap()).unwrap();
+            cqp.post_read(1, dst, mr.token().at(0, len).unwrap())
+                .unwrap();
             let cqe = ccq.next().await;
             assert!(cqe.status.is_ok());
             ((a.sim().now() - t0).as_secs_f64(), len)
@@ -1373,7 +1464,8 @@ mod tests {
             let server_buf = b.alloc_init(b"keepme!!").unwrap();
             let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
             let src = a.alloc_synthetic(8).unwrap();
-            cqp.post_write(1, src, mr.token().at(0, 8).unwrap()).unwrap();
+            cqp.post_write(1, src, mr.token().at(0, 8).unwrap())
+                .unwrap();
             assert!(ccq.next().await.status.is_ok());
             // Synthetic payloads move no bytes.
             assert_eq!(b.read_mem(server_buf.addr, 8).unwrap(), b"keepme!!");
@@ -1487,6 +1579,35 @@ mod tests {
                 assert_eq!(cqe.wr_id, 100 + i as u64);
                 assert_eq!(b.read_mem(rbuf.addr, 4).unwrap(), vec![i; 4]);
             }
+        });
+    }
+
+    #[test]
+    fn per_qp_stats_and_latency_histograms() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(64).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(64).unwrap();
+            for i in 0..3 {
+                cqp.post_read(i, dst, mr.token().at(0, 64).unwrap())
+                    .unwrap();
+            }
+            for _ in 0..3 {
+                assert!(ccq.next().await.status.is_ok());
+            }
+            let m = a.metrics();
+            let scope = format!("rdma.n{}.qp{}", a.node().0, cqp.qpn().0);
+            assert_eq!(m.counter(&format!("{scope}.posted")), 3);
+            assert_eq!(m.counter(&format!("{scope}.completed")), 3);
+            let depth = m
+                .histogram(&format!("{scope}.outstanding_depth"))
+                .expect("depth recorded");
+            assert_eq!(depth.len(), 3);
+            assert_eq!(depth.max(), 3); // three reads were in flight at once
+            let lat = m.histogram("rdma.wr_latency.read").expect("read latency");
+            assert_eq!(lat.len(), 3);
+            assert!(lat.min() > 0);
+            assert_eq!(m.counter("rdma.doorbells"), 3);
         });
     }
 

@@ -62,7 +62,9 @@ impl MrEntry {
         if !self.access.allows(needed) {
             return Err(RdmaError::AccessDenied);
         }
-        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(RdmaError::OutOfBounds { addr, len })?;
         if addr < self.addr || end > self.addr + self.len {
             return Err(RdmaError::OutOfBounds { addr, len });
         }
@@ -158,7 +160,12 @@ impl Arena {
             self.free.insert(addr + len, flen - len);
         }
         let data = if backed {
-            Some(vec![0u8; usize::try_from(len).map_err(|_| RdmaError::OutOfMemory { requested: len })?])
+            Some(vec![
+                0u8;
+                usize::try_from(len).map_err(|_| {
+                    RdmaError::OutOfMemory { requested: len }
+                })?
+            ])
         } else {
             None
         };
@@ -252,7 +259,9 @@ impl Arena {
             .range(..=addr)
             .next_back()
             .ok_or(RdmaError::OutOfBounds { addr, len })?;
-        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(RdmaError::OutOfBounds { addr, len })?;
         if end > baddr + block.len {
             return Err(RdmaError::OutOfBounds { addr, len });
         }
@@ -265,7 +274,9 @@ impl Arena {
             .range_mut(..=addr)
             .next_back()
             .ok_or(RdmaError::OutOfBounds { addr, len })?;
-        let end = addr.checked_add(len).ok_or(RdmaError::OutOfBounds { addr, len })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(RdmaError::OutOfBounds { addr, len })?;
         if end > *baddr + block.len {
             return Err(RdmaError::OutOfBounds { addr, len });
         }
@@ -390,10 +401,7 @@ mod tests {
         let _b3 = a.alloc(100).unwrap();
         a.free(b1).unwrap();
         // 100 free at front, but a 150 request cannot fit contiguously.
-        assert_eq!(
-            a.alloc(150),
-            Err(RdmaError::OutOfMemory { requested: 150 })
-        );
+        assert_eq!(a.alloc(150), Err(RdmaError::OutOfMemory { requested: 150 }));
         assert!(a.alloc(100).is_ok());
     }
 

@@ -79,7 +79,13 @@ pub async fn run(
         let setup = RStoreClient::connect(&devs[0], master).await?;
         let prefix = format!("{graph}/bfs{src}_{}", cfg.job_nonce);
         Mailboxes::create(&setup, &prefix, k, cfg.mailbox_cap, AllocOptions::default()).await?;
-        ConvBoard::create(&setup, &format!("{prefix}/conv"), k, AllocOptions::default()).await?;
+        ConvBoard::create(
+            &setup,
+            &format!("{prefix}/conv"),
+            k,
+            AllocOptions::default(),
+        )
+        .await?;
     }
 
     let mut handles = Vec::with_capacity(devs.len());
@@ -87,9 +93,9 @@ pub async fn run(
         let dev = dev.clone();
         let barrier = barrier.clone();
         let graph = graph.to_owned();
-        handles.push(
-            sim.spawn(async move { worker(i as u64, k, dev, master, graph, src, cfg, barrier).await }),
-        );
+        handles.push(sim.spawn(async move {
+            worker(i as u64, k, dev, master, graph, src, cfg, barrier).await
+        }));
     }
     let outs = join_all(handles).await;
 

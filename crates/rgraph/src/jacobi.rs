@@ -7,8 +7,8 @@ use std::time::Duration;
 use fabric::NodeId;
 use rdma::RdmaDevice;
 use rstore::{RStoreClient, Result};
-use sim::sync::Barrier;
 use sim::join_all;
+use sim::sync::Barrier;
 
 use crate::config::CostModel;
 use crate::partition::VertexPartition;
@@ -182,8 +182,7 @@ async fn worker(
     };
     let mut gather_a = PageGather::plan(val_a.clone(), gather_ids(), cfg.page_bytes)?;
     let mut gather_b = PageGather::plan(val_b.clone(), gather_ids(), cfg.page_bytes)?;
-    let edges =
-        in_slice.edge_count() + out_slice.as_ref().map_or(0, |o| o.edge_count());
+    let edges = in_slice.edge_count() + out_slice.as_ref().map_or(0, |o| o.edge_count());
 
     // ---- supersteps -------------------------------------------------------------
     let mut step = 0usize;

@@ -137,7 +137,10 @@ mod tests {
                     iters: 5,
                     ..PageRankConfig::default()
                 };
-                pagerank::run(&devs, master, "rmat", cfg).await.unwrap().ranks
+                pagerank::run(&devs, master, "rmat", cfg)
+                    .await
+                    .unwrap()
+                    .ranks
             }
         });
         for (a, b) in ranks.iter().zip(&expect) {
@@ -219,7 +222,10 @@ mod tests {
                     iters: 4,
                     ..PageRankConfig::default()
                 };
-                pagerank::run(&devs, master, "solo", cfg).await.unwrap().ranks
+                pagerank::run(&devs, master, "solo", cfg)
+                    .await
+                    .unwrap()
+                    .ranks
             }
         });
         for (a, b) in ranks.iter().zip(&expect) {

@@ -168,8 +168,10 @@ async fn worker(
     val_a.write(s * 8, &u64s_to_bytes(&init_contrib)).await?;
     barrier.wait().await;
 
-    let mut gather_a = PageGather::plan(val_a.clone(), in_slice.adj.iter().copied(), cfg.page_bytes)?;
-    let mut gather_b = PageGather::plan(val_b.clone(), in_slice.adj.iter().copied(), cfg.page_bytes)?;
+    let mut gather_a =
+        PageGather::plan(val_a.clone(), in_slice.adj.iter().copied(), cfg.page_bytes)?;
+    let mut gather_b =
+        PageGather::plan(val_b.clone(), in_slice.adj.iter().copied(), cfg.page_bytes)?;
     let edges = in_slice.edge_count();
 
     // ---- data path: supersteps ------------------------------------------------
@@ -196,7 +198,9 @@ async fn worker(
             new_contrib.push(c.to_bits());
         }
         sim.sleep(cfg.cost.superstep(edges, count as u64)).await;
-        out_region.write(s * 8, &u64s_to_bytes(&new_contrib)).await?;
+        out_region
+            .write(s * 8, &u64s_to_bytes(&new_contrib))
+            .await?;
         barrier.wait().await;
         if me == 0 {
             times.borrow_mut().push(sim.now() - t_start);

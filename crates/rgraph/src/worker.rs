@@ -112,7 +112,10 @@ impl PageGather {
         ids: impl IntoIterator<Item = u64>,
         page_bytes: u64,
     ) -> Result<PageGather> {
-        assert!(page_bytes >= 8 && page_bytes.is_multiple_of(8), "bad page size");
+        assert!(
+            page_bytes >= 8 && page_bytes.is_multiple_of(8),
+            "bad page size"
+        );
         let page_elems = page_bytes / 8;
         let total_elems = region.size() / 8;
         let mut pages: Vec<u64> = ids.into_iter().map(|id| id / page_elems).collect();
@@ -302,10 +305,7 @@ impl Mailboxes {
 
     /// Groups items by destination worker, producing the outbox layout
     /// expected by [`Mailboxes::send_all`].
-    pub fn route(
-        part: &VertexPartition,
-        items: impl IntoIterator<Item = u64>,
-    ) -> Vec<Vec<u64>> {
+    pub fn route(part: &VertexPartition, items: impl IntoIterator<Item = u64>) -> Vec<Vec<u64>> {
         let mut outboxes = vec![Vec::new(); part.k as usize];
         for v in items {
             outboxes[part.owner(v) as usize].push(v);

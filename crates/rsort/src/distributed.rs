@@ -131,11 +131,7 @@ pub struct SortOutcome {
 /// # Panics
 ///
 /// Panics if `records` is not a whole number of records.
-pub async fn load_input(
-    client: &RStoreClient,
-    cfg: &SortConfig,
-    records: &[u8],
-) -> Result<Region> {
+pub async fn load_input(client: &RStoreClient, cfg: &SortConfig, records: &[u8]) -> Result<Region> {
     assert_eq!(records.len() % RECORD_BYTES, 0, "ragged input");
     let region = client
         .alloc(
@@ -169,7 +165,11 @@ pub async fn create_fluid_input(
         ..cfg.opts
     };
     client
-        .alloc(&format!("{}/input", cfg.job), records * RECORD_BYTES as u64, opts)
+        .alloc(
+            &format!("{}/input", cfg.job),
+            records * RECORD_BYTES as u64,
+            opts,
+        )
         .await
 }
 
@@ -183,11 +183,7 @@ pub async fn create_fluid_input(
 /// # Panics
 ///
 /// Panics if `devs` is empty.
-pub async fn run(
-    devs: &[RdmaDevice],
-    master: NodeId,
-    cfg: SortConfig,
-) -> Result<SortOutcome> {
+pub async fn run(devs: &[RdmaDevice], master: NodeId, cfg: SortConfig) -> Result<SortOutcome> {
     assert!(!devs.is_empty(), "need at least one worker device");
     let k = devs.len();
     let sim = devs[0].sim().clone();
@@ -302,7 +298,9 @@ async fn worker(
     let mut my_sample = Vec::with_capacity(samples * KEY_BYTES);
     for s in 0..samples {
         let rec = part_start + (s as u64 * my_records / samples.max(1) as u64);
-        let key = input.read(rec * RECORD_BYTES as u64, KEY_BYTES as u64).await?;
+        let key = input
+            .read(rec * RECORD_BYTES as u64, KEY_BYTES as u64)
+            .await?;
         my_sample.extend_from_slice(&key);
     }
     samples_r
@@ -348,7 +346,10 @@ async fn worker(
             dev.free(staging)?;
         } else {
             let bytes = input.read(read_off, chunk).await?;
-            for (d, part) in partition_records(&bytes, &splitters).into_iter().enumerate() {
+            for (d, part) in partition_records(&bytes, &splitters)
+                .into_iter()
+                .enumerate()
+            {
                 buckets[d].extend_from_slice(&part);
             }
         }
@@ -421,9 +422,13 @@ async fn worker(
     if p_bytes > 0 {
         if fluid {
             let staging = dev.alloc_synthetic(p_bytes)?;
-            output.read_into(p_start * RECORD_BYTES as u64, staging).await?;
+            output
+                .read_into(p_start * RECORD_BYTES as u64, staging)
+                .await?;
             sim.sleep(cpu_time(p_bytes, cfg.cost.sort_bps)).await;
-            output.write_from(p_start * RECORD_BYTES as u64, staging).await?;
+            output
+                .write_from(p_start * RECORD_BYTES as u64, staging)
+                .await?;
             dev.free(staging)?;
         } else {
             let mut data = output.read(p_start * RECORD_BYTES as u64, p_bytes).await?;

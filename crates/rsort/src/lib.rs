@@ -88,7 +88,9 @@ mod tests {
                 ..SortConfig::default()
             };
             let input = teragen(records, seed);
-            distributed::load_input(&loader, &cfg, &input).await.unwrap();
+            distributed::load_input(&loader, &cfg, &input)
+                .await
+                .unwrap();
             let outcome = distributed::run(&devs, master, cfg).await.unwrap();
             let out = loader.map("sort/output").await.unwrap();
             let bytes = out.read(0, out.size()).await.unwrap();
@@ -182,7 +184,9 @@ mod tests {
                 },
                 ..SortConfig::default()
             };
-            distributed::create_fluid_input(&loader, &cfg, 2000).await.unwrap();
+            distributed::create_fluid_input(&loader, &cfg, 2000)
+                .await
+                .unwrap();
             distributed::run(&devs, master, cfg).await.unwrap()
         });
         let r = real.total.as_secs_f64();

@@ -11,6 +11,7 @@ use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 use std::time::Duration;
 
 use crate::time::SimTime;
+use crate::trace::Tracer;
 
 /// Handle to a running simulation.
 ///
@@ -58,6 +59,7 @@ struct Core {
     ready: VecDeque<Rc<Task>>,
     next_task_id: u64,
     live_tasks: usize,
+    trace: Rc<RefCell<crate::trace::TraceBuf>>,
 }
 
 struct Event {
@@ -255,6 +257,7 @@ impl Sim {
                 ready: VecDeque::new(),
                 next_task_id: 0,
                 live_tasks: 0,
+                trace: Tracer::new_buf(),
             })),
         }
     }
@@ -262,6 +265,22 @@ impl Sim {
     /// Returns the current virtual time.
     pub fn now(&self) -> SimTime {
         self.core.borrow().now
+    }
+
+    /// Returns a handle to this simulation's trace buffer. All handles for
+    /// one simulation share state; tracing starts disabled — call
+    /// [`Tracer::enable`] to record.
+    pub fn tracer(&self) -> Tracer {
+        let buf = self.core.borrow().trace.clone();
+        let weak = Rc::downgrade(&self.core);
+        Tracer::from_parts(
+            buf,
+            Rc::new(move || {
+                weak.upgrade()
+                    .map(|core| core.borrow().now)
+                    .unwrap_or(SimTime::ZERO)
+            }),
+        )
     }
 
     /// Number of spawned tasks that have not yet completed.

@@ -36,6 +36,7 @@
 //! * [`sync`] — semaphores, barriers and wait groups in virtual time.
 //! * [`rng`] — a seeded deterministic random number generator.
 //! * [`metrics`] — counters and latency histograms shared between components.
+//! * [`trace`] — deterministic span/instant tracing with Chrome-trace export.
 //! * [`future_util`] — small `join_all` / `yield_now` helpers (no external
 //!   futures crate is used anywhere in the workspace).
 
@@ -46,13 +47,15 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod trace;
 
 pub use channel::{channel, oneshot, Receiver, Sender};
 pub use executor::{JoinHandle, Sim};
 pub use future_util::{join_all, yield_now};
-pub use metrics::Metrics;
+pub use metrics::{Histogram, Metrics};
 pub use rng::DetRng;
 pub use time::SimTime;
+pub use trace::{Span, TraceEvent, Tracer};
 
 /// Re-export of [`std::time::Duration`]; all simulated delays use it.
 pub use std::time::Duration;

@@ -21,9 +21,23 @@ struct Registry {
 /// Counters are monotonically increasing `u64`s; histograms store raw
 /// nanosecond samples (simulations are short enough that exact percentiles
 /// are affordable and preferable to bucketed approximations).
+///
+/// [`Metrics::scoped`] derives a handle that shares the registry but
+/// prefixes every name it touches, so per-instance stats (per-link,
+/// per-QP) nest under a common namespace:
+///
+/// ```rust
+/// use sim::Metrics;
+/// let m = Metrics::new();
+/// let link = m.scoped("fabric.link3");
+/// link.incr("tx_msgs");
+/// assert_eq!(m.counter("fabric.link3.tx_msgs"), 1);
+/// ```
 #[derive(Clone, Default)]
 pub struct Metrics {
     inner: Rc<RefCell<Registry>>,
+    /// Dotted namespace prefix (including trailing `.`), if scoped.
+    prefix: Option<Rc<str>>,
 }
 
 impl fmt::Debug for Metrics {
@@ -42,13 +56,36 @@ impl Metrics {
         Self::default()
     }
 
+    /// Returns a handle sharing this registry in which every metric name is
+    /// prefixed with `scope` + `.`. Scopes nest: `m.scoped("a").scoped("b")`
+    /// writes under `a.b.`.
+    pub fn scoped(&self, scope: &str) -> Metrics {
+        let prefix = match &self.prefix {
+            Some(p) => format!("{p}{scope}."),
+            None => format!("{scope}."),
+        };
+        Metrics {
+            inner: self.inner.clone(),
+            prefix: Some(prefix.into()),
+        }
+    }
+
+    /// Resolves `name` against this handle's scope prefix.
+    fn qualify<'a>(&self, name: &'a str) -> std::borrow::Cow<'a, str> {
+        match &self.prefix {
+            Some(p) => std::borrow::Cow::Owned(format!("{p}{name}")),
+            None => std::borrow::Cow::Borrowed(name),
+        }
+    }
+
     /// Adds `delta` to the named counter (creating it at zero).
     pub fn add(&self, name: &str, delta: u64) {
+        let name = self.qualify(name);
         let mut reg = self.inner.borrow_mut();
-        match reg.counters.get_mut(name) {
+        match reg.counters.get_mut(name.as_ref()) {
             Some(c) => *c += delta,
             None => {
-                reg.counters.insert(name.to_owned(), delta);
+                reg.counters.insert(name.into_owned(), delta);
             }
         }
     }
@@ -63,28 +100,45 @@ impl Metrics {
         self.inner
             .borrow()
             .counters
-            .get(name)
+            .get(self.qualify(name).as_ref())
             .copied()
             .unwrap_or(0)
     }
 
     /// Records a duration sample into the named histogram.
     pub fn record(&self, name: &str, sample: Duration) {
+        self.record_value(name, sample.as_nanos() as u64);
+    }
+
+    /// Records a raw `u64` sample (queue depth, batch size, …) into the
+    /// named histogram.
+    pub fn record_value(&self, name: &str, value: u64) {
+        let name = self.qualify(name);
         let mut reg = self.inner.borrow_mut();
         reg.histograms
-            .entry(name.to_owned())
+            .entry(name.into_owned())
             .or_default()
-            .record(sample.as_nanos() as u64);
+            .record(value);
     }
 
     /// Returns a snapshot of the named histogram, if any samples exist.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.inner.borrow().histograms.get(name).cloned()
+        self.inner
+            .borrow()
+            .histograms
+            .get(self.qualify(name).as_ref())
+            .cloned()
     }
 
-    /// All counter names currently registered.
+    /// All counter names currently registered (unscoped: the full registry,
+    /// regardless of this handle's prefix).
     pub fn counter_names(&self) -> Vec<String> {
         self.inner.borrow().counters.keys().cloned().collect()
+    }
+
+    /// All histogram names currently registered (unscoped).
+    pub fn histogram_names(&self) -> Vec<String> {
+        self.inner.borrow().histograms.keys().cloned().collect()
     }
 
     /// Resets every counter and histogram (used between benchmark phases).
@@ -141,6 +195,32 @@ impl Histogram {
         }
         let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).floor() as usize;
         self.samples[rank]
+    }
+
+    /// Exact percentile without mutation or panics: sorts a snapshot of the
+    /// samples if needed. Returns `None` if the histogram is empty or `p`
+    /// is outside `[0, 100]`.
+    pub fn try_percentile(&self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() || !(0.0..=100.0).contains(&p) {
+            return None;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).floor() as usize;
+        if self.sorted {
+            return Some(self.samples[rank]);
+        }
+        let mut snapshot = self.samples.clone();
+        snapshot.sort_unstable();
+        Some(snapshot[rank])
+    }
+
+    /// Median in nanoseconds (zero if empty).
+    pub fn p50(&self) -> u64 {
+        self.try_percentile(50.0).unwrap_or(0)
+    }
+
+    /// 99th percentile in nanoseconds (zero if empty).
+    pub fn p99(&self) -> u64 {
+        self.try_percentile(99.0).unwrap_or(0)
     }
 
     /// Minimum sample.
@@ -215,5 +295,50 @@ mod tests {
     #[should_panic(expected = "empty histogram")]
     fn percentile_of_empty_panics() {
         Histogram::default().percentile(50.0);
+    }
+
+    #[test]
+    fn try_percentile_is_total() {
+        let empty = Histogram::default();
+        assert_eq!(empty.try_percentile(50.0), None);
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        let m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record("lat", Duration::from_nanos(i));
+        }
+        let h = m.histogram("lat").unwrap();
+        // Immutable access on an unsorted histogram.
+        assert_eq!(h.try_percentile(50.0), Some(50));
+        assert_eq!(h.try_percentile(101.0), None);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 99);
+        // Agrees with the sorting accessor.
+        let mut hm = h.clone();
+        assert_eq!(hm.percentile(99.0), 99);
+        assert_eq!(hm.try_percentile(99.0), Some(99));
+    }
+
+    #[test]
+    fn scoped_handles_prefix_and_share() {
+        let m = Metrics::new();
+        let link = m.scoped("fabric.link3");
+        link.incr("tx_msgs");
+        link.add("tx_bytes", 4096);
+        link.record("queue_delay", Duration::from_nanos(7));
+        assert_eq!(m.counter("fabric.link3.tx_msgs"), 1);
+        assert_eq!(m.counter("fabric.link3.tx_bytes"), 4096);
+        assert_eq!(link.counter("tx_bytes"), 4096);
+        assert_eq!(m.histogram("fabric.link3.queue_delay").unwrap().len(), 1);
+        // Nested scoping composes prefixes.
+        let qp = m.scoped("rdma").scoped("qp5");
+        qp.incr("posted");
+        assert_eq!(m.counter("rdma.qp5.posted"), 1);
+        // Unscoped name listing sees the fully-qualified names.
+        assert!(m.counter_names().contains(&"fabric.link3.tx_msgs".into()));
+        // Reset through any handle clears the shared registry.
+        qp.reset();
+        assert_eq!(m.counter("fabric.link3.tx_msgs"), 0);
     }
 }

@@ -4,16 +4,14 @@
 //! allocation policies, sampling) draws from a [`DetRng`] created from an
 //! explicit seed, so two runs with the same seed produce identical traces.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// A seeded, deterministic random number generator.
 ///
-/// Thin wrapper around a fixed algorithm (`SmallRng`) so that the choice of
-/// algorithm — and therefore the exact stream — is pinned by this crate
-/// rather than by whichever `rand` version is in the lockfile surface API.
+/// Thin wrapper around a fixed algorithm (xoshiro256++ seeded via SplitMix64,
+/// implemented in this crate) so that the exact stream is pinned by this
+/// crate rather than by an external dependency — the workspace builds with no
+/// crates.io packages at all.
 ///
 /// ```rust
 /// use sim::DetRng;
@@ -22,7 +20,7 @@ use std::fmt;
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -32,13 +30,26 @@ impl fmt::Debug for DetRng {
     }
 }
 
+/// SplitMix64 step, used to expand the 64-bit seed into the 256-bit state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl DetRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        DetRng { state, seed }
     }
 
     /// Derives an independent child generator; use to give each simulated
@@ -47,9 +58,18 @@ impl DetRng {
         DetRng::new(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt)
     }
 
-    /// Next uniformly random `u64`.
+    /// Next uniformly random `u64` (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -59,7 +79,16 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps the draw uniform.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (span as u128);
+            if (wide as u64) >= threshold {
+                return lo + (wide >> 64) as u64;
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, n)`.
@@ -69,27 +98,33 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 random bits).
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen::<f64>() < p
+        self.f64() < p
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
-        items.shuffle(&mut self.inner);
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
     }
 
     /// Fills a byte buffer with random data.
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill(buf);
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -134,6 +169,25 @@ mod tests {
     }
 
     #[test]
+    fn range_covers_all_values() {
+        let mut r = DetRng::new(17);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.index(8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
     fn shuffle_is_a_permutation() {
         let mut r = DetRng::new(8);
         let mut v: Vec<u32> = (0..64).collect();
@@ -141,6 +195,20 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = DetRng::new(11);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 bytes from a seeded stream: overwhelmingly unlikely to be all
+        // zero unless fill_bytes skipped the tail.
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut tail = [0u8; 3];
+        let mut r2 = DetRng::new(11);
+        r2.fill_bytes(&mut tail);
+        assert!(tail.iter().any(|&b| b != 0));
     }
 
     #[test]

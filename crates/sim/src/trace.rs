@@ -1,0 +1,470 @@
+//! Deterministic virtual-time tracing.
+//!
+//! A [`Tracer`] collects typed span/instant events stamped with [`SimTime`]
+//! into a bounded ring buffer owned by the simulation core. Because the
+//! executor is single-threaded and all timestamps are virtual, two runs of
+//! the same seeded scenario produce **byte-identical** trace logs — the
+//! export is suitable both for golden-file tests and for loading into
+//! Perfetto / `chrome://tracing` via [`Tracer::export_chrome_trace`].
+//!
+//! Tracing is disabled by default and designed to cost nearly nothing when
+//! off: event names and categories are `&'static str`, events are
+//! fixed-size values in a preallocated ring, and the [`Span`] guard does no
+//! heap allocation on either path.
+//!
+//! ```rust
+//! use sim::{Sim, Duration};
+//!
+//! let sim = Sim::new();
+//! let tracer = sim.tracer();
+//! tracer.enable(1024);
+//! let s = sim.clone();
+//! sim.block_on(async move {
+//!     let span = s.tracer().span("core", "demo.op", 0);
+//!     s.sleep(Duration::from_nanos(500)).await;
+//!     span.end();
+//! });
+//! let events = tracer.events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].dur, Some(500));
+//! ```
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// One trace record: a completed span (`dur = Some(..)`) or an instant
+/// (`dur = None`).
+///
+/// Names and categories are static so that recording never allocates; the
+/// `track` discriminates instances of the same component (QP number, link
+/// id, client id) and becomes the thread id in the Chrome export. `arg` is a
+/// free payload slot (byte count, WR id, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Layer the event belongs to (`"fabric"`, `"rdma"`, `"core"`, …).
+    pub cat: &'static str,
+    /// Event name from the registry table in `EXPERIMENTS.md`.
+    pub name: &'static str,
+    /// Instance track (QP / link / client id); `0` for singletons.
+    pub track: u64,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Span duration in nanoseconds, or `None` for an instant event.
+    pub dur: Option<u64>,
+    /// Free payload (byte count, WR id, reason code, …).
+    pub arg: u64,
+    /// Monotone sequence number, unique within a run.
+    pub seq: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct TraceBuf {
+    enabled: bool,
+    capacity: usize,
+    /// Ring storage; once `capacity` is reached the oldest event is
+    /// overwritten (`head` marks the logical start).
+    events: Vec<TraceEvent>,
+    head: usize,
+    next_seq: u64,
+    evicted: u64,
+}
+
+impl TraceBuf {
+    fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else if self.capacity > 0 {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.evicted += 1;
+        }
+    }
+
+    fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+}
+
+/// Clonable handle to the simulation's trace ring buffer.
+///
+/// Obtain one with [`crate::Sim::tracer`]; all clones for a given
+/// simulation share the same buffer and enabled flag.
+#[derive(Clone)]
+pub struct Tracer {
+    buf: Rc<RefCell<TraceBuf>>,
+    clock: Rc<dyn Fn() -> SimTime>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let buf = self.buf.borrow();
+        f.debug_struct("Tracer")
+            .field("enabled", &buf.enabled)
+            .field("events", &buf.events.len())
+            .field("capacity", &buf.capacity)
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub(crate) fn from_parts(buf: Rc<RefCell<TraceBuf>>, clock: Rc<dyn Fn() -> SimTime>) -> Self {
+        Tracer { buf, clock }
+    }
+
+    pub(crate) fn new_buf() -> Rc<RefCell<TraceBuf>> {
+        Rc::new(RefCell::new(TraceBuf::default()))
+    }
+
+    /// Starts recording into a ring of at most `capacity` events (older
+    /// events are evicted once full). Clears any previous recording.
+    pub fn enable(&self, capacity: usize) {
+        let mut buf = self.buf.borrow_mut();
+        buf.enabled = true;
+        buf.capacity = capacity;
+        buf.events = Vec::with_capacity(capacity);
+        buf.head = 0;
+        buf.next_seq = 0;
+        buf.evicted = 0;
+    }
+
+    /// Stops recording (the collected events stay readable).
+    pub fn disable(&self) {
+        self.buf.borrow_mut().enabled = false;
+    }
+
+    /// True while recording.
+    pub fn is_enabled(&self) -> bool {
+        self.buf.borrow().enabled
+    }
+
+    /// Number of events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.borrow().events.len()
+    }
+
+    /// True if no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted by ring wraparound.
+    pub fn evicted(&self) -> u64 {
+        self.buf.borrow().evicted
+    }
+
+    /// Copies the buffered events out, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.borrow().snapshot()
+    }
+
+    /// Opens a span; the span records a complete event when [`Span::end`]ed
+    /// or dropped. When tracing is disabled this is a no-op guard and costs
+    /// only the enabled check.
+    pub fn span(&self, cat: &'static str, name: &'static str, track: u64) -> Span {
+        self.span_arg(cat, name, track, 0)
+    }
+
+    /// [`Tracer::span`] with a payload value (byte count, WR id, …).
+    pub fn span_arg(&self, cat: &'static str, name: &'static str, track: u64, arg: u64) -> Span {
+        if !self.is_enabled() {
+            return Span { live: None };
+        }
+        Span {
+            live: Some(LiveSpan {
+                tracer: self.clone(),
+                cat,
+                name,
+                track,
+                arg,
+                start: (self.clock)(),
+            }),
+        }
+    }
+
+    /// Records a complete event spanning from `start` (captured earlier via
+    /// the simulation clock) to now. For event-driven code where a [`Span`]
+    /// guard cannot live across the operation (state machines, callbacks).
+    pub fn complete_at(
+        &self,
+        cat: &'static str,
+        name: &'static str,
+        track: u64,
+        start: SimTime,
+        arg: u64,
+    ) {
+        let mut buf = self.buf.borrow_mut();
+        if !buf.enabled {
+            return;
+        }
+        let end = (self.clock)();
+        buf.push(TraceEvent {
+            cat,
+            name,
+            track,
+            start,
+            dur: Some(end.saturating_since(start).as_nanos() as u64),
+            arg,
+            seq: 0,
+        });
+    }
+
+    /// Records an instant event at the current virtual time.
+    pub fn instant(&self, cat: &'static str, name: &'static str, track: u64, arg: u64) {
+        let mut buf = self.buf.borrow_mut();
+        if !buf.enabled {
+            return;
+        }
+        let at = (self.clock)();
+        buf.push(TraceEvent {
+            cat,
+            name,
+            track,
+            start: at,
+            dur: None,
+            arg,
+            seq: 0,
+        });
+    }
+
+    fn close_span(&self, span: &LiveSpan) {
+        let mut buf = self.buf.borrow_mut();
+        if !buf.enabled {
+            return;
+        }
+        let end = (self.clock)();
+        buf.push(TraceEvent {
+            cat: span.cat,
+            name: span.name,
+            track: span.track,
+            start: span.start,
+            dur: Some(end.saturating_since(span.start).as_nanos() as u64),
+            arg: span.arg,
+            seq: 0,
+        });
+    }
+
+    /// Serialises the buffered events as Chrome trace-event JSON
+    /// (the "JSON object format": `{"traceEvents": [...]}`), loadable in
+    /// Perfetto or `chrome://tracing`. Timestamps are microseconds with
+    /// nanosecond precision kept in the fractional digits.
+    ///
+    /// The output depends only on the recorded events, so two deterministic
+    /// runs of the same scenario export byte-identical documents.
+    pub fn export_chrome_trace(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 128 + 64);
+        out.push_str("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            out.push_str("\"name\": ");
+            push_escaped(&mut out, ev.name);
+            out.push_str(", \"cat\": ");
+            push_escaped(&mut out, ev.cat);
+            let _ = write!(
+                out,
+                ", \"ph\": \"{}\", \"ts\": {}, ",
+                if ev.dur.is_some() { 'X' } else { 'i' },
+                micros(ev.start.as_nanos()),
+            );
+            if let Some(d) = ev.dur {
+                let _ = write!(out, "\"dur\": {}, ", micros(d));
+            } else {
+                out.push_str("\"s\": \"t\", ");
+            }
+            let _ = write!(
+                out,
+                "\"pid\": 1, \"tid\": {}, \"args\": {{\"arg\": {}, \"seq\": {}}}}}",
+                ev.track, ev.arg, ev.seq
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Fixed-point nanos → microseconds rendering (`1234` ns → `"1.234"`), so
+/// exports are exact and byte-stable.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1000, nanos % 1000)
+}
+
+/// Writes `s` as a quoted JSON string, escaping quotes, backslashes, and
+/// control characters. Registry names are plain identifiers today, but the
+/// export must stay valid JSON for any future name.
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct LiveSpan {
+    tracer: Tracer,
+    cat: &'static str,
+    name: &'static str,
+    track: u64,
+    arg: u64,
+    start: SimTime,
+}
+
+/// Guard for an in-progress span; records a complete event on drop.
+///
+/// When tracing is disabled the guard is inert (`live: None`) and drop does
+/// nothing.
+#[must_use = "a span measures until it is dropped or .end()ed"]
+pub struct Span {
+    live: Option<LiveSpan>,
+}
+
+impl Span {
+    /// Explicitly closes the span (equivalent to dropping it).
+    pub fn end(self) {}
+
+    /// Updates the payload value recorded with the span (e.g. bytes moved,
+    /// determined mid-operation).
+    pub fn set_arg(&mut self, arg: u64) {
+        if let Some(live) = &mut self.live {
+            live.arg = arg;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            live.tracer.clone().close_span(&live);
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.live {
+            Some(l) => write!(f, "Span({}: {} @ {:?})", l.cat, l.name, l.start),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Duration, Sim};
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.instant("test", "x", 0, 0);
+        let span = t.span("test", "y", 0);
+        span.end();
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn span_measures_virtual_time() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.enable(16);
+        let s = sim.clone();
+        sim.block_on(async move {
+            let tr = s.tracer();
+            let span = tr.span_arg("test", "op", 3, 99);
+            s.sleep(Duration::from_nanos(250)).await;
+            span.end();
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        let ev = &events[0];
+        assert_eq!(ev.name, "op");
+        assert_eq!(ev.track, 3);
+        assert_eq!(ev.arg, 99);
+        assert_eq!(ev.start.as_nanos(), 0);
+        assert_eq!(ev.dur, Some(250));
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_keeps_newest() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.enable(4);
+        for i in 0..10 {
+            t.instant("test", "tick", i, i);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(t.evicted(), 6);
+        // Oldest evicted: the survivors are the last four, in order.
+        let tracks: Vec<u64> = events.iter().map(|e| e.track).collect();
+        assert_eq!(tracks, vec![6, 7, 8, 9]);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn enable_clears_previous_recording() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.enable(8);
+        t.instant("test", "a", 0, 0);
+        t.enable(8);
+        assert!(t.is_empty());
+        t.instant("test", "b", 0, 0);
+        assert_eq!(t.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn chrome_export_shape() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.enable(16);
+        let s = sim.clone();
+        sim.block_on(async move {
+            let tr = s.tracer();
+            tr.instant("fabric", "pkt", 1, 64);
+            let span = tr.span("core", "read", 2);
+            s.sleep(Duration::from_nanos(1_500)).await;
+            span.end();
+        });
+        let json = t.export_chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 1.500"));
+        // Deterministic: exporting twice is byte-identical.
+        assert_eq!(json, t.export_chrome_trace());
+    }
+
+    #[test]
+    fn tracer_clones_share_state() {
+        let sim = Sim::new();
+        let a = sim.tracer();
+        let b = sim.tracer();
+        a.enable(8);
+        assert!(b.is_enabled());
+        b.instant("test", "x", 0, 0);
+        assert_eq!(a.len(), 1);
+    }
+}

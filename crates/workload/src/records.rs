@@ -164,7 +164,10 @@ mod tests {
             counts[z.next()] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "uniform-ish expected, got {counts:?}");
+            assert!(
+                (700..1300).contains(&c),
+                "uniform-ish expected, got {counts:?}"
+            );
         }
     }
 }

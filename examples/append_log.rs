@@ -91,7 +91,10 @@ fn main() -> rstore::Result<()> {
             let entry = &bytes[(slot * ENTRY) as usize..((slot + 1) * ENTRY) as usize];
             let text = String::from_utf8_lossy(entry);
             let text = text.trim_end();
-            assert!(text.starts_with("producer "), "hole at slot {slot}: {text:?}");
+            assert!(
+                text.starts_with("producer "),
+                "hole at slot {slot}: {text:?}"
+            );
             let p: usize = text
                 .split_whitespace()
                 .nth(1)

@@ -36,8 +36,11 @@ fn main() -> rstore::Result<()> {
         let creator = cluster.client(0).await?;
         let kv = KvTable::create(&creator, "cache", cfg).await?;
         for k in 0..KEYS {
-            kv.put(format!("item:{k}").as_bytes(), format!("value-of-{k}").as_bytes())
-                .await?;
+            kv.put(
+                format!("item:{k}").as_bytes(),
+                format!("value-of-{k}").as_bytes(),
+            )
+            .await?;
         }
         println!("cache warmed with {KEYS} items across the cluster");
 

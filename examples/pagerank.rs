@@ -20,10 +20,7 @@ const ITERS: usize = 5;
 
 fn main() -> rstore::Result<()> {
     let graph = rmat_graph(13, 16 * (1 << 13), 99);
-    println!(
-        "graph: 2^13 vertices, {} edges (RMAT power-law)",
-        graph.m()
-    );
+    println!("graph: 2^13 vertices, {} edges (RMAT power-law)", graph.m());
 
     // --- RStore framework ---------------------------------------------------
     let cluster = Cluster::boot(ClusterConfig {

@@ -7,8 +7,8 @@
 
 use baseline::hadoop::{terasort_time, HadoopConfig};
 use fabric::FabricConfig;
-use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
 use rsort::{distributed, SortConfig, SortMode};
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
 use workload::{is_sorted, teragen, RECORD_BYTES};
 
 fn main() -> rstore::Result<()> {

@@ -26,7 +26,10 @@ fn many_regions_many_clients() {
                     .alloc(&format!("c{i}/r{r}"), 256 * 1024, AllocOptions::default())
                     .await
                     .unwrap();
-                region.write(0, format!("sig-{i}-{r}").as_bytes()).await.unwrap();
+                region
+                    .write(0, format!("sig-{i}-{r}").as_bytes())
+                    .await
+                    .unwrap();
             }
             clients.push(c);
         }

@@ -157,7 +157,10 @@ fn flapping_server_does_not_corrupt_capacity_accounting() {
             s.sleep(Duration::from_secs(5)).await;
             assert_eq!(master_handle.live_servers(), 2, "round {round}");
             let name = format!("flap{round}");
-            let r = c.alloc(&name, 64 * 1024, AllocOptions::default()).await.unwrap();
+            let r = c
+                .alloc(&name, 64 * 1024, AllocOptions::default())
+                .await
+                .unwrap();
             r.write(0, b"ok").await.unwrap();
             c.free(&name).await.unwrap();
         }

@@ -4,7 +4,9 @@
 
 use std::rc::Rc;
 
-use rgraph::{bfs, pagerank, reference, sssp, wcc, BfsConfig, GraphStore, JacobiConfig, PageRankConfig};
+use rgraph::{
+    bfs, pagerank, reference, sssp, wcc, BfsConfig, GraphStore, JacobiConfig, PageRankConfig,
+};
 use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
 use workload::rmat_graph;
 

@@ -1,7 +1,12 @@
-//! Property-based tests over the core data structures and invariants
-//! (`proptest`).
+//! Property-based tests over the core data structures and invariants.
+//!
+//! Implemented as seeded randomized sweeps over [`sim::DetRng`] so the
+//! workspace needs no external property-testing dependency: each property
+//! runs a fixed number of cases from a fixed seed, so failures are exactly
+//! reproducible (re-run the same test; the case index is in the panic
+//! message).
 
-use proptest::prelude::*;
+use sim::DetRng;
 
 use rdma::memory::Arena;
 use rdma::{Access, DmaBuf};
@@ -10,66 +15,83 @@ use rstore::layout::Layout;
 use rstore::proto::{CtrlReq, CtrlResp, Extent, RegionDesc, RegionState, StripeGroup};
 use workload::{is_sorted, record_key, sort_records, teragen, KEY_BYTES, RECORD_BYTES};
 
+/// Runs `body` for `cases` seeded cases, labelling failures with the case
+/// index so any counterexample is reproducible.
+fn cases(name: &str, cases: u64, mut body: impl FnMut(&mut DetRng)) {
+    for case in 0..cases {
+        let mut rng = DetRng::new(0xC0FFEE ^ case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property {name:?} failed at case {case}");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
 // --- arena allocator -----------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random alloc/free interleavings never double-allocate, never lose
-    /// capacity, and always coalesce back to a fully free arena.
-    #[test]
-    fn arena_allocator_invariants(ops in proptest::collection::vec((0u8..2, 1u64..2000), 1..120)) {
+/// Random alloc/free interleavings never double-allocate, never lose
+/// capacity, and always coalesce back to a fully free arena.
+#[test]
+fn arena_allocator_invariants() {
+    cases("arena_allocator_invariants", 64, |rng| {
         let capacity = 64 * 1024;
         let mut arena = Arena::new(capacity);
         let mut live: Vec<DmaBuf> = Vec::new();
-        for (kind, val) in ops {
-            match kind {
-                0 => {
-                    if let Ok(buf) = arena.alloc(val) {
-                        // No overlap with any live allocation.
-                        for other in &live {
-                            let disjoint = buf.addr + buf.len <= other.addr
-                                || other.addr + other.len <= buf.addr;
-                            prop_assert!(disjoint, "overlapping allocations");
-                        }
-                        live.push(buf);
+        let steps = rng.range_u64(1, 120);
+        for _ in 0..steps {
+            let val = rng.range_u64(1, 2000);
+            if rng.chance(0.5) {
+                if let Ok(buf) = arena.alloc(val) {
+                    // No overlap with any live allocation.
+                    for other in &live {
+                        let disjoint =
+                            buf.addr + buf.len <= other.addr || other.addr + other.len <= buf.addr;
+                        assert!(disjoint, "overlapping allocations");
                     }
+                    live.push(buf);
                 }
-                _ => {
-                    if !live.is_empty() {
-                        let buf = live.swap_remove((val as usize) % live.len());
-                        prop_assert!(arena.free(buf).is_ok());
-                    }
-                }
+            } else if !live.is_empty() {
+                let buf = live.swap_remove((val as usize) % live.len());
+                assert!(arena.free(buf).is_ok());
             }
             let used: u64 = live.iter().map(|b| b.len).sum();
-            prop_assert_eq!(arena.used(), used);
+            assert_eq!(arena.used(), used);
         }
         for buf in live.drain(..) {
             arena.free(buf).unwrap();
         }
         // Fully coalesced: the whole capacity is allocatable again.
-        prop_assert!(arena.alloc(capacity).is_ok());
-    }
+        assert!(arena.alloc(capacity).is_ok());
+    });
+}
 
-    /// Registered regions always bound remote access.
-    #[test]
-    fn mr_checks_bound_access(start in 0u64..1000, len in 1u64..1000, off in 0u64..2000, alen in 1u64..2000) {
+/// Registered regions always bound remote access.
+#[test]
+fn mr_checks_bound_access() {
+    cases("mr_checks_bound_access", 256, |rng| {
+        let start = rng.range_u64(0, 1000);
+        let len = rng.range_u64(1, 1000);
+        let off = rng.range_u64(0, 2000);
+        let alen = rng.range_u64(1, 2000);
         let mut arena = Arena::new(1 << 20);
         let _pad = arena.alloc(start.max(1)).unwrap();
         let buf = arena.alloc(len).unwrap();
         let mr = arena.register(buf, Access::REMOTE_READ).unwrap();
-        let inside = off >= buf.addr.wrapping_sub(0)
-            && off.checked_add(alen).is_some_and(|e| off >= buf.addr && e <= buf.addr + buf.len);
+        let inside = off
+            .checked_add(alen)
+            .is_some_and(|e| off >= buf.addr && e <= buf.addr + buf.len);
         let ok = mr.check(off, alen, Access::REMOTE_READ).is_ok();
-        prop_assert_eq!(ok, inside);
-    }
+        assert_eq!(ok, inside);
+    });
 }
 
 // --- stripe layout ---------------------------------------------------------------
 
-fn arb_desc() -> impl Strategy<Value = RegionDesc> {
-    proptest::collection::vec(1u64..5000, 1..40).prop_map(|lens| RegionDesc {
+fn random_desc(rng: &mut DetRng) -> RegionDesc {
+    let n = rng.range_u64(1, 40) as usize;
+    let lens: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 5000)).collect();
+    RegionDesc {
         name: "p".into(),
         size: lens.iter().sum(),
         stripe_size: lens[0],
@@ -85,67 +107,86 @@ fn arb_desc() -> impl Strategy<Value = RegionDesc> {
             })
             .collect(),
         state: RegionState::Healthy,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Scatter/gather pieces tile the requested byte range exactly: a
-    /// bijection between buffer bytes and (stripe, offset) pairs.
-    #[test]
-    fn layout_pieces_tile_the_range(desc in arb_desc(), frac_off in 0.0f64..1.0, frac_len in 0.0f64..1.0) {
+/// Scatter/gather pieces tile the requested byte range exactly: a
+/// bijection between buffer bytes and (stripe, offset) pairs.
+#[test]
+fn layout_pieces_tile_the_range() {
+    cases("layout_pieces_tile_the_range", 128, |rng| {
+        let desc = random_desc(rng);
         let layout = Layout::new(&desc);
         let size = layout.size();
-        let offset = (frac_off * size as f64) as u64;
-        let len = ((frac_len * (size - offset) as f64) as u64).min(size - offset);
+        let offset = (rng.f64() * size as f64) as u64;
+        let len = ((rng.f64() * (size - offset) as f64) as u64).min(size - offset);
         let pieces = layout.pieces(offset, len).unwrap();
         let mut cursor_buf = 0u64;
         let mut cursor_log = offset;
         for p in &pieces {
-            prop_assert_eq!(p.buf_offset, cursor_buf);
+            assert_eq!(p.buf_offset, cursor_buf);
             // Logical position of the piece = stripe start + in-stripe offset.
             let stripe_start: u64 = desc.groups[..p.group].iter().map(|g| g.len()).sum();
-            prop_assert_eq!(stripe_start + p.offset_in_stripe, cursor_log);
-            prop_assert!(p.len > 0);
-            prop_assert!(p.offset_in_stripe + p.len <= desc.groups[p.group].len());
+            assert_eq!(stripe_start + p.offset_in_stripe, cursor_log);
+            assert!(p.len > 0);
+            assert!(p.offset_in_stripe + p.len <= desc.groups[p.group].len());
             cursor_buf += p.len;
             cursor_log += p.len;
         }
-        prop_assert_eq!(cursor_buf, len);
-    }
+        assert_eq!(cursor_buf, len);
+    });
+}
 
-    /// Control-plane messages survive an encode/decode round trip.
-    #[test]
-    fn proto_round_trip_fuzzed(name in "[a-z/]{0,20}", size in 0u64..u64::MAX, stripe in 1u64..u64::MAX) {
+/// Control-plane messages survive an encode/decode round trip.
+#[test]
+fn proto_round_trip_fuzzed() {
+    cases("proto_round_trip_fuzzed", 128, |rng| {
+        let name_len = rng.index(21);
+        let name: String = (0..name_len)
+            .map(|_| {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyz/";
+                alphabet[rng.index(alphabet.len())] as char
+            })
+            .collect();
+        let size = rng.next_u64();
+        let stripe = rng.range_u64(1, u64::MAX);
         let req = CtrlReq::Alloc {
             name: name.clone(),
             size,
-            opts: rstore::AllocOptions { stripe_size: stripe, ..Default::default() },
+            opts: rstore::AllocOptions {
+                stripe_size: stripe,
+                ..Default::default()
+            },
         };
-        prop_assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
+        assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
         let resp = CtrlResp::Err(name);
-        prop_assert_eq!(CtrlResp::decode(&resp.encode()).unwrap(), resp);
-    }
+        assert_eq!(CtrlResp::decode(&resp.encode()).unwrap(), resp);
+    });
+}
 
-    /// Arbitrary byte garbage never panics the decoder.
-    #[test]
-    fn proto_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Arbitrary byte garbage never panics the decoder.
+#[test]
+fn proto_decode_never_panics() {
+    cases("proto_decode_never_panics", 256, |rng| {
+        let len = rng.index(256);
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
         let _ = CtrlReq::decode(&bytes);
         let _ = CtrlResp::decode(&bytes);
-    }
+    });
 }
 
 // --- sort planning -----------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Partitioning + shuffle-plan offsets reassemble into a dense,
-    /// ordered output for any record set and worker count.
-    #[test]
-    #[allow(clippy::needless_range_loop)]
-    fn shuffle_plan_reassembles_exactly(records in 1u64..400, k in 1usize..9, seed in any::<u64>()) {
+/// Partitioning + shuffle-plan offsets reassemble into a dense,
+/// ordered output for any record set and worker count.
+#[test]
+#[allow(clippy::needless_range_loop)]
+fn shuffle_plan_reassembles_exactly() {
+    cases("shuffle_plan_reassembles_exactly", 64, |rng| {
+        let records = rng.range_u64(1, 400);
+        let k = rng.index(8) + 1;
+        let seed = rng.next_u64();
         let input = teragen(records, seed);
         // Sample all keys for splitters (worst-case accurate).
         let mut sample: Vec<[u8; KEY_BYTES]> = (0..records as usize)
@@ -167,7 +208,7 @@ proptest! {
             per_worker.push(parts);
         }
         let plan = ShufflePlan::new(counts);
-        prop_assert_eq!(plan.total(), records);
+        assert_eq!(plan.total(), records);
 
         // Shuffle into the output using the plan's offsets.
         let mut output = vec![0u8; input.len()];
@@ -183,36 +224,50 @@ proptest! {
             let (s, e) = plan.partition_range(j);
             sort_records(&mut output[s as usize * RECORD_BYTES..e as usize * RECORD_BYTES]);
         }
-        prop_assert!(is_sorted(&output));
+        assert!(is_sorted(&output));
         let mut expect = input.clone();
         sort_records(&mut expect);
-        prop_assert_eq!(output, expect);
-    }
+        assert_eq!(output, expect);
+    });
+}
 
-    /// dest_of is the inverse of the splitter ordering.
-    #[test]
-    fn dest_of_monotone(keys in proptest::collection::vec(any::<[u8; KEY_BYTES]>(), 2..200), k in 1usize..10) {
+/// dest_of is the inverse of the splitter ordering.
+#[test]
+fn dest_of_monotone() {
+    cases("dest_of_monotone", 64, |rng| {
+        let n = rng.range_u64(2, 200) as usize;
+        let k = rng.index(9) + 1;
+        let keys: Vec<[u8; KEY_BYTES]> = (0..n)
+            .map(|_| {
+                let mut key = [0u8; KEY_BYTES];
+                rng.fill_bytes(&mut key);
+                key
+            })
+            .collect();
         let mut sample = keys.clone();
         let splitters = choose_splitters(&mut sample, k);
         let mut sorted = keys;
         sorted.sort_unstable();
         let dests: Vec<usize> = sorted.iter().map(|key| dest_of(key, &splitters)).collect();
-        prop_assert!(dests.windows(2).all(|w| w[0] <= w[1]), "routing must be monotone in key order");
-        prop_assert!(dests.iter().all(|&d| d < k));
-    }
+        assert!(
+            dests.windows(2).all(|w| w[0] <= w[1]),
+            "routing must be monotone in key order"
+        );
+        assert!(dests.iter().all(|&d| d < k));
+    });
 }
 
 // --- virtual-time executor -----------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Scheduled events always fire in (time, insertion) order regardless
-    /// of the order they were scheduled in.
-    #[test]
-    fn executor_fires_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..100)) {
+/// Scheduled events always fire in (time, insertion) order regardless
+/// of the order they were scheduled in.
+#[test]
+fn executor_fires_in_time_order() {
+    cases("executor_fires_in_time_order", 32, |rng| {
         use std::cell::RefCell;
         use std::rc::Rc;
+        let n = rng.range_u64(1, 100) as usize;
+        let delays: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 10_000)).collect();
         let sim = sim::Sim::new();
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::default();
         for (i, &d) in delays.iter().enumerate() {
@@ -224,32 +279,42 @@ proptest! {
         }
         sim.run();
         let log = log.borrow();
-        prop_assert_eq!(log.len(), delays.len());
+        assert_eq!(log.len(), delays.len());
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            assert!(w[0].0 <= w[1].0, "time went backwards");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "same-instant events must keep insertion order");
+                assert!(
+                    w[0].1 < w[1].1,
+                    "same-instant events must keep insertion order"
+                );
             }
         }
         for &(t, i) in log.iter() {
-            prop_assert_eq!(t, delays[i]);
+            assert_eq!(t, delays[i]);
         }
-    }
+    });
+}
 
-    /// Fabric byte accounting conserves: delivered bytes equal sent bytes
-    /// for any message pattern between live nodes.
-    #[test]
-    fn fabric_conserves_bytes(msgs in proptest::collection::vec((0u32..4, 0u32..4, 1u64..100_000), 1..60)) {
+/// Fabric byte accounting conserves: delivered bytes equal sent bytes
+/// for any message pattern between live nodes.
+#[test]
+fn fabric_conserves_bytes() {
+    cases("fabric_conserves_bytes", 32, |rng| {
         let sim = sim::Sim::new();
-        let fabric: fabric::Fabric<u32> = fabric::Fabric::new(sim.clone(), fabric::FabricConfig::default());
+        let fabric: fabric::Fabric<u32> =
+            fabric::Fabric::new(sim.clone(), fabric::FabricConfig::default());
         let nodes: Vec<_> = (0..4).map(|_| fabric.add_node()).collect();
         let mut rxs = Vec::new();
         for &n in &nodes {
             rxs.push(fabric.attach(n));
         }
         let mut expect_total = 0u64;
-        for &(src, dst, bytes) in &msgs {
-            fabric.send(nodes[src as usize], nodes[dst as usize], bytes, 0);
+        let msgs = rng.range_u64(1, 60);
+        for _ in 0..msgs {
+            let src = rng.index(4);
+            let dst = rng.index(4);
+            let bytes = rng.range_u64(1, 100_000);
+            fabric.send(nodes[src], nodes[dst], bytes, 0);
             expect_total += bytes;
         }
         for mut rx in rxs {
@@ -259,29 +324,36 @@ proptest! {
         sim.run();
         let tx: u64 = nodes.iter().map(|&n| fabric.tx_bytes(n)).sum();
         let rx: u64 = nodes.iter().map(|&n| fabric.rx_bytes(n)).sum();
-        prop_assert_eq!(tx, expect_total);
-        prop_assert_eq!(tx, rx);
-    }
+        assert_eq!(tx, expect_total);
+        assert_eq!(tx, rx);
+    });
 }
 
 // --- KV table vs model ------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// A random op sequence against the distributed KV table agrees with a
-    /// `HashMap` executed in lockstep.
-    #[test]
-    fn kv_table_matches_hashmap_model(
-        ops in proptest::collection::vec((0u8..3, 0u8..24, proptest::collection::vec(any::<u8>(), 0..40)), 1..60)
-    ) {
-        use std::collections::HashMap;
+/// A random op sequence against the distributed KV table agrees with a
+/// `HashMap` executed in lockstep.
+#[test]
+fn kv_table_matches_hashmap_model() {
+    cases("kv_table_matches_hashmap_model", 12, |rng| {
         use rstore::{Cluster, ClusterConfig, KvConfig, KvTable};
+        use std::collections::HashMap;
+
+        let n_ops = rng.range_u64(1, 60);
+        let ops: Vec<(u8, u8, Vec<u8>)> = (0..n_ops)
+            .map(|_| {
+                let len = rng.index(40);
+                let mut value = vec![0u8; len];
+                rng.fill_bytes(&mut value);
+                (rng.index(3) as u8, rng.index(24) as u8, value)
+            })
+            .collect();
 
         let cluster = Cluster::boot(ClusterConfig {
             clients: 1,
             ..ClusterConfig::with_servers(2)
-        }).expect("boot");
+        })
+        .expect("boot");
         let sim = cluster.sim.clone();
         let devs = cluster.client_devs.clone();
         let master = cluster.master_node();
@@ -333,6 +405,6 @@ proptest! {
             }
             Ok(())
         });
-        prop_assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
-    }
+        assert!(outcome.is_ok(), "{}", outcome.unwrap_err());
+    });
 }

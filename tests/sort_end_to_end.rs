@@ -1,8 +1,8 @@
 //! End-to-end sorting: correctness under varied worker counts, data
 //! skews, and repeat runs.
 
-use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
 use rsort::{distributed, SortConfig, SortCostModel, SortMode};
+use rstore::{AllocOptions, Cluster, ClusterConfig, RStoreClient};
 use workload::{is_sorted, record_key, teragen, RECORD_BYTES};
 
 fn boot(workers: usize) -> Cluster {
@@ -34,7 +34,9 @@ async fn sort_and_fetch(
     let master = cluster.master_node();
     let loader = RStoreClient::connect(&devs[0], master).await.expect("c");
     let cfg = cfg(job);
-    distributed::load_input(&loader, &cfg, input).await.expect("load");
+    distributed::load_input(&loader, &cfg, input)
+        .await
+        .expect("load");
     let outcome = distributed::run(&devs, master, cfg).await.expect("sort");
     let out = loader.map(&format!("{job}/output")).await.expect("map");
     let bytes = out.read(0, out.size()).await.expect("read");

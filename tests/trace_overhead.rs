@@ -1,0 +1,43 @@
+//! Disabled tracing must be free: recording through a disabled tracer
+//! performs no heap allocation. This is the only test in the binary so the
+//! counting global allocator sees no concurrent test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_does_not_allocate() {
+    let sim = sim::Sim::new();
+    let tracer = sim.tracer();
+    assert!(!tracer.is_enabled());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000 {
+        let span = tracer.span("bench", "noop", i);
+        span.end();
+        let span2 = tracer.span_arg("bench", "noop2", i, 42);
+        drop(span2);
+        tracer.instant("bench", "tick", i, i);
+        tracer.complete_at("bench", "past", i, sim::SimTime::ZERO, 0);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled tracer must not touch the heap");
+}
