@@ -1,8 +1,9 @@
-//! The nine experiments of the reproduction (see `DESIGN.md`'s
+//! The ten experiments of the reproduction (see `DESIGN.md`'s
 //! per-experiment index). Each returns one or more [`Table`]s; the
 //! `figures` binary prints them, and `EXPERIMENTS.md` records
 //! paper-vs-measured.
 
+pub mod e10_availability;
 pub mod e1_verbs;
 pub mod e2_control;
 pub mod e3_datapath;
@@ -15,7 +16,7 @@ pub mod e9_sort_scaling;
 
 use crate::table::Table;
 
-/// Runs one experiment by id (`"e1"`..`"e9"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e10"`), returning its tables.
 ///
 /// # Panics
 ///
@@ -31,9 +32,10 @@ pub fn run(id: &str) -> Vec<Table> {
         "e7" => e7_scaling::run(),
         "e8" => e8_sort::run(),
         "e9" => e9_sort_scaling::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e9)"),
+        "e10" => e10_availability::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

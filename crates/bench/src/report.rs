@@ -7,6 +7,7 @@
 //! simulator's tracer enabled and dumps it as Chrome trace-event JSON.
 
 use crate::experiments;
+use crate::experiments::e10_availability;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::table::Table;
@@ -69,6 +70,27 @@ pub fn experiment_json(id: &str) -> Json {
             .map(layer_stat_json)
             .collect();
         fields.push(("read_latency_attribution".to_string(), Json::Arr(attr)));
+    }
+    if id == "e10" {
+        let s = e10_availability::measure();
+        fields.push((
+            "availability".to_string(),
+            Json::obj([
+                ("ops_total".to_string(), Json::int(s.ops_total)),
+                ("io_errors".to_string(), Json::int(s.io_errors)),
+                ("data_errors".to_string(), Json::int(s.data_errors)),
+                ("kill_ns".to_string(), Json::int(s.kill_ns)),
+                ("recovery_ns".to_string(), Json::int(s.recovery_ns)),
+                (
+                    "degraded_window_ns".to_string(),
+                    Json::int(s.degraded_window_ns),
+                ),
+                (
+                    "healthy_after_repair".to_string(),
+                    Json::Bool(s.healthy_after_repair),
+                ),
+            ]),
+        ));
     }
     Json::obj(fields)
 }

@@ -6,12 +6,13 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Duration;
 
 use fabric::NodeId;
-use rdma::{CompletionQueue, CqStatus, Qp, RdmaDevice};
+use rdma::{CompletionQueue, CqStatus, Qp, RdmaDevice, RdmaError};
 use sim::channel::oneshot;
 use sim::sync::{Semaphore, WaitGroup};
-use sim::Sim;
+use sim::{Sim, SimTime};
 
 use crate::error::{RStoreError, Result};
 use crate::proto::{AllocOptions, ClusterStats, CtrlReq, CtrlResp, RegionDesc, RegionState};
@@ -19,9 +20,42 @@ use crate::region::Region;
 use crate::rpc::RpcClient;
 use crate::{CTRL_SERVICE, DATA_SERVICE};
 
+/// Client-side data-path recovery tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Delay before the first QP re-dial retry to a node after a failed
+    /// attempt; doubles on each consecutive failure.
+    pub redial_backoff: Duration,
+    /// Cap on the re-dial backoff.
+    pub redial_backoff_max: Duration,
+    /// Extra grace added to the device's per-op timeout before a posted IO
+    /// is failed client-side with [`CqStatus::Timeout`] — a backstop that
+    /// bounds every region IO in virtual time.
+    pub io_grace: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            redial_backoff: Duration::from_millis(1),
+            redial_backoff_max: Duration::from_millis(100),
+            io_grace: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Re-dial state for one memory server: a single-attempt gate plus the
+/// capped-exponential-backoff clock.
+struct RedialSlot {
+    sem: Semaphore,
+    attempts: Cell<u32>,
+    next_at: Cell<SimTime>,
+}
+
 pub(crate) struct ClientShared {
     pub dev: RdmaDevice,
     pub sim: Sim,
+    pub cfg: ClientConfig,
     master: NodeId,
     ctrl_sem: Semaphore,
     ctrl: RefCell<Option<RpcClient>>,
@@ -29,6 +63,7 @@ pub(crate) struct ClientShared {
     pub pending: RefCell<HashMap<u64, oneshot::Sender<CqStatus>>>,
     pub next_wr: Cell<u64>,
     pub conns: RefCell<HashMap<u32, Qp>>,
+    redial: RefCell<HashMap<u32, Rc<RedialSlot>>>,
     pub outstanding: WaitGroup,
 }
 
@@ -64,10 +99,24 @@ impl RStoreClient {
     ///
     /// Connection failures from the verbs layer.
     pub async fn connect(dev: &RdmaDevice, master: NodeId) -> Result<RStoreClient> {
+        Self::connect_with(dev, master, ClientConfig::default()).await
+    }
+
+    /// Like [`connect`](Self::connect) with explicit recovery tuning.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures from the verbs layer.
+    pub async fn connect_with(
+        dev: &RdmaDevice,
+        master: NodeId,
+        cfg: ClientConfig,
+    ) -> Result<RStoreClient> {
         let ctrl = RpcClient::connect(dev, master, CTRL_SERVICE).await?;
         let shared = Rc::new(ClientShared {
             dev: dev.clone(),
             sim: dev.sim().clone(),
+            cfg,
             master,
             ctrl_sem: Semaphore::new(1),
             ctrl: RefCell::new(Some(ctrl)),
@@ -75,6 +124,7 @@ impl RStoreClient {
             pending: RefCell::new(HashMap::new()),
             next_wr: Cell::new(1),
             conns: RefCell::new(HashMap::new()),
+            redial: RefCell::new(HashMap::new()),
             outstanding: WaitGroup::new(),
         });
 
@@ -234,6 +284,67 @@ impl RStoreClient {
         self.shared.outstanding.wait().await;
     }
 
+    /// Re-establishes the data QP to `node`, replacing a missing or errored
+    /// cached connection. At most one attempt runs per node at a time, and
+    /// attempts are rate-limited by capped exponential backoff — a call
+    /// inside the backoff window fails fast instead of sleeping, so read
+    /// callers fail over to another replica rather than stall.
+    pub(crate) async fn redial(&self, node: u32) -> Result<Qp> {
+        let s = &self.shared;
+        if let Some(qp) = s.conns.borrow().get(&node) {
+            if !qp.is_errored() {
+                return Ok(qp.clone());
+            }
+        }
+        let slot = s
+            .redial
+            .borrow_mut()
+            .entry(node)
+            .or_insert_with(|| {
+                Rc::new(RedialSlot {
+                    sem: Semaphore::new(1),
+                    attempts: Cell::new(0),
+                    next_at: Cell::new(SimTime::ZERO),
+                })
+            })
+            .clone();
+        slot.sem.acquire().await;
+        // Another task may have re-dialed while we queued on the gate.
+        if let Some(qp) = s.conns.borrow().get(&node) {
+            if !qp.is_errored() {
+                slot.sem.release();
+                return Ok(qp.clone());
+            }
+        }
+        if s.sim.now() < slot.next_at.get() {
+            slot.sem.release();
+            return Err(RStoreError::Rdma(RdmaError::Timeout));
+        }
+        s.dev.metrics().incr("rstore.redial.attempts");
+        let result = s.dev.connect(NodeId(node), DATA_SERVICE, &s.data_cq).await;
+        let out = match result {
+            Ok(qp) => {
+                s.conns.borrow_mut().insert(node, qp.clone());
+                slot.attempts.set(0);
+                s.dev.metrics().incr("rstore.redial.ok");
+                Ok(qp)
+            }
+            Err(e) => {
+                let n = slot.attempts.get().saturating_add(1);
+                slot.attempts.set(n);
+                let backoff = s
+                    .cfg
+                    .redial_backoff
+                    .saturating_mul(1u32 << (n - 1).min(16))
+                    .min(s.cfg.redial_backoff_max);
+                slot.next_at.set(s.sim.now() + backoff);
+                Err(e.into())
+            }
+        };
+        slot.sem.release();
+        out
+    }
+
     #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim; semaphore-guarded
     async fn ctrl_call(&self, req: CtrlReq) -> Result<CtrlResp> {
         let s = &self.shared;
@@ -325,11 +436,16 @@ fn remap_err(m: String) -> RStoreError {
     } else if m.contains("no such region") {
         RStoreError::NotFound(extract_quoted(&m))
     } else if m.contains("cannot satisfy allocation") {
-        RStoreError::InsufficientCapacity { requested: 0 }
+        // "cluster cannot satisfy allocation of {requested} bytes"
+        RStoreError::InsufficientCapacity {
+            requested: extract_uints(&m).first().copied().unwrap_or(0),
+        }
     } else if m.contains("replication factor") {
+        // "replication factor {replicas} exceeds live servers ({available})"
+        let nums = extract_uints(&m);
         RStoreError::NotEnoughServers {
-            replicas: 0,
-            available: 0,
+            replicas: nums.first().copied().unwrap_or(0) as usize,
+            available: nums.get(1).copied().unwrap_or(0) as usize,
         }
     } else {
         RStoreError::Remote(m)
@@ -338,6 +454,26 @@ fn remap_err(m: String) -> RStoreError {
 
 fn extract_quoted(m: &str) -> String {
     m.split('"').nth(1).unwrap_or(m).to_owned()
+}
+
+/// Unsigned integers embedded in a message, in order of appearance.
+fn extract_uints(m: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut cur: Option<u64> = None;
+    for c in m.chars() {
+        match c.to_digit(10) {
+            Some(d) => cur = Some(cur.unwrap_or(0).saturating_mul(10).saturating_add(d as u64)),
+            None => {
+                if let Some(v) = cur.take() {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    if let Some(v) = cur {
+        out.push(v);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -354,14 +490,37 @@ mod tests {
             remap_err("no such region: \"b\"".into()),
             RStoreError::NotFound("b".into())
         );
-        assert!(matches!(
+        assert_eq!(
             remap_err("cluster cannot satisfy allocation of 5 bytes".into()),
-            RStoreError::InsufficientCapacity { .. }
-        ));
-        assert!(matches!(
+            RStoreError::InsufficientCapacity { requested: 5 }
+        );
+        assert_eq!(
             remap_err("replication factor 3 exceeds live servers (1)".into()),
-            RStoreError::NotEnoughServers { .. }
-        ));
+            RStoreError::NotEnoughServers {
+                replicas: 3,
+                available: 1
+            }
+        );
         assert!(matches!(remap_err("weird".into()), RStoreError::Remote(_)));
+    }
+
+    #[test]
+    fn remap_round_trips_structured_errors() {
+        // Every structured master error must survive the Display → remap
+        // round trip with its numbers and names intact.
+        let errs = [
+            RStoreError::NameExists("region-a".into()),
+            RStoreError::NotFound("region-b".into()),
+            RStoreError::InsufficientCapacity {
+                requested: 123_456_789,
+            },
+            RStoreError::NotEnoughServers {
+                replicas: 7,
+                available: 4,
+            },
+        ];
+        for e in errs {
+            assert_eq!(remap_err(e.to_string()), e);
+        }
     }
 }

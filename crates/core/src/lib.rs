@@ -61,7 +61,7 @@ pub mod region;
 pub mod rpc;
 pub mod server;
 
-pub use client::RStoreClient;
+pub use client::{ClientConfig, RStoreClient};
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::{RStoreError, Result};
 pub use kv::{KvConfig, KvTable};

@@ -36,6 +36,11 @@ pub struct MasterConfig {
     pub rpc_cpu: Duration,
     /// Seed for randomized placement.
     pub seed: u64,
+    /// Whether the background repair task runs, re-replicating stripe
+    /// groups whose replicas sit on dead servers.
+    pub repair: bool,
+    /// How often the repair task scans for degraded regions.
+    pub repair_interval: Duration,
 }
 
 impl Default for MasterConfig {
@@ -45,6 +50,8 @@ impl Default for MasterConfig {
             sweep_interval: Duration::from_millis(200),
             rpc_cpu: Duration::from_micros(2),
             seed: 0x5707E,
+            repair: true,
+            repair_interval: Duration::from_millis(500),
         }
     }
 }
@@ -64,8 +71,11 @@ struct ConnSlot {
 struct MState {
     servers: BTreeMap<u32, ServerInfo>,
     regions: HashMap<String, RegionDesc>,
-    /// Names reserved by in-flight allocations.
+    /// Names reserved by in-flight allocations and grows.
     reserved: std::collections::HashSet<String>,
+    /// Regions backed by synthetic (sizes-only) memory; repair must
+    /// allocate replacement extents of the same kind.
+    synthetic: std::collections::HashSet<String>,
     rng: DetRng,
     conns: HashMap<u32, Rc<ConnSlot>>,
 }
@@ -105,6 +115,7 @@ impl Master {
                 servers: BTreeMap::new(),
                 regions: HashMap::new(),
                 reserved: std::collections::HashSet::new(),
+                synthetic: std::collections::HashSet::new(),
                 rng: DetRng::new(cfg.seed),
                 conns: HashMap::new(),
             })),
@@ -138,6 +149,17 @@ impl Master {
             }
         });
 
+        // Repair task: re-replicate stripe groups stranded on dead servers.
+        if master.cfg.repair {
+            let m = master.clone();
+            master.sim.spawn(async move {
+                loop {
+                    m.sim.sleep(m.cfg.repair_interval).await;
+                    m.repair_sweep().await;
+                }
+            });
+        }
+
         Ok(master)
     }
 
@@ -164,6 +186,13 @@ impl Master {
         }
     }
 
+    /// Drops `node` from the server registry, as if the master had restarted
+    /// and lost its soft state. The server's next heartbeat is answered with
+    /// an error, prompting it to re-register. Admin/test hook.
+    pub fn forget_server(&self, node: NodeId) {
+        self.state.borrow_mut().servers.remove(&node.0);
+    }
+
     /// A local (non-RPC) snapshot of cluster statistics.
     pub fn local_stats(&self) -> ClusterStats {
         let st = self.state.borrow();
@@ -182,16 +211,30 @@ impl Master {
         };
         match req {
             CtrlReq::RegisterServer { node, capacity } => {
+                let now = self.sim.now();
                 let mut st = self.state.borrow_mut();
-                st.servers.insert(
-                    node,
-                    ServerInfo {
-                        capacity,
-                        used: 0,
-                        last_hb: self.sim.now(),
-                        alive: true,
-                    },
-                );
+                match st.servers.get_mut(&node) {
+                    // A re-register after a control-connection blip must not
+                    // reset `used`: the server's extents are still referenced
+                    // by live regions, and zeroing the accounting would let
+                    // the master over-allocate.
+                    Some(info) => {
+                        info.capacity = capacity;
+                        info.last_hb = now;
+                        info.alive = true;
+                    }
+                    None => {
+                        st.servers.insert(
+                            node,
+                            ServerInfo {
+                                capacity,
+                                used: 0,
+                                last_hb: now,
+                                alive: true,
+                            },
+                        );
+                    }
+                }
                 CtrlResp::Ok
             }
             CtrlReq::Heartbeat { node } => {
@@ -340,11 +383,15 @@ impl Master {
                 return Err(RStoreError::NameExists(name));
             }
         }
+        let synthetic = opts.synthetic;
         let result = self.alloc_inner(&name, size, opts).await;
         let mut st = self.state.borrow_mut();
         st.reserved.remove(&name);
         match result {
             Ok(desc) => {
+                if synthetic {
+                    st.synthetic.insert(name.clone());
+                }
                 st.regions.insert(name, desc.clone());
                 Ok(desc)
             }
@@ -371,30 +418,53 @@ impl Master {
         if additional == 0 {
             return Err(RStoreError::Protocol("zero-sized grow".into()));
         }
-        let (stripe_size, exists) = {
-            let st = self.state.borrow();
-            match st.regions.get(&name) {
-                Some(d) => (d.stripe_size, true),
-                None => (0, false),
+        let stripe_size = {
+            let mut st = self.state.borrow_mut();
+            let Some(d) = st.regions.get(&name) else {
+                return Err(RStoreError::NotFound(name));
+            };
+            let stripe_size = d.stripe_size;
+            // Hold the name for the duration of the grow (like `alloc`
+            // does) so a concurrent free + alloc cannot recycle it while we
+            // await the servers, and a concurrent grow cannot interleave.
+            if !st.reserved.insert(name.clone()) {
+                return Err(RStoreError::NameExists(name));
             }
+            stripe_size
         };
-        if !exists {
-            return Err(RStoreError::NotFound(name));
-        }
         let opts = AllocOptions {
             stripe_size,
             ..opts
         };
         let stripe_lens = stripe_lengths(additional, stripe_size);
-        let groups = self.allocate_groups(&stripe_lens, opts).await?;
-        let mut st = self.state.borrow_mut();
-        let desc = st
-            .regions
-            .get_mut(&name)
-            .ok_or(RStoreError::NotFound(name))?;
-        desc.groups.extend(groups);
-        desc.size += additional;
-        Ok(desc.clone())
+        let groups = match self.allocate_groups(&stripe_lens, opts).await {
+            Ok(g) => g,
+            Err(e) => {
+                self.state.borrow_mut().reserved.remove(&name);
+                return Err(e);
+            }
+        };
+        let committed = {
+            let mut st = self.state.borrow_mut();
+            st.reserved.remove(&name);
+            match st.regions.get_mut(&name) {
+                Some(desc) => {
+                    desc.groups.extend(groups.iter().cloned());
+                    desc.size += additional;
+                    Some(desc.clone())
+                }
+                None => None,
+            }
+        };
+        match committed {
+            Some(desc) => Ok(desc),
+            // The region was freed while we were allocating: roll back the
+            // fresh extents and their capacity reservation.
+            None => {
+                self.release_groups(&groups).await;
+                Err(RStoreError::NotFound(name))
+            }
+        }
     }
 
     /// Places and allocates one extent group per stripe length, rolling the
@@ -500,13 +570,23 @@ impl Master {
     async fn free(&self, name: String) -> Result<()> {
         let desc = {
             let mut st = self.state.borrow_mut();
-            st.regions
+            let desc = st
+                .regions
                 .remove(&name)
-                .ok_or(RStoreError::NotFound(name))?
+                .ok_or(RStoreError::NotFound(name.clone()))?;
+            st.synthetic.remove(&name);
+            desc
         };
-        // Group extents per server.
+        self.release_groups(&desc.groups).await;
+        Ok(())
+    }
+
+    /// Frees the extents of `groups` on their servers (best effort, skipping
+    /// dead ones — a server dying loses the memory anyway) and returns the
+    /// reserved capacity to the accounting.
+    async fn release_groups(&self, groups: &[StripeGroup]) {
         let mut per_server: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
-        for g in &desc.groups {
+        for g in groups {
             for x in &g.replicas {
                 per_server.entry(x.node).or_default().push((x.addr, x.len));
             }
@@ -520,8 +600,6 @@ impl Master {
                 .get(&node)
                 .is_some_and(|s| s.alive);
             if alive {
-                // Best effort: a server dying mid-free loses the memory
-                // anyway.
                 let _ = self
                     .server_call(node, SrvReq::FreeExtents { extents })
                     .await;
@@ -531,7 +609,221 @@ impl Master {
                 info.used = info.used.saturating_sub(bytes);
             }
         }
-        Ok(())
+    }
+
+    /// One pass of the repair task: find regions with replicas stranded on
+    /// dead servers and re-replicate them onto live ones.
+    async fn repair_sweep(&self) {
+        let mut names: Vec<String> = {
+            let st = self.state.borrow();
+            st.regions
+                .iter()
+                .filter(|(_, d)| {
+                    d.groups
+                        .iter()
+                        .flat_map(|g| &g.replicas)
+                        .any(|x| !st.servers.get(&x.node).is_some_and(|s| s.alive))
+                })
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        // HashMap iteration order is not seeded; sort so repair order (and
+        // with it every trace) is identical across runs.
+        names.sort();
+        for name in names {
+            self.repair_region(&name).await;
+        }
+    }
+
+    /// Re-replicates every stripe group of `name` that has replicas on dead
+    /// servers, copying from a surviving replica and atomically swapping the
+    /// descriptor entry. Groups with no live replica are unrecoverable and
+    /// left degraded; unreplicated regions therefore stay `Degraded`.
+    async fn repair_region(&self, name: &str) {
+        let groups = {
+            let st = self.state.borrow();
+            match st.regions.get(name) {
+                Some(d) => d.groups.clone(),
+                None => return,
+            }
+        };
+        let span = self
+            .sim
+            .tracer()
+            .span("core", "rstore.repair", self.dev.node().0 as u64);
+        let mut repaired = 0u64;
+        for (gi, group) in groups.iter().enumerate() {
+            let alive: Vec<bool> = {
+                let st = self.state.borrow();
+                group
+                    .replicas
+                    .iter()
+                    .map(|x| st.servers.get(&x.node).is_some_and(|s| s.alive))
+                    .collect()
+            };
+            if alive.iter().all(|&a| a) {
+                continue;
+            }
+            let Some(src_idx) = alive.iter().position(|&a| a) else {
+                continue;
+            };
+            let src = group.replicas[src_idx];
+            for (ri, &replica_alive) in alive.iter().enumerate() {
+                if replica_alive {
+                    continue;
+                }
+                let old = group.replicas[ri];
+                if self.repair_extent(name, gi, ri, &src, &old).await {
+                    repaired += 1;
+                }
+            }
+        }
+        if repaired > 0 {
+            self.dev.metrics().add("rstore.repair.extents", repaired);
+        }
+        span.end();
+    }
+
+    /// Repairs one dead replica: allocates a replacement extent on a live
+    /// server not already hosting the group, has that server pull the stripe
+    /// from the surviving replica `src` with a one-sided READ, and swaps the
+    /// descriptor entry — but only if the slot still holds `old` (the region
+    /// may have been freed or re-grown while we were copying). Returns
+    /// whether the swap happened.
+    async fn repair_extent(
+        &self,
+        name: &str,
+        gi: usize,
+        ri: usize,
+        src: &Extent,
+        old: &Extent,
+    ) -> bool {
+        let synthetic = self.state.borrow().synthetic.contains(name);
+        // Pick the live server with the most free capacity that does not
+        // already host a replica of this group, and reserve the bytes.
+        let target = {
+            let mut st = self.state.borrow_mut();
+            let Some(group) = st.regions.get(name).and_then(|d| d.groups.get(gi)) else {
+                return false;
+            };
+            if group.replicas.get(ri) != Some(old) {
+                return false;
+            }
+            let hosts: Vec<u32> = group.replicas.iter().map(|x| x.node).collect();
+            let mut best: Option<(u64, u32)> = None;
+            for (&n, info) in &st.servers {
+                if !info.alive || hosts.contains(&n) {
+                    continue;
+                }
+                let free = info.capacity.saturating_sub(info.used);
+                if free < old.len {
+                    continue;
+                }
+                if best.is_none_or(|(bf, _)| free > bf) {
+                    best = Some((free, n));
+                }
+            }
+            let Some((_, n)) = best else {
+                return false;
+            };
+            st.servers.get_mut(&n).expect("alive server").used += old.len;
+            n
+        };
+        let unreserve = |node: u32, bytes: u64| {
+            let mut st = self.state.borrow_mut();
+            if let Some(info) = st.servers.get_mut(&node) {
+                info.used = info.used.saturating_sub(bytes);
+            }
+        };
+        let new_extent = match self
+            .server_call(
+                target,
+                SrvReq::AllocExtents {
+                    count: 1,
+                    len: old.len,
+                    synthetic,
+                },
+            )
+            .await
+        {
+            Ok(SrvResp::Extents(v)) if v.len() == 1 => {
+                let (addr, rkey, len) = v[0];
+                Extent {
+                    node: target,
+                    addr,
+                    rkey,
+                    len,
+                }
+            }
+            _ => {
+                unreserve(target, old.len);
+                return false;
+            }
+        };
+        let rollback_extent = |master: &Master| {
+            let master = master.clone();
+            async move {
+                let _ = master
+                    .server_call(
+                        target,
+                        SrvReq::FreeExtents {
+                            extents: vec![(new_extent.addr, new_extent.len)],
+                        },
+                    )
+                    .await;
+            }
+        };
+        // Copy the stripe: the target server pulls from the surviving
+        // replica over the data path; the master only orchestrates.
+        let copied = matches!(
+            self.server_call(
+                target,
+                SrvReq::Replicate {
+                    src_node: src.node,
+                    src_addr: src.addr,
+                    src_rkey: src.rkey,
+                    dst_addr: new_extent.addr,
+                    len: old.len,
+                },
+            )
+            .await,
+            Ok(SrvResp::Ok)
+        );
+        if !copied {
+            rollback_extent(self).await;
+            unreserve(target, old.len);
+            return false;
+        }
+        // Atomic swap, guarded against the region changing underneath.
+        let swapped = {
+            let mut st = self.state.borrow_mut();
+            match st
+                .regions
+                .get_mut(name)
+                .and_then(|d| d.groups.get_mut(gi))
+                .and_then(|g| g.replicas.get_mut(ri))
+            {
+                Some(slot) if slot == old => {
+                    *slot = new_extent;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !swapped {
+            rollback_extent(self).await;
+            unreserve(target, old.len);
+            return false;
+        }
+        // The dead server's copy is abandoned with the server; release its
+        // accounting so the capacity books stay balanced. (If the server
+        // flaps back, its arena is assumed lost wholesale, matching the
+        // volatile-DRAM failure model.)
+        unreserve(old.node, old.len);
+        self.sim
+            .tracer()
+            .instant("core", "rstore.repair.extent", old.node as u64, old.len);
+        true
     }
 
     /// RPC to a memory server through a cached, serialized connection.

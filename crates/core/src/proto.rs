@@ -520,6 +520,21 @@ pub enum SrvReq {
         /// `(addr, len)` pairs as returned by `AllocExtents`.
         extents: Vec<(u64, u64)>,
     },
+    /// Pull a remote extent into a local one over the data path (used by
+    /// the master's repair task to re-replicate a stripe): the receiving
+    /// server issues a one-sided READ from `src_node` into `dst_addr`.
+    Replicate {
+        /// Fabric node of the server holding the surviving replica.
+        src_node: u32,
+        /// Source extent start address.
+        src_addr: u64,
+        /// rkey authorizing the read of the source extent.
+        src_rkey: u64,
+        /// Destination extent start address on the receiving server.
+        dst_addr: u64,
+        /// Bytes to copy.
+        len: u64,
+    },
 }
 
 impl SrvReq {
@@ -539,6 +554,20 @@ impl SrvReq {
                 for (a, l) in extents {
                     e.u64(*a).u64(*l);
                 }
+            }
+            SrvReq::Replicate {
+                src_node,
+                src_addr,
+                src_rkey,
+                dst_addr,
+                len,
+            } => {
+                e.u8(2)
+                    .u32(*src_node)
+                    .u64(*src_addr)
+                    .u64(*src_rkey)
+                    .u64(*dst_addr)
+                    .u64(*len);
             }
         }
         e.into_bytes()
@@ -565,6 +594,13 @@ impl SrvReq {
                 }
                 SrvReq::FreeExtents { extents }
             }
+            2 => SrvReq::Replicate {
+                src_node: d.u32()?,
+                src_addr: d.u64()?,
+                src_rkey: d.u64()?,
+                dst_addr: d.u64()?,
+                len: d.u64()?,
+            },
             t => return Err(RStoreError::Protocol(format!("bad srv tag {t}"))),
         };
         d.finish()?;
@@ -728,6 +764,13 @@ mod tests {
             },
             SrvReq::FreeExtents {
                 extents: vec![(1, 2), (3, 4)],
+            },
+            SrvReq::Replicate {
+                src_node: 3,
+                src_addr: 0x1000,
+                src_rkey: 0xfeed,
+                dst_addr: 0x2000,
+                len: 1 << 16,
             },
         ];
         for req in reqs {

@@ -145,38 +145,53 @@ impl Region {
             .tracer()
             .span_arg("core", "rstore.read", s.dev.node().0 as u64, dst.len);
         let pieces = self.layout.pieces(offset, dst.len)?;
-        // Post every piece's primary read in parallel.
-        let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
-        let mut retry: Vec<(Piece, usize)> = Vec::new();
+        // Post every piece's primary read in parallel. The bool marks
+        // whether the replica has already spent its one reconnect retry.
+        let mut waits: Vec<(Piece, usize, bool, oneshot::Receiver<CqStatus>)> = Vec::new();
+        let mut retry: Vec<(Piece, usize, bool)> = Vec::new();
         for piece in pieces {
             match self.post_piece(&piece, dst, Dir::Read, 0) {
-                Ok(rx) => waits.push((piece, 0, rx)),
-                Err(_) => retry.push((piece, 0)),
+                Ok(rx) => waits.push((piece, 0, false, rx)),
+                Err(_) => retry.push((piece, 0, false)),
             }
         }
         loop {
-            for (piece, replica, rx) in waits.drain(..) {
+            for (piece, replica, redialed, rx) in waits.drain(..) {
                 let ok = matches!(rx.await, Some(CqStatus::Success));
                 if !ok {
-                    retry.push((piece, replica));
+                    retry.push((piece, replica, redialed));
                 }
             }
             if retry.is_empty() {
                 return Ok(());
             }
-            // Failover pass: each failed piece advances to its next replica.
-            // A piece whose retry cannot even be posted (dead QP) advances
-            // again on the following pass until its replicas are exhausted.
+            // Failover pass. A failed replica is first granted one
+            // reconnect retry — its QP may be broken while the server is
+            // fine — and only advances to the next replica once that retry
+            // fails or the re-dial is refused (backoff gate, dead node). A
+            // piece that exhausts its replicas fails the read.
             let failed = std::mem::take(&mut retry);
             let mut next_round = Vec::new();
-            for (piece, replica) in failed {
+            for (piece, replica, redialed) in failed {
+                if !redialed {
+                    let node = self.desc.groups[piece.group].replicas[replica].node;
+                    if self.client.redial(node).await.is_ok() {
+                        if let Ok(rx) = self.post_piece(&piece, dst, Dir::Read, replica) {
+                            next_round.push((piece, replica, true, rx));
+                            continue;
+                        }
+                    }
+                    // The reconnect retry is spent; advance next pass.
+                    retry.push((piece, replica, true));
+                    continue;
+                }
                 let next = replica + 1;
                 if next >= self.desc.groups[piece.group].replicas.len() {
                     return Err(RStoreError::Io(CqStatus::Timeout));
                 }
                 match self.post_piece(&piece, dst, Dir::Read, next) {
-                    Ok(rx) => next_round.push((piece, next, rx)),
-                    Err(_) => retry.push((piece, next)),
+                    Ok(rx) => next_round.push((piece, next, false, rx)),
+                    Err(_) => retry.push((piece, next, false)),
                 }
             }
             waits = next_round;
@@ -195,7 +210,40 @@ impl Region {
             .sim
             .tracer()
             .span_arg("core", "rstore.write", s.dev.node().0 as u64, src.len);
-        self.start_write(offset, src)?.wait().await
+        let pieces = self.layout.pieces(offset, src.len)?;
+        let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
+        let mut failed: Vec<(Piece, usize)> = Vec::new();
+        for piece in &pieces {
+            for r in 0..self.desc.groups[piece.group].replicas.len() {
+                match self.post_piece(piece, src, Dir::Write, r) {
+                    Ok(rx) => waits.push((*piece, r, rx)),
+                    Err(_) => failed.push((*piece, r)),
+                }
+            }
+        }
+        for (piece, r, rx) in waits {
+            if !matches!(rx.await, Some(CqStatus::Success)) {
+                failed.push((piece, r));
+            }
+        }
+        // Recovery round: a write must reach every replica, so each failed
+        // (piece, replica) gets one re-dial plus repost; a replica that
+        // stays unreachable fails the IO.
+        for (piece, r) in failed {
+            let node = self.desc.groups[piece.group].replicas[r].node;
+            if self.client.redial(node).await.is_err() {
+                return Err(RStoreError::Io(CqStatus::Timeout));
+            }
+            let Ok(rx) = self.post_piece(&piece, src, Dir::Write, r) else {
+                return Err(RStoreError::Io(CqStatus::Timeout));
+            };
+            match rx.await {
+                Some(CqStatus::Success) => {}
+                Some(status) => return Err(RStoreError::Io(status)),
+                None => return Err(RStoreError::Io(CqStatus::Flushed)),
+            }
+        }
+        Ok(())
     }
 
     /// Posts a read without waiting (no failover). Use
@@ -275,6 +323,23 @@ impl Region {
             s.outstanding.done();
             return Err(e.into());
         }
+        // Per-IO timeout backstop: if no completion ever routes back for
+        // this work request, fail it client-side so region IO is bounded in
+        // virtual time. The deadline must be the device's backlog-aware
+        // bound, not the isolated-op timeout: behind a deep backlog (e.g.
+        // a fluid-mode shuffle) an op legitimately outlives op_timeout of
+        // its own size. The guard only resolves the waiter — the
+        // outstanding count is left to the completion router, which drains
+        // the device-generated CQE (the verbs layer always produces one).
+        let deadline = s.sim.now() + s.dev.op_deadline(piece.len) + s.cfg.io_grace;
+        let client = self.client.clone();
+        s.sim.schedule_at(deadline, move || {
+            let sh = &client.shared;
+            if let Some(tx) = sh.pending.borrow_mut().remove(&wr_id) {
+                sh.dev.metrics().incr("rstore.io_timeout");
+                tx.send(CqStatus::Timeout);
+            }
+        });
         let metric = match dir {
             Dir::Read => "rstore.read_bytes",
             Dir::Write => "rstore.write_bytes",

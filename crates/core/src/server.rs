@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use rdma::{Access, CompletionQueue, DmaBuf, RdmaDevice};
+use rdma::{Access, CompletionQueue, CqStatus, DmaBuf, RKey, RdmaDevice, RemoteAddr};
 use sim::Sim;
 
 use crate::error::Result;
@@ -128,8 +128,12 @@ impl MemServer {
                 };
                 match c.call(&req.encode()).await {
                     Ok(bytes) => {
-                        if matches!(CtrlResp::decode(&bytes), Ok(CtrlResp::Ok)) {
-                            registered = true;
+                        match CtrlResp::decode(&bytes) {
+                            Ok(CtrlResp::Ok) => registered = true,
+                            // An error response ("unknown server") means the
+                            // master lost its soft state: fall back to
+                            // registration on the next beat.
+                            _ => registered = false,
                         }
                         conn = Some(c);
                     }
@@ -214,6 +218,42 @@ async fn handle_srv_req(dev: &RdmaDevice, sim: &Sim, pin_per_mib: Duration, req:
                 let _ = dev.free(DmaBuf { addr, len });
             }
             SrvResp::Ok
+        }
+        SrvReq::Replicate {
+            src_node,
+            src_addr,
+            src_rkey,
+            dst_addr,
+            len,
+        } => {
+            // Repair copy: pull the surviving replica into the local extent
+            // with a one-sided READ over the data path. The source server's
+            // CPU stays idle — only its NIC serves the read.
+            let cq = CompletionQueue::new();
+            let qp = match dev
+                .connect(fabric::NodeId(src_node), DATA_SERVICE, &cq)
+                .await
+            {
+                Ok(qp) => qp,
+                Err(e) => return SrvResp::Err(e.to_string()),
+            };
+            let dst = DmaBuf {
+                addr: dst_addr,
+                len,
+            };
+            let src = RemoteAddr {
+                addr: src_addr,
+                rkey: RKey(src_rkey),
+            };
+            if let Err(e) = qp.post_read(1, dst, src) {
+                return SrvResp::Err(e.to_string());
+            }
+            let cqe = cq.next().await;
+            if cqe.status == CqStatus::Success {
+                SrvResp::Ok
+            } else {
+                SrvResp::Err(format!("replicate read failed: {:?}", cqe.status))
+            }
         }
     }
 }

@@ -46,7 +46,11 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use sim::channel::{channel, Receiver, Sender};
-use sim::{Metrics, Sim, SimTime, Tracer};
+use sim::{DetRng, Metrics, Sim, SimTime, Tracer};
+
+pub mod fault;
+
+pub use fault::{FaultAction, FaultPlan};
 
 /// Identifies a machine attached to the fabric.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -174,10 +178,17 @@ impl<M> NodeState<M> {
     }
 }
 
+/// Probabilistic message loss, active while fault injection has it enabled.
+struct Loss {
+    prob: f64,
+    rng: DetRng,
+}
+
 struct Inner<M> {
     cfg: FabricConfig,
     nodes: Vec<NodeState<M>>,
     dropped: u64,
+    loss: Option<Loss>,
 }
 
 /// The fabric: a single-switch network connecting [`NodeId`]s.
@@ -221,6 +232,7 @@ impl<M: 'static> Fabric<M> {
                 cfg,
                 nodes: Vec::new(),
                 dropped: 0,
+                loss: None,
             })),
             metrics: Metrics::new(),
             tracer,
@@ -286,6 +298,21 @@ impl<M: 'static> Fabric<M> {
         self.inner.borrow().nodes[node.0 as usize].up
     }
 
+    /// Starts dropping every subsequent message with probability `prob`,
+    /// drawn from a [`DetRng`] seeded with `seed` so the same seed
+    /// reproduces the exact drop pattern. Replaces any earlier setting.
+    pub fn set_loss(&self, prob: f64, seed: u64) {
+        self.inner.borrow_mut().loss = Some(Loss {
+            prob,
+            rng: DetRng::new(seed),
+        });
+    }
+
+    /// Stops probabilistic message loss.
+    pub fn clear_loss(&self) {
+        self.inner.borrow_mut().loss = None;
+    }
+
     /// Count of messages dropped due to failed endpoints.
     pub fn dropped_messages(&self) -> u64 {
         self.inner.borrow().dropped
@@ -329,6 +356,17 @@ impl<M: 'static> Fabric<M> {
                     wire_bytes,
                 );
                 return;
+            }
+            // Injected loss is decided at send time, before any wire
+            // accounting: a dropped message never occupied the link.
+            if let Some(loss) = inner.loss.as_mut() {
+                if loss.rng.chance(loss.prob) {
+                    inner.dropped += 1;
+                    self.metrics.incr("fabric.dropped.injected");
+                    self.tracer
+                        .instant("fabric", "fabric.drop.injected", dst.0 as u64, wire_bytes);
+                    return;
+                }
             }
             let st = &mut inner.nodes[src.0 as usize];
             st.tx_bytes += wire_bytes;
@@ -449,6 +487,42 @@ impl<M: 'static> Fabric<M> {
         }
         let fabric = self.clone();
         self.sim.schedule_at(tx_done, move || fabric.pump(src));
+    }
+
+    /// Applies one scheduled fault action; `seed` salts the loss stream so a
+    /// [`FaultPlan`]'s drop pattern is pinned by its seed.
+    pub(crate) fn apply_fault(&self, action: FaultAction, seed: u64) {
+        match action {
+            FaultAction::Crash(node) => {
+                self.set_node_up(node, false);
+                self.metrics.incr("fabric.fault.crash");
+                self.tracer
+                    .instant("fabric", "fabric.fault.crash", node.0 as u64, 0);
+            }
+            FaultAction::Restart(node) => {
+                self.set_node_up(node, true);
+                self.metrics.incr("fabric.fault.restart");
+                self.tracer
+                    .instant("fabric", "fabric.fault.restart", node.0 as u64, 0);
+            }
+            FaultAction::LossStart(prob) => {
+                self.set_loss(prob, seed);
+                self.metrics.incr("fabric.fault.loss_start");
+                // Trace arg carries the probability in parts per million.
+                self.tracer.instant(
+                    "fabric",
+                    "fabric.fault.loss_start",
+                    0,
+                    (prob * 1_000_000.0) as u64,
+                );
+            }
+            FaultAction::LossStop => {
+                self.clear_loss();
+                self.metrics.incr("fabric.fault.loss_stop");
+                self.tracer
+                    .instant("fabric", "fabric.fault.loss_stop", 0, 0);
+            }
+        }
     }
 
     fn schedule_delivery(&self, src: NodeId, dst: NodeId, wire_bytes: u64, msg: M, at: SimTime) {
@@ -742,6 +816,49 @@ mod tests {
         });
         sim.run();
         assert_eq!(h.try_result().unwrap(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injected_loss_is_probabilistic_and_deterministic() {
+        let run = |seed: u64| {
+            let (sim, fabric, a, b, mut rx) = pair(FabricConfig::default());
+            fabric.set_loss(0.5, seed);
+            for i in 0..100 {
+                fabric.send(a, b, 64, i);
+            }
+            sim.run();
+            let mut got = Vec::new();
+            while let Some(d) = rx.try_recv() {
+                got.push(d.msg);
+            }
+            (got, fabric.dropped_messages())
+        };
+        let (got_a, dropped_a) = run(42);
+        let (got_b, dropped_b) = run(42);
+        assert_eq!(got_a, got_b, "same seed must drop the same messages");
+        assert_eq!(dropped_a, dropped_b);
+        assert!(dropped_a > 10 && dropped_a < 90, "p=0.5 over 100 sends");
+        assert_eq!(got_a.len() as u64 + dropped_a, 100);
+        let (got_c, _) = run(43);
+        assert_ne!(got_a, got_c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn clearing_loss_restores_delivery() {
+        let (sim, fabric, a, b, mut rx) = pair(FabricConfig::default());
+        fabric.set_loss(1.0, 7);
+        fabric.send(a, b, 64, 1);
+        fabric.clear_loss();
+        fabric.send(a, b, 64, 2);
+        sim.run();
+        let mut got = Vec::new();
+        while let Some(d) = rx.try_recv() {
+            got.push(d.msg);
+        }
+        assert_eq!(got, vec![2]);
+        assert_eq!(fabric.metrics().counter("fabric.dropped.injected"), 1);
+        // Injected drops never touch the wire-byte accounting.
+        assert_eq!(fabric.tx_bytes(a), 64);
     }
 
     #[test]

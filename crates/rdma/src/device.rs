@@ -211,6 +211,18 @@ impl RdmaDevice {
         &self.cfg
     }
 
+    /// Upper bound on how long an operation of `bytes` posted *now* may take
+    /// before this device's own timeout resolves it: the configured
+    /// [`RdmaConfig::op_timeout`] widened by every byte already in flight,
+    /// exactly as the post path grants it. Callers layering their own
+    /// deadlines on top (e.g. RStore's per-IO backstop) must wait at least
+    /// this long to avoid expiring ops that are merely queued behind a deep
+    /// backlog.
+    pub fn op_deadline(&self, bytes: u64) -> std::time::Duration {
+        let backlog = self.inner.borrow().outstanding_bytes;
+        self.cfg.op_timeout(bytes.saturating_add(backlog))
+    }
+
     /// Registry handle scoped to one of this device's queue pairs.
     fn qp_stats(&self, qpn: Qpn) -> Metrics {
         self.metrics()

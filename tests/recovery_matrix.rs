@@ -1,0 +1,382 @@
+//! Recovery matrix: data-path reconnect, read failover under injected
+//! loss, master repair, and the control-path accounting fixes — all driven
+//! through [`FaultPlan`] or direct fabric faults in virtual time.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use fabric::FaultPlan;
+use rstore::{
+    AllocOptions, Cluster, ClusterConfig, MasterConfig, RStoreClient, RStoreError, RegionState,
+    ServerConfig,
+};
+
+fn boot(servers: usize, clients: usize) -> Cluster {
+    Cluster::boot(ClusterConfig {
+        clients,
+        // Short leases and an eager repair task so recovery converges
+        // quickly (virtual time); short RC timeouts so IO errors surface
+        // fast instead of after the default 2 s budget.
+        master: MasterConfig {
+            lease: Duration::from_millis(50),
+            sweep_interval: Duration::from_millis(20),
+            repair_interval: Duration::from_millis(40),
+            ..MasterConfig::default()
+        },
+        server: ServerConfig {
+            heartbeat: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        rdma: rdma::RdmaConfig {
+            base_timeout: Duration::from_millis(25),
+            ..rdma::RdmaConfig::default()
+        },
+        ..ClusterConfig::with_servers(servers)
+    })
+    .expect("boot")
+}
+
+fn replicated() -> AllocOptions {
+    AllocOptions {
+        stripe_size: 64 * 1024,
+        replicas: 2,
+        ..AllocOptions::default()
+    }
+}
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i as u64 * 31 % 239) as u8).collect()
+}
+
+#[test]
+fn write_during_server_death_errors_then_recovers_after_repair() {
+    let cluster = boot(4, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let victim = cluster.servers[1].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let data = payload(512 * 1024);
+        let region = c.alloc("wounded", 512 * 1024, replicated()).await.unwrap();
+        region.write(0, &data).await.unwrap();
+
+        fabric.set_node_up(victim, false);
+        // A write spanning the dead server must surface an error, not hang.
+        let err = region.write(0, &data).await.err().unwrap();
+        assert!(matches!(err, RStoreError::Io(_)), "got {err:?}");
+
+        // Wait until repair has rebuilt every group on live servers.
+        let mut repaired = false;
+        for _ in 0..100 {
+            s.sleep(Duration::from_millis(20)).await;
+            if let Ok(d) = c.lookup("wounded").await {
+                if d.state == RegionState::Healthy
+                    && d.groups
+                        .iter()
+                        .flat_map(|g| &g.replicas)
+                        .all(|x| x.node != victim.0)
+                {
+                    repaired = true;
+                    break;
+                }
+            }
+        }
+        assert!(repaired, "repair must restore a Healthy descriptor");
+
+        // A fresh mapping writes and reads cleanly, with the data intact.
+        let fresh = c.map_degraded("wounded").await.unwrap();
+        assert_eq!(fresh.read(0, 512 * 1024).await.unwrap(), data);
+        fresh.write(0, &data).await.unwrap();
+        assert_eq!(fresh.read(0, 512 * 1024).await.unwrap(), data);
+    });
+}
+
+#[test]
+fn reads_survive_a_fault_plan_loss_window() {
+    let cluster = boot(3, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let data = payload(256 * 1024);
+        let region = c.alloc("lossy", 256 * 1024, replicated()).await.unwrap();
+        region.write(0, &data).await.unwrap();
+
+        // From here, drop 20% of fabric messages for 100 ms.
+        FaultPlan::new(11)
+            .loss_window(Duration::from_millis(1), Duration::from_millis(100), 0.2)
+            .install(&fabric);
+
+        // Reads across the window must all eventually succeed with the
+        // right bytes: dropped packets surface as timeouts, and the client
+        // redials / fails over to the other replica.
+        for i in 0..40u64 {
+            let off = (i % 32) * 4096;
+            let mut ok = false;
+            for _ in 0..10 {
+                match region.read(off, 4096).await {
+                    Ok(bytes) => {
+                        assert_eq!(bytes, data[off as usize..off as usize + 4096]);
+                        ok = true;
+                        break;
+                    }
+                    Err(_) => s.sleep(Duration::from_millis(2)).await,
+                }
+            }
+            assert!(ok, "read {i} never succeeded");
+            s.sleep(Duration::from_millis(2)).await;
+        }
+        assert!(
+            fabric.metrics().counter("fabric.dropped.injected") > 0,
+            "the loss window must actually drop traffic"
+        );
+    });
+}
+
+#[test]
+fn repair_restores_healthy_descriptor_data_and_accounting() {
+    let cluster = boot(4, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let victim = cluster.servers[2].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let data = payload(512 * 1024);
+        let region = c.alloc("phoenix", 512 * 1024, replicated()).await.unwrap();
+        region.write(0, &data).await.unwrap();
+        let used_before = c.stats().await.unwrap().used;
+        assert_eq!(used_before, 2 * 512 * 1024, "two replicas of every byte");
+
+        FaultPlan::new(3)
+            .crash_at(Duration::from_millis(10), victim)
+            .install(&fabric);
+
+        // The region must pass through Degraded and come back Healthy.
+        let mut saw_degraded = false;
+        let mut healthy_again = false;
+        for _ in 0..200 {
+            s.sleep(Duration::from_millis(10)).await;
+            let Ok(d) = c.lookup("phoenix").await else {
+                continue;
+            };
+            match d.state {
+                RegionState::Degraded => saw_degraded = true,
+                RegionState::Healthy if saw_degraded => {
+                    healthy_again = true;
+                    break;
+                }
+                RegionState::Healthy => {}
+            }
+        }
+        assert!(saw_degraded, "lease expiry must degrade the region");
+        assert!(healthy_again, "repair must restore Healthy");
+
+        // New descriptor avoids the dead server and the data is intact.
+        let fresh = c.map_degraded("phoenix").await.unwrap();
+        for g in &fresh.desc().groups {
+            for x in &g.replicas {
+                assert_ne!(x.node, victim.0, "repaired replica on the dead server");
+            }
+        }
+        assert_eq!(fresh.read(0, 512 * 1024).await.unwrap(), data);
+
+        // Repair moved bytes, it did not leak them: total accounting is
+        // unchanged, and a free returns the cluster to zero.
+        assert_eq!(c.stats().await.unwrap().used, used_before);
+        c.free("phoenix").await.unwrap();
+        assert_eq!(c.stats().await.unwrap().used, 0);
+    });
+}
+
+/// One seeded fault scenario, traced end to end.
+fn traced_fault_run() -> String {
+    let cluster = boot(3, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let victim = cluster.servers[0].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let tracer = sim.tracer();
+    tracer.enable(1 << 16);
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let data = payload(128 * 1024);
+        let region = c.alloc("seeded", 128 * 1024, replicated()).await.unwrap();
+        region.write(0, &data).await.unwrap();
+        FaultPlan::new(42)
+            .crash_at(Duration::from_millis(5), victim)
+            .loss_window(Duration::from_millis(8), Duration::from_millis(40), 0.1)
+            .install(&fabric);
+        for i in 0..20u64 {
+            // Errors are expected mid-fault; the trace records them too.
+            let _ = region.read((i % 16) * 4096, 4096).await;
+            s.sleep(Duration::from_millis(3)).await;
+        }
+        s.sleep(Duration::from_millis(400)).await;
+        let _ = c.lookup("seeded").await;
+    });
+    tracer.export_chrome_trace()
+}
+
+#[test]
+fn same_fault_seed_traces_identically() {
+    let a = traced_fault_run();
+    let b = traced_fault_run();
+    assert_eq!(a, b, "same fault seed must reproduce the same trace");
+}
+
+#[test]
+fn server_reregisters_after_master_loses_state() {
+    let cluster = boot(2, 1);
+    let sim = cluster.sim.clone();
+    let master_handle = cluster.master.clone();
+    let victim = cluster.servers[0].node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        assert_eq!(master_handle.live_servers(), 2);
+        // Master "restarts": its server registry is gone. The next
+        // heartbeat is answered with an error, which must push the server
+        // back into registration instead of looping on dead heartbeats.
+        master_handle.forget_server(victim);
+        assert_eq!(master_handle.live_servers(), 1);
+        s.sleep(Duration::from_millis(100)).await;
+        assert_eq!(
+            master_handle.live_servers(),
+            2,
+            "an Err heartbeat reply must trigger re-registration"
+        );
+    });
+}
+
+#[test]
+fn used_accounting_survives_reregistration() {
+    let cluster = boot(2, 1);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let master_handle = cluster.master.clone();
+    let victim = cluster.servers[0].node();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        c.alloc("sticky", 128 * 1024, AllocOptions::default())
+            .await
+            .unwrap();
+        assert_eq!(c.stats().await.unwrap().used, 128 * 1024);
+
+        // Flap the server: on revival its control connection is broken, so
+        // it re-registers — which must not reset its `used` accounting
+        // while the region still references its extents.
+        fabric.set_node_up(victim, false);
+        s.sleep(Duration::from_millis(150)).await;
+        fabric.set_node_up(victim, true);
+        s.sleep(Duration::from_secs(5)).await;
+        assert_eq!(master_handle.live_servers(), 2);
+        assert_eq!(
+            c.stats().await.unwrap().used,
+            128 * 1024,
+            "re-registration must preserve used capacity"
+        );
+        c.free("sticky").await.unwrap();
+        assert_eq!(c.stats().await.unwrap().used, 0);
+    });
+}
+
+#[test]
+fn failed_grow_releases_name_reservation() {
+    let cluster = boot(2, 1);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        c.alloc("g", 64 * 1024, AllocOptions::default())
+            .await
+            .unwrap();
+        // Impossible grow: more replicas than live servers. The error must
+        // come back structured (remapped from the wire), and the failed
+        // grow must drop its name reservation.
+        let err = c
+            .grow(
+                "g",
+                64 * 1024,
+                AllocOptions {
+                    replicas: 5,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            RStoreError::NotEnoughServers {
+                replicas: 5,
+                available: 2
+            }
+        );
+        // A feasible grow right after must succeed — the name is free.
+        c.grow("g", 64 * 1024, AllocOptions::default())
+            .await
+            .unwrap();
+    });
+}
+
+#[test]
+fn grow_racing_with_free_rolls_back_cleanly() {
+    let cluster = boot(2, 2);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c0 = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let c1 = RStoreClient::connect(&devs[1], master).await.unwrap();
+        c0.alloc("ephemeral", 64 * 1024, AllocOptions::default())
+            .await
+            .unwrap();
+
+        // Start a large grow, then free the region while the master is
+        // still collecting extents from the servers.
+        let grow_result: Rc<RefCell<Option<rstore::Result<()>>>> = Rc::new(RefCell::new(None));
+        {
+            let c0 = c0.clone();
+            let grow_result = grow_result.clone();
+            s.spawn(async move {
+                let r = c0
+                    .grow("ephemeral", 64 * 1024 * 1024, AllocOptions::default())
+                    .await
+                    .map(|_| ());
+                *grow_result.borrow_mut() = Some(r);
+            });
+        }
+        s.sleep(Duration::from_micros(50)).await;
+        c1.free("ephemeral").await.unwrap();
+
+        while grow_result.borrow().is_none() {
+            s.sleep(Duration::from_millis(1)).await;
+        }
+        let r = grow_result.borrow_mut().take().unwrap();
+        assert!(
+            matches!(r, Err(RStoreError::NotFound(_))),
+            "grow over a freed region must report NotFound, got {r:?}"
+        );
+        // The aborted grow must leak neither capacity nor the name.
+        assert_eq!(c0.stats().await.unwrap().used, 0);
+        c1.alloc("ephemeral", 4096, AllocOptions::default())
+            .await
+            .unwrap();
+    });
+}
