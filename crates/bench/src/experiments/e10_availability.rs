@@ -77,7 +77,8 @@ pub fn measure() -> AvailabilityStats {
     let master = cluster.master_node();
     let victim = cluster.servers[1].node();
 
-    FaultPlan::new(SEED)
+    let seed = super::seed_mix(SEED);
+    FaultPlan::new(seed)
         .crash_at(KILL_AT, victim)
         .install(&fabric);
 
@@ -138,7 +139,7 @@ pub fn measure() -> AvailabilityStats {
         }
 
         // Steady paced workload across the kill.
-        let mut rng = DetRng::new(SEED);
+        let mut rng = DetRng::new(seed);
         let mut ops_total = 0u64;
         let mut io_errors = 0u64;
         let mut data_errors = 0u64;

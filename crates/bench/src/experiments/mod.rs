@@ -1,9 +1,10 @@
-//! The ten experiments of the reproduction (see `DESIGN.md`'s
+//! The eleven experiments of the reproduction (see `DESIGN.md`'s
 //! per-experiment index). Each returns one or more [`Table`]s; the
 //! `figures` binary prints them, and `EXPERIMENTS.md` records
 //! paper-vs-measured.
 
 pub mod e10_availability;
+pub mod e11_integrity;
 pub mod e1_verbs;
 pub mod e2_control;
 pub mod e3_datapath;
@@ -16,7 +17,18 @@ pub mod e9_sort_scaling;
 
 use crate::table::Table;
 
-/// Runs one experiment by id (`"e1"`..`"e10"`), returning its tables.
+/// Mixes an experiment's base seed with `RSTORE_BENCH_SEED` from the
+/// environment, letting CI re-run the failure/integrity experiments across
+/// several seeds. Unset or unparsable values leave the base seed untouched,
+/// so committed outputs stay byte-identical on a default run.
+pub fn seed_mix(base: u64) -> u64 {
+    match std::env::var("RSTORE_BENCH_SEED") {
+        Ok(v) => base ^ v.trim().parse::<u64>().unwrap_or(0),
+        Err(_) => base,
+    }
+}
+
+/// Runs one experiment by id (`"e1"`..`"e11"`), returning its tables.
 ///
 /// # Panics
 ///
@@ -33,9 +45,12 @@ pub fn run(id: &str) -> Vec<Table> {
         "e8" => e8_sort::run(),
         "e9" => e9_sort_scaling::run(),
         "e10" => e10_availability::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+        "e11" => e11_integrity::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];

@@ -8,6 +8,7 @@
 
 use crate::experiments;
 use crate::experiments::e10_availability;
+use crate::experiments::e11_integrity;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::table::Table;
@@ -88,6 +89,52 @@ pub fn experiment_json(id: &str) -> Json {
                 (
                     "healthy_after_repair".to_string(),
                     Json::Bool(s.healthy_after_repair),
+                ),
+            ]),
+        ));
+    }
+    if id == "e11" {
+        let s = e11_integrity::measure();
+        let injected = s.injected_in_flight + s.injected_at_rest;
+        fields.push((
+            "integrity".to_string(),
+            Json::obj([
+                (
+                    "injected_in_flight".to_string(),
+                    Json::int(s.injected_in_flight),
+                ),
+                (
+                    "injected_at_rest".to_string(),
+                    Json::int(s.injected_at_rest),
+                ),
+                ("detected".to_string(), Json::int(s.detected)),
+                (
+                    "detection_complete".to_string(),
+                    Json::Bool(s.detected == injected),
+                ),
+                ("false_positives".to_string(), Json::int(s.false_positives)),
+                ("data_errors".to_string(), Json::int(s.data_errors)),
+                ("loud_errors".to_string(), Json::int(s.loud_errors)),
+                ("scrub_passes".to_string(), Json::int(s.scrub_passes)),
+                (
+                    "detect_latency_mean_ns".to_string(),
+                    Json::int(s.detect_latency_mean_ns),
+                ),
+                (
+                    "detect_latency_max_ns".to_string(),
+                    Json::int(s.detect_latency_max_ns),
+                ),
+                (
+                    "healthy_after_repair".to_string(),
+                    Json::Bool(s.healthy_after_repair),
+                ),
+                (
+                    "read_p99_scrub_off_ns".to_string(),
+                    Json::int(s.read_p99_scrub_off_ns),
+                ),
+                (
+                    "read_p99_scrub_on_ns".to_string(),
+                    Json::int(s.read_p99_scrub_on_ns),
                 ),
             ]),
         ));

@@ -284,6 +284,31 @@ impl RStoreClient {
         self.shared.outstanding.wait().await;
     }
 
+    /// Tells the master that a stripe replica failed checksum verification,
+    /// so the scrubber/repair path can re-replicate it. Best-effort: callers
+    /// on the data path fire this asynchronously and ignore failures.
+    pub(crate) async fn report_corruption(
+        &self,
+        name: &str,
+        group: u32,
+        replica: u32,
+        node: u32,
+    ) -> Result<()> {
+        let resp = self
+            .ctrl_call(CtrlReq::ReportCorruption {
+                name: name.to_owned(),
+                group,
+                replica,
+                node,
+            })
+            .await?;
+        match resp {
+            CtrlResp::Ok => Ok(()),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected report response".into())),
+        }
+    }
+
     /// Re-establishes the data QP to `node`, replacing a missing or errored
     /// cached connection. At most one attempt runs per node at a time, and
     /// attempts are rate-limited by capped exponential backoff — a call
@@ -424,6 +449,10 @@ fn ctrl_op_names(req: &CtrlReq) -> (&'static str, &'static str) {
         CtrlReq::Stat => ("rstore.ctrl.stat", "rstore.ctrl_latency.stat"),
         CtrlReq::RegisterServer { .. } => ("rstore.ctrl.register", "rstore.ctrl_latency.register"),
         CtrlReq::Heartbeat { .. } => ("rstore.ctrl.heartbeat", "rstore.ctrl_latency.heartbeat"),
+        CtrlReq::ReportCorruption { .. } => (
+            "rstore.ctrl.report_corruption",
+            "rstore.ctrl_latency.report_corruption",
+        ),
     }
 }
 
@@ -439,6 +468,19 @@ fn remap_err(m: String) -> RStoreError {
         // "cluster cannot satisfy allocation of {requested} bytes"
         RStoreError::InsufficientCapacity {
             requested: extract_uints(&m).first().copied().unwrap_or(0),
+        }
+    } else if m.contains("corruption detected") {
+        // "corruption detected in region {name:?}: stripe {stripe}
+        //  unreadable (last replica on node {node})". The region name may
+        // itself contain digits, so only the text after the closing quote is
+        // scanned for the numeric fields.
+        let region = extract_quoted(&m);
+        let tail = m.rsplit('"').next().unwrap_or("");
+        let nums = extract_uints(tail);
+        RStoreError::CorruptionDetected {
+            stripe: nums.first().copied().unwrap_or(0),
+            node: nums.get(1).copied().unwrap_or(0) as u32,
+            region,
         }
     } else if m.contains("replication factor") {
         // "replication factor {replicas} exceeds live servers ({available})"
@@ -518,9 +560,26 @@ mod tests {
                 replicas: 7,
                 available: 4,
             },
+            RStoreError::CorruptionDetected {
+                node: 2,
+                region: "plain".into(),
+                stripe: 11,
+            },
         ];
         for e in errs {
             assert_eq!(remap_err(e.to_string()), e);
         }
+    }
+
+    #[test]
+    fn remap_corruption_survives_digits_in_region_name() {
+        // Digits inside the quoted region name must not pollute the numeric
+        // fields parsed from the rest of the message.
+        let e = RStoreError::CorruptionDetected {
+            node: 9,
+            region: "shard-12/gen3".into(),
+            stripe: 40,
+        };
+        assert_eq!(remap_err(e.to_string()), e);
     }
 }

@@ -1,0 +1,91 @@
+//! Self-contained CRC32C (Castagnoli), the checksum guarding stripe data.
+//!
+//! Table-driven, reflected polynomial `0x82F63B78` — the same algorithm the
+//! iSCSI/ext4/SSE4.2 `crc32` instruction implements, so the values here can
+//! be cross-checked against any standard implementation. No external crates
+//! (the workspace builds hermetically); the 256-entry table is computed once
+//! at first use.
+//!
+//! Stripe trailers store the CRC widened to a u64 (high 32 bits zero) so the
+//! trailer slot stays 8-byte sized and future algorithms have headroom.
+
+use std::sync::OnceLock;
+
+/// Reflected CRC32C polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            t[i] = crc;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// CRC32C of `bytes` (initial value all-ones, final xor all-ones).
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4 and common
+    /// CRC32C test suites.
+    #[test]
+    fn known_answers() {
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0..32u8).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data: Vec<u8> = (0..255u8).cycle().take(4096).collect();
+        let base = crc32c(&data);
+        for bit in [0usize, 7, 4095 * 8 + 3, 2048 * 8] {
+            let mut flipped = data.clone();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(crc32c(&flipped), base, "bit {bit} must change the CRC");
+        }
+    }
+
+    #[test]
+    fn incremental_equals_whole() {
+        // Sanity: the one-shot API over concatenated slices is what the
+        // stripe verifier uses; make sure chunk boundaries don't matter by
+        // comparing against a byte-at-a-time reference fold.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
+        let t = table();
+        let mut crc = !0u32;
+        for &b in &data {
+            crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        assert_eq!(!crc, crc32c(&data));
+    }
+}

@@ -42,6 +42,15 @@ pub enum RStoreError {
     Remote(String),
     /// A data-path operation failed on the wire (timeout / flushed QP).
     Io(rdma::CqStatus),
+    /// A checksummed READ failed verification on every reachable replica.
+    CorruptionDetected {
+        /// Node holding the last replica that failed verification.
+        node: u32,
+        /// Region the access targeted.
+        region: String,
+        /// Stripe index (offset / stripe_size) that failed.
+        stripe: u64,
+    },
 }
 
 impl fmt::Display for RStoreError {
@@ -72,6 +81,14 @@ impl fmt::Display for RStoreError {
             RStoreError::Protocol(m) => write!(f, "protocol error: {m}"),
             RStoreError::Remote(m) => write!(f, "remote error: {m}"),
             RStoreError::Io(s) => write!(f, "io failed with completion status {s:?}"),
+            RStoreError::CorruptionDetected {
+                node,
+                region,
+                stripe,
+            } => write!(
+                f,
+                "corruption detected in region {region:?}: stripe {stripe} unreadable (last replica on node {node})"
+            ),
         }
     }
 }

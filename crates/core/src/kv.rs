@@ -552,6 +552,86 @@ mod tests {
         });
     }
 
+    /// A value whose last four bytes are the CRC32C of the rest. A torn
+    /// read — bytes from two different writes — cannot verify.
+    fn sealed_value(writer: usize, round: u32) -> Vec<u8> {
+        let len = 8 + ((writer as u32 * 7 + round * 13) % 48) as usize;
+        let mut payload = vec![0u8; len];
+        for (j, b) in payload.iter_mut().enumerate() {
+            *b = ((writer * 31 + round as usize * 17 + j * 5) % 251) as u8;
+        }
+        let crc = crate::crc::crc32c(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        payload
+    }
+
+    #[test]
+    fn seqlock_never_exposes_torn_values_under_loss() {
+        // Property (seeded, deterministic): writers race on three hot keys
+        // while the fabric drops messages; any GET that returns a value must
+        // return a self-consistent one — the seqlock may force retries but
+        // must never let bytes from two different writes through as one.
+        let cluster = boot(4);
+        let sim = cluster.sim.clone();
+        let fabric = cluster.fabric.clone();
+        sim.block_on(async move {
+            let cfg = small_cfg();
+            let creator = cluster.client(0).await.unwrap();
+            KvTable::create(&creator, "torn", cfg).await.unwrap();
+            fabric::FaultPlan::new(0x7e57)
+                .loss_window(
+                    std::time::Duration::from_millis(2),
+                    std::time::Duration::from_millis(30),
+                    0.03,
+                )
+                .install(&fabric);
+
+            let mut handles = Vec::new();
+            // Three writers hammer the hot keys with sealed values.
+            for i in 0..3usize {
+                let client = cluster.client(i).await.unwrap();
+                let slot_bytes = cfg.slot_bytes;
+                let max_probe = cfg.max_probe;
+                handles.push(cluster.sim.spawn(async move {
+                    let kv = KvTable::open(&client, "torn", slot_bytes, max_probe)
+                        .await
+                        .unwrap();
+                    for round in 0..12u32 {
+                        let key = format!("hot-{}", round % 3);
+                        kv.put(key.as_bytes(), &sealed_value(i, round))
+                            .await
+                            .unwrap();
+                    }
+                }));
+            }
+            // One reader polls throughout, verifying every observed value.
+            let reader = cluster.client(3).await.unwrap();
+            let slot_bytes = cfg.slot_bytes;
+            let max_probe = cfg.max_probe;
+            let rsim = cluster.sim.clone();
+            handles.push(cluster.sim.spawn(async move {
+                let kv = KvTable::open(&reader, "torn", slot_bytes, max_probe)
+                    .await
+                    .unwrap();
+                for _ in 0..30 {
+                    for k in 0..3 {
+                        if let Some(v) = kv.get(format!("hot-{k}").as_bytes()).await.unwrap() {
+                            assert!(v.len() > 4, "sealed values carry a trailer");
+                            let (payload, crc) = v.split_at(v.len() - 4);
+                            assert_eq!(
+                                crc,
+                                crate::crc::crc32c(payload).to_le_bytes(),
+                                "torn value escaped the seqlock"
+                            );
+                        }
+                    }
+                    rsim.sleep(std::time::Duration::from_micros(1500)).await;
+                }
+            }));
+            sim::join_all(handles).await;
+        });
+    }
+
     #[test]
     fn oversized_entries_rejected() {
         let cluster = boot(1);

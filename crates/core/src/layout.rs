@@ -113,6 +113,7 @@ mod tests {
                 })
                 .collect(),
             state: RegionState::Healthy,
+            checksums: false,
         }
     }
 

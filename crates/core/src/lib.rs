@@ -46,12 +46,14 @@
 //! | [`region`] | the memory-like data path: striped one-sided IO |
 //! | [`layout`] | stripe math |
 //! | [`proto`] | control-plane wire format |
+//! | [`crc`] | CRC32C used by checksummed stripes and the scrubber |
 //! | [`rpc`] | two-sided RPC used by the control path |
 //! | [`cluster`] | one-call bootstrap for tests and benchmarks |
 //! | [`kv`] | a key-value facade over regions (one-sided GET, CAS-locked PUT) |
 
 pub mod client;
 pub mod cluster;
+pub mod crc;
 pub mod error;
 pub mod kv;
 pub mod layout;

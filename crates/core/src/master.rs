@@ -7,20 +7,21 @@
 //! "separation philosophy extended to a distributed setting" of the paper.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
 use fabric::NodeId;
-use rdma::RdmaDevice;
+use rdma::{CompletionQueue, CqStatus, Qp, RKey, RdmaDevice, RemoteAddr};
 use sim::sync::Semaphore;
 use sim::{DetRng, Sim, SimTime};
 
+use crate::crc::crc32c;
 use crate::error::{RStoreError, Result};
 use crate::proto::{
-    AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc, RegionState, SrvReq,
-    SrvResp, StripeGroup,
+    extent_alloc_len, AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc,
+    RegionState, SrvReq, SrvResp, StripeGroup,
 };
 use crate::rpc::{spawn_rpc_server, RpcClient};
 use crate::{CTRL_SERVICE, SRV_SERVICE};
@@ -41,6 +42,12 @@ pub struct MasterConfig {
     pub repair: bool,
     /// How often the repair task scans for degraded regions.
     pub repair_interval: Duration,
+    /// Whether the background scrubber runs, re-verifying stripe checksums
+    /// of checksummed regions with one-sided READs and marking mismatching
+    /// replicas corrupt (handing them to the repair task).
+    pub scrub: bool,
+    /// How often the scrubber sweeps.
+    pub scrub_interval: Duration,
 }
 
 impl Default for MasterConfig {
@@ -52,6 +59,8 @@ impl Default for MasterConfig {
             seed: 0x5707E,
             repair: true,
             repair_interval: Duration::from_millis(500),
+            scrub: true,
+            scrub_interval: Duration::from_millis(500),
         }
     }
 }
@@ -76,6 +85,12 @@ struct MState {
     /// Regions backed by synthetic (sizes-only) memory; repair must
     /// allocate replacement extents of the same kind.
     synthetic: std::collections::HashSet<String>,
+    /// Replicas that failed checksum verification (reported by clients or
+    /// found by the scrubber), keyed by region name with `(group, replica)`
+    /// indices. A marked replica is treated like a dead one: excluded as a
+    /// repair source, re-replicated by the repair task, and keeping the
+    /// region `Degraded` until cleared.
+    corrupt: BTreeMap<String, BTreeSet<(usize, usize)>>,
     rng: DetRng,
     conns: HashMap<u32, Rc<ConnSlot>>,
 }
@@ -116,6 +131,7 @@ impl Master {
                 regions: HashMap::new(),
                 reserved: std::collections::HashSet::new(),
                 synthetic: std::collections::HashSet::new(),
+                corrupt: BTreeMap::new(),
                 rng: DetRng::new(cfg.seed),
                 conns: HashMap::new(),
             })),
@@ -156,6 +172,22 @@ impl Master {
                 loop {
                     m.sim.sleep(m.cfg.repair_interval).await;
                     m.repair_sweep().await;
+                }
+            });
+        }
+
+        // Scrubber: periodically re-verify stripe checksums of checksummed
+        // regions with one-sided READs, marking mismatches for repair.
+        if master.cfg.scrub {
+            let m = master.clone();
+            master.sim.spawn(async move {
+                let cq = CompletionQueue::new();
+                let mut conns: HashMap<u32, Qp> = HashMap::new();
+                let mut next_wr = 1u64;
+                loop {
+                    m.sim.sleep(m.cfg.scrub_interval).await;
+                    m.scrub_sweep(&cq, &mut conns, &mut next_wr).await;
+                    m.dev.metrics().incr("integrity.scrub_passes");
                 }
             });
         }
@@ -257,12 +289,13 @@ impl Master {
                 match st.regions.get(&name) {
                     Some(desc) => {
                         let mut desc = desc.clone();
-                        desc.state = if desc
+                        let all_alive = desc
                             .groups
                             .iter()
                             .flat_map(|g| &g.replicas)
-                            .all(|x| st.servers.get(&x.node).is_some_and(|s| s.alive))
-                        {
+                            .all(|x| st.servers.get(&x.node).is_some_and(|s| s.alive));
+                        let clean = st.corrupt.get(&name).is_none_or(|s| s.is_empty());
+                        desc.state = if all_alive && clean {
                             RegionState::Healthy
                         } else {
                             RegionState::Degraded
@@ -285,11 +318,58 @@ impl Master {
                 Ok(desc) => CtrlResp::Region(desc),
                 Err(e) => CtrlResp::Err(e.to_string()),
             },
+            CtrlReq::ReportCorruption {
+                name,
+                group,
+                replica,
+                node,
+            } => {
+                let mut st = self.state.borrow_mut();
+                let Some(desc) = st.regions.get(&name) else {
+                    return CtrlResp::Err(RStoreError::NotFound(name).to_string());
+                };
+                // Only mark if the report still matches the descriptor — the
+                // replica may already have been repaired and swapped out.
+                let matches = desc.checksums
+                    && desc
+                        .groups
+                        .get(group as usize)
+                        .and_then(|g| g.replicas.get(replica as usize))
+                        .is_some_and(|x| x.node == node);
+                if matches
+                    && st
+                        .corrupt
+                        .entry(name.clone())
+                        .or_default()
+                        .insert((group as usize, replica as usize))
+                {
+                    self.mark_detected(group as u64, node as u64);
+                }
+                CtrlResp::Ok
+            }
         }
     }
 
+    /// Records a newly discovered corrupt replica: one count per distinct
+    /// `(region, group, replica)` mark, no matter how many reads or scrub
+    /// passes rediscover it.
+    fn mark_detected(&self, group: u64, node: u64) {
+        self.dev.metrics().incr("integrity.detected");
+        self.sim
+            .tracer()
+            .instant("core", "rstore.corrupt.mark", node, group);
+    }
+
     /// Computes the per-stripe replica placement and reserves capacity.
-    fn place(&self, stripe_lens: &[u64], replicas: usize, policy: Policy) -> Result<Vec<Vec<u32>>> {
+    /// `stripe_lens` are logical; with `ck` set, the checksum trailer is
+    /// included in every capacity check and reservation.
+    fn place(
+        &self,
+        stripe_lens: &[u64],
+        replicas: usize,
+        policy: Policy,
+        ck: bool,
+    ) -> Result<Vec<Vec<u32>>> {
         let mut st = self.state.borrow_mut();
         let alive: Vec<u32> = st
             .servers
@@ -310,7 +390,8 @@ impl Master {
         };
 
         let mut placement = Vec::with_capacity(stripe_lens.len());
-        for (i, &len) in stripe_lens.iter().enumerate() {
+        for (i, &logical) in stripe_lens.iter().enumerate() {
+            let len = extent_alloc_len(logical, ck);
             let mut chosen = Vec::with_capacity(replicas);
             match policy {
                 Policy::RoundRobin => {
@@ -408,6 +489,8 @@ impl Master {
             stripe_size: opts.stripe_size,
             groups,
             state: RegionState::Healthy,
+            // Synthetic regions carry no bytes, hence nothing to checksum.
+            checksums: opts.checksums && !opts.synthetic,
         })
     }
 
@@ -418,22 +501,25 @@ impl Master {
         if additional == 0 {
             return Err(RStoreError::Protocol("zero-sized grow".into()));
         }
-        let stripe_size = {
+        let (stripe_size, checksums) = {
             let mut st = self.state.borrow_mut();
             let Some(d) = st.regions.get(&name) else {
                 return Err(RStoreError::NotFound(name));
             };
-            let stripe_size = d.stripe_size;
+            let inherited = (d.stripe_size, d.checksums);
             // Hold the name for the duration of the grow (like `alloc`
             // does) so a concurrent free + alloc cannot recycle it while we
             // await the servers, and a concurrent grow cannot interleave.
             if !st.reserved.insert(name.clone()) {
                 return Err(RStoreError::NameExists(name));
             }
-            stripe_size
+            inherited
         };
+        // New stripes inherit the region's stripe size and checksum mode so
+        // the descriptor stays uniform.
         let opts = AllocOptions {
             stripe_size,
+            checksums,
             ..opts
         };
         let stripe_lens = stripe_lengths(additional, stripe_size);
@@ -461,7 +547,7 @@ impl Master {
             // The region was freed while we were allocating: roll back the
             // fresh extents and their capacity reservation.
             None => {
-                self.release_groups(&groups).await;
+                self.release_groups(&groups, checksums).await;
                 Err(RStoreError::NotFound(name))
             }
         }
@@ -474,7 +560,8 @@ impl Master {
         stripe_lens: &[u64],
         opts: AllocOptions,
     ) -> Result<Vec<StripeGroup>> {
-        let placement = self.place(stripe_lens, opts.replicas as usize, opts.policy)?;
+        let ck = opts.checksums && !opts.synthetic;
+        let placement = self.place(stripe_lens, opts.replicas as usize, opts.policy, ck)?;
 
         // Group requests per (server, extent length).
         let mut wanted: BTreeMap<(u32, u64), u32> = BTreeMap::new();
@@ -495,6 +582,7 @@ impl Master {
                         count,
                         len,
                         synthetic: opts.synthetic,
+                        checksums: ck,
                     },
                 )
                 .await;
@@ -534,7 +622,10 @@ impl Master {
                     .server_call(
                         node,
                         SrvReq::FreeExtents {
-                            extents: extents.iter().map(|x| (x.addr, x.len)).collect(),
+                            extents: extents
+                                .iter()
+                                .map(|x| (x.addr, extent_alloc_len(x.len, ck)))
+                                .collect(),
                         },
                     )
                     .await;
@@ -543,7 +634,9 @@ impl Master {
             for (i, servers) in placement.iter().enumerate() {
                 for &n in servers {
                     if let Some(info) = st.servers.get_mut(&n) {
-                        info.used = info.used.saturating_sub(stripe_lens[i]);
+                        info.used = info
+                            .used
+                            .saturating_sub(extent_alloc_len(stripe_lens[i], ck));
                     }
                 }
             }
@@ -575,20 +668,25 @@ impl Master {
                 .remove(&name)
                 .ok_or(RStoreError::NotFound(name.clone()))?;
             st.synthetic.remove(&name);
+            st.corrupt.remove(&name);
             desc
         };
-        self.release_groups(&desc.groups).await;
+        self.release_groups(&desc.groups, desc.checksums).await;
         Ok(())
     }
 
     /// Frees the extents of `groups` on their servers (best effort, skipping
     /// dead ones — a server dying loses the memory anyway) and returns the
-    /// reserved capacity to the accounting.
-    async fn release_groups(&self, groups: &[StripeGroup]) {
+    /// reserved capacity to the accounting. `ck` selects the physical
+    /// (trailer-inclusive) extent length.
+    async fn release_groups(&self, groups: &[StripeGroup], ck: bool) {
         let mut per_server: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
         for g in groups {
             for x in &g.replicas {
-                per_server.entry(x.node).or_default().push((x.addr, x.len));
+                per_server
+                    .entry(x.node)
+                    .or_default()
+                    .push((x.addr, extent_alloc_len(x.len, ck)));
             }
         }
         for (node, extents) in per_server {
@@ -612,17 +710,19 @@ impl Master {
     }
 
     /// One pass of the repair task: find regions with replicas stranded on
-    /// dead servers and re-replicate them onto live ones.
+    /// dead servers — or marked corrupt — and re-replicate them onto live
+    /// ones.
     async fn repair_sweep(&self) {
         let mut names: Vec<String> = {
             let st = self.state.borrow();
             st.regions
                 .iter()
-                .filter(|(_, d)| {
+                .filter(|(name, d)| {
                     d.groups
                         .iter()
                         .flat_map(|g| &g.replicas)
                         .any(|x| !st.servers.get(&x.node).is_some_and(|s| s.alive))
+                        || st.corrupt.get(*name).is_some_and(|s| !s.is_empty())
                 })
                 .map(|(n, _)| n.clone())
                 .collect()
@@ -636,9 +736,10 @@ impl Master {
     }
 
     /// Re-replicates every stripe group of `name` that has replicas on dead
-    /// servers, copying from a surviving replica and atomically swapping the
-    /// descriptor entry. Groups with no live replica are unrecoverable and
-    /// left degraded; unreplicated regions therefore stay `Degraded`.
+    /// servers or marked corrupt, copying from a surviving intact replica
+    /// and atomically swapping the descriptor entry. Groups with no live
+    /// intact replica are unrecoverable and left degraded; unreplicated
+    /// regions therefore stay `Degraded`.
     async fn repair_region(&self, name: &str) {
         let groups = {
             let st = self.state.borrow();
@@ -653,12 +754,22 @@ impl Master {
             .span("core", "rstore.repair", self.dev.node().0 as u64);
         let mut repaired = 0u64;
         for (gi, group) in groups.iter().enumerate() {
+            // A replica is usable as-is only if its server is alive AND it
+            // has not been marked corrupt; both kinds need re-replication,
+            // and a corrupt replica must never serve as the copy source.
             let alive: Vec<bool> = {
                 let st = self.state.borrow();
                 group
                     .replicas
                     .iter()
-                    .map(|x| st.servers.get(&x.node).is_some_and(|s| s.alive))
+                    .enumerate()
+                    .map(|(ri, x)| {
+                        st.servers.get(&x.node).is_some_and(|s| s.alive)
+                            && !st
+                                .corrupt
+                                .get(name)
+                                .is_some_and(|marks| marks.contains(&(gi, ri)))
+                    })
                     .collect()
             };
             if alive.iter().all(|&a| a) {
@@ -698,7 +809,14 @@ impl Master {
         src: &Extent,
         old: &Extent,
     ) -> bool {
-        let synthetic = self.state.borrow().synthetic.contains(name);
+        let (synthetic, ck) = {
+            let st = self.state.borrow();
+            (
+                st.synthetic.contains(name),
+                st.regions.get(name).is_some_and(|d| d.checksums),
+            )
+        };
+        let phys = extent_alloc_len(old.len, ck);
         // Pick the live server with the most free capacity that does not
         // already host a replica of this group, and reserve the bytes.
         let target = {
@@ -716,7 +834,7 @@ impl Master {
                     continue;
                 }
                 let free = info.capacity.saturating_sub(info.used);
-                if free < old.len {
+                if free < phys {
                     continue;
                 }
                 if best.is_none_or(|(bf, _)| free > bf) {
@@ -726,7 +844,7 @@ impl Master {
             let Some((_, n)) = best else {
                 return false;
             };
-            st.servers.get_mut(&n).expect("alive server").used += old.len;
+            st.servers.get_mut(&n).expect("alive server").used += phys;
             n
         };
         let unreserve = |node: u32, bytes: u64| {
@@ -742,6 +860,7 @@ impl Master {
                     count: 1,
                     len: old.len,
                     synthetic,
+                    checksums: ck,
                 },
             )
             .await
@@ -756,7 +875,7 @@ impl Master {
                 }
             }
             _ => {
-                unreserve(target, old.len);
+                unreserve(target, phys);
                 return false;
             }
         };
@@ -767,14 +886,15 @@ impl Master {
                     .server_call(
                         target,
                         SrvReq::FreeExtents {
-                            extents: vec![(new_extent.addr, new_extent.len)],
+                            extents: vec![(new_extent.addr, extent_alloc_len(new_extent.len, ck))],
                         },
                     )
                     .await;
             }
         };
-        // Copy the stripe: the target server pulls from the surviving
-        // replica over the data path; the master only orchestrates.
+        // Copy the stripe (including the checksum trailer, which must travel
+        // with the data): the target server pulls from the surviving replica
+        // over the data path; the master only orchestrates.
         let copied = matches!(
             self.server_call(
                 target,
@@ -783,7 +903,7 @@ impl Master {
                     src_addr: src.addr,
                     src_rkey: src.rkey,
                     dst_addr: new_extent.addr,
-                    len: old.len,
+                    len: phys,
                 },
             )
             .await,
@@ -791,11 +911,13 @@ impl Master {
         );
         if !copied {
             rollback_extent(self).await;
-            unreserve(target, old.len);
+            unreserve(target, phys);
             return false;
         }
-        // Atomic swap, guarded against the region changing underneath.
-        let swapped = {
+        // Atomic swap, guarded against the region changing underneath. On
+        // success the replaced replica's corruption mark (if any) is
+        // cleared: the slot no longer refers to the bad extent.
+        let (swapped, old_alive) = {
             let mut st = self.state.borrow_mut();
             match st
                 .regions
@@ -805,25 +927,203 @@ impl Master {
             {
                 Some(slot) if slot == old => {
                     *slot = new_extent;
-                    true
+                    if let Some(marks) = st.corrupt.get_mut(name) {
+                        marks.remove(&(gi, ri));
+                        if marks.is_empty() {
+                            st.corrupt.remove(name);
+                        }
+                    }
+                    let old_alive = st.servers.get(&old.node).is_some_and(|s| s.alive);
+                    (true, old_alive)
                 }
-                _ => false,
+                _ => (false, false),
             }
         };
         if !swapped {
             rollback_extent(self).await;
-            unreserve(target, old.len);
+            unreserve(target, phys);
             return false;
         }
-        // The dead server's copy is abandoned with the server; release its
-        // accounting so the capacity books stay balanced. (If the server
-        // flaps back, its arena is assumed lost wholesale, matching the
-        // volatile-DRAM failure model.)
-        unreserve(old.node, old.len);
+        // A dead server's copy is abandoned with the server (if it flaps
+        // back, its arena is assumed lost wholesale, matching the
+        // volatile-DRAM failure model) — but a *corrupt* replica's server is
+        // alive and still holds the extent, so free it there. Either way the
+        // accounting is released so the capacity books stay balanced.
+        if old_alive {
+            let _ = self
+                .server_call(
+                    old.node,
+                    SrvReq::FreeExtents {
+                        extents: vec![(old.addr, phys)],
+                    },
+                )
+                .await;
+        }
+        unreserve(old.node, phys);
         self.sim
             .tracer()
             .instant("core", "rstore.repair.extent", old.node as u64, old.len);
         true
+    }
+
+    /// One scrubber pass: re-verify the checksum of every replica of every
+    /// checksummed region with one-sided READs. Reads are sequential (one
+    /// outstanding at a time) — the scrubber is a background sweeper, not a
+    /// throughput path. IO errors are ignored: liveness is the lease
+    /// sweep's job, and the extent will be revisited next pass.
+    async fn scrub_sweep(
+        &self,
+        cq: &CompletionQueue,
+        conns: &mut HashMap<u32, Qp>,
+        next_wr: &mut u64,
+    ) {
+        // Region iteration is sorted so scrub order (and every trace) is
+        // identical across runs.
+        let mut names: Vec<String> = {
+            let st = self.state.borrow();
+            st.regions
+                .iter()
+                .filter(|(_, d)| d.checksums)
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        names.sort();
+        for name in names {
+            let groups = {
+                let st = self.state.borrow();
+                match st.regions.get(&name) {
+                    Some(d) => d.groups.clone(),
+                    None => continue,
+                }
+            };
+            for (gi, group) in groups.iter().enumerate() {
+                for (ri, extent) in group.replicas.iter().enumerate() {
+                    self.scrub_extent(cq, conns, next_wr, &name, gi, ri, extent)
+                        .await;
+                }
+            }
+        }
+    }
+
+    /// Verifies one replica's stripe + trailer. A mismatch is re-checked
+    /// once after a short delay — a concurrent writer updates the data and
+    /// the trailer with separate WRITEs, so a single torn observation is
+    /// not proof of corruption — and only a persistent mismatch marks the
+    /// replica corrupt for the repair task.
+    #[allow(clippy::too_many_arguments)]
+    async fn scrub_extent(
+        &self,
+        cq: &CompletionQueue,
+        conns: &mut HashMap<u32, Qp>,
+        next_wr: &mut u64,
+        name: &str,
+        gi: usize,
+        ri: usize,
+        extent: &Extent,
+    ) {
+        {
+            let st = self.state.borrow();
+            if !st.servers.get(&extent.node).is_some_and(|s| s.alive) {
+                return;
+            }
+            if st.corrupt.get(name).is_some_and(|m| m.contains(&(gi, ri))) {
+                return;
+            }
+        }
+        let phys = extent_alloc_len(extent.len, true);
+        let Ok(buf) = self.dev.alloc(phys) else {
+            return;
+        };
+        let mut bad = false;
+        for attempt in 0..2 {
+            let Some(qp) = self.scrub_conn(cq, conns, extent.node).await else {
+                break;
+            };
+            let wr = *next_wr;
+            *next_wr += 1;
+            let remote = RemoteAddr {
+                addr: extent.addr,
+                rkey: RKey(extent.rkey),
+            };
+            if qp.post_read(wr, buf, remote).is_err() {
+                conns.remove(&extent.node);
+                break;
+            }
+            let cqe = loop {
+                let c = cq.next().await;
+                if c.wr_id == wr {
+                    break c;
+                }
+            };
+            if cqe.status != CqStatus::Success {
+                conns.remove(&extent.node);
+                break;
+            }
+            let Ok(bytes) = self.dev.read_mem(buf.addr, phys) else {
+                break;
+            };
+            let logical = extent.len as usize;
+            let stored =
+                u64::from_le_bytes(bytes[logical..logical + 8].try_into().expect("trailer"));
+            if crc32c(&bytes[..logical]) as u64 == stored {
+                bad = false;
+                break;
+            }
+            bad = true;
+            if attempt == 0 {
+                self.sim.sleep(Duration::from_micros(500)).await;
+            }
+        }
+        let _ = self.dev.free(buf);
+        if bad {
+            let newly = {
+                let mut st = self.state.borrow_mut();
+                // Guard against the region changing while we were reading.
+                let still = st
+                    .regions
+                    .get(name)
+                    .and_then(|d| d.groups.get(gi))
+                    .and_then(|g| g.replicas.get(ri))
+                    == Some(extent);
+                still
+                    && st
+                        .corrupt
+                        .entry(name.to_owned())
+                        .or_default()
+                        .insert((gi, ri))
+            };
+            if newly {
+                self.dev.metrics().incr("integrity.scrub.mismatch");
+                self.mark_detected(gi as u64, extent.node as u64);
+            }
+        }
+    }
+
+    /// Cached data-path QP to `node` for scrub reads, re-dialing missing or
+    /// errored connections.
+    async fn scrub_conn(
+        &self,
+        cq: &CompletionQueue,
+        conns: &mut HashMap<u32, Qp>,
+        node: u32,
+    ) -> Option<Qp> {
+        if let Some(qp) = conns.get(&node) {
+            if !qp.is_errored() {
+                return Some(qp.clone());
+            }
+            conns.remove(&node);
+        }
+        match self
+            .dev
+            .connect(NodeId(node), crate::DATA_SERVICE, cq)
+            .await
+        {
+            Ok(qp) => {
+                conns.insert(node, qp.clone());
+                Some(qp)
+            }
+            Err(_) => None,
+        }
     }
 
     /// RPC to a memory server through a cached, serialized connection.

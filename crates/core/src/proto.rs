@@ -6,6 +6,24 @@
 
 use crate::error::{RStoreError, Result};
 
+/// Bytes reserved after each stripe for its checksum trailer: a u64 slot
+/// holding the stripe's CRC32C (high 32 bits zero). Extents of checksummed
+/// regions are allocated and registered `CK_BYTES` longer than their logical
+/// length; descriptors carry the *logical* length so stripe math is
+/// unchanged.
+pub const CK_BYTES: u64 = 8;
+
+/// Physical bytes a server must allocate for an extent of logical length
+/// `len`: the stripe plus, for checksummed regions, its trailer. Capacity
+/// accounting, frees, and repair copies must all use this length.
+pub fn extent_alloc_len(len: u64, checksums: bool) -> u64 {
+    if checksums {
+        len + CK_BYTES
+    } else {
+        len
+    }
+}
+
 // --- primitive encoder / decoder -------------------------------------------
 
 /// Append-only little-endian encoder.
@@ -169,6 +187,9 @@ pub struct RegionDesc {
     pub groups: Vec<StripeGroup>,
     /// Health as of when the descriptor was issued.
     pub state: RegionState,
+    /// Whether each stripe carries a [`CK_BYTES`] checksum trailer (extents
+    /// are physically that much longer than their logical `len`).
+    pub checksums: bool,
 }
 
 impl RegionDesc {
@@ -180,6 +201,7 @@ impl RegionDesc {
             RegionState::Healthy => 0,
             RegionState::Degraded => 1,
         });
+        e.u8(self.checksums as u8);
         e.u32(self.groups.len() as u32);
         for g in &self.groups {
             e.u32(g.replicas.len() as u32);
@@ -201,6 +223,7 @@ impl RegionDesc {
             1 => RegionState::Degraded,
             v => return Err(RStoreError::Protocol(format!("bad region state {v}"))),
         };
+        let checksums = d.u8()? != 0;
         let ngroups = d.u32()? as usize;
         let mut groups = Vec::with_capacity(ngroups);
         for _ in 0..ngroups {
@@ -222,6 +245,7 @@ impl RegionDesc {
             stripe_size,
             groups,
             state,
+            checksums,
         })
     }
 }
@@ -272,6 +296,11 @@ pub struct AllocOptions {
     pub policy: Policy,
     /// Allocate synthetic (unbacked) memory on the servers — fluid mode.
     pub synthetic: bool,
+    /// Maintain a per-stripe CRC32C trailer: reads verify and fail over on
+    /// mismatch, the scrubber sweeps the region, and writes pay a
+    /// read-modify-write on partial stripes. Ignored (forced off) for
+    /// synthetic regions, which carry no real bytes to checksum.
+    pub checksums: bool,
 }
 
 impl Default for AllocOptions {
@@ -281,6 +310,7 @@ impl Default for AllocOptions {
             replicas: 1,
             policy: Policy::RoundRobin,
             synthetic: false,
+            checksums: false,
         }
     }
 }
@@ -334,6 +364,19 @@ pub enum CtrlReq {
         /// the existing region, not from here).
         opts: AllocOptions,
     },
+    /// A client's verified READ caught a checksum mismatch on one replica:
+    /// tell the master so repair can re-replicate the damaged extent.
+    ReportCorruption {
+        /// Region name.
+        name: String,
+        /// Stripe-group index of the bad extent.
+        group: u32,
+        /// Replica index within the group.
+        replica: u32,
+        /// Node the client observed the bad bytes on (validated against the
+        /// descriptor before the mark is accepted).
+        node: u32,
+    },
 }
 
 impl CtrlReq {
@@ -354,7 +397,8 @@ impl CtrlReq {
                     .u64(opts.stripe_size)
                     .u8(opts.replicas)
                     .u8(opts.policy.to_u8())
-                    .u8(opts.synthetic as u8);
+                    .u8(opts.synthetic as u8)
+                    .u8(opts.checksums as u8);
             }
             CtrlReq::Lookup { name } => {
                 e.u8(3).str(name);
@@ -376,7 +420,16 @@ impl CtrlReq {
                     .u64(opts.stripe_size)
                     .u8(opts.replicas)
                     .u8(opts.policy.to_u8())
-                    .u8(opts.synthetic as u8);
+                    .u8(opts.synthetic as u8)
+                    .u8(opts.checksums as u8);
+            }
+            CtrlReq::ReportCorruption {
+                name,
+                group,
+                replica,
+                node,
+            } => {
+                e.u8(7).str(name).u32(*group).u32(*replica).u32(*node);
             }
         }
         e.into_bytes()
@@ -403,6 +456,7 @@ impl CtrlReq {
                     replicas: d.u8()?,
                     policy: Policy::from_u8(d.u8()?)?,
                     synthetic: d.u8()? != 0,
+                    checksums: d.u8()? != 0,
                 },
             },
             3 => CtrlReq::Lookup { name: d.str()? },
@@ -416,7 +470,14 @@ impl CtrlReq {
                     replicas: d.u8()?,
                     policy: Policy::from_u8(d.u8()?)?,
                     synthetic: d.u8()? != 0,
+                    checksums: d.u8()? != 0,
                 },
+            },
+            7 => CtrlReq::ReportCorruption {
+                name: d.str()?,
+                group: d.u32()?,
+                replica: d.u32()?,
+                node: d.u32()?,
             },
             t => return Err(RStoreError::Protocol(format!("bad ctrl tag {t}"))),
         };
@@ -510,14 +571,19 @@ pub enum SrvReq {
     AllocExtents {
         /// Number of extents.
         count: u32,
-        /// Bytes per extent.
+        /// Logical bytes per extent (the physical allocation is
+        /// [`CK_BYTES`] longer when `checksums` is set).
         len: u64,
         /// Synthetic (unbacked) allocation for fluid-mode regions.
         synthetic: bool,
+        /// Append a checksum trailer, initialized to the CRC of the
+        /// zero-filled stripe so never-written stripes verify clean.
+        checksums: bool,
     },
     /// Free previously allocated extents by start address.
     FreeExtents {
-        /// `(addr, len)` pairs as returned by `AllocExtents`.
+        /// `(addr, len)` pairs, where `len` is the *physical* allocation
+        /// length ([`extent_alloc_len`] of the granted logical length).
         extents: Vec<(u64, u64)>,
     },
     /// Pull a remote extent into a local one over the data path (used by
@@ -546,8 +612,13 @@ impl SrvReq {
                 count,
                 len,
                 synthetic,
+                checksums,
             } => {
-                e.u8(0).u32(*count).u64(*len).u8(*synthetic as u8);
+                e.u8(0)
+                    .u32(*count)
+                    .u64(*len)
+                    .u8(*synthetic as u8)
+                    .u8(*checksums as u8);
             }
             SrvReq::FreeExtents { extents } => {
                 e.u8(1).u32(extents.len() as u32);
@@ -585,6 +656,7 @@ impl SrvReq {
                 count: d.u32()?,
                 len: d.u64()?,
                 synthetic: d.u8()? != 0,
+                checksums: d.u8()? != 0,
             },
             1 => {
                 let n = d.u32()? as usize;
@@ -701,6 +773,7 @@ mod tests {
                 },
             ],
             state: RegionState::Healthy,
+            checksums: true,
         }
     }
 
@@ -720,6 +793,15 @@ mod tests {
                     replicas: 3,
                     policy: Policy::CapacityWeighted,
                     synthetic: true,
+                    checksums: false,
+                },
+            },
+            CtrlReq::Alloc {
+                name: "ck".into(),
+                size: 4096,
+                opts: AllocOptions {
+                    checksums: true,
+                    ..AllocOptions::default()
                 },
             },
             CtrlReq::Lookup { name: "x".into() },
@@ -729,6 +811,12 @@ mod tests {
                 name: "g".into(),
                 additional: 1 << 20,
                 opts: AllocOptions::default(),
+            },
+            CtrlReq::ReportCorruption {
+                name: "bad/region".into(),
+                group: 3,
+                replica: 1,
+                node: 9,
             },
         ];
         for req in reqs {
@@ -761,6 +849,7 @@ mod tests {
                 count: 5,
                 len: 1 << 20,
                 synthetic: false,
+                checksums: true,
             },
             SrvReq::FreeExtents {
                 extents: vec![(1, 2), (3, 4)],
@@ -803,6 +892,12 @@ mod tests {
             CtrlReq::decode(&bytes),
             Err(RStoreError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn extent_alloc_len_adds_trailer_only_with_checksums() {
+        assert_eq!(extent_alloc_len(128, false), 128);
+        assert_eq!(extent_alloc_len(128, true), 128 + CK_BYTES);
     }
 
     #[test]

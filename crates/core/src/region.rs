@@ -10,9 +10,10 @@ use rdma::{CqStatus, DmaBuf, RdmaError};
 use sim::channel::oneshot;
 
 use crate::client::RStoreClient;
+use crate::crc::crc32c;
 use crate::error::{RStoreError, Result};
 use crate::layout::{Layout, Piece};
-use crate::proto::RegionDesc;
+use crate::proto::{RegionDesc, CK_BYTES};
 
 /// Direction of a posted IO.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -144,6 +145,9 @@ impl Region {
             .sim
             .tracer()
             .span_arg("core", "rstore.read", s.dev.node().0 as u64, dst.len);
+        if self.desc.checksums {
+            return self.read_into_ck(offset, dst).await;
+        }
         let pieces = self.layout.pieces(offset, dst.len)?;
         // Post every piece's primary read in parallel. The bool marks
         // whether the replica has already spent its one reconnect retry.
@@ -210,6 +214,9 @@ impl Region {
             .sim
             .tracer()
             .span_arg("core", "rstore.write", s.dev.node().0 as u64, src.len);
+        if self.desc.checksums {
+            return self.write_from_ck(offset, src).await;
+        }
         let pieces = self.layout.pieces(offset, src.len)?;
         let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
         let mut failed: Vec<(Piece, usize)> = Vec::new();
@@ -246,8 +253,205 @@ impl Region {
         Ok(())
     }
 
-    /// Posts a read without waiting (no failover). Use
-    /// [`IoHandle::wait`] or [`RStoreClient::sync`].
+    // --- verified (checksummed) paths -----------------------------------------
+
+    /// Verified read for checksummed regions: every touched stripe is read
+    /// in full (data + trailer) from one replica, its CRC32C re-verified
+    /// client-side, and only then is the requested sub-range copied into
+    /// `dst`. A replica that fails verification is treated like a failed
+    /// replica: the read fails over to the next one and the bad extent is
+    /// reported to the master in the background so the repair task can
+    /// re-replicate it.
+    async fn read_into_ck(&self, offset: u64, dst: DmaBuf) -> Result<()> {
+        let pieces = self.layout.pieces(offset, dst.len)?;
+        for piece in pieces {
+            self.read_piece_verified(&piece, dst).await?;
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies the stripe containing `want`, then copies the
+    /// requested sub-range into `dst`.
+    async fn read_piece_verified(&self, want: &Piece, dst: DmaBuf) -> Result<()> {
+        let dev = self.client.shared.dev.clone();
+        let stripe_len = self.desc.groups[want.group].len();
+        let staging = dev.alloc(stripe_len + CK_BYTES)?;
+        let result = self.read_piece_verified_into(want, dst, staging).await;
+        let _ = dev.free(staging);
+        result
+    }
+
+    /// The failover loop behind [`read_piece_verified`](Self::read_piece_verified).
+    /// `staging` must hold the full stripe plus trailer; `dst` may alias it
+    /// (used by the read-modify-write path, where the verified stripe is
+    /// wanted in place).
+    async fn read_piece_verified_into(
+        &self,
+        want: &Piece,
+        dst: DmaBuf,
+        staging: DmaBuf,
+    ) -> Result<()> {
+        let s = &self.client.shared;
+        let group = &self.desc.groups[want.group];
+        let stripe_len = group.len() as usize;
+        let full = Piece {
+            group: want.group,
+            offset_in_stripe: 0,
+            len: stripe_len as u64 + CK_BYTES,
+            buf_offset: 0,
+        };
+        let mut bad_node: Option<u32> = None;
+        let mut replica = 0usize;
+        let mut redialed = false;
+        while replica < group.replicas.len() {
+            let ok = match self.post_piece(&full, staging, Dir::Read, replica) {
+                Ok(rx) => matches!(rx.await, Some(CqStatus::Success)),
+                Err(_) => false,
+            };
+            if ok {
+                let bytes = s.dev.read_mem(staging.addr, full.len)?;
+                let stored =
+                    u64::from_le_bytes(bytes[stripe_len..].try_into().expect("trailer is 8 bytes"));
+                if crc32c(&bytes[..stripe_len]) as u64 == stored {
+                    let lo = want.offset_in_stripe as usize;
+                    s.dev.write_mem(
+                        dst.addr + want.buf_offset,
+                        &bytes[lo..lo + want.len as usize],
+                    )?;
+                    return Ok(());
+                }
+                // Checksum mismatch: treat like a replica failure — record
+                // it, tell the master (fire-and-forget; the data path must
+                // not block on the control path), and fail over.
+                let node = group.replicas[replica].node;
+                s.dev.metrics().incr("integrity.read_mismatch");
+                s.sim.tracer().instant(
+                    "core",
+                    "rstore.read.corrupt",
+                    node as u64,
+                    want.group as u64,
+                );
+                bad_node = Some(node);
+                let client = self.client.clone();
+                let name = self.desc.name.clone();
+                let (g, r) = (want.group as u32, replica as u32);
+                s.sim.spawn(async move {
+                    let _ = client.report_corruption(&name, g, r, node).await;
+                });
+                replica += 1;
+                redialed = false;
+                continue;
+            }
+            // IO failure: one reconnect retry per replica, then advance.
+            if !redialed {
+                redialed = true;
+                let node = group.replicas[replica].node;
+                if self.client.redial(node).await.is_ok() {
+                    continue;
+                }
+            }
+            replica += 1;
+            redialed = false;
+        }
+        match bad_node {
+            Some(node) => Err(RStoreError::CorruptionDetected {
+                node,
+                region: self.desc.name.clone(),
+                stripe: want.group as u64,
+            }),
+            None => Err(RStoreError::Io(CqStatus::Timeout)),
+        }
+    }
+
+    /// Verified write for checksummed regions: each touched stripe is
+    /// assembled in full in a staging buffer (partial writes first read the
+    /// stripe's current content back through the verified read path), the
+    /// CRC32C is recomputed into the trailer, and the whole stripe plus
+    /// trailer is written to every replica. Concurrent writers to the same
+    /// stripe must be serialized by the application, as with any
+    /// non-transactional store.
+    async fn write_from_ck(&self, offset: u64, src: DmaBuf) -> Result<()> {
+        let dev = self.client.shared.dev.clone();
+        let pieces = self.layout.pieces(offset, src.len)?;
+        for piece in &pieces {
+            let stripe_len = self.desc.groups[piece.group].len();
+            let full = Piece {
+                group: piece.group,
+                offset_in_stripe: 0,
+                len: stripe_len + CK_BYTES,
+                buf_offset: 0,
+            };
+            let staging = dev.alloc(full.len)?;
+            let result = async {
+                if piece.len < stripe_len {
+                    // Read-modify-write: fetch the stripe's current content
+                    // (verified, with failover) to fill the bytes this
+                    // write does not cover.
+                    let cur = Piece {
+                        group: piece.group,
+                        offset_in_stripe: 0,
+                        len: stripe_len,
+                        buf_offset: 0,
+                    };
+                    self.read_piece_verified_into(&cur, staging, staging)
+                        .await?;
+                }
+                // Overlay the new data and recompute the trailer.
+                let new = dev.read_mem(src.addr + piece.buf_offset, piece.len)?;
+                dev.write_mem(staging.addr + piece.offset_in_stripe, &new)?;
+                let data = dev.read_mem(staging.addr, stripe_len)?;
+                dev.write_mem(
+                    staging.addr + stripe_len,
+                    &(crc32c(&data) as u64).to_le_bytes(),
+                )?;
+                self.write_piece_all_replicas(&full, staging).await
+            }
+            .await;
+            let _ = dev.free(staging);
+            result?;
+        }
+        Ok(())
+    }
+
+    /// Writes one (full-stripe) piece to every replica, mirroring
+    /// [`write_from`](Self::write_from)'s recovery round: each failed
+    /// replica gets one re-dial plus repost, and a replica that stays
+    /// unreachable fails the IO.
+    async fn write_piece_all_replicas(&self, piece: &Piece, buf: DmaBuf) -> Result<()> {
+        let mut waits = Vec::new();
+        let mut failed = Vec::new();
+        for r in 0..self.desc.groups[piece.group].replicas.len() {
+            match self.post_piece(piece, buf, Dir::Write, r) {
+                Ok(rx) => waits.push((r, rx)),
+                Err(_) => failed.push(r),
+            }
+        }
+        for (r, rx) in waits {
+            if !matches!(rx.await, Some(CqStatus::Success)) {
+                failed.push(r);
+            }
+        }
+        for r in failed {
+            let node = self.desc.groups[piece.group].replicas[r].node;
+            if self.client.redial(node).await.is_err() {
+                return Err(RStoreError::Io(CqStatus::Timeout));
+            }
+            let Ok(rx) = self.post_piece(piece, buf, Dir::Write, r) else {
+                return Err(RStoreError::Io(CqStatus::Timeout));
+            };
+            match rx.await {
+                Some(CqStatus::Success) => {}
+                Some(status) => return Err(RStoreError::Io(status)),
+                None => return Err(RStoreError::Io(CqStatus::Flushed)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Posts a read without waiting (no failover, and — unlike
+    /// [`read_into`](Self::read_into) — no checksum verification on
+    /// checksummed regions). Use [`IoHandle::wait`] or
+    /// [`RStoreClient::sync`].
     ///
     /// # Errors
     ///
@@ -261,12 +465,19 @@ impl Region {
     ///
     /// # Errors
     ///
-    /// As for [`Region::start_read`].
+    /// As for [`Region::start_read`]; additionally
+    /// [`RStoreError::Protocol`] on checksummed regions, where a raw write
+    /// would bypass trailer maintenance and make the stripe verify dirty.
     pub fn start_write(&self, offset: u64, src: DmaBuf) -> Result<IoHandle> {
         self.start_io(offset, src, Dir::Write)
     }
 
     fn start_io(&self, offset: u64, buf: DmaBuf, dir: Dir) -> Result<IoHandle> {
+        if self.desc.checksums && dir == Dir::Write {
+            return Err(RStoreError::Protocol(
+                "zero-copy writes bypass checksum maintenance on checksummed regions".into(),
+            ));
+        }
         let pieces = self.layout.pieces(offset, buf.len)?;
         let mut rxs = Vec::new();
         let mut failed = false;

@@ -12,8 +12,9 @@ use std::time::Duration;
 use rdma::{Access, CompletionQueue, CqStatus, DmaBuf, RKey, RdmaDevice, RemoteAddr};
 use sim::Sim;
 
+use crate::crc::crc32c;
 use crate::error::Result;
-use crate::proto::{CtrlReq, CtrlResp, SrvReq, SrvResp};
+use crate::proto::{extent_alloc_len, CtrlReq, CtrlResp, SrvReq, SrvResp};
 use crate::rpc::{spawn_rpc_server, RpcClient};
 use crate::{CTRL_SERVICE, DATA_SERVICE, SRV_SERVICE};
 
@@ -171,22 +172,34 @@ async fn handle_srv_req(dev: &RdmaDevice, sim: &Sim, pin_per_mib: Duration, req:
             count,
             len,
             synthetic,
+            checksums,
         } => {
+            // Synthetic extents carry no bytes, so there is nothing to
+            // checksum; the master never asks for both, but normalize anyway.
+            let checksums = checksums && !synthetic;
+            let alloc_len = extent_alloc_len(len, checksums);
             // Charge the pinning/registration cost: this is what makes the
             // control path "slow but once".
-            let total_mib = (count as u64 * len) / (1024 * 1024);
+            let total_mib = (count as u64 * alloc_len) / (1024 * 1024);
             sim.sleep(Duration::from_nanos(
                 pin_per_mib.as_nanos() as u64 * total_mib,
             ))
             .await;
 
+            // A trailer initialized to the CRC of the zero-filled stripe
+            // makes never-written stripes verify clean (no false positives).
+            let zero_crc = if checksums {
+                (crc32c(&vec![0u8; len as usize]) as u64).to_le_bytes()
+            } else {
+                [0u8; 8]
+            };
             let mut granted: Vec<(u64, u64, u64)> = Vec::with_capacity(count as usize);
             let mut bufs: Vec<DmaBuf> = Vec::with_capacity(count as usize);
             for _ in 0..count {
                 let alloc = if synthetic {
-                    dev.alloc_synthetic(len)
+                    dev.alloc_synthetic(alloc_len)
                 } else {
-                    dev.alloc(len)
+                    dev.alloc(alloc_len)
                 };
                 let buf = match alloc {
                     Ok(b) => b,
@@ -197,9 +210,21 @@ async fn handle_srv_req(dev: &RdmaDevice, sim: &Sim, pin_per_mib: Duration, req:
                         return SrvResp::Err(e.to_string());
                     }
                 };
+                if checksums {
+                    if let Err(e) = dev.write_mem(buf.addr + len, &zero_crc) {
+                        let _ = dev.free(buf);
+                        for b in bufs {
+                            let _ = dev.free(b);
+                        }
+                        return SrvResp::Err(e.to_string());
+                    }
+                }
                 match dev.reg_mr(buf, Access::REMOTE_ALL) {
                     Ok(mr) => {
-                        granted.push((buf.addr, mr.rkey.0, buf.len));
+                        // The granted length is the *logical* extent size;
+                        // the trailer is an implementation detail the master
+                        // re-derives with `extent_alloc_len`.
+                        granted.push((buf.addr, mr.rkey.0, len));
                         bufs.push(buf);
                     }
                     Err(e) => {

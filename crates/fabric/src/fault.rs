@@ -38,6 +38,22 @@ pub enum FaultAction {
     LossStart(f64),
     /// Stop probabilistic message loss.
     LossStop,
+    /// Flip `bits` random bits inside `node`'s remotely-registered memory —
+    /// silent at-rest corruption the server CPU never observes. Delivered to
+    /// the node's corruption hook (see `Fabric::set_corruption_hook`); a node
+    /// without a hook ignores the action.
+    CorruptRegion {
+        /// The node whose registered memory is corrupted.
+        node: NodeId,
+        /// How many random bits to flip.
+        bits: u32,
+    },
+    /// Start flipping one random bit in each in-flight WRITE payload with
+    /// the given probability (torn/corrupted DMA that a CRC-less transport
+    /// would commit silently).
+    FlipStart(f64),
+    /// Stop in-flight payload bit flips.
+    FlipStop,
 }
 
 /// A reproducible schedule of fault events at virtual-time offsets.
@@ -79,6 +95,21 @@ impl FaultPlan {
     pub fn loss_window(mut self, from: Duration, until: Duration, prob: f64) -> Self {
         self.events.push((from, FaultAction::LossStart(prob)));
         self.events.push((until, FaultAction::LossStop));
+        self
+    }
+
+    /// Flips `bits` random bits in `node`'s registered memory at offset `at`.
+    pub fn corrupt_at(mut self, at: Duration, node: NodeId, bits: u32) -> Self {
+        self.events
+            .push((at, FaultAction::CorruptRegion { node, bits }));
+        self
+    }
+
+    /// Flips one random bit in each in-flight WRITE payload with probability
+    /// `prob` during `[from, until)`.
+    pub fn flip_window(mut self, from: Duration, until: Duration, prob: f64) -> Self {
+        self.events.push((from, FaultAction::FlipStart(prob)));
+        self.events.push((until, FaultAction::FlipStop));
         self
     }
 

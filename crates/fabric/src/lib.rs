@@ -184,11 +184,27 @@ struct Loss {
     rng: DetRng,
 }
 
+/// Probabilistic in-flight payload bit flips (see
+/// [`FaultAction::FlipStart`]). The fabric only rolls the dice; the device
+/// owning the payload applies the flip, because the fabric is
+/// payload-agnostic and cannot mutate `M`.
+struct Flip {
+    prob: f64,
+    rng: DetRng,
+}
+
+/// Per-node corruption hook: invoked with `(salt, bits)` when a
+/// [`FaultAction::CorruptRegion`] targets the node. Registered by the node's
+/// device, which owns the memory the fabric cannot reach.
+type CorruptionHook = Rc<dyn Fn(u64, u32)>;
+
 struct Inner<M> {
     cfg: FabricConfig,
     nodes: Vec<NodeState<M>>,
     dropped: u64,
     loss: Option<Loss>,
+    flip: Option<Flip>,
+    corruption_hooks: std::collections::HashMap<u32, CorruptionHook>,
 }
 
 /// The fabric: a single-switch network connecting [`NodeId`]s.
@@ -233,6 +249,8 @@ impl<M: 'static> Fabric<M> {
                 nodes: Vec::new(),
                 dropped: 0,
                 loss: None,
+                flip: None,
+                corruption_hooks: std::collections::HashMap::new(),
             })),
             metrics: Metrics::new(),
             tracer,
@@ -311,6 +329,52 @@ impl<M: 'static> Fabric<M> {
     /// Stops probabilistic message loss.
     pub fn clear_loss(&self) {
         self.inner.borrow_mut().loss = None;
+    }
+
+    /// Starts flipping one random bit in each in-flight WRITE payload with
+    /// probability `prob`; the flip pattern is pinned by `seed`. The fabric
+    /// only makes the (deterministic) decision — devices call
+    /// [`Fabric::inflight_flip`] to learn which bit to damage, because the
+    /// fabric is payload-agnostic.
+    pub fn set_flip(&self, prob: f64, seed: u64) {
+        self.inner.borrow_mut().flip = Some(Flip {
+            prob,
+            rng: DetRng::new(seed),
+        });
+    }
+
+    /// Stops in-flight payload bit flips.
+    pub fn clear_flip(&self) {
+        self.inner.borrow_mut().flip = None;
+    }
+
+    /// Rolls the in-flight flip dice for a payload of `payload_bits` bits.
+    /// Returns the bit index to flip, or `None` when flips are disabled, the
+    /// roll misses, or the payload is empty. Each hit emits its own
+    /// trace/metric event so every injected flip is attributable.
+    pub fn inflight_flip(&self, payload_bits: u64) -> Option<u64> {
+        let bit = {
+            let mut inner = self.inner.borrow_mut();
+            let flip = inner.flip.as_mut()?;
+            if payload_bits == 0 || !flip.rng.chance(flip.prob) {
+                return None;
+            }
+            flip.rng.range_u64(0, payload_bits)
+        };
+        self.metrics.incr("fabric.fault.flip_injected");
+        self.tracer.instant("fabric", "fabric.fault.flip", bit, 1);
+        Some(bit)
+    }
+
+    /// Registers `node`'s corruption hook: the callback a
+    /// [`FaultAction::CorruptRegion`] event invokes with `(salt, bits)`. The
+    /// attached device registers one at creation; the fabric itself cannot
+    /// reach node memory. Replaces any earlier hook.
+    pub fn set_corruption_hook(&self, node: NodeId, hook: Rc<dyn Fn(u64, u32)>) {
+        self.inner
+            .borrow_mut()
+            .corruption_hooks
+            .insert(node.0, hook);
     }
 
     /// Count of messages dropped due to failed endpoints.
@@ -521,6 +585,40 @@ impl<M: 'static> Fabric<M> {
                 self.metrics.incr("fabric.fault.loss_stop");
                 self.tracer
                     .instant("fabric", "fabric.fault.loss_stop", 0, 0);
+            }
+            FaultAction::CorruptRegion { node, bits } => {
+                self.metrics.incr("fabric.fault.corrupt_region");
+                self.tracer.instant(
+                    "fabric",
+                    "fabric.fault.corrupt_region",
+                    node.0 as u64,
+                    bits as u64,
+                );
+                // Salt the seed with the event's virtual time so repeated
+                // corruptions of one node under one plan flip distinct bits.
+                let salt = seed ^ self.sim.now().saturating_since(SimTime::ZERO).as_nanos() as u64;
+                // Clone the hook out before invoking: it re-enters the
+                // device, which may call back into the fabric.
+                let hook = self.inner.borrow().corruption_hooks.get(&node.0).cloned();
+                if let Some(hook) = hook {
+                    hook(salt, bits);
+                }
+            }
+            FaultAction::FlipStart(prob) => {
+                self.set_flip(prob, seed);
+                self.metrics.incr("fabric.fault.flip_start");
+                self.tracer.instant(
+                    "fabric",
+                    "fabric.fault.flip_start",
+                    0,
+                    (prob * 1_000_000.0) as u64,
+                );
+            }
+            FaultAction::FlipStop => {
+                self.clear_flip();
+                self.metrics.incr("fabric.fault.flip_stop");
+                self.tracer
+                    .instant("fabric", "fabric.fault.flip_stop", 0, 0);
             }
         }
     }

@@ -186,6 +186,31 @@ impl RdmaDevice {
             })),
             cfg: Rc::new(cfg),
         };
+        // Register the corruption hook: a `CorruptRegion` fault on this node
+        // flips seeded random bits inside registered backed memory — silent
+        // damage the server CPU never observes, exactly the hazard a
+        // one-sided data path is exposed to. Each flip is traced.
+        let hook_dev = dev.clone();
+        fabric.set_corruption_hook(
+            node,
+            Rc::new(move |salt: u64, bits: u32| {
+                let flips = {
+                    let mut rng = sim::DetRng::new(salt);
+                    hook_dev
+                        .inner
+                        .borrow_mut()
+                        .arena
+                        .corrupt_registered(&mut rng, bits)
+                };
+                let metrics = hook_dev.metrics();
+                for &(addr, bit) in &flips {
+                    metrics.incr("integrity.injected");
+                    hook_dev
+                        .tracer
+                        .instant("rdma", "rdma.corrupt.bit", addr, bit as u64);
+                }
+            }),
+        );
         let d = dev.clone();
         dev.sim.spawn(async move { d.dispatch(inbox).await });
         dev
@@ -532,11 +557,27 @@ impl RdmaDevice {
                 req_id,
                 raddr,
                 rkey,
-                payload,
+                mut payload,
             } => {
                 let Some(reply_to) = self.reply_target(dst) else {
                     return;
                 };
+                // In-flight fault injection: flip one payload bit before it
+                // commits, modeling DMA/wire corruption a CRC-less transport
+                // would write through silently. Synthetic payloads carry no
+                // bytes and cannot be damaged.
+                if let Payload::Bytes(bytes) = &mut payload {
+                    if let Some(bit) = self.fabric.inflight_flip(bytes.len() as u64 * 8) {
+                        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                        self.metrics().incr("integrity.injected");
+                        self.tracer.instant(
+                            "rdma",
+                            "rdma.corrupt.inflight",
+                            raddr + bit / 8,
+                            bit % 8,
+                        );
+                    }
+                }
                 let mut inner = self.inner.borrow_mut();
                 let status = match check(
                     &inner.arena,

@@ -349,6 +349,53 @@ impl Arena {
         Ok(())
     }
 
+    /// Flips `bits` random bits inside registered, backed memory — the
+    /// at-rest corruption model behind `FaultAction::CorruptRegion`. Returns
+    /// the `(byte_addr, bit)` pairs actually flipped so each one can be
+    /// traced. Only *remotely readable* MRs qualify — that is the memory the
+    /// node donated to the store; private local registrations are not part
+    /// of the corruption model. Synthetic registrations have no bytes and
+    /// are skipped; `bits` draws land nowhere (and are dropped) when nothing
+    /// backed is registered. MR iteration order is the `BTreeMap`'s, so the
+    /// same rng state flips the same bits.
+    pub fn corrupt_registered(&mut self, rng: &mut sim::DetRng, bits: u32) -> Vec<(u64, u8)> {
+        let ranges: Vec<(u64, u64)> = self
+            .mrs
+            .values()
+            .filter(|mr| {
+                mr.access.allows(Access::REMOTE_READ)
+                    && self
+                        .containing_block(mr.addr, mr.len)
+                        .map(|(_, b)| b.data.is_some())
+                        .unwrap_or(false)
+            })
+            .map(|mr| (mr.addr, mr.len))
+            .collect();
+        let total_bits: u64 = ranges.iter().map(|&(_, len)| len * 8).sum();
+        let mut flips = Vec::new();
+        if total_bits == 0 {
+            return flips;
+        }
+        for _ in 0..bits {
+            let mut idx = rng.range_u64(0, total_bits);
+            for &(addr, len) in &ranges {
+                let range_bits = len * 8;
+                if idx < range_bits {
+                    let byte_addr = addr + idx / 8;
+                    let bit = (idx % 8) as u8;
+                    let mut byte = self.read(byte_addr, 1).expect("registered range readable");
+                    byte[0] ^= 1 << bit;
+                    self.write(byte_addr, &byte)
+                        .expect("registered range writable");
+                    flips.push((byte_addr, bit));
+                    break;
+                }
+                idx -= range_bits;
+            }
+        }
+        flips
+    }
+
     /// Atomically reads a u64 (little-endian) at an 8-byte-aligned address.
     ///
     /// # Errors
@@ -481,6 +528,48 @@ mod tests {
         a.write_u64(b.addr, 0xDEAD_BEEF).unwrap();
         assert_eq!(a.read_u64(b.addr).unwrap(), 0xDEAD_BEEF);
         assert!(a.read_u64(b.addr + 1).is_err());
+    }
+
+    #[test]
+    fn corrupt_registered_flips_only_backed_registered_bits() {
+        let mut a = Arena::new(1 << 20);
+        let plain = a.alloc(64).unwrap(); // allocated but never registered
+        let backed = a.alloc(64).unwrap();
+        let synth = a.alloc_synthetic(64).unwrap();
+        a.register(backed, Access::REMOTE_ALL).unwrap();
+        a.register(synth, Access::REMOTE_ALL).unwrap();
+        let mut rng = sim::DetRng::new(7);
+        let flips = a.corrupt_registered(&mut rng, 8);
+        assert_eq!(flips.len(), 8, "every draw lands in the backed MR");
+        for &(addr, bit) in &flips {
+            assert!(
+                (backed.addr..backed.addr + backed.len).contains(&addr),
+                "flip at {addr} outside the backed registration"
+            );
+            assert!(bit < 8);
+        }
+        // The backed registration really changed; unregistered memory didn't.
+        assert_ne!(a.read(backed.addr, 64).unwrap(), vec![0u8; 64]);
+        assert_eq!(a.read(plain.addr, 64).unwrap(), vec![0u8; 64]);
+
+        // Same rng seed ⇒ same flips.
+        let mut b = Arena::new(1 << 20);
+        let _plain = b.alloc(64).unwrap();
+        let backed2 = b.alloc(64).unwrap();
+        let synth2 = b.alloc_synthetic(64).unwrap();
+        b.register(backed2, Access::REMOTE_ALL).unwrap();
+        b.register(synth2, Access::REMOTE_ALL).unwrap();
+        let mut rng2 = sim::DetRng::new(7);
+        assert_eq!(b.corrupt_registered(&mut rng2, 8), flips);
+    }
+
+    #[test]
+    fn corrupt_registered_with_nothing_backed_is_a_noop() {
+        let mut a = Arena::new(1 << 20);
+        let synth = a.alloc_synthetic(1024).unwrap();
+        a.register(synth, Access::REMOTE_ALL).unwrap();
+        let mut rng = sim::DetRng::new(1);
+        assert!(a.corrupt_registered(&mut rng, 16).is_empty());
     }
 
     #[test]

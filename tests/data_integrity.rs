@@ -1,0 +1,271 @@
+//! End-to-end data integrity: at-rest corruption injection, checksummed
+//! reads with failover, the background scrubber, and repair back to Healthy.
+
+use std::time::Duration;
+
+use fabric::{FaultPlan, NodeId};
+use rstore::{
+    AllocOptions, Cluster, ClusterConfig, MasterConfig, RStoreClient, RStoreError, RegionState,
+    ServerConfig,
+};
+
+fn boot(servers: usize, scrub: bool) -> Cluster {
+    Cluster::boot(ClusterConfig {
+        clients: 1,
+        // Short intervals so corruption handling converges quickly
+        // (virtual time).
+        master: MasterConfig {
+            lease: Duration::from_millis(50),
+            sweep_interval: Duration::from_millis(20),
+            repair_interval: Duration::from_millis(40),
+            scrub,
+            scrub_interval: Duration::from_millis(50),
+            ..MasterConfig::default()
+        },
+        server: ServerConfig {
+            heartbeat: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        ..ClusterConfig::with_servers(servers)
+    })
+    .expect("boot")
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 131 + 17) % 251) as u8).collect()
+}
+
+#[test]
+fn checksummed_region_round_trips_partial_and_spanning_io() {
+    let cluster = boot(3, true);
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 64 * 1024u64;
+        let region = c
+            .alloc(
+                "ck",
+                size,
+                AllocOptions {
+                    stripe_size: 8 * 1024,
+                    replicas: 2,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        assert!(region.desc().checksums);
+
+        // Mirror every write into a local model and compare afterwards.
+        let mut model = pattern(size as usize);
+        region.write(0, &model).await.unwrap();
+        // Partial overwrite inside one stripe (read-modify-write path).
+        let patch = vec![0xABu8; 100];
+        region.write(300, &patch).await.unwrap();
+        model[300..400].copy_from_slice(&patch);
+        // Overwrite spanning a stripe boundary.
+        let span = vec![0xCDu8; 4096];
+        region.write(8 * 1024 - 1000, &span).await.unwrap();
+        model[8 * 1024 - 1000..8 * 1024 - 1000 + 4096].copy_from_slice(&span);
+
+        assert_eq!(region.read(0, size).await.unwrap(), model);
+
+        // Raw zero-copy writes would bypass trailer maintenance.
+        let buf = devs[0].alloc(4096).unwrap();
+        let err = region.start_write(0, buf).err().unwrap();
+        assert!(matches!(err, RStoreError::Protocol(_)), "got {err:?}");
+        devs[0].free(buf).unwrap();
+
+        // Freeing returns every physical byte, trailers included.
+        c.free("ck").await.unwrap();
+        assert_eq!(c.stats().await.unwrap().used, 0);
+    });
+}
+
+#[test]
+fn corrupted_replica_read_fails_over_and_region_repairs() {
+    let cluster = boot(4, true);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 256 * 1024u64;
+        let data = pattern(size as usize);
+        let region = c
+            .alloc(
+                "guarded",
+                size,
+                AllocOptions {
+                    stripe_size: 64 * 1024,
+                    replicas: 2,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &data).await.unwrap();
+
+        // Flip bits at rest on the server holding group 0's first replica.
+        let victim = region.desc().groups[0].replicas[0].node;
+        FaultPlan::new(0xC0)
+            .corrupt_at(Duration::from_millis(1), NodeId(victim), 32)
+            .install(&fabric);
+        s.sleep(Duration::from_millis(5)).await;
+        let m = fabric.metrics();
+        assert_eq!(m.counter("integrity.injected"), 32);
+
+        // Reads still return the written bytes: verification fails over to
+        // the intact replica and reports the bad one.
+        assert_eq!(region.read(0, size).await.unwrap(), data);
+        assert!(m.counter("integrity.read_mismatch") >= 1);
+
+        // The master re-replicates the damaged extents and the region
+        // returns to Healthy.
+        s.sleep(Duration::from_secs(2)).await;
+        assert!(m.counter("integrity.detected") >= 1);
+        let desc = c.lookup("guarded").await.unwrap();
+        assert_eq!(desc.state, RegionState::Healthy, "repair must complete");
+        let remapped = c.map("guarded").await.unwrap();
+        assert_eq!(remapped.read(0, size).await.unwrap(), data);
+    });
+}
+
+#[test]
+fn scrubber_finds_corruption_without_any_reads() {
+    let cluster = boot(3, true);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 128 * 1024u64;
+        let data = pattern(size as usize);
+        let region = c
+            .alloc(
+                "swept",
+                size,
+                AllocOptions {
+                    stripe_size: 32 * 1024,
+                    replicas: 2,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &data).await.unwrap();
+
+        let victim = region.desc().groups[0].replicas[0].node;
+        FaultPlan::new(0x5C)
+            .corrupt_at(Duration::from_millis(1), NodeId(victim), 16)
+            .install(&fabric);
+
+        // No client IO at all: detection must come from the scrub sweep.
+        s.sleep(Duration::from_secs(2)).await;
+        let m = fabric.metrics();
+        assert!(m.counter("integrity.scrub_passes") >= 1);
+        assert!(m.counter("integrity.scrub.mismatch") >= 1);
+        assert!(m.counter("integrity.detected") >= 1);
+        assert_eq!(m.counter("integrity.read_mismatch"), 0);
+
+        // ...and repair still restores the region.
+        let desc = c.lookup("swept").await.unwrap();
+        assert_eq!(desc.state, RegionState::Healthy, "repair must complete");
+        assert_eq!(region.read(0, size).await.unwrap(), data);
+    });
+}
+
+#[test]
+fn all_replicas_corrupt_surfaces_structured_error() {
+    let cluster = boot(2, false);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 32 * 1024u64;
+        let region = c
+            .alloc(
+                "fragile",
+                size,
+                AllocOptions {
+                    stripe_size: 32 * 1024,
+                    replicas: 1,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &pattern(size as usize)).await.unwrap();
+
+        let victim = region.desc().groups[0].replicas[0].node;
+        FaultPlan::new(0xF1)
+            .corrupt_at(Duration::from_millis(1), NodeId(victim), 8)
+            .install(&fabric);
+        s.sleep(Duration::from_millis(5)).await;
+
+        // With no intact replica left, the read surfaces the damage instead
+        // of returning wrong bytes.
+        let err = region.read(0, size).await.err().unwrap();
+        match err {
+            RStoreError::CorruptionDetected { region, node, .. } => {
+                assert_eq!(region, "fragile");
+                assert_eq!(node, victim);
+            }
+            other => panic!("expected CorruptionDetected, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn clean_cluster_reports_zero_corruption() {
+    let cluster = boot(3, true);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 128 * 1024u64;
+        let data = pattern(size as usize);
+        let region = c
+            .alloc(
+                "clean",
+                size,
+                AllocOptions {
+                    stripe_size: 32 * 1024,
+                    replicas: 2,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &data).await.unwrap();
+        for _ in 0..4 {
+            s.sleep(Duration::from_millis(200)).await;
+            assert_eq!(region.read(0, size).await.unwrap(), data);
+        }
+        // Several scrub passes over live traffic: zero false positives.
+        let m = fabric.metrics();
+        assert!(m.counter("integrity.scrub_passes") >= 4);
+        assert_eq!(m.counter("integrity.injected"), 0);
+        assert_eq!(m.counter("integrity.read_mismatch"), 0);
+        assert_eq!(m.counter("integrity.scrub.mismatch"), 0);
+        assert_eq!(m.counter("integrity.detected"), 0);
+        assert_eq!(c.lookup("clean").await.unwrap().state, RegionState::Healthy);
+    });
+}

@@ -107,6 +107,7 @@ fn random_desc(rng: &mut DetRng) -> RegionDesc {
             })
             .collect(),
         state: RegionState::Healthy,
+        checksums: false,
     }
 }
 
