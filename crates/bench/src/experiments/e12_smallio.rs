@@ -1,0 +1,299 @@
+//! E12 — small-IO streaming throughput: what doorbell batching and
+//! checksum-read pipelining buy at 4–64 KiB request sizes.
+//!
+//! Two comparisons, both over a prefilled region whose every byte is
+//! verified on the way back (`data_errors` must stay zero):
+//!
+//! * **per-op vs batched** (plain region): an awaited `read_into` per op vs
+//!   [`Region::read_into_many`] rounds of 16 — one doorbell per
+//!   `max_batch` pieces instead of one per piece.
+//! * **serial vs pipelined** (checksummed region, stripe = IO size): the
+//!   same verified read with `pipeline_depth` 1 vs 16 — post→await→post vs
+//!   a bounded in-flight window of stripes.
+//!
+//! Everything is seeded and deterministic: two runs produce byte-identical
+//! tables and JSON.
+
+use rdma::DmaBuf;
+use rstore::{AllocOptions, ClientConfig, Cluster, ClusterConfig, RStoreClient, Region};
+
+use crate::table::{fmt_bytes, Table};
+
+/// Ops per size and arm.
+const OPS: u64 = 256;
+/// Ops folded into one `read_into_many` posting round.
+const BATCH: u64 = 16;
+/// Request sizes under test.
+const SIZES: [u64; 3] = [4 << 10, 16 << 10, 64 << 10];
+
+/// Measured results for one IO size.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeStats {
+    /// Request size in bytes.
+    pub size: u64,
+    /// Streaming throughput of awaited per-op reads.
+    pub per_op_gbps: f64,
+    /// Streaming throughput of batched posting rounds.
+    pub batched_gbps: f64,
+    /// Doorbells rung per op, per-op arm (always 1.0).
+    pub per_op_doorbells: f64,
+    /// Doorbells rung per op, batched arm.
+    pub batched_doorbells: f64,
+    /// Verified-read throughput at `pipeline_depth` 1 (serial).
+    pub ck_serial_gbps: f64,
+    /// Verified-read throughput at `pipeline_depth` 16.
+    pub ck_pipelined_gbps: f64,
+    /// Deepest in-flight stripe window the pipelined run reached.
+    pub ck_inflight_max: u64,
+}
+
+/// Aggregate E12 results.
+#[derive(Clone, Debug)]
+pub struct SmallIoStats {
+    /// One entry per size in [`SIZES`] order.
+    pub sizes: Vec<SizeStats>,
+    /// Reads whose bytes did not match the prefilled pattern (must be 0).
+    pub data_errors: u64,
+}
+
+impl SmallIoStats {
+    fn at(&self, size: u64) -> &SizeStats {
+        self.sizes
+            .iter()
+            .find(|s| s.size == size)
+            .expect("measured size")
+    }
+
+    /// Batched-over-per-op speedup at 4 KiB — the headline claim.
+    pub fn speedup_4k(&self) -> f64 {
+        let s = self.at(4 << 10);
+        s.batched_gbps / s.per_op_gbps
+    }
+
+    /// Doorbells per op in the batched arm at 4 KiB.
+    pub fn batched_doorbells_4k(&self) -> f64 {
+        self.at(4 << 10).batched_doorbells
+    }
+}
+
+/// The deterministic byte at region offset `off`.
+fn pattern_byte(off: u64) -> u8 {
+    ((off.wrapping_mul(31) + 7) % 251) as u8
+}
+
+fn pattern(off: u64, len: u64) -> Vec<u8> {
+    (0..len).map(|i| pattern_byte(off + i)).collect()
+}
+
+/// Runs all arms for every size and collects the stats.
+pub fn measure() -> SmallIoStats {
+    let mut sizes = Vec::new();
+    let mut data_errors = 0;
+    for &size in &SIZES {
+        let (stats, errs) = measure_size(size);
+        sizes.push(stats);
+        data_errors += errs;
+    }
+    SmallIoStats { sizes, data_errors }
+}
+
+fn measure_size(size: u64) -> (SizeStats, u64) {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 1,
+        ..ClusterConfig::with_servers(4)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let dev = devs[0].clone();
+            let client = RStoreClient::connect(&dev, master).await.expect("client");
+            let total = OPS * size;
+            let fill = pattern(0, total);
+            let mut errs = 0u64;
+
+            // Plain region, striped at 64 KiB so a stream touches every
+            // server, prefilled with the deterministic pattern.
+            let opts = AllocOptions {
+                stripe_size: 64 << 10,
+                ..AllocOptions::default()
+            };
+            let region = client.alloc("e12", total, opts).await.expect("alloc");
+            region.write(0, &fill).await.expect("prefill");
+            let m = dev.metrics();
+
+            // Arm 1: awaited per-op stream. Verification reads local memory
+            // only, so it costs zero virtual time and cannot skew timings.
+            let buf = dev.alloc(size).expect("buf");
+            region.read_into(0, buf).await.expect("warm");
+            let db0 = m.counter("rdma.doorbells");
+            let t0 = sim.now();
+            for op in 0..OPS {
+                region.read_into(op * size, buf).await.expect("read");
+                errs += verify(&region, buf.addr, op * size, size);
+            }
+            let per_op_secs = (sim.now() - t0).as_secs_f64();
+            let per_op_doorbells = (m.counter("rdma.doorbells") - db0) as f64 / OPS as f64;
+            dev.free(buf).expect("free");
+
+            // Arm 2: batched posting rounds of BATCH ops.
+            let round_buf = dev.alloc(BATCH * size).expect("buf");
+            let db0 = m.counter("rdma.doorbells");
+            let t0 = sim.now();
+            let mut op = 0;
+            while op < OPS {
+                let ios: Vec<(u64, DmaBuf)> = (0..BATCH)
+                    .map(|i| ((op + i) * size, round_buf.slice(i * size, size)))
+                    .collect();
+                region.read_into_many(&ios).await.expect("read");
+                for i in 0..BATCH {
+                    errs += verify(&region, round_buf.addr + i * size, (op + i) * size, size);
+                }
+                op += BATCH;
+            }
+            let batched_secs = (sim.now() - t0).as_secs_f64();
+            let batched_doorbells = (m.counter("rdma.doorbells") - db0) as f64 / OPS as f64;
+            dev.free(round_buf).expect("free");
+
+            // Checksummed arms: stripe = IO size, so one read spans OPS
+            // verified stripes; serial vs pipelined in-flight window.
+            let ck_opts = AllocOptions {
+                stripe_size: size,
+                checksums: true,
+                ..AllocOptions::default()
+            };
+            let ck = client.alloc("e12ck", total, ck_opts).await.expect("alloc");
+            ck.write(0, &fill).await.expect("prefill");
+            let mut ck_secs = [0.0f64; 2];
+            for (i, depth) in [1usize, 16].into_iter().enumerate() {
+                let c = RStoreClient::connect_with(
+                    &dev,
+                    master,
+                    ClientConfig {
+                        pipeline_depth: depth,
+                        ..ClientConfig::default()
+                    },
+                )
+                .await
+                .expect("client");
+                let r = c.map("e12ck").await.expect("map");
+                let big = dev.alloc(total).expect("buf");
+                r.read_into(0, big).await.expect("warm");
+                let t0 = sim.now();
+                r.read_into(0, big).await.expect("read");
+                ck_secs[i] = (sim.now() - t0).as_secs_f64();
+                errs += verify(&r, big.addr, 0, total);
+                dev.free(big).expect("free");
+            }
+
+            let gbps = |secs: f64| total as f64 * 8.0 / secs / 1e9;
+            (
+                SizeStats {
+                    size,
+                    per_op_gbps: gbps(per_op_secs),
+                    batched_gbps: gbps(batched_secs),
+                    per_op_doorbells,
+                    batched_doorbells,
+                    ck_serial_gbps: gbps(ck_secs[0]),
+                    ck_pipelined_gbps: gbps(ck_secs[1]),
+                    ck_inflight_max: m.counter("rstore.pipeline.inflight_max"),
+                },
+                errs,
+            )
+        }
+    })
+}
+
+/// Compares `len` bytes of local memory at `addr` against the pattern for
+/// region offset `off`; returns 1 on mismatch.
+fn verify(region: &Region, addr: u64, off: u64, len: u64) -> u64 {
+    let got = region
+        .client()
+        .device()
+        .read_mem(addr, len)
+        .expect("local read");
+    u64::from(got != pattern(off, len))
+}
+
+/// Runs E12.
+pub fn run() -> Vec<Table> {
+    let stats = measure();
+    let mut t1 = Table::new(
+        "E12a: small-IO streaming, per-op vs batched posting (4 servers, 256 ops/size)",
+        &[
+            "IO size",
+            "per-op Gb/s",
+            "batched Gb/s",
+            "speedup",
+            "per-op db/op",
+            "batched db/op",
+        ],
+    );
+    for s in &stats.sizes {
+        t1.row(vec![
+            fmt_bytes(s.size),
+            format!("{:.2}", s.per_op_gbps),
+            format!("{:.2}", s.batched_gbps),
+            format!("{:.2}x", s.batched_gbps / s.per_op_gbps),
+            format!("{:.2}", s.per_op_doorbells),
+            format!("{:.3}", s.batched_doorbells),
+        ]);
+    }
+    t1.note("batched rounds post 16 ops per read_into_many call; every byte read-verified");
+
+    let mut t2 = Table::new(
+        "E12b: checksummed reads, serial vs pipelined stripe window (stripe = IO size)",
+        &[
+            "IO size",
+            "serial Gb/s",
+            "pipelined Gb/s",
+            "speedup",
+            "max in-flight",
+        ],
+    );
+    for s in &stats.sizes {
+        t2.row(vec![
+            fmt_bytes(s.size),
+            format!("{:.2}", s.ck_serial_gbps),
+            format!("{:.2}", s.ck_pipelined_gbps),
+            format!("{:.2}x", s.ck_pipelined_gbps / s.ck_serial_gbps),
+            s.ck_inflight_max.to_string(),
+        ]);
+    }
+    t2.note(format!(
+        "pipeline_depth 1 vs 16; data errors across all arms: {}",
+        stats.data_errors
+    ));
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batching_and_pipelining_pay_off_without_data_errors() {
+        let stats = measure();
+        assert_eq!(stats.data_errors, 0, "read-back verification failed");
+        assert!(
+            stats.speedup_4k() >= 1.5,
+            "batched 4 KiB speedup {:.2} below 1.5x",
+            stats.speedup_4k()
+        );
+        assert!(
+            stats.batched_doorbells_4k() < 1.0,
+            "batched arm rang {:.2} doorbells/op",
+            stats.batched_doorbells_4k()
+        );
+        for s in &stats.sizes {
+            assert!(
+                s.ck_pipelined_gbps > s.ck_serial_gbps,
+                "pipelining lost at {} bytes",
+                s.size
+            );
+        }
+    }
+}

@@ -9,6 +9,7 @@
 use crate::experiments;
 use crate::experiments::e10_availability;
 use crate::experiments::e11_integrity;
+use crate::experiments::e12_smallio;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::table::Table;
@@ -135,6 +136,58 @@ pub fn experiment_json(id: &str) -> Json {
                 (
                     "read_p99_scrub_on_ns".to_string(),
                     Json::int(s.read_p99_scrub_on_ns),
+                ),
+            ]),
+        ));
+    }
+    if id == "e12" {
+        let s = e12_smallio::measure();
+        let sizes: Vec<Json> = s
+            .sizes
+            .iter()
+            .map(|z| {
+                Json::obj([
+                    ("size_bytes".to_string(), Json::int(z.size)),
+                    ("per_op_gbps".to_string(), Json::float(z.per_op_gbps)),
+                    ("batched_gbps".to_string(), Json::float(z.batched_gbps)),
+                    (
+                        "batched_speedup".to_string(),
+                        Json::float(z.batched_gbps / z.per_op_gbps),
+                    ),
+                    (
+                        "per_op_doorbells_per_op".to_string(),
+                        Json::float(z.per_op_doorbells),
+                    ),
+                    (
+                        "batched_doorbells_per_op".to_string(),
+                        Json::float(z.batched_doorbells),
+                    ),
+                    ("ck_serial_gbps".to_string(), Json::float(z.ck_serial_gbps)),
+                    (
+                        "ck_pipelined_gbps".to_string(),
+                        Json::float(z.ck_pipelined_gbps),
+                    ),
+                    (
+                        "ck_pipeline_speedup".to_string(),
+                        Json::float(z.ck_pipelined_gbps / z.ck_serial_gbps),
+                    ),
+                    ("ck_inflight_max".to_string(), Json::int(z.ck_inflight_max)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "smallio".to_string(),
+            Json::obj([
+                ("sizes".to_string(), Json::Arr(sizes)),
+                ("data_errors".to_string(), Json::int(s.data_errors)),
+                ("speedup_4k".to_string(), Json::float(s.speedup_4k())),
+                (
+                    "speedup_4k_ok".to_string(),
+                    Json::Bool(s.speedup_4k() >= 1.5),
+                ),
+                (
+                    "batched_doorbells_lt_one".to_string(),
+                    Json::Bool(s.batched_doorbells_4k() < 1.0),
                 ),
             ]),
         ));

@@ -32,6 +32,12 @@ pub struct ClientConfig {
     /// is failed client-side with [`CqStatus::Timeout`] — a backstop that
     /// bounds every region IO in virtual time.
     pub io_grace: Duration,
+    /// Bound on how many checksummed stripes a verified read/write keeps in
+    /// flight at once. Depth 1 reproduces the strictly serial
+    /// post→await→post behavior; larger depths overlap stripe round trips
+    /// while preserving per-stripe failover semantics and the first-failing-
+    /// stripe error.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ClientConfig {
@@ -40,6 +46,7 @@ impl Default for ClientConfig {
             redial_backoff: Duration::from_millis(1),
             redial_backoff_max: Duration::from_millis(100),
             io_grace: Duration::from_millis(100),
+            pipeline_depth: 8,
         }
     }
 }

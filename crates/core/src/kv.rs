@@ -37,6 +37,18 @@ use crate::DATA_SERVICE;
 
 const HDR_BYTES: u64 = 16;
 
+/// What a stable slot image means for a particular key's lookup.
+enum SlotView {
+    /// Never-used slot: ends the probe chain.
+    Empty,
+    /// This key, with its value.
+    Hit(Vec<u8>),
+    /// Deleted entry: probing continues past it.
+    Tombstone,
+    /// A different key's entry.
+    Other,
+}
+
 /// Configuration for [`KvTable::create`].
 #[derive(Clone, Copy, Debug)]
 pub struct KvConfig {
@@ -72,10 +84,18 @@ pub struct KvTable {
     buckets: u64,
     slot_bytes: u64,
     max_probe: u64,
+    /// `buckets - 1`, hoisted: probe positions are `(start + i) & mask`.
+    mask: u64,
     /// QPs for the atomics (one per server hosting slots), keyed by node.
     atomic_qps: RefCell<HashMap<u32, Qp>>,
     atomic_cq: CompletionQueue,
     scratch: DmaBuf,
+    /// Table-lifetime landing buffer for GET probes, so the hot path
+    /// allocates nothing per probe. Like `scratch`, this assumes the table
+    /// handle is not shared by concurrent tasks (each client opens its own).
+    probe_buf: DmaBuf,
+    /// Reused slot-image copy backing `probe_buf` parsing.
+    probe_scratch: RefCell<Vec<u8>>,
 }
 
 impl std::fmt::Debug for KvTable {
@@ -149,15 +169,19 @@ impl KvTable {
             ));
         }
         let scratch = dev.alloc(slot_bytes.max(16))?;
+        let probe_buf = dev.alloc(slot_bytes)?;
         Ok(KvTable {
             region,
             dev,
             buckets,
             slot_bytes,
             max_probe,
+            mask: buckets - 1,
             atomic_qps: RefCell::new(HashMap::new()),
             atomic_cq: CompletionQueue::new(),
             scratch,
+            probe_buf,
+            probe_scratch: RefCell::new(vec![0u8; slot_bytes as usize]),
         })
     }
 
@@ -181,40 +205,116 @@ impl KvTable {
     /// IO failures; [`RStoreError::Protocol`] if the key exceeds the slot.
     pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.check_key(key)?;
-        let start = hash_key(key) & (self.buckets - 1);
+        let start = hash_key(key) & self.mask;
         for probe in 0..self.max_probe.min(self.buckets) {
-            let slot = (start + probe) & (self.buckets - 1);
-            let bytes = loop {
-                let bytes = self
-                    .region
-                    .read(slot * self.slot_bytes, self.slot_bytes)
+            let slot = (start + probe) & self.mask;
+            loop {
+                // Land the slot image in the table-lifetime probe buffer
+                // (no staging alloc/free per probe) and peek the version
+                // word; the full parse below reads the same snapshot.
+                self.region
+                    .read_into(slot * self.slot_bytes, self.probe_buf)
                     .await?;
-                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
-                if version % 2 == 0 {
-                    break bytes;
+                if self.dev.read_u64(self.probe_buf.addr)? % 2 == 0 {
+                    break;
                 }
                 // Locked by a writer: brief virtual backoff, retry.
                 self.dev
                     .sim()
                     .sleep(std::time::Duration::from_micros(2))
                     .await;
-            };
-            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
-            if version == 0 {
-                return Ok(None); // never-used slot ends the probe chain
             }
-            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
-            let vlen = u16::from_le_bytes(bytes[10..12].try_into().expect("2")) as usize;
-            if klen == 0 {
-                continue; // tombstone
-            }
-            let k = &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen];
-            if k == key {
-                let v = &bytes[HDR_BYTES as usize + klen..HDR_BYTES as usize + klen + vlen];
-                return Ok(Some(v.to_vec()));
+            let mut img = self.probe_scratch.borrow_mut();
+            self.dev.read_mem_into(self.probe_buf.addr, &mut img)?;
+            match Self::parse_slot(&img, key) {
+                SlotView::Empty => return Ok(None), // ends the probe chain
+                SlotView::Hit(v) => return Ok(Some(v)),
+                SlotView::Tombstone | SlotView::Other => {} // keep probing
             }
         }
         Ok(None)
+    }
+
+    /// Looks up many keys, batching the first probe of every key into one
+    /// posting round ([`Region::read_into_many`]) — one doorbell per
+    /// [`RdmaConfig::max_batch`](rdma::RdmaConfig::max_batch) keys instead
+    /// of one per key. Keys whose first slot resolves the lookup (the
+    /// common case at sane load factors) are answered from the batch; a key
+    /// whose first slot is locked, tombstoned, or a colliding entry falls
+    /// back to [`get`](Self::get) for the full probe chain.
+    ///
+    /// Returns one entry per key, in input order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`get`](Self::get); every key is validated before anything
+    /// posts.
+    pub async fn multi_get(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>> {
+        for key in keys {
+            self.check_key(key)?;
+        }
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let staging = self.dev.alloc(self.slot_bytes * keys.len() as u64)?;
+        let result = self.multi_get_staged(keys, staging).await;
+        let _ = self.dev.free(staging);
+        result
+    }
+
+    async fn multi_get_staged(
+        &self,
+        keys: &[&[u8]],
+        staging: DmaBuf,
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut ios = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let slot = hash_key(key) & self.mask;
+            ios.push((
+                slot * self.slot_bytes,
+                staging.slice(i as u64 * self.slot_bytes, self.slot_bytes),
+            ));
+        }
+        self.region.read_into_many(&ios).await?;
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            let img = self
+                .dev
+                .read_mem(staging.addr + i as u64 * self.slot_bytes, self.slot_bytes)?;
+            let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
+            if version % 2 == 1 {
+                // Locked by a writer mid-batch: take the retrying path.
+                out.push(self.get(key).await?);
+                continue;
+            }
+            match Self::parse_slot(&img, key) {
+                SlotView::Empty => out.push(None),
+                SlotView::Hit(v) => out.push(Some(v)),
+                // Tombstone or a colliding entry: the answer lives further
+                // down the probe chain.
+                SlotView::Tombstone | SlotView::Other => out.push(self.get(key).await?),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Classifies a stable (even-version) slot image against `key`.
+    fn parse_slot(img: &[u8], key: &[u8]) -> SlotView {
+        let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
+        if version == 0 {
+            return SlotView::Empty;
+        }
+        let klen = u16::from_le_bytes(img[8..10].try_into().expect("2")) as usize;
+        let vlen = u16::from_le_bytes(img[10..12].try_into().expect("2")) as usize;
+        if klen == 0 {
+            return SlotView::Tombstone;
+        }
+        let base = HDR_BYTES as usize;
+        if &img[base..base + klen] == key {
+            SlotView::Hit(img[base + klen..base + klen + vlen].to_vec())
+        } else {
+            SlotView::Other
+        }
     }
 
     /// Inserts or overwrites `key` → `value`.
@@ -233,11 +333,11 @@ impl KvTable {
                 self.slot_bytes - HDR_BYTES
             )));
         }
-        let start = hash_key(key) & (self.buckets - 1);
+        let start = hash_key(key) & self.mask;
         // First pass: find the key (overwrite) or the first reusable slot.
         let mut target: Option<(u64, u64)> = None; // (slot, observed version)
         for probe in 0..self.max_probe.min(self.buckets) {
-            let slot = (start + probe) & (self.buckets - 1);
+            let slot = (start + probe) & self.mask;
             let bytes = self
                 .region
                 .read(slot * self.slot_bytes, self.slot_bytes)
@@ -302,9 +402,9 @@ impl KvTable {
     /// IO failures.
     pub async fn delete(&self, key: &[u8]) -> Result<bool> {
         self.check_key(key)?;
-        let start = hash_key(key) & (self.buckets - 1);
+        let start = hash_key(key) & self.mask;
         for probe in 0..self.max_probe.min(self.buckets) {
-            let slot = (start + probe) & (self.buckets - 1);
+            let slot = (start + probe) & self.mask;
             let bytes = self
                 .region
                 .read(slot * self.slot_bytes, self.slot_bytes)
@@ -484,6 +584,51 @@ mod tests {
                     b"back"
                 );
             }
+        });
+    }
+
+    #[test]
+    fn multi_get_matches_individual_gets() {
+        // Collision-heavy table with tombstones: multi_get must agree with
+        // get for first-probe hits, chained hits, tombstoned keys, and
+        // misses — while ringing fewer doorbells than one per key.
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "mget", small_cfg()).await.unwrap();
+            for i in 0..40u32 {
+                kv.put(format!("key-{i}").as_bytes(), &i.to_le_bytes())
+                    .await
+                    .unwrap();
+            }
+            for i in (0..40u32).step_by(4) {
+                assert!(kv.delete(format!("key-{i}").as_bytes()).await.unwrap());
+            }
+            let names: Vec<String> = (0..48u32).map(|i| format!("key-{i}")).collect();
+            let keys: Vec<&[u8]> = names.iter().map(|n| n.as_bytes()).collect();
+            let batched = kv.multi_get(&keys).await.unwrap();
+            assert_eq!(batched.len(), keys.len());
+            for (i, key) in keys.iter().enumerate() {
+                assert_eq!(batched[i], kv.get(key).await.unwrap(), "key-{i}");
+            }
+            assert!(kv.multi_get(&[]).await.unwrap().is_empty());
+
+            // Doorbell accounting on an empty table, where every first
+            // probe resolves (never-used slot → None, no fallback probes):
+            // 48 keys must batch into far fewer rings than one per key.
+            let sparse = KvTable::create(&client, "mget_sparse", small_cfg())
+                .await
+                .unwrap();
+            let metrics = client.device().metrics();
+            let doorbells_before = metrics.counter("rdma.doorbells");
+            let misses = sparse.multi_get(&keys).await.unwrap();
+            let doorbells = metrics.counter("rdma.doorbells") - doorbells_before;
+            assert!(misses.iter().all(Option::is_none));
+            assert!(
+                doorbells < keys.len() as u64 / 2,
+                "48 first-probe misses rang {doorbells} doorbells — batching had no effect"
+            );
         });
     }
 

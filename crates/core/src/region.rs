@@ -4,10 +4,14 @@
 //! pure one-sided RDMA against the memory servers named in the region's
 //! descriptor — no master involvement, no remote CPU.
 
+use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
-use rdma::{CqStatus, DmaBuf, RdmaError};
+use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError};
 use sim::channel::oneshot;
+use sim::sync::Semaphore;
 
 use crate::client::RStoreClient;
 use crate::crc::crc32c;
@@ -21,6 +25,12 @@ enum Dir {
     Read,
     Write,
 }
+
+/// A posted read awaiting completion: `(piece, dst, replica, redialed, rx)`.
+/// The bool marks whether this replica has spent its one reconnect retry.
+type ReadWait = (Piece, DmaBuf, usize, bool, oneshot::Receiver<CqStatus>);
+/// A read that needs a failover pass: `(piece, dst, replica, redialed)`.
+type ReadRetry = (Piece, DmaBuf, usize, bool);
 
 /// A mapped region of distributed memory.
 ///
@@ -151,51 +161,153 @@ impl Region {
         let pieces = self.layout.pieces(offset, dst.len)?;
         // Post every piece's primary read in parallel. The bool marks
         // whether the replica has already spent its one reconnect retry.
-        let mut waits: Vec<(Piece, usize, bool, oneshot::Receiver<CqStatus>)> = Vec::new();
-        let mut retry: Vec<(Piece, usize, bool)> = Vec::new();
+        let mut waits: Vec<ReadWait> = Vec::new();
+        let mut retry: Vec<ReadRetry> = Vec::new();
         for piece in pieces {
             match self.post_piece(&piece, dst, Dir::Read, 0) {
-                Ok(rx) => waits.push((piece, 0, false, rx)),
-                Err(_) => retry.push((piece, 0, false)),
+                Ok(rx) => waits.push((piece, dst, 0, false, rx)),
+                Err(_) => retry.push((piece, dst, 0, false)),
             }
         }
+        self.drain_reads(waits, retry).await
+    }
+
+    /// Reads many `(offset, dst)` pairs as one posting round.
+    ///
+    /// Where [`read_into`](Self::read_into) rings one doorbell per stripe
+    /// piece, this groups every primary read by memory server and posts each
+    /// group with [`rdma::Qp::post_batch`] — one doorbell per
+    /// [`RdmaConfig::max_batch`](rdma::RdmaConfig::max_batch) pieces — before
+    /// awaiting any completion. Failover is still per piece with exactly
+    /// `read_into`'s reconnect-then-advance semantics; retry rounds post
+    /// individually (failures are rare and batching them buys nothing).
+    ///
+    /// On checksummed regions each pair takes the verified (pipelined) read
+    /// path instead; doorbell batching applies to plain regions only.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] (checked for every pair before anything
+    /// posts) or [`RStoreError::Io`] when all replicas of some stripe fail.
+    pub async fn read_into_many(&self, ios: &[(u64, DmaBuf)]) -> Result<()> {
+        let s = &self.client.shared;
+        let _span = s.sim.tracer().span_arg(
+            "core",
+            "rstore.read_many",
+            s.dev.node().0 as u64,
+            ios.len() as u64,
+        );
+        if self.desc.checksums {
+            for &(offset, dst) in ios {
+                self.read_into_ck(offset, dst).await?;
+            }
+            return Ok(());
+        }
+        // Resolve every pair up front so an out-of-range IO fails the call
+        // before a single byte is posted.
+        let mut by_node: BTreeMap<u32, Vec<(Piece, DmaBuf)>> = BTreeMap::new();
+        for &(offset, dst) in ios {
+            for piece in self.layout.pieces(offset, dst.len)? {
+                let node = self.desc.groups[piece.group].replicas[0].node;
+                by_node.entry(node).or_default().push((piece, dst));
+            }
+        }
+        let mut waits: Vec<ReadWait> = Vec::new();
+        let mut retry: Vec<ReadRetry> = Vec::new();
+        for (node, items) in by_node {
+            let qp = s.conns.borrow().get(&node).cloned();
+            let Some(qp) = qp else {
+                // No connection: send the whole group through the failover
+                // path, which grants the usual re-dial retry.
+                retry.extend(items.into_iter().map(|(p, b)| (p, b, 0, false)));
+                continue;
+            };
+            let mut wrs = Vec::with_capacity(items.len());
+            let mut regs = Vec::with_capacity(items.len());
+            for (piece, buf) in &items {
+                let extent = &self.desc.groups[piece.group].replicas[0];
+                let remote = rdma::RemoteAddr {
+                    addr: extent.addr + piece.offset_in_stripe,
+                    rkey: rdma::RKey(extent.rkey),
+                };
+                let wr_id = s.next_wr.get();
+                s.next_wr.set(wr_id + 1);
+                let (tx, rx) = oneshot::channel();
+                s.pending.borrow_mut().insert(wr_id, tx);
+                s.outstanding.add(1);
+                // Every WR stays signaled: the client's completion router
+                // accounts outstanding IO per CQE, so a suppressed success
+                // would leak an outstanding count and a pending waiter.
+                wrs.push(BatchWr::read(
+                    wr_id,
+                    buf.slice(piece.buf_offset, piece.len),
+                    remote,
+                ));
+                regs.push((wr_id, rx));
+            }
+            match qp.post_batch(&wrs) {
+                Ok(()) => {
+                    for ((piece, buf), (wr_id, rx)) in items.into_iter().zip(regs) {
+                        self.arm_backstop(wr_id, piece.len);
+                        s.dev.metrics().add("rstore.read_bytes", piece.len);
+                        waits.push((piece, buf, 0, false, rx));
+                    }
+                }
+                Err(_) => {
+                    // Nothing posted (post_batch validates before posting,
+                    // and a QP error rejects the whole list): unwind the
+                    // registrations and retry piece-by-piece.
+                    for ((piece, buf), (wr_id, _rx)) in items.into_iter().zip(regs) {
+                        s.pending.borrow_mut().remove(&wr_id);
+                        s.outstanding.done();
+                        retry.push((piece, buf, 0, false));
+                    }
+                }
+            }
+        }
+        self.drain_reads(waits, retry).await
+    }
+
+    /// Awaits a round of posted reads and runs the replica-failover loop
+    /// until every piece has landed or some piece exhausts its replicas.
+    ///
+    /// A failed replica is first granted one reconnect retry — its QP may be
+    /// broken while the server is fine — and only advances to the next
+    /// replica once that retry fails or the re-dial is refused (backoff
+    /// gate, dead node). A piece that exhausts its replicas fails the read.
+    async fn drain_reads(&self, mut waits: Vec<ReadWait>, mut retry: Vec<ReadRetry>) -> Result<()> {
         loop {
-            for (piece, replica, redialed, rx) in waits.drain(..) {
+            for (piece, buf, replica, redialed, rx) in waits.drain(..) {
                 let ok = matches!(rx.await, Some(CqStatus::Success));
                 if !ok {
-                    retry.push((piece, replica, redialed));
+                    retry.push((piece, buf, replica, redialed));
                 }
             }
             if retry.is_empty() {
                 return Ok(());
             }
-            // Failover pass. A failed replica is first granted one
-            // reconnect retry — its QP may be broken while the server is
-            // fine — and only advances to the next replica once that retry
-            // fails or the re-dial is refused (backoff gate, dead node). A
-            // piece that exhausts its replicas fails the read.
             let failed = std::mem::take(&mut retry);
             let mut next_round = Vec::new();
-            for (piece, replica, redialed) in failed {
+            for (piece, buf, replica, redialed) in failed {
                 if !redialed {
                     let node = self.desc.groups[piece.group].replicas[replica].node;
                     if self.client.redial(node).await.is_ok() {
-                        if let Ok(rx) = self.post_piece(&piece, dst, Dir::Read, replica) {
-                            next_round.push((piece, replica, true, rx));
+                        if let Ok(rx) = self.post_piece(&piece, buf, Dir::Read, replica) {
+                            next_round.push((piece, buf, replica, true, rx));
                             continue;
                         }
                     }
                     // The reconnect retry is spent; advance next pass.
-                    retry.push((piece, replica, true));
+                    retry.push((piece, buf, replica, true));
                     continue;
                 }
                 let next = replica + 1;
                 if next >= self.desc.groups[piece.group].replicas.len() {
                     return Err(RStoreError::Io(CqStatus::Timeout));
                 }
-                match self.post_piece(&piece, dst, Dir::Read, next) {
-                    Ok(rx) => next_round.push((piece, next, false, rx)),
-                    Err(_) => retry.push((piece, next, false)),
+                match self.post_piece(&piece, buf, Dir::Read, next) {
+                    Ok(rx) => next_round.push((piece, buf, next, false, rx)),
+                    Err(_) => retry.push((piece, buf, next, false)),
                 }
             }
             waits = next_round;
@@ -262,10 +374,76 @@ impl Region {
     /// replica: the read fails over to the next one and the bad extent is
     /// reported to the master in the background so the repair task can
     /// re-replicate it.
+    ///
+    /// Stripes are verified in a pipeline: up to
+    /// [`ClientConfig::pipeline_depth`](crate::client::ClientConfig::pipeline_depth)
+    /// stripe reads are kept in flight at once, so verification of one
+    /// stripe overlaps the fabric round trip of the next instead of
+    /// post→await→post serialization.
     async fn read_into_ck(&self, offset: u64, dst: DmaBuf) -> Result<()> {
         let pieces = self.layout.pieces(offset, dst.len)?;
+        self.pipeline_ck(pieces, move |this, piece| async move {
+            this.read_piece_verified(&piece, dst).await
+        })
+        .await
+    }
+
+    /// Runs `op` once per stripe piece under a bounded in-flight window of
+    /// [`ClientConfig::pipeline_depth`](crate::client::ClientConfig::pipeline_depth)
+    /// stripes — the pipelining engine behind both verified paths. Pieces
+    /// are issued in order and a failure stops further issue, so at depth 1
+    /// this is exactly the serial post→await→post loop, including which
+    /// stripe's error surfaces: results are joined in piece order and the
+    /// first error wins.
+    async fn pipeline_ck<F, Fut>(&self, pieces: Vec<Piece>, op: F) -> Result<()>
+    where
+        F: Fn(Region, Piece) -> Fut + 'static,
+        Fut: std::future::Future<Output = Result<()>> + 'static,
+    {
+        let s = &self.client.shared;
+        let depth = s.cfg.pipeline_depth.max(1);
+        if pieces.len() <= 1 || depth == 1 {
+            for piece in pieces {
+                op(self.clone(), piece).await?;
+            }
+            return Ok(());
+        }
+        let sem = Semaphore::new(depth);
+        let failed = Rc::new(Cell::new(false));
+        let inflight = Rc::new(Cell::new(0u64));
+        let peak = Rc::new(Cell::new(0u64));
+        let op = Rc::new(op);
+        let mut handles = Vec::with_capacity(pieces.len());
         for piece in pieces {
-            self.read_piece_verified(&piece, dst).await?;
+            sem.acquire().await;
+            if failed.get() {
+                // A stripe already failed; issuing more work would be
+                // wasted. Joining below surfaces the in-order error.
+                sem.release();
+                break;
+            }
+            inflight.set(inflight.get() + 1);
+            peak.set(peak.get().max(inflight.get()));
+            let (sem, failed, inflight) = (sem.clone(), failed.clone(), inflight.clone());
+            let (op, this) = (op.clone(), self.clone());
+            handles.push(s.sim.spawn(async move {
+                let result = op(this, piece).await;
+                if result.is_err() {
+                    failed.set(true);
+                }
+                inflight.set(inflight.get() - 1);
+                sem.release();
+                result
+            }));
+        }
+        // Track the deepest window any pipelined IO reached this run.
+        let metrics = s.dev.metrics();
+        let seen = metrics.counter("rstore.pipeline.inflight_max");
+        if peak.get() > seen {
+            metrics.add("rstore.pipeline.inflight_max", peak.get() - seen);
+        }
+        for result in sim::join_all(handles).await {
+            result?;
         }
         Ok(())
     }
@@ -369,48 +547,58 @@ impl Region {
     /// CRC32C is recomputed into the trailer, and the whole stripe plus
     /// trailer is written to every replica. Concurrent writers to the same
     /// stripe must be serialized by the application, as with any
-    /// non-transactional store.
+    /// non-transactional store. Distinct stripes of one call are pipelined
+    /// like verified reads (up to `pipeline_depth` in flight), so stripes
+    /// may commit in any order — unchanged from the API contract, which
+    /// never promised cross-stripe ordering within a write.
     async fn write_from_ck(&self, offset: u64, src: DmaBuf) -> Result<()> {
-        let dev = self.client.shared.dev.clone();
         let pieces = self.layout.pieces(offset, src.len)?;
-        for piece in &pieces {
-            let stripe_len = self.desc.groups[piece.group].len();
-            let full = Piece {
-                group: piece.group,
-                offset_in_stripe: 0,
-                len: stripe_len + CK_BYTES,
-                buf_offset: 0,
-            };
-            let staging = dev.alloc(full.len)?;
-            let result = async {
-                if piece.len < stripe_len {
-                    // Read-modify-write: fetch the stripe's current content
-                    // (verified, with failover) to fill the bytes this
-                    // write does not cover.
-                    let cur = Piece {
-                        group: piece.group,
-                        offset_in_stripe: 0,
-                        len: stripe_len,
-                        buf_offset: 0,
-                    };
-                    self.read_piece_verified_into(&cur, staging, staging)
-                        .await?;
-                }
-                // Overlay the new data and recompute the trailer.
-                let new = dev.read_mem(src.addr + piece.buf_offset, piece.len)?;
-                dev.write_mem(staging.addr + piece.offset_in_stripe, &new)?;
-                let data = dev.read_mem(staging.addr, stripe_len)?;
-                dev.write_mem(
-                    staging.addr + stripe_len,
-                    &(crc32c(&data) as u64).to_le_bytes(),
-                )?;
-                self.write_piece_all_replicas(&full, staging).await
+        self.pipeline_ck(pieces, move |this, piece| async move {
+            this.write_piece_ck(&piece, src).await
+        })
+        .await
+    }
+
+    /// Assembles and replicates one checksummed stripe: optional verified
+    /// read-modify-write fill, overlay of the new bytes, trailer recompute,
+    /// then a write to every replica.
+    async fn write_piece_ck(&self, piece: &Piece, src: DmaBuf) -> Result<()> {
+        let dev = self.client.shared.dev.clone();
+        let stripe_len = self.desc.groups[piece.group].len();
+        let full = Piece {
+            group: piece.group,
+            offset_in_stripe: 0,
+            len: stripe_len + CK_BYTES,
+            buf_offset: 0,
+        };
+        let staging = dev.alloc(full.len)?;
+        let result = async {
+            if piece.len < stripe_len {
+                // Read-modify-write: fetch the stripe's current content
+                // (verified, with failover) to fill the bytes this
+                // write does not cover.
+                let cur = Piece {
+                    group: piece.group,
+                    offset_in_stripe: 0,
+                    len: stripe_len,
+                    buf_offset: 0,
+                };
+                self.read_piece_verified_into(&cur, staging, staging)
+                    .await?;
             }
-            .await;
-            let _ = dev.free(staging);
-            result?;
+            // Overlay the new data and recompute the trailer.
+            let new = dev.read_mem(src.addr + piece.buf_offset, piece.len)?;
+            dev.write_mem(staging.addr + piece.offset_in_stripe, &new)?;
+            let data = dev.read_mem(staging.addr, stripe_len)?;
+            dev.write_mem(
+                staging.addr + stripe_len,
+                &(crc32c(&data) as u64).to_le_bytes(),
+            )?;
+            self.write_piece_all_replicas(&full, staging).await
         }
-        Ok(())
+        .await;
+        let _ = dev.free(staging);
+        result
     }
 
     /// Writes one (full-stripe) piece to every replica, mirroring
@@ -431,6 +619,10 @@ impl Region {
                 failed.push(r);
             }
         }
+        // Repost to every failed replica before awaiting any of the
+        // reposts, so recovery of N replicas costs one round trip, not N.
+        // (Re-dials stay sequential — they are control path and rare.)
+        let mut reposts = Vec::new();
         for r in failed {
             let node = self.desc.groups[piece.group].replicas[r].node;
             if self.client.redial(node).await.is_err() {
@@ -439,6 +631,9 @@ impl Region {
             let Ok(rx) = self.post_piece(piece, buf, Dir::Write, r) else {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             };
+            reposts.push(rx);
+        }
+        for rx in reposts {
             match rx.await {
                 Some(CqStatus::Success) => {}
                 Some(status) => return Err(RStoreError::Io(status)),
@@ -534,15 +729,26 @@ impl Region {
             s.outstanding.done();
             return Err(e.into());
         }
-        // Per-IO timeout backstop: if no completion ever routes back for
-        // this work request, fail it client-side so region IO is bounded in
-        // virtual time. The deadline must be the device's backlog-aware
-        // bound, not the isolated-op timeout: behind a deep backlog (e.g.
-        // a fluid-mode shuffle) an op legitimately outlives op_timeout of
-        // its own size. The guard only resolves the waiter — the
-        // outstanding count is left to the completion router, which drains
-        // the device-generated CQE (the verbs layer always produces one).
-        let deadline = s.sim.now() + s.dev.op_deadline(piece.len) + s.cfg.io_grace;
+        self.arm_backstop(wr_id, piece.len);
+        let metric = match dir {
+            Dir::Read => "rstore.read_bytes",
+            Dir::Write => "rstore.write_bytes",
+        };
+        s.dev.metrics().add(metric, piece.len);
+        Ok(rx)
+    }
+
+    /// Per-IO timeout backstop: if no completion ever routes back for
+    /// this work request, fail it client-side so region IO is bounded in
+    /// virtual time. The deadline must be the device's backlog-aware
+    /// bound, not the isolated-op timeout: behind a deep backlog (e.g.
+    /// a fluid-mode shuffle) an op legitimately outlives op_timeout of
+    /// its own size. The guard only resolves the waiter — the
+    /// outstanding count is left to the completion router, which drains
+    /// the device-generated CQE (the verbs layer always produces one).
+    fn arm_backstop(&self, wr_id: u64, len: u64) {
+        let s = &self.client.shared;
+        let deadline = s.sim.now() + s.dev.op_deadline(len) + s.cfg.io_grace;
         let client = self.client.clone();
         s.sim.schedule_at(deadline, move || {
             let sh = &client.shared;
@@ -551,12 +757,6 @@ impl Region {
                 tx.send(CqStatus::Timeout);
             }
         });
-        let metric = match dir {
-            Dir::Read => "rstore.read_bytes",
-            Dir::Write => "rstore.write_bytes",
-        };
-        s.dev.metrics().add(metric, piece.len);
-        Ok(rx)
     }
 }
 

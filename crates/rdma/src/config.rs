@@ -20,6 +20,17 @@ pub struct RdmaConfig {
     pub base_timeout: Duration,
     /// Device arena capacity in bytes.
     pub mem_capacity: u64,
+    /// Maximum work requests charged to a single doorbell by a batched post
+    /// (`Qp::post_batch`); longer batches split into chunks of this size,
+    /// each ringing its own doorbell. Has no effect on the single-post
+    /// `post_*` calls, which always ring one doorbell per WR.
+    pub max_batch: usize,
+    /// Amortized CPU cost per *additional* WR in a batched post: the first
+    /// WR of each chunk pays the full [`post_overhead`](Self::post_overhead),
+    /// linked-list successors only this. Models verbs `ibv_post_send` with a
+    /// chained WR list, where WQE build cost is paid per WR but the doorbell
+    /// (MMIO) is rung once.
+    pub batch_wr_overhead: Duration,
 }
 
 impl Default for RdmaConfig {
@@ -29,6 +40,8 @@ impl Default for RdmaConfig {
             nic_delay: Duration::from_nanos(250),
             base_timeout: Duration::from_secs(2),
             mem_capacity: 64 * 1024 * 1024 * 1024, // addresses are cheap; data is lazy
+            max_batch: 16,
+            batch_wr_overhead: Duration::from_nanos(40),
         }
     }
 }

@@ -97,6 +97,9 @@ struct PendingWr {
     local_dst: Option<DmaBuf>,
     /// Virtual time the WR was posted; start of its trace span.
     posted_at: SimTime,
+    /// Whether a *successful* completion generates a CQE. Error and flush
+    /// completions are always delivered, matching verbs hardware.
+    signaled: bool,
 }
 
 struct RecvWr {
@@ -301,6 +304,16 @@ impl RdmaDevice {
     /// [`RdmaError::OutOfBounds`] if outside a live allocation.
     pub fn read_mem(&self, addr: u64, len: u64) -> Result<Vec<u8>> {
         self.inner.borrow().arena.read(addr, len)
+    }
+
+    /// Reads local device memory into a caller-owned slice without
+    /// allocating (see [`Arena::read_into`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn read_mem_into(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        self.inner.borrow().arena.read_into(addr, dst)
     }
 
     /// Writes local device memory.
@@ -751,13 +764,14 @@ impl RdmaDevice {
                     imm: None,
                 },
                 w.posted_at,
+                w.signaled,
             ));
         }
         inner.outstanding_bytes = inner.outstanding_bytes.saturating_sub(released);
         drop(inner);
         let now = self.sim.now();
         let metrics = self.metrics();
-        for (cqe, posted_at) in cqes {
+        for (cqe, posted_at, signaled) in cqes {
             stats.incr("completed");
             metrics.record(
                 opcode_latency_metric(cqe.opcode),
@@ -770,11 +784,18 @@ impl RdmaDevice {
                 posted_at,
                 cqe.byte_len,
             );
-            cq.push(cqe);
+            // Selective signaling: an unsignaled WR that succeeded still had
+            // every fabric side effect, but produces no CQE. Errors always
+            // surface, so a suppressed batch cannot fail silently.
+            if signaled || cqe.status != CqStatus::Success {
+                cq.push(cqe);
+            }
         }
     }
 
     /// Puts a QP in the error state, flushing every pending work request.
+    /// Flush CQEs are generated for unsignaled WRs too — error completions
+    /// are never suppressed — and retain post order.
     fn fail_qp(&self, qpn: Qpn, victim_req: u64) {
         let mut inner = self.inner.borrow_mut();
         let Some(qp) = inner.qps.get_mut(&qpn.0) else {
@@ -1152,6 +1173,7 @@ impl Qp {
                 status: None,
                 local_dst,
                 posted_at: self.dev.sim.now(),
+                signaled: true,
             });
             qp.stats.incr("posted");
             qp.stats
@@ -1179,12 +1201,17 @@ impl Qp {
             dev.fabric.send(src_node, peer, wire, msg);
         });
 
-        // Arm the per-op timeout.
+        self.arm_op_timeout(req_id, byte_len, backlog, opcode);
+        Ok(())
+    }
+
+    /// Arms the per-op timeout for a posted work request. Backlog-aware:
+    /// everything this device already had in flight at post time drains
+    /// ahead of (or interleaved with) this op, so it is granted wire time
+    /// for that backlog too.
+    fn arm_op_timeout(&self, req_id: u64, byte_len: u64, backlog: u64, opcode: CqeOpcode) {
         let dev = self.dev.clone();
         let qpn = self.qpn;
-        // Backlog-aware timeout: everything this device already has in
-        // flight drains ahead of (or interleaved with) this op, so it is
-        // granted wire time for that backlog too.
         let timeout = self.dev.cfg.op_timeout(byte_len.saturating_add(backlog));
         self.dev.sim.schedule(timeout, move || {
             let still_pending = dev.inner.borrow().qps.get(&qpn.0).is_some_and(|qp| {
@@ -1207,8 +1234,200 @@ impl Qp {
                 dev.fail_qp(qpn, req_id);
             }
         });
+    }
+
+    /// Posts a linked list of work requests with **one doorbell per chunk**
+    /// of [`RdmaConfig::max_batch`] WRs, verbs `ibv_post_send`-style: the
+    /// first WR of a chunk pays [`RdmaConfig::post_overhead`], each linked
+    /// successor only the amortized [`RdmaConfig::batch_wr_overhead`].
+    /// Combined with unsignaled WRs (see [`BatchWr::unsignaled`]) this is
+    /// the Storm-style small-IO batching recipe: ring once, reap one CQE.
+    ///
+    /// The whole batch is validated before anything is posted, so an invalid
+    /// WR posts nothing. WRs enter the send queue (and the fabric) in slice
+    /// order; completions release in the same order.
+    ///
+    /// # Errors
+    ///
+    /// * [`RdmaError::InvalidHandle`] — empty batch (nothing to ring for).
+    /// * [`RdmaError::QpError`] — QP already in the error state.
+    /// * [`RdmaError::OutOfBounds`] — a WR's local buffer is invalid.
+    pub fn post_batch(&self, wrs: &[BatchWr]) -> Result<()> {
+        if wrs.is_empty() {
+            return Err(RdmaError::InvalidHandle);
+        }
+        let cfg = &self.dev.cfg;
+        let max_batch = cfg.max_batch.max(1);
+        // Validate every WR and snapshot WRITE payloads up front, before any
+        // state changes: a bad batch posts nothing.
+        let mut payloads: Vec<Option<Payload>> = Vec::with_capacity(wrs.len());
+        {
+            let inner = self.dev.inner.borrow();
+            let qp = inner.qps.get(&self.qpn.0).ok_or(RdmaError::InvalidHandle)?;
+            if qp.error {
+                return Err(RdmaError::QpError);
+            }
+            for wr in wrs {
+                payloads.push(match wr.op {
+                    BatchOp::Read { dst, .. } => {
+                        inner.arena.read_payload(dst.addr, dst.len)?;
+                        None
+                    }
+                    BatchOp::Write { src, .. } => {
+                        Some(inner.arena.read_payload(src.addr, src.len)?)
+                    }
+                });
+            }
+        }
+        let metrics = self.dev.metrics();
+        let mut payloads = payloads.into_iter();
+        // Cumulative WQE-build delay: chunk k's packets leave once every WQE
+        // of chunks 0..=k is built.
+        let mut build_delay = std::time::Duration::ZERO;
+        for chunk in wrs.chunks(max_batch) {
+            // (req_id, byte_len, backlog-at-post, opcode) per WR, for timeouts.
+            let mut meta = Vec::with_capacity(chunk.len());
+            let mut msgs = Vec::with_capacity(chunk.len());
+            let peer = {
+                let mut inner = self.dev.inner.borrow_mut();
+                let now = self.dev.sim.now();
+                let mut backlog = inner.outstanding_bytes;
+                let qp = inner
+                    .qps
+                    .get_mut(&self.qpn.0)
+                    .ok_or(RdmaError::InvalidHandle)?;
+                let peer = qp.remote_node;
+                let peer_qpn = qp.remote_qpn.expect("QP not connected");
+                for wr in chunk {
+                    let payload = payloads.next().expect("one snapshot per WR");
+                    let req_id = qp.next_req;
+                    qp.next_req += 1;
+                    let (opcode, byte_len, local_dst, msg) = match wr.op {
+                        BatchOp::Read { dst, remote } => (
+                            CqeOpcode::Read,
+                            dst.len,
+                            Some(dst),
+                            QpMsg::ReadReq {
+                                req_id,
+                                raddr: remote.addr,
+                                rkey: remote.rkey,
+                                len: dst.len,
+                            },
+                        ),
+                        BatchOp::Write { src, remote } => (
+                            CqeOpcode::Write,
+                            src.len,
+                            None,
+                            QpMsg::WriteReq {
+                                req_id,
+                                raddr: remote.addr,
+                                rkey: remote.rkey,
+                                payload: payload.expect("write snapshot"),
+                            },
+                        ),
+                    };
+                    qp.sq.push_back(PendingWr {
+                        req_id,
+                        wr_id: wr.wr_id,
+                        opcode,
+                        byte_len,
+                        status: None,
+                        local_dst,
+                        posted_at: now,
+                        signaled: wr.signaled,
+                    });
+                    qp.stats.incr("posted");
+                    qp.stats
+                        .record_value("outstanding_depth", qp.sq.len() as u64);
+                    metrics.record_value("rdma.doorbell_bytes", byte_len);
+                    meta.push((req_id, byte_len, backlog, opcode));
+                    let msg = NetMsg::Qp { dst: peer_qpn, msg };
+                    msgs.push((msg.wire_bytes(), msg));
+                    backlog += byte_len;
+                }
+                inner.outstanding_bytes = backlog;
+                peer
+            };
+            // One doorbell for the whole chunk; per-WR bytes were recorded
+            // above, and the ring size feeds the batching histogram.
+            metrics.incr("rdma.doorbells");
+            metrics.record_value("rdma.doorbell_wrs", chunk.len() as u64);
+            build_delay += cfg.post_overhead
+                + cfg
+                    .batch_wr_overhead
+                    .saturating_mul(chunk.len().saturating_sub(1) as u32);
+            let dev = self.dev.clone();
+            let src_node = self.dev.node;
+            self.dev.sim.schedule(build_delay, move || {
+                for (wire, msg) in msgs {
+                    dev.fabric.send(src_node, peer, wire, msg);
+                }
+            });
+            for (req_id, byte_len, backlog, opcode) in meta {
+                self.arm_op_timeout(req_id, byte_len, backlog, opcode);
+            }
+        }
         Ok(())
     }
+}
+
+/// One work request in a [`Qp::post_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchWr {
+    /// Caller's completion correlation id.
+    pub wr_id: u64,
+    /// The one-sided operation to perform.
+    pub op: BatchOp,
+    /// Whether a *successful* completion generates a CQE. Error and flush
+    /// completions are always delivered regardless. The canonical batch
+    /// signals only its last WR: post-order completion release then makes
+    /// that one CQE prove the whole batch finished.
+    pub signaled: bool,
+}
+
+impl BatchWr {
+    /// A signaled RDMA READ of `dst.len` bytes from `remote` into `dst`.
+    pub fn read(wr_id: u64, dst: DmaBuf, remote: RemoteAddr) -> BatchWr {
+        BatchWr {
+            wr_id,
+            op: BatchOp::Read { dst, remote },
+            signaled: true,
+        }
+    }
+
+    /// A signaled RDMA WRITE of `src` to `remote`.
+    pub fn write(wr_id: u64, src: DmaBuf, remote: RemoteAddr) -> BatchWr {
+        BatchWr {
+            wr_id,
+            op: BatchOp::Write { src, remote },
+            signaled: true,
+        }
+    }
+
+    /// Suppresses the success CQE for this WR.
+    pub fn unsignaled(mut self) -> BatchWr {
+        self.signaled = false;
+        self
+    }
+}
+
+/// Operation carried by a [`BatchWr`].
+#[derive(Clone, Copy, Debug)]
+pub enum BatchOp {
+    /// RDMA READ of `dst.len` bytes from `remote` into local `dst`.
+    Read {
+        /// Local landing buffer; its length is the read size.
+        dst: DmaBuf,
+        /// Remote source.
+        remote: RemoteAddr,
+    },
+    /// RDMA WRITE of local `src` to `remote`.
+    Write {
+        /// Local source buffer (snapshotted at post time).
+        src: DmaBuf,
+        /// Remote destination.
+        remote: RemoteAddr,
+    },
 }
 
 #[cfg(test)]
@@ -1662,6 +1881,212 @@ mod tests {
             assert!(lat.min() > 0);
             assert_eq!(m.counter("rdma.doorbells"), 3);
         });
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        connected(|_a, _b, cqp, _ccq, _sqp, _scq| async move {
+            assert_eq!(cqp.post_batch(&[]), Err(RdmaError::InvalidHandle));
+        });
+    }
+
+    #[test]
+    fn batch_of_one_matches_single_post() {
+        // A batch of one signaled WR must be observationally identical to
+        // post_read: same CQE, same bytes, same doorbell count.
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"batch-of-1!!").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(12).unwrap();
+            cqp.post_batch(&[BatchWr::read(9, dst, mr.token().at(0, 12).unwrap())])
+                .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.wr_id, 9);
+            assert_eq!(cqe.status, CqStatus::Success);
+            assert_eq!(cqe.opcode, CqeOpcode::Read);
+            assert_eq!(a.read_mem(dst.addr, 12).unwrap(), b"batch-of-1!!");
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 1);
+            let wrs = a.metrics().histogram("rdma.doorbell_wrs").unwrap();
+            assert_eq!((wrs.len(), wrs.max()), (1, 1));
+        });
+    }
+
+    #[test]
+    fn batch_rings_one_doorbell_and_signals_last_only() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8 * 16).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            // 8 writes, only the last signaled: fabric side effects for all,
+            // exactly one CQE, one doorbell.
+            let wrs: Vec<BatchWr> = (0..8u64)
+                .map(|i| {
+                    let src = a.alloc_init(&[i as u8; 8]).unwrap();
+                    let wr = BatchWr::write(i, src, mr.token().at(i * 8, 8).unwrap());
+                    if i == 7 {
+                        wr
+                    } else {
+                        wr.unsignaled()
+                    }
+                })
+                .collect();
+            cqp.post_batch(&wrs).unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.wr_id, 7, "only the last WR signals");
+            assert!(cqe.status.is_ok());
+            assert!(ccq.is_empty(), "unsignaled successes produce no CQE");
+            // Post-order release: the signaled CQE proves all eight landed.
+            for i in 0..8u64 {
+                assert_eq!(
+                    b.read_mem(server_buf.addr + i * 8, 8).unwrap(),
+                    vec![i as u8; 8],
+                    "unsignaled WR {i} must still complete its fabric side effects"
+                );
+            }
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 1);
+            let wrs_per_ring = a.metrics().histogram("rdma.doorbell_wrs").unwrap();
+            assert_eq!(wrs_per_ring.max(), 8);
+        });
+    }
+
+    #[test]
+    fn oversized_batch_splits_into_max_batch_chunks() {
+        let (sim, fabric, a, b) = two_devices();
+        let _ = fabric;
+        sim.block_on(async move {
+            let mut listener = b.listen(7).unwrap();
+            let scq = CompletionQueue::new();
+            let ccq = CompletionQueue::new();
+            let b2 = b.clone();
+            let scq2 = scq.clone();
+            let accept = b
+                .sim()
+                .spawn(async move { listener.accept(&scq2).await.unwrap() });
+            let cqp = a.connect(b2.node(), 7, &ccq).await.unwrap();
+            let _sqp = accept.await;
+            // Default max_batch is 16: 20 reads ring exactly two doorbells.
+            let server_buf = b2.alloc(20 * 4).unwrap();
+            let mr = b2.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let wrs: Vec<BatchWr> = (0..20u64)
+                .map(|i| {
+                    let dst = a.alloc(4).unwrap();
+                    BatchWr::read(i, dst, mr.token().at(i * 4, 4).unwrap())
+                })
+                .collect();
+            cqp.post_batch(&wrs).unwrap();
+            for i in 0..20u64 {
+                let cqe = ccq.next().await;
+                assert_eq!(cqe.wr_id, i);
+                assert!(cqe.status.is_ok());
+            }
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 2);
+            let h = a.metrics().histogram("rdma.doorbell_wrs").unwrap();
+            assert_eq!((h.len(), h.max(), h.min()), (2, 16, 4));
+        });
+    }
+
+    #[test]
+    fn invalid_wr_posts_nothing() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(16).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let good = a.alloc(8).unwrap();
+            let bogus = DmaBuf {
+                addr: 0xDEAD_0000,
+                len: 8,
+            };
+            let err = cqp.post_batch(&[
+                BatchWr::read(1, good, mr.token().at(0, 8).unwrap()),
+                BatchWr::read(2, bogus, mr.token().at(8, 8).unwrap()),
+            ]);
+            assert!(matches!(err, Err(RdmaError::OutOfBounds { .. })));
+            // Pre-validation: the good WR must not have been posted either.
+            a.sim().sleep(Duration::from_micros(20)).await;
+            assert!(ccq.is_empty());
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 0);
+        });
+    }
+
+    #[test]
+    fn batch_straddling_qp_error_flushes_in_post_order() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(64).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            // Kill the server, then post a batch with a mix of unsignaled
+            // and signaled WRs: the timeout must flush ALL of them, in post
+            // order, unsignaled ones included (error CQEs are never
+            // suppressed).
+            let fabric_down = b.clone();
+            fabric_down.fabric.set_node_up(b.node(), false);
+            let wrs: Vec<BatchWr> = (0..4u64)
+                .map(|i| {
+                    let dst = a.alloc(8).unwrap();
+                    let wr = BatchWr::read(i, dst, mr.token().at(i * 8, 8).unwrap());
+                    if i == 3 {
+                        wr
+                    } else {
+                        wr.unsignaled()
+                    }
+                })
+                .collect();
+            cqp.post_batch(&wrs).unwrap();
+            let mut seen = Vec::new();
+            for _ in 0..4 {
+                let cqe = ccq.next().await;
+                assert!(
+                    matches!(cqe.status, CqStatus::Timeout | CqStatus::Flushed),
+                    "got {:?}",
+                    cqe.status
+                );
+                seen.push(cqe.wr_id);
+            }
+            assert_eq!(seen, vec![0, 1, 2, 3], "flush preserves post order");
+            assert!(cqp.is_errored());
+            // Posting to the errored QP is rejected batch-wide.
+            let dst = a.alloc(8).unwrap();
+            let err = cqp.post_batch(&[BatchWr::read(9, dst, mr.token().at(0, 8).unwrap())]);
+            assert_eq!(err, Err(RdmaError::QpError));
+        });
+    }
+
+    #[test]
+    fn batched_posting_beats_awaited_per_op_stream() {
+        // The point of the tentpole: 16 small reads rung with one doorbell
+        // finish far sooner than a stream that posts and awaits each read,
+        // because the batch overlaps all sixteen round trips.
+        let elapsed = |batched: bool| {
+            connected(move |a, b, cqp, ccq, _sqp, _scq| async move {
+                let server_buf = b.alloc(16 * 64).unwrap();
+                let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+                let t0 = a.sim().now();
+                let wrs: Vec<BatchWr> = (0..16u64)
+                    .map(|i| {
+                        let dst = a.alloc(64).unwrap();
+                        BatchWr::read(i, dst, mr.token().at(i * 64, 64).unwrap())
+                    })
+                    .collect();
+                if batched {
+                    cqp.post_batch(&wrs).unwrap();
+                    for _ in 0..16 {
+                        assert!(ccq.next().await.status.is_ok());
+                    }
+                } else {
+                    for wr in &wrs {
+                        let BatchOp::Read { dst, remote } = wr.op else {
+                            unreachable!()
+                        };
+                        cqp.post_read(wr.wr_id, dst, remote).unwrap();
+                        assert!(ccq.next().await.status.is_ok());
+                    }
+                }
+                a.sim().now() - t0
+            })
+        };
+        let per_op = elapsed(false);
+        let batch = elapsed(true);
+        assert!(
+            batch * 2 < per_op,
+            "batched ({batch:?}) must clearly beat awaited per-op ({per_op:?})"
+        );
     }
 
     #[test]

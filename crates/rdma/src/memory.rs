@@ -299,6 +299,25 @@ impl Arena {
         })
     }
 
+    /// Copies bytes out of the arena into a caller-owned slice — the
+    /// allocation-free sibling of [`read`](Self::read) for hot paths that
+    /// reuse a scratch buffer. Synthetic allocations read as zeroes.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is not within one allocation.
+    pub fn read_into(&self, addr: u64, dst: &mut [u8]) -> Result<()> {
+        let (baddr, block) = self.containing_block(addr, dst.len() as u64)?;
+        match &block.data {
+            Some(data) => {
+                let off = (addr - baddr) as usize;
+                dst.copy_from_slice(&data[off..off + dst.len()]);
+            }
+            None => dst.fill(0),
+        }
+        Ok(())
+    }
+
     /// Copies bytes into the arena. Writes to synthetic allocations are
     /// discarded (timing only).
     ///

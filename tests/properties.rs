@@ -330,6 +330,165 @@ fn fabric_conserves_bytes() {
     });
 }
 
+// --- small-IO batching / pipelining equivalence -----------------------------------
+
+/// Applies one seeded small-IO schedule against a fresh cluster and returns
+/// every op's bytes (plus, fault-free, the post-write region image), or the
+/// first error formatted. `batched` posts reads through
+/// `Region::read_into_many`; otherwise one awaited `read_into` per op.
+/// `depth` is the client's checksummed-stripe pipeline window. With `lossy`,
+/// a total-loss fault window covers the read phase and writes are skipped.
+#[allow(clippy::too_many_arguments)]
+fn run_small_io(
+    checksums: bool,
+    stripe: u64,
+    size: u64,
+    schedule: &[(u64, u64)],
+    writes: &[(u64, Vec<u8>)],
+    fill_seed: u64,
+    batched: bool,
+    depth: usize,
+    lossy: bool,
+) -> Result<Vec<Vec<u8>>, String> {
+    use rstore::{AllocOptions, ClientConfig, Cluster, ClusterConfig, RStoreClient};
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 1,
+        ..ClusterConfig::with_servers(3)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let schedule = schedule.to_vec();
+    let writes = writes.to_vec();
+    sim.block_on(async move {
+        let client = RStoreClient::connect_with(
+            &devs[0],
+            master,
+            ClientConfig {
+                pipeline_depth: depth,
+                ..ClientConfig::default()
+            },
+        )
+        .await
+        .expect("connect");
+        let opts = AllocOptions {
+            stripe_size: stripe,
+            checksums,
+            ..AllocOptions::default()
+        };
+        let region = client
+            .alloc("prop_smallio", size, opts)
+            .await
+            .expect("alloc");
+        let mut fill = vec![0u8; size as usize];
+        DetRng::new(fill_seed).fill_bytes(&mut fill);
+        region.write(0, &fill).await.expect("prefill");
+        if lossy {
+            fabric::FaultPlan::new(1)
+                .loss_window(
+                    std::time::Duration::ZERO,
+                    std::time::Duration::from_secs(600),
+                    1.0,
+                )
+                .install(&fabric);
+        }
+        let dev = client.device().clone();
+        let result: Result<Vec<Vec<u8>>, rstore::RStoreError> = async {
+            let mut out = Vec::new();
+            if batched {
+                let bufs: Vec<DmaBuf> = schedule
+                    .iter()
+                    .map(|&(_, len)| dev.alloc(len).expect("buf"))
+                    .collect();
+                let ios: Vec<(u64, DmaBuf)> = schedule
+                    .iter()
+                    .zip(&bufs)
+                    .map(|(&(off, _), &buf)| (off, buf))
+                    .collect();
+                region.read_into_many(&ios).await?;
+                for (&(_, len), buf) in schedule.iter().zip(&bufs) {
+                    out.push(dev.read_mem(buf.addr, len).expect("mem"));
+                }
+            } else {
+                for &(off, len) in &schedule {
+                    let buf = dev.alloc(len).expect("buf");
+                    region.read_into(off, buf).await?;
+                    out.push(dev.read_mem(buf.addr, len).expect("mem"));
+                    dev.free(buf).expect("free");
+                }
+            }
+            if !lossy {
+                for (off, data) in &writes {
+                    region.write(*off, data).await?;
+                }
+                out.push(region.read(0, size).await?);
+            }
+            Ok(out)
+        }
+        .await;
+        result.map_err(|e| format!("{e:?}"))
+    })
+}
+
+/// Doorbell batching and stripe pipelining are pure performance changes:
+/// for seeded random offset/len schedules, batch size 1 vs N and pipeline
+/// depth 1 vs N return byte-identical data (reads, and the region image
+/// after random writes) on both plain and checksummed regions — and under
+/// a total-loss fault window both configurations report the same error.
+#[test]
+fn batched_and_pipelined_small_io_equivalent() {
+    cases("batched_and_pipelined_small_io_equivalent", 4, |rng| {
+        for checksums in [false, true] {
+            let stripe = 1u64 << (10 + rng.index(3));
+            let size = stripe * rng.range_u64(4, 13);
+            let n_ops = rng.range_u64(2, 9);
+            let schedule: Vec<(u64, u64)> = (0..n_ops)
+                .map(|_| {
+                    let len = rng.range_u64(1, 4096.min(size) + 1);
+                    let off = rng.range_u64(0, size - len + 1);
+                    (off, len)
+                })
+                .collect();
+            let writes: Vec<(u64, Vec<u8>)> = (0..rng.range_u64(1, 4))
+                .map(|_| {
+                    let len = rng.range_u64(1, 3000.min(size) + 1);
+                    let off = rng.range_u64(0, size - len + 1);
+                    let mut data = vec![0u8; len as usize];
+                    rng.fill_bytes(&mut data);
+                    (off, data)
+                })
+                .collect();
+            let fill_seed = rng.next_u64();
+
+            let serial = run_small_io(
+                checksums, stripe, size, &schedule, &writes, fill_seed, false, 1, false,
+            );
+            let batched = run_small_io(
+                checksums, stripe, size, &schedule, &writes, fill_seed, true, 16, false,
+            );
+            assert!(serial.is_ok(), "fault-free run failed: {serial:?}");
+            assert_eq!(
+                serial, batched,
+                "fault-free outcomes diverged (checksums={checksums})"
+            );
+
+            let serial = run_small_io(
+                checksums, stripe, size, &schedule, &writes, fill_seed, false, 1, true,
+            );
+            let batched = run_small_io(
+                checksums, stripe, size, &schedule, &writes, fill_seed, true, 16, true,
+            );
+            assert!(serial.is_err(), "total loss must surface an IO error");
+            assert_eq!(
+                serial, batched,
+                "lossy outcomes diverged (checksums={checksums})"
+            );
+        }
+    });
+}
+
 // --- KV table vs model ------------------------------------------------------------
 
 /// A random op sequence against the distributed KV table agrees with a
