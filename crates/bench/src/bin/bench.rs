@@ -1,0 +1,108 @@
+//! Benchmark report tooling.
+//!
+//! ```text
+//! bench diff --baseline BENCH_seed.json --current BENCH_pr.json
+//! bench diff --baseline BENCH_seed.json --current BENCH_pr.json \
+//!     --tolerance 0.4 --tolerance gbps=0.6
+//! ```
+//!
+//! `diff` compares every metric of the current `BENCH_*.json` against a
+//! committed baseline (see `EXPERIMENTS.md`, "Baselines") and exits nonzero
+//! when any metric drifts beyond tolerance — the CI perf-regression gate.
+//! `--tolerance F` sets the default relative tolerance; `--tolerance SUB=F`
+//! overrides it for every metric whose path contains `SUB`.
+//!
+//! Exit status: 0 in-policy, 1 regression findings, 2 usage or I/O error.
+
+use std::process::ExitCode;
+
+use bench::diff::{diff_reports, DiffOptions};
+use bench::json;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench diff --baseline FILE --current FILE \
+         [--tolerance F | --tolerance METRIC=F]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => run_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut opts = DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = it.next().cloned(),
+            "--current" => current_path = it.next().cloned(),
+            "--tolerance" => {
+                let Some(spec) = it.next() else {
+                    return usage();
+                };
+                let parsed = match spec.split_once('=') {
+                    Some((metric, val)) => val
+                        .parse::<f64>()
+                        .map(|tol| opts.overrides.push((metric.to_string(), tol))),
+                    None => spec.parse::<f64>().map(|tol| opts.tolerance = tol),
+                };
+                if parsed.is_err() {
+                    eprintln!("bench diff: bad tolerance {spec:?}");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("bench diff: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        return usage();
+    };
+    let baseline = match load(&baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench diff: {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = match load(&current_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench diff: {current_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = diff_reports(&baseline, &current, &opts);
+    if findings.is_empty() {
+        println!(
+            "bench diff: {current_path} within tolerance of {baseline_path} \
+             (default {:.0}%, {} override(s))",
+            opts.tolerance * 100.0,
+            opts.overrides.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "bench diff: {} regression finding(s) comparing {current_path} against {baseline_path}:",
+        findings.len()
+    );
+    for f in &findings {
+        println!("  {}: {}", f.path, f.detail);
+    }
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    json::parse(&text)
+}

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures all                  # every experiment, E1..E12, as text tables
+//! figures all                  # every experiment, E1..E13, as text tables
 //! figures e1 e4 e8             # a selection
 //! figures --json e3            # also write BENCH_<runid>.json
 //! figures --trace              # write TRACE_<runid>.json (Chrome trace)
@@ -11,7 +11,8 @@
 //! ```
 //!
 //! `--json` writes per-experiment tables plus structured extras (E3 gains a
-//! per-layer READ-latency attribution) to `BENCH_<runid>.json`. `--trace`
+//! per-layer READ-latency attribution, E13 a per-window fault/repair
+//! timeline) to `BENCH_<runid>.json`. `--trace`
 //! runs a traced cluster lifecycle and writes Chrome trace-event JSON
 //! loadable in Perfetto / `chrome://tracing`. The run id defaults to the
 //! Unix timestamp; pass `--runid` to pin it.
@@ -65,10 +66,22 @@ fn main() {
 
     if trace_mode {
         let trace = report::trace_cluster_lifecycle();
-        json::validate(&trace).expect("trace export must be valid JSON");
+        let doc = json::parse(&trace).expect("trace export must be valid JSON");
         let path = format!("TRACE_{run_id}.json");
         std::fs::write(&path, &trace).expect("write trace file");
         eprintln!("[wrote {path}]");
+        // The tracer ring drops the oldest events once full; the count is
+        // exported in the trace's top-level metadata. Warn so a truncated
+        // trace isn't mistaken for the full lifecycle.
+        if let json::Json::Obj(meta) = &doc {
+            let evicted = meta.get("evicted").and_then(json::Json::as_f64);
+            if let Some(evicted) = evicted.filter(|&n| n > 0.0) {
+                eprintln!(
+                    "[warning: trace ring evicted {evicted} event(s); \
+                     oldest spans are missing from {path}]"
+                );
+            }
+        }
         if !json_mode && !explicit_ids {
             return;
         }

@@ -1,0 +1,326 @@
+//! Metric-level comparison of two `BENCH_*.json` documents.
+//!
+//! Backs the `bench diff` CLI and the CI perf-regression gate: the current
+//! report is walked against a committed baseline and every numeric leaf is
+//! checked under a relative tolerance. Presentation subtrees (`tables`) and
+//! run identity (`run_id`) are skipped — the gate compares *metrics*, not
+//! formatting — while a metric that disappears, appears, or changes type is
+//! always a finding, so baselines must be refreshed deliberately when the
+//! report schema grows.
+//!
+//! Counters that measure correctness rather than performance (for example
+//! `data_errors`) and boolean health flags are compared exactly: no
+//! tolerance makes a lost write acceptable.
+
+use crate::json::Json;
+
+/// Keys whose values are correctness counters: any drift is a finding,
+/// regardless of tolerance.
+const EXACT_KEYS: [&str; 5] = [
+    "abandoned",
+    "data_errors",
+    "false_positives",
+    "loud_errors",
+    "value_errors",
+];
+
+/// Subtree keys excluded from comparison wherever they appear.
+const SKIPPED_KEYS: [&str; 2] = ["tables", "run_id"];
+
+/// Comparison policy for [`diff_reports`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Default relative tolerance for numeric leaves, as a fraction of the
+    /// larger magnitude (`0.25` = 25% drift allowed).
+    pub tolerance: f64,
+    /// Per-metric overrides: the longest pattern that is a substring of a
+    /// leaf's path wins over the default (`"smallio" -> 0.5` loosens every
+    /// metric under the E12 block).
+    pub overrides: Vec<(String, f64)>,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tolerance: 0.25,
+            overrides: Vec::new(),
+        }
+    }
+}
+
+impl DiffOptions {
+    fn tolerance_for(&self, path: &str) -> f64 {
+        self.overrides
+            .iter()
+            .filter(|(pat, _)| path.contains(pat.as_str()))
+            .max_by_key(|(pat, _)| pat.len())
+            .map(|(_, tol)| *tol)
+            .unwrap_or(self.tolerance)
+    }
+}
+
+/// One divergence between baseline and current report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Dot-separated path of the diverging node, e.g.
+    /// `experiments.e12.smallio.sizes[2].batched_gbps`.
+    pub path: String,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// Compares two bench reports and returns every finding, in document order.
+/// An empty result means the current report is within policy.
+pub fn diff_reports(baseline: &Json, current: &Json, opts: &DiffOptions) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    walk("", baseline, current, opts, &mut findings);
+    findings
+}
+
+fn push(findings: &mut Vec<Finding>, path: &str, detail: String) {
+    findings.push(Finding {
+        path: if path.is_empty() { "<root>" } else { path }.to_string(),
+        detail,
+    });
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn walk(path: &str, baseline: &Json, current: &Json, opts: &DiffOptions, out: &mut Vec<Finding>) {
+    match (baseline, current) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            for (key, bv) in b {
+                if SKIPPED_KEYS.contains(&key.as_str()) {
+                    continue;
+                }
+                match c.get(key) {
+                    Some(cv) => walk(&join(path, key), bv, cv, opts, out),
+                    None => push(out, &join(path, key), "missing from current report".into()),
+                }
+            }
+            for key in c.keys() {
+                if !SKIPPED_KEYS.contains(&key.as_str()) && !b.contains_key(key) {
+                    push(
+                        out,
+                        &join(path, key),
+                        "not in baseline (refresh the baseline to accept)".into(),
+                    );
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            if b.len() != c.len() {
+                push(
+                    out,
+                    path,
+                    format!(
+                        "length changed: baseline {} vs current {}",
+                        b.len(),
+                        c.len()
+                    ),
+                );
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                walk(&format!("{path}[{i}]"), bv, cv, opts, out);
+            }
+        }
+        (Json::Num(b), Json::Num(c)) => compare_numbers(path, b, c, opts, out),
+        (Json::Bool(b), Json::Bool(c)) => {
+            if b != c {
+                push(
+                    out,
+                    path,
+                    format!("flag changed: baseline {b} vs current {c}"),
+                );
+            }
+        }
+        (Json::Str(b), Json::Str(c)) => {
+            if b != c {
+                push(
+                    out,
+                    path,
+                    format!("string changed: baseline {b:?} vs current {c:?}"),
+                );
+            }
+        }
+        (Json::Null, Json::Null) => {}
+        (b, c) => push(
+            out,
+            path,
+            format!("type changed: baseline {} vs current {}", kind(b), kind(c)),
+        ),
+    }
+}
+
+fn kind(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::Num(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn compare_numbers(path: &str, b: &str, c: &str, opts: &DiffOptions, out: &mut Vec<Finding>) {
+    let (Ok(bv), Ok(cv)) = (b.parse::<f64>(), c.parse::<f64>()) else {
+        if b != c {
+            push(out, path, format!("unparseable number: {b:?} vs {c:?}"));
+        }
+        return;
+    };
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if EXACT_KEYS.contains(&leaf) {
+        if bv != cv {
+            push(
+                out,
+                path,
+                format!("correctness counter changed: baseline {b} vs current {c}"),
+            );
+        }
+        return;
+    }
+    let scale = bv.abs().max(cv.abs());
+    if scale == 0.0 {
+        return;
+    }
+    let rel = (cv - bv).abs() / scale;
+    let tol = opts.tolerance_for(path);
+    if rel > tol {
+        push(
+            out,
+            path,
+            format!(
+                "drift {:.1}% exceeds tolerance {:.1}%: baseline {b} vs current {c}",
+                rel * 100.0,
+                tol * 100.0
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(ops: u64, gbps: f64, errors: u64, healthy: bool) -> Json {
+        Json::obj([
+            ("schema".to_string(), Json::str("rstore-bench-v1")),
+            ("run_id".to_string(), Json::str(format!("r{ops}"))),
+            (
+                "experiments".to_string(),
+                Json::obj([(
+                    "e10".to_string(),
+                    Json::obj([
+                        ("id".to_string(), Json::str("e10")),
+                        (
+                            "tables".to_string(),
+                            Json::Arr(vec![Json::str(format!("free-form {gbps}"))]),
+                        ),
+                        (
+                            "availability".to_string(),
+                            Json::obj([
+                                ("ops_total".to_string(), Json::int(ops)),
+                                ("gbps".to_string(), Json::float(gbps)),
+                                ("data_errors".to_string(), Json::int(errors)),
+                                ("healthy_after_repair".to_string(), Json::Bool(healthy)),
+                            ]),
+                        ),
+                    ]),
+                )]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_are_clean() {
+        let a = doc(1000, 3.5, 0, true);
+        assert_eq!(diff_reports(&a, &a, &DiffOptions::default()), vec![]);
+    }
+
+    #[test]
+    fn run_id_and_tables_are_ignored() {
+        let a = doc(1000, 3.5, 0, true);
+        let mut b = doc(1000, 3.5, 0, true);
+        if let Json::Obj(m) = &mut b {
+            m.insert("run_id".into(), Json::str("other"));
+        }
+        assert_eq!(diff_reports(&a, &b, &DiffOptions::default()), vec![]);
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes_and_beyond_fails() {
+        let base = doc(1000, 4.0, 0, true);
+        let close = doc(1100, 3.6, 0, true); // 10% ops, 10% gbps
+        assert_eq!(diff_reports(&base, &close, &DiffOptions::default()), vec![]);
+        let far = doc(1000, 2.0, 0, true); // 50% gbps drop
+        let findings = diff_reports(&base, &far, &DiffOptions::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "experiments.e10.availability.gbps");
+        assert!(findings[0].detail.contains("50.0%"));
+    }
+
+    #[test]
+    fn correctness_counters_and_flags_have_no_tolerance() {
+        let base = doc(1000, 4.0, 0, true);
+        let bad = doc(1000, 4.0, 1, false);
+        let findings = diff_reports(&base, &bad, &DiffOptions::default());
+        let paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+        assert!(paths.contains(&"experiments.e10.availability.data_errors"));
+        assert!(paths.contains(&"experiments.e10.availability.healthy_after_repair"));
+    }
+
+    #[test]
+    fn per_metric_override_beats_default() {
+        let base = doc(1000, 4.0, 0, true);
+        let far = doc(1000, 2.0, 0, true);
+        let loose = DiffOptions {
+            tolerance: 0.25,
+            overrides: vec![("gbps".into(), 0.6)],
+        };
+        assert_eq!(diff_reports(&base, &far, &loose), vec![]);
+        let tight = DiffOptions {
+            tolerance: 0.6,
+            overrides: vec![("gbps".into(), 0.1)],
+        };
+        assert_eq!(diff_reports(&base, &far, &tight).len(), 1);
+    }
+
+    #[test]
+    fn structural_changes_are_findings() {
+        let base = doc(1000, 4.0, 0, true);
+        let mut missing = doc(1000, 4.0, 0, true);
+        if let Json::Obj(m) = &mut missing {
+            let Some(Json::Obj(exps)) = m.get_mut("experiments") else {
+                unreachable!()
+            };
+            exps.remove("e10");
+        }
+        let findings = diff_reports(&base, &missing, &DiffOptions::default());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("missing"));
+        // The reverse direction: a new metric also needs a baseline refresh.
+        let findings = diff_reports(&missing, &base, &DiffOptions::default());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].detail.contains("not in baseline"));
+    }
+
+    #[test]
+    fn diffs_parsed_documents() {
+        let base = doc(1000, 4.0, 0, true);
+        let reparsed = parse(&base.render()).expect("parse");
+        assert_eq!(
+            diff_reports(&base, &reparsed, &DiffOptions::default()),
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! E13 — continuous telemetry across a fault/repair episode.
+//!
+//! E10 reports a failure episode as aggregate numbers; E13 watches the same
+//! kind of episode *move through time*. A replicated KV table takes steady
+//! put/get traffic while a [`FaultPlan`] kills one memory server; a
+//! [`Sampler`] snapshots per-window op throughput, error counts, doorbell
+//! rate, and latency percentiles every 50 ms of virtual time. The exported
+//! timeline shows the p99 latency spike when the server dies and its
+//! collapse back to baseline once the master's repair lands.
+//!
+//! The run is fully virtual-time and seeded: two runs produce byte-identical
+//! window series, which the report test asserts.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use fabric::FaultPlan;
+use rstore::{
+    AllocOptions, ClientConfig, Cluster, ClusterConfig, KvConfig, KvTable, MasterConfig,
+    RStoreClient, RegionState, ServerConfig,
+};
+use sim::{DetRng, Sampler, Window};
+
+use crate::table::{fmt_dur, Table};
+
+const SEED: u64 = 0xE13;
+const KILL_AT: Duration = Duration::from_millis(150);
+const WORKLOAD_END: Duration = Duration::from_millis(600);
+const COOLDOWN_END: Duration = Duration::from_millis(700);
+const WINDOW: Duration = Duration::from_millis(50);
+const WINDOW_CAP: usize = 16;
+const KEYS: u64 = 128;
+const VALUE_LEN: u64 = 64;
+const SLOT_BYTES: u64 = 256;
+const MAX_PROBE: u64 = 64;
+/// Concurrent workload tasks. Each owns a disjoint key slice, so idempotent
+/// puts never race a get on the same slot.
+const WORKERS: u64 = 8;
+/// Per-worker pacing between ops.
+const PACE: Duration = Duration::from_millis(2);
+
+/// The per-op latency histogram the sampler windows over.
+pub const LATENCY_SERIES: &str = "e13.op_latency_us";
+/// Counters tracked per window.
+pub const COUNTER_SERIES: [&str; 3] = ["e13.ops", "e13.errors", "rdma.doorbells"];
+
+/// One E13 run: the sampled timeline plus episode-level aggregates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelineStats {
+    /// Sampled windows, in virtual-time order.
+    pub windows: Vec<Window>,
+    /// Workload operations completed (each op retries until it succeeds).
+    pub ops_total: u64,
+    /// Transient op attempts that surfaced an IO error to the client.
+    pub io_errors: u64,
+    /// Gets whose value did not match the expected pattern. Must be 0.
+    pub value_errors: u64,
+    /// Ops abandoned after exhausting their retry budget. Must be 0.
+    pub abandoned: u64,
+    /// Virtual time of the server kill, ns.
+    pub kill_ns: u64,
+    /// Sampling window length, ns.
+    pub window_ns: u64,
+    /// Whether the final lookup after the episode reported `Healthy`.
+    pub healthy_after_repair: bool,
+}
+
+impl TimelineStats {
+    /// Index of the window containing the kill instant.
+    pub fn fault_window(&self) -> usize {
+        self.windows
+            .iter()
+            .position(|w| w.start_ns <= self.kill_ns && self.kill_ns < w.end_ns)
+            .expect("kill instant must land inside the sampled timeline")
+    }
+
+    fn latency(&self, w: &Window) -> (u64, u64) {
+        let h = &w.histograms[LATENCY_SERIES];
+        (h.count, h.p99)
+    }
+
+    /// p99 of the last full window before the fault (steady-state baseline).
+    pub fn pre_fault_p99(&self) -> u64 {
+        let (count, p99) = self.latency(&self.windows[self.fault_window() - 1]);
+        assert!(count > 0, "pre-fault window must carry traffic");
+        p99
+    }
+
+    /// Highest window p99 from the fault window onward — the spike.
+    pub fn spike_p99(&self) -> u64 {
+        self.windows[self.fault_window()..]
+            .iter()
+            .map(|w| self.latency(w).1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// p99 of the last window that carried traffic — after repair, this is
+    /// back at steady state.
+    pub fn recovery_p99(&self) -> u64 {
+        self.windows
+            .iter()
+            .rev()
+            .map(|w| self.latency(w))
+            .find(|&(count, _)| count > 0)
+            .expect("some window must carry traffic")
+            .1
+    }
+}
+
+/// The deterministic value stored under key index `k`; rewrites are
+/// idempotent, so any replica interleaving of a repeated put converges.
+fn value(k: u64) -> Vec<u8> {
+    (0..VALUE_LEN)
+        .map(|i| ((k * 131 + i * 7 + 13) % 251) as u8)
+        .collect()
+}
+
+fn key(k: u64) -> Vec<u8> {
+    format!("k{k:04}").into_bytes()
+}
+
+/// Runs the telemetry scenario once and collects the timeline.
+pub fn measure() -> TimelineStats {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 1,
+        master: MasterConfig {
+            lease: Duration::from_millis(50),
+            sweep_interval: Duration::from_millis(20),
+            repair_interval: Duration::from_millis(40),
+            ..MasterConfig::default()
+        },
+        server: ServerConfig {
+            heartbeat: Duration::from_millis(10),
+            ..ServerConfig::default()
+        },
+        rdma: rdma::RdmaConfig {
+            base_timeout: Duration::from_millis(25),
+            ..rdma::RdmaConfig::default()
+        },
+        ..ClusterConfig::with_servers(4)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let victim = cluster.servers[1].node();
+
+    let seed = super::seed_mix(SEED);
+    FaultPlan::new(seed)
+        .crash_at(KILL_AT, victim)
+        .install(&fabric);
+
+    let metrics = devs[0].metrics();
+    let sampler = Sampler::new();
+    sampler.enable(WINDOW, WINDOW_CAP);
+    for c in COUNTER_SERIES {
+        sampler.track_counter(c);
+    }
+    sampler.track_histogram(LATENCY_SERIES);
+    sampler.spawn_driver(&sim, &metrics);
+
+    let s = sim.clone();
+    let m = metrics.clone();
+    let (ops_total, io_errors, value_errors, abandoned, healthy) = sim.block_on(async move {
+        let sim = s;
+        let client = RStoreClient::connect_with(&devs[0], master, ClientConfig::default())
+            .await
+            .expect("connect");
+        let cfg = KvConfig {
+            buckets: 1024,
+            slot_bytes: SLOT_BYTES,
+            max_probe: MAX_PROBE,
+            opts: AllocOptions {
+                stripe_size: 128 * 1024,
+                replicas: 2,
+                ..AllocOptions::default()
+            },
+        };
+        let table = KvTable::create(&client, "tl", cfg).await.expect("create");
+        for k in 0..KEYS {
+            table.put(&key(k), &value(k)).await.expect("prefill put");
+        }
+        drop(table);
+
+        // Steady paced traffic across the kill, from WORKERS concurrent
+        // tasks over disjoint key slices. Each op retries (re-mapping the
+        // table on error) until it succeeds, so its recorded latency is the
+        // client-visible time to a good answer — exactly what spikes while
+        // the region is degraded and recovers once repair lands. Concurrent
+        // workers matter: they keep every fault-era window populated with
+        // enough samples that the spike shows up in the window p99, not
+        // just the max.
+        #[derive(Default)]
+        struct Totals {
+            ops: u64,
+            io_errors: u64,
+            value_errors: u64,
+            abandoned: u64,
+            done: u64,
+        }
+        let totals = Rc::new(RefCell::new(Totals::default()));
+        let keys_per_worker = KEYS / WORKERS;
+        for w in 0..WORKERS {
+            let sim2 = sim.clone();
+            let m = m.clone();
+            let client = client.clone();
+            let totals = totals.clone();
+            sim.spawn(async move {
+                let sim = sim2;
+                let now = |sim: &sim::Sim| sim.now().saturating_since(sim::SimTime::ZERO);
+                let mut table = KvTable::open(&client, "tl", SLOT_BYTES, MAX_PROBE)
+                    .await
+                    .expect("open");
+                let mut rng = DetRng::new(seed ^ (w + 1));
+                while now(&sim) < WORKLOAD_END {
+                    let k = w * keys_per_worker + rng.range_u64(0, keys_per_worker);
+                    let write = rng.chance(0.4);
+                    let t0 = now(&sim);
+                    let mut attempts = 0u32;
+                    loop {
+                        let result = if write {
+                            table.put(&key(k), &value(k)).await
+                        } else {
+                            match table.get(&key(k)).await {
+                                Ok(got) => {
+                                    if got.as_deref() != Some(&value(k)[..]) {
+                                        totals.borrow_mut().value_errors += 1;
+                                    }
+                                    Ok(())
+                                }
+                                Err(e) => Err(e),
+                            }
+                        };
+                        match result {
+                            Ok(()) => {
+                                let us = (now(&sim) - t0).as_micros() as u64;
+                                m.incr("e13.ops");
+                                m.record_value(LATENCY_SERIES, us);
+                                break;
+                            }
+                            Err(_) => {
+                                totals.borrow_mut().io_errors += 1;
+                                m.incr("e13.errors");
+                                // Refresh the mapping: after repair the
+                                // descriptor names the replacement replicas.
+                                if let Ok(t) =
+                                    KvTable::open_degraded(&client, "tl", SLOT_BYTES, MAX_PROBE)
+                                        .await
+                                {
+                                    table = t;
+                                }
+                                sim.sleep(Duration::from_millis(2)).await;
+                            }
+                        }
+                        attempts += 1;
+                        if attempts > 200 {
+                            totals.borrow_mut().abandoned += 1;
+                            break;
+                        }
+                    }
+                    totals.borrow_mut().ops += 1;
+                    sim.sleep(PACE).await;
+                }
+                totals.borrow_mut().done += 1;
+            });
+        }
+
+        let now = |sim: &sim::Sim| sim.now().saturating_since(sim::SimTime::ZERO);
+        while totals.borrow().done < WORKERS {
+            sim.sleep(Duration::from_millis(5)).await;
+        }
+        // Idle cooldown so the sampler closes the trailing windows before
+        // `block_on` returns and stops driving events.
+        while now(&sim) < COOLDOWN_END {
+            sim.sleep(Duration::from_millis(10)).await;
+        }
+        let healthy = client
+            .lookup("tl")
+            .await
+            .map(|d| d.state == RegionState::Healthy)
+            .unwrap_or(false);
+        let t = totals.borrow();
+        (t.ops, t.io_errors, t.value_errors, t.abandoned, healthy)
+    });
+
+    TimelineStats {
+        windows: sampler.windows(),
+        ops_total,
+        io_errors,
+        value_errors,
+        abandoned,
+        kill_ns: KILL_AT.as_nanos() as u64,
+        window_ns: WINDOW.as_nanos() as u64,
+        healthy_after_repair: healthy,
+    }
+}
+
+/// Runs E13.
+pub fn run() -> Vec<Table> {
+    let s = measure();
+    let mut t = Table::new(
+        "E13: telemetry timeline across a server crash (4 servers, 2 replicas, 50 ms windows)",
+        &[
+            "window",
+            "span",
+            "ops",
+            "errors",
+            "doorbells",
+            "p50 us",
+            "p99 us",
+        ],
+    );
+    for w in &s.windows {
+        let lat = &w.histograms[LATENCY_SERIES];
+        let mark = if w.start_ns <= s.kill_ns && s.kill_ns < w.end_ns {
+            " *kill*"
+        } else {
+            ""
+        };
+        t.row(vec![
+            format!("{}{}", w.index, mark),
+            format!(
+                "{}..{}",
+                fmt_dur(Duration::from_nanos(w.start_ns)),
+                fmt_dur(Duration::from_nanos(w.end_ns))
+            ),
+            w.counters["e13.ops"].to_string(),
+            w.counters["e13.errors"].to_string(),
+            w.counters["rdma.doorbells"].to_string(),
+            lat.p50.to_string(),
+            lat.p99.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "p99 spike {}x over pre-fault baseline, recovery p99 {} us vs baseline {} us; \
+         {} ops, {} transient errors, {} value errors, post-episode lookup {}",
+        s.spike_p99() / s.pre_fault_p99().max(1),
+        s.recovery_p99(),
+        s.pre_fault_p99(),
+        s.ops_total,
+        s.io_errors,
+        s.value_errors,
+        if s.healthy_after_repair {
+            "Healthy"
+        } else {
+            "Degraded"
+        },
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_shows_spike_and_recovery_and_is_deterministic() {
+        let a = measure();
+        assert_eq!(a.value_errors, 0, "KV reads must never return wrong data");
+        assert_eq!(a.abandoned, 0, "every op must eventually succeed");
+        assert!(a.io_errors > 0, "the kill must be client-visible");
+        assert!(a.healthy_after_repair, "repair must restore health");
+        assert!(a.fault_window() >= 1, "need a pre-fault baseline window");
+
+        // The timeline must visibly show the episode: p99 spikes by at
+        // least an order of magnitude in the fault era, then the last
+        // traffic-carrying window is back near the pre-fault baseline.
+        let pre = a.pre_fault_p99();
+        assert!(
+            a.spike_p99() > 10 * pre,
+            "fault-era p99 {} must dwarf pre-fault p99 {}",
+            a.spike_p99(),
+            pre
+        );
+        assert!(
+            a.recovery_p99() < 5 * pre.max(1),
+            "recovery p99 {} must return near baseline {}",
+            a.recovery_p99(),
+            pre
+        );
+
+        let b = measure();
+        assert_eq!(a, b, "same seed must reproduce an identical timeline");
+    }
+}

@@ -1,4 +1,4 @@
-//! The twelve experiments of the reproduction (see `DESIGN.md`'s
+//! The thirteen experiments of the reproduction (see `DESIGN.md`'s
 //! per-experiment index). Each returns one or more [`Table`]s; the
 //! `figures` binary prints them, and `EXPERIMENTS.md` records
 //! paper-vs-measured.
@@ -6,6 +6,7 @@
 pub mod e10_availability;
 pub mod e11_integrity;
 pub mod e12_smallio;
+pub mod e13_timeline;
 pub mod e1_verbs;
 pub mod e2_control;
 pub mod e3_datapath;
@@ -29,7 +30,7 @@ pub fn seed_mix(base: u64) -> u64 {
     }
 }
 
-/// Runs one experiment by id (`"e1"`..`"e12"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e13"`), returning its tables.
 ///
 /// # Panics
 ///
@@ -48,11 +49,12 @@ pub fn run(id: &str) -> Vec<Table> {
         "e10" => e10_availability::run(),
         "e11" => e11_integrity::run(),
         "e12" => e12_smallio::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e12)"),
+        "e13" => e13_timeline::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e13)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];

@@ -48,6 +48,14 @@ impl Json {
         Json::Obj(pairs.into_iter().collect())
     }
 
+    /// Numeric value of a `Num` node; `None` for every other variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// Serialises with two-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -127,19 +135,27 @@ fn write_escaped(out: &mut String, s: &str) {
 
 /// Checks that `input` is a single well-formed JSON document.
 ///
-/// This is a structural validator, not a full deserialiser: it accepts
-/// exactly the RFC 8259 grammar and reports the byte offset of the first
-/// violation.
+/// Accepts exactly the RFC 8259 grammar and reports the byte offset of the
+/// first violation.
 pub fn validate(input: &str) -> Result<(), String> {
+    parse(input).map(|_| ())
+}
+
+/// Parses a single JSON document into a [`Json`] value.
+///
+/// Object keys land in sorted order (duplicates: last wins) and numbers keep
+/// their source spelling, so `parse(doc.render())` reproduces `doc` for any
+/// document this module emits.
+pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -148,32 +164,34 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
         Some(b'{') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut map = BTreeMap::new();
             if b.get(*pos) == Some(&b'}') {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Obj(map));
             }
             loop {
                 skip_ws(b, pos);
-                parse_string(b, pos)?;
+                let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 if b.get(*pos) != Some(&b':') {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
                 skip_ws(b, pos);
-                parse_value(b, pos)?;
+                let value = parse_value(b, pos)?;
+                map.insert(key, value);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b'}') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(Json::Obj(map));
                     }
                     _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
                 }
@@ -182,28 +200,29 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
         Some(b'[') => {
             *pos += 1;
             skip_ws(b, pos);
+            let mut items = Vec::new();
             if b.get(*pos) == Some(&b']') {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Arr(items));
             }
             loop {
                 skip_ws(b, pos);
-                parse_value(b, pos)?;
+                items.push(parse_value(b, pos)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
                     Some(b']') => {
                         *pos += 1;
-                        return Ok(());
+                        return Ok(Json::Arr(items));
                     }
                     _ => return Err(format!("expected ',' or ']' at byte {pos}")),
                 }
             }
         }
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_lit(b, pos, b"true"),
-        Some(b'f') => parse_lit(b, pos, b"false"),
-        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, b"true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, b"null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
     }
@@ -218,40 +237,83 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     if b.get(*pos) != Some(&b'"') {
         return Err(format!("expected string at byte {pos}"));
     }
     *pos += 1;
+    let mut out = String::new();
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(&e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                        out.push(match e {
+                            b'b' => '\u{8}',
+                            b'f' => '\u{c}',
+                            b'n' => '\n',
+                            b'r' => '\r',
+                            b't' => '\t',
+                            c => c as char,
+                        });
+                        *pos += 1;
+                    }
                     Some(b'u') => {
-                        if b.len() < *pos + 5
-                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(format!("bad \\u escape at byte {pos}"));
+                        let unit = parse_hex4(b, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&unit) {
+                            // High surrogate: require a low surrogate escape.
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return Err(format!("lone surrogate at byte {pos}"));
+                            }
+                            *pos += 1;
+                            let low = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(format!("bad surrogate pair at byte {pos}"));
+                            }
+                            let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                            char::from_u32(scalar)
+                        } else {
+                            char::from_u32(unit)
+                        };
+                        match ch {
+                            Some(ch) => out.push(ch),
+                            None => return Err(format!("lone surrogate at byte {pos}")),
                         }
-                        *pos += 5;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
             }
             0x00..=0x1F => return Err(format!("raw control byte in string at {pos}")),
-            _ => *pos += 1,
+            _ => {
+                // Copy one whole UTF-8 scalar (input is &str, so boundaries
+                // are trustworthy).
+                let rest = std::str::from_utf8(&b[*pos..]).expect("valid UTF-8 tail");
+                let ch = rest.chars().next().expect("non-empty");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
         }
     }
     Err("unterminated string".into())
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+/// Consumes `uXXXX` (the backslash already eaten, `*pos` on the `u`).
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if b.len() < *pos + 5 || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!("bad \\u escape at byte {pos}"));
+    }
+    let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5]).expect("ascii");
+    let unit = u32::from_str_radix(hex, 16).expect("hex");
+    *pos += 5;
+    Ok(unit)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -276,7 +338,8 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    Ok(())
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii number");
+    Ok(Json::Num(text.to_string()))
 }
 
 fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
@@ -345,6 +408,45 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "{bad:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let doc = Json::obj([
+            ("name".into(), Json::str("e3")),
+            (
+                "values".into(),
+                Json::Arr(vec![
+                    Json::int(1),
+                    Json::float(2.5),
+                    Json::Null,
+                    Json::Bool(true),
+                ]),
+            ),
+            (
+                "nested".into(),
+                Json::obj([("k".into(), Json::str("v\"\n"))]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+        ]);
+        let parsed = parse(&doc.render()).expect("parse");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogate_pairs() {
+        let parsed = parse("\"a\\u00e9\\ud83d\\ude00\\n\\/\"").expect("parse");
+        assert_eq!(parsed, Json::Str("a\u{e9}\u{1f600}\n/".into()));
+        assert!(parse("\"\\ud83d\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\ude00\"").is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn parse_keeps_number_spelling() {
+        assert_eq!(parse("-12.5e+3").unwrap(), Json::Num("-12.5e+3".into()));
+        assert_eq!(parse("42").unwrap().as_f64(), Some(42.0));
+        assert_eq!(Json::str("42").as_f64(), None);
     }
 
     #[test]

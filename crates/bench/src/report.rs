@@ -10,6 +10,7 @@ use crate::experiments;
 use crate::experiments::e10_availability;
 use crate::experiments::e11_integrity;
 use crate::experiments::e12_smallio;
+use crate::experiments::e13_timeline;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::table::Table;
@@ -192,6 +193,58 @@ pub fn experiment_json(id: &str) -> Json {
             ]),
         ));
     }
+    if id == "e13" {
+        let s = e13_timeline::measure();
+        let windows: Vec<Json> = s
+            .windows
+            .iter()
+            .map(|w| {
+                let counters =
+                    Json::obj(w.counters.iter().map(|(k, v)| (k.clone(), Json::int(*v))));
+                let histograms = Json::obj(w.histograms.iter().map(|(k, h)| {
+                    (
+                        k.clone(),
+                        Json::obj([
+                            ("count".to_string(), Json::int(h.count)),
+                            ("p50".to_string(), Json::int(h.p50)),
+                            ("p99".to_string(), Json::int(h.p99)),
+                            ("max".to_string(), Json::int(h.max)),
+                        ]),
+                    )
+                }));
+                Json::obj([
+                    ("index".to_string(), Json::int(w.index)),
+                    ("start_ns".to_string(), Json::int(w.start_ns)),
+                    ("end_ns".to_string(), Json::int(w.end_ns)),
+                    ("counters".to_string(), counters),
+                    ("histograms".to_string(), histograms),
+                ])
+            })
+            .collect();
+        fields.push((
+            "timeline".to_string(),
+            Json::obj([
+                ("window_ns".to_string(), Json::int(s.window_ns)),
+                ("kill_ns".to_string(), Json::int(s.kill_ns)),
+                (
+                    "fault_window".to_string(),
+                    Json::int(s.fault_window() as u64),
+                ),
+                ("ops_total".to_string(), Json::int(s.ops_total)),
+                ("io_errors".to_string(), Json::int(s.io_errors)),
+                ("value_errors".to_string(), Json::int(s.value_errors)),
+                ("abandoned".to_string(), Json::int(s.abandoned)),
+                ("pre_fault_p99_us".to_string(), Json::int(s.pre_fault_p99())),
+                ("spike_p99_us".to_string(), Json::int(s.spike_p99())),
+                ("recovery_p99_us".to_string(), Json::int(s.recovery_p99())),
+                (
+                    "healthy_after_repair".to_string(),
+                    Json::Bool(s.healthy_after_repair),
+                ),
+                ("windows".to_string(), Json::Arr(windows)),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -250,6 +303,16 @@ mod tests {
         t.row(vec!["1".into(), "x\ny".into()]);
         t.note("n");
         validate(&table_json(&t).render()).expect("valid JSON");
+    }
+
+    #[test]
+    fn e13_timeline_json_is_valid_and_deterministic() {
+        let a = experiment_json("e13").render();
+        validate(&a).expect("e13 report must be valid JSON");
+        assert!(a.contains("\"timeline\""));
+        assert!(a.contains("\"e13.op_latency_us\""));
+        let b = experiment_json("e13").render();
+        assert_eq!(a, b, "seeded timeline export must be byte-identical");
     }
 
     #[test]

@@ -15,7 +15,9 @@ use sim::sync::{Semaphore, WaitGroup};
 use sim::{Sim, SimTime};
 
 use crate::error::{RStoreError, Result};
-use crate::proto::{AllocOptions, ClusterStats, CtrlReq, CtrlResp, RegionDesc, RegionState};
+use crate::proto::{
+    AllocOptions, ClusterReport, ClusterStats, CtrlReq, CtrlResp, RegionDesc, RegionState,
+};
 use crate::region::Region;
 use crate::rpc::RpcClient;
 use crate::{CTRL_SERVICE, DATA_SERVICE};
@@ -285,6 +287,23 @@ impl RStoreClient {
         }
     }
 
+    /// Full cluster introspection report from the master: per-server
+    /// capacity and liveness, per-region health states, and cumulative
+    /// corruption/repair counters, all as of the current virtual time.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub async fn cluster_stats(&self) -> Result<ClusterReport> {
+        match self.ctrl_call(CtrlReq::ClusterStats).await? {
+            CtrlResp::Report(r) => Ok(r),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol(
+                "unexpected cluster stats response".into(),
+            )),
+        }
+    }
+
     /// Waits until every outstanding asynchronous IO posted through this
     /// client has completed (the paper's `r_sync`).
     pub async fn sync(&self) {
@@ -454,6 +473,10 @@ fn ctrl_op_names(req: &CtrlReq) -> (&'static str, &'static str) {
         CtrlReq::Lookup { .. } => ("rstore.ctrl.lookup", "rstore.ctrl_latency.lookup"),
         CtrlReq::Free { .. } => ("rstore.ctrl.free", "rstore.ctrl_latency.free"),
         CtrlReq::Stat => ("rstore.ctrl.stat", "rstore.ctrl_latency.stat"),
+        CtrlReq::ClusterStats => (
+            "rstore.ctrl.cluster_stats",
+            "rstore.ctrl_latency.cluster_stats",
+        ),
         CtrlReq::RegisterServer { .. } => ("rstore.ctrl.register", "rstore.ctrl_latency.register"),
         CtrlReq::Heartbeat { .. } => ("rstore.ctrl.heartbeat", "rstore.ctrl_latency.heartbeat"),
         CtrlReq::ReportCorruption { .. } => (

@@ -24,10 +24,32 @@
 //!
 //! `version == 0` means never used; even = stable; odd = locked. A
 //! tombstone is `version != 0 && klen == 0` (probing continues past it).
+//!
+//! # Locks and failures
+//!
+//! A writer that takes the slot lock and then hits an IO failure (its
+//! server crashed mid-write) **aborts** the slot before surfacing the
+//! error: best-effort tombstone header, then unlock. The op was never
+//! acknowledged, so discarding the half-written entry is linearizable, and
+//! the lock is never orphaned on replicas that are still reachable. Every
+//! lock wait is bounded ([`LOCK_WAIT_BUDGET`] of virtual time per op) and
+//! then surfaces [`RStoreError::Io`] — a healthy writer releases within
+//! microseconds, so exceeding the budget means the holder crashed or the
+//! cluster is degraded, and the caller should retry (possibly after a
+//! remap) rather than spin.
+//!
+//! The locked word itself is tagged: the CAS swaps in `version + 1` with a
+//! unique nonce in the high 32 bits ([`lock_word`]). When a CAS surfaces an
+//! IO error the outcome is ambiguous — the swap can execute remotely while
+//! its completion is lost to a fault-era timeout — so the writer reads the
+//! word back, and only if it carries *its own* tag does it abort the slot.
+//! Without the tag, a lost-completion CAS would leave the slot locked with
+//! no owner, wedging every later writer that hashes to it.
 
 use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RemoteAddr};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::client::RStoreClient;
 use crate::error::{RStoreError, Result};
@@ -36,6 +58,38 @@ use crate::region::Region;
 use crate::DATA_SERVICE;
 
 const HDR_BYTES: u64 = 16;
+
+/// Virtual-time budget one op will spend waiting on locked slots before it
+/// surfaces an IO timeout instead of spinning. A healthy writer holds a
+/// lock for microseconds; a holder stalled behind a degraded-window RDMA
+/// timeout (or crashed outright) keeps it for tens of milliseconds, and
+/// each wait round costs a remote re-read — so past this budget the caller
+/// is better served by an error it can react to (remap, back off, retry).
+const LOCK_WAIT_BUDGET: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Backoff between lock-wait probe rounds.
+const LOCK_BACKOFF: std::time::Duration = std::time::Duration::from_micros(2);
+
+/// Monotonic source of lock-word nonces. Process-wide: tables opened by any
+/// client draw from the same counter, so two in-flight lock attempts never
+/// share a lock word and an ambiguous CAS can be attributed by a read-back.
+static NEXT_LOCK_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// The odd version word a locker CASes into a slot: `version + 1` tagged
+/// with a unique nonce in the high 32 bits. Stable versions are even and
+/// stay below 2^32 (a slot would need ~2 billion mutations to overflow), so
+/// the tag never collides with a stable version, and parity checks — all any
+/// reader does with a locked word — are unaffected. The nonce lets a writer
+/// whose CAS surfaced an IO error decide whether the swap actually executed
+/// remotely: only its own attempt can have produced this exact word.
+fn lock_word(version: u64, nonce: u64) -> u64 {
+    (version + 1) | (nonce << 32)
+}
+
+/// A fresh nonzero 31-bit nonce.
+fn next_nonce() -> u64 {
+    (NEXT_LOCK_NONCE.fetch_add(1, Ordering::Relaxed) % 0x7FFF_FFFF) + 1
+}
 
 /// What a stable slot image means for a particular key's lookup.
 enum SlotView {
@@ -155,6 +209,25 @@ impl KvTable {
         Self::from_region(client, region, slot_bytes, max_probe).await
     }
 
+    /// Opens an existing table even while its backing region is degraded,
+    /// like [`RStoreClient::map_degraded`]: gets served by surviving
+    /// replicas may still succeed, and after a repair this picks up the
+    /// replacement replicas. Intended for failover paths that must keep
+    /// traffic flowing across a fault/repair episode.
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::NotFound`] if the name is unknown.
+    pub async fn open_degraded(
+        client: &RStoreClient,
+        name: &str,
+        slot_bytes: u64,
+        max_probe: u64,
+    ) -> Result<KvTable> {
+        let region = client.map_degraded(name).await?;
+        Self::from_region(client, region, slot_bytes, max_probe).await
+    }
+
     async fn from_region(
         client: &RStoreClient,
         region: Region,
@@ -202,10 +275,12 @@ impl KvTable {
     ///
     /// # Errors
     ///
-    /// IO failures; [`RStoreError::Protocol`] if the key exceeds the slot.
+    /// IO failures (including a bounded lock wait that times out);
+    /// [`RStoreError::Protocol`] if the key exceeds the slot.
     pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.check_key(key)?;
         let start = hash_key(key) & self.mask;
+        let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
         for probe in 0..self.max_probe.min(self.buckets) {
             let slot = (start + probe) & self.mask;
             loop {
@@ -218,11 +293,10 @@ impl KvTable {
                 if self.dev.read_u64(self.probe_buf.addr)? % 2 == 0 {
                     break;
                 }
-                // Locked by a writer: brief virtual backoff, retry.
-                self.dev
-                    .sim()
-                    .sleep(std::time::Duration::from_micros(2))
-                    .await;
+                // Locked by a writer: brief virtual backoff, retry. Bounded
+                // so a lock orphaned by a crashed writer surfaces as an IO
+                // error rather than an infinite spin.
+                self.lock_wait(deadline).await?;
             }
             let mut img = self.probe_scratch.borrow_mut();
             self.dev.read_mem_into(self.probe_buf.addr, &mut img)?;
@@ -323,7 +397,7 @@ impl KvTable {
     ///
     /// * [`RStoreError::Protocol`] if key+value exceed the slot size.
     /// * [`RStoreError::InsufficientCapacity`] if the probe window is full.
-    /// * IO failures.
+    /// * IO failures (including a bounded lock wait that times out).
     pub async fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         self.check_key(key)?;
         if key.len() as u64 + value.len() as u64 > self.slot_bytes - HDR_BYTES {
@@ -334,112 +408,193 @@ impl KvTable {
             )));
         }
         let start = hash_key(key) & self.mask;
-        // First pass: find the key (overwrite) or the first reusable slot.
-        let mut target: Option<(u64, u64)> = None; // (slot, observed version)
-        for probe in 0..self.max_probe.min(self.buckets) {
-            let slot = (start + probe) & self.mask;
-            let bytes = self
-                .region
-                .read(slot * self.slot_bytes, self.slot_bytes)
-                .await?;
-            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
-            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
-            if version == 0 || (version % 2 == 0 && klen == 0) {
-                // Empty or tombstone: claim unless the key shows up later in
-                // the chain (it cannot: inserts always take the first hole).
-                target.get_or_insert((slot, version));
-                if version == 0 {
+        let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
+        'retry: loop {
+            // First pass: find the key (overwrite) or the first reusable
+            // slot.
+            let mut target: Option<(u64, u64)> = None; // (slot, observed version)
+            for probe in 0..self.max_probe.min(self.buckets) {
+                let slot = (start + probe) & self.mask;
+                let bytes = self
+                    .region
+                    .read(slot * self.slot_bytes, self.slot_bytes)
+                    .await?;
+                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+                let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+                if version == 0 || (version % 2 == 0 && klen == 0) {
+                    // Empty or tombstone: claim unless the key shows up later
+                    // in the chain (it cannot: inserts always take the first
+                    // hole).
+                    target.get_or_insert((slot, version));
+                    if version == 0 {
+                        break;
+                    }
+                } else if version % 2 == 0
+                    && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key
+                {
+                    target = Some((slot, version));
                     break;
+                } else if version % 2 == 1 {
+                    // Locked: a writer is mutating this slot. If it could be
+                    // our key, retry the whole operation after a bounded
+                    // backoff.
+                    self.lock_wait(deadline).await?;
+                    continue 'retry;
                 }
-            } else if version % 2 == 0
-                && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key
-            {
-                target = Some((slot, version));
-                break;
-            } else if version % 2 == 1 {
-                // Locked: a writer is mutating this slot. If it could be our
-                // key, retry the whole operation after a backoff.
-                self.dev
-                    .sim()
-                    .sleep(std::time::Duration::from_micros(2))
-                    .await;
-                return Box::pin(self.put(key, value)).await;
             }
-        }
-        let Some((slot, version)) = target else {
-            return Err(RStoreError::InsufficientCapacity {
-                requested: self.slot_bytes,
-            });
-        };
+            let Some((slot, version)) = target else {
+                return Err(RStoreError::InsufficientCapacity {
+                    requested: self.slot_bytes,
+                });
+            };
 
-        // Lock: CAS version -> version|1 (odd). Losing the race retries.
-        if !self.cas_version(slot, version, version + 1).await? {
-            self.dev
-                .sim()
-                .sleep(std::time::Duration::from_micros(2))
-                .await;
-            return Box::pin(self.put(key, value)).await;
-        }
+            // Lock: CAS version -> a tagged odd word. Losing the race
+            // retries; an ambiguous CAS (IO error) is resolved by read-back
+            // before the error surfaces, so it can never orphan the lock.
+            let lock = lock_word(version, next_nonce());
+            let won = match self.cas_version(slot, version, lock).await {
+                Ok(w) => w,
+                Err(e) => {
+                    self.recover_ambiguous_cas(slot, version, lock).await;
+                    return Err(e);
+                }
+            };
+            if !won {
+                self.lock_wait(deadline).await?;
+                continue 'retry;
+            }
 
-        // Body write (everything after the version word), then release.
-        let mut body = Vec::with_capacity(self.slot_bytes as usize - 8);
-        body.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        body.extend_from_slice(&(value.len() as u16).to_le_bytes());
-        body.extend_from_slice(&[0u8; 4]);
-        body.extend_from_slice(key);
-        body.extend_from_slice(value);
-        self.region.write(slot * self.slot_bytes + 8, &body).await?;
+            // Body write (everything after the version word), then release.
+            let mut body = Vec::with_capacity(self.slot_bytes as usize - 8);
+            body.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            body.extend_from_slice(&(value.len() as u16).to_le_bytes());
+            body.extend_from_slice(&[0u8; 4]);
+            body.extend_from_slice(key);
+            body.extend_from_slice(value);
+            if let Err(e) = self.write_and_unlock(slot, version, &body).await {
+                // The op was never acknowledged: abort the slot so the lock
+                // is not orphaned on the replicas that are still reachable.
+                self.abort_locked_slot(slot, version).await;
+                return Err(e);
+            }
+            return Ok(());
+        }
+    }
+
+    /// One bounded lock-wait backoff tick: errors once the op's virtual-time
+    /// `deadline` has passed (the lock holder crashed or is stalled behind a
+    /// degraded window — every further wait round costs a remote re-read),
+    /// otherwise sleeps [`LOCK_BACKOFF`] before the caller retries.
+    async fn lock_wait(&self, deadline: sim::SimTime) -> Result<()> {
+        if self.dev.sim().now() >= deadline {
+            return Err(RStoreError::Io(CqStatus::Timeout));
+        }
+        self.dev.sim().sleep(LOCK_BACKOFF).await;
+        Ok(())
+    }
+
+    /// Writes a locked slot's body, then releases the lock by writing
+    /// `version + 2`.
+    async fn write_and_unlock(&self, slot: u64, version: u64, body: &[u8]) -> Result<()> {
+        self.region.write(slot * self.slot_bytes + 8, body).await?;
         self.region
             .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
-            .await?;
-        Ok(())
+            .await
+    }
+
+    /// Best-effort abort of a slot this client holds locked over stable
+    /// `version`: tombstone the header, then unlock by writing `version + 2`
+    /// (which also clears the lock word's nonce tag). Called when the
+    /// mutation's IO failed mid-flight — the caller surfaces that error, and
+    /// errors here are deliberately swallowed (the servers still reachable
+    /// get unlocked; repair rebuilds the rest from them).
+    async fn abort_locked_slot(&self, slot: u64, version: u64) {
+        let _ = self
+            .region
+            .write(slot * self.slot_bytes + 8, &[0u8; 4])
+            .await;
+        let _ = self
+            .region
+            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+            .await;
+    }
+
+    /// Resolves a CAS whose completion was lost to an IO error. The swap may
+    /// still have executed remotely (a fault-era timeout can fire while the
+    /// op sits behind doomed traffic), which would leave the slot locked
+    /// with no owner — forever. Read the word back: only this attempt can
+    /// have produced exactly `lock`, so seeing it proves ownership and the
+    /// slot is aborted; any other value means the swap lost or another
+    /// writer holds a lock that its owner will release.
+    async fn recover_ambiguous_cas(&self, slot: u64, version: u64, lock: u64) {
+        let Ok(bytes) = self.region.read(slot * self.slot_bytes, 8).await else {
+            return;
+        };
+        let word = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+        if word == lock {
+            self.abort_locked_slot(slot, version).await;
+        }
     }
 
     /// Removes `key`, returning whether it was present.
     ///
     /// # Errors
     ///
-    /// IO failures.
+    /// IO failures (including a bounded lock wait that times out).
     pub async fn delete(&self, key: &[u8]) -> Result<bool> {
         self.check_key(key)?;
         let start = hash_key(key) & self.mask;
-        for probe in 0..self.max_probe.min(self.buckets) {
-            let slot = (start + probe) & self.mask;
-            let bytes = self
-                .region
-                .read(slot * self.slot_bytes, self.slot_bytes)
-                .await?;
-            let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
-            if version == 0 {
-                return Ok(false);
-            }
-            if version % 2 == 1 {
-                self.dev
-                    .sim()
-                    .sleep(std::time::Duration::from_micros(2))
-                    .await;
-                return Box::pin(self.delete(key)).await;
-            }
-            let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
-            if klen != 0 && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
-                if !self.cas_version(slot, version, version + 1).await? {
-                    self.dev
-                        .sim()
-                        .sleep(std::time::Duration::from_micros(2))
-                        .await;
-                    return Box::pin(self.delete(key)).await;
+        let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
+        'retry: loop {
+            for probe in 0..self.max_probe.min(self.buckets) {
+                let slot = (start + probe) & self.mask;
+                let bytes = self
+                    .region
+                    .read(slot * self.slot_bytes, self.slot_bytes)
+                    .await?;
+                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+                if version == 0 {
+                    return Ok(false);
                 }
-                // Tombstone: klen = 0, then release.
-                self.region
-                    .write(slot * self.slot_bytes + 8, &0u16.to_le_bytes())
-                    .await?;
-                self.region
-                    .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
-                    .await?;
-                return Ok(true);
+                if version % 2 == 1 {
+                    self.lock_wait(deadline).await?;
+                    continue 'retry;
+                }
+                let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+                if klen != 0 && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
+                    let lock = lock_word(version, next_nonce());
+                    let won = match self.cas_version(slot, version, lock).await {
+                        Ok(w) => w,
+                        Err(e) => {
+                            self.recover_ambiguous_cas(slot, version, lock).await;
+                            return Err(e);
+                        }
+                    };
+                    if !won {
+                        self.lock_wait(deadline).await?;
+                        continue 'retry;
+                    }
+                    // Tombstone: klen = 0, then release; abort on IO failure
+                    // so the lock is not orphaned.
+                    if let Err(e) = self.tombstone_and_unlock(slot, version).await {
+                        self.abort_locked_slot(slot, version).await;
+                        return Err(e);
+                    }
+                    return Ok(true);
+                }
             }
+            return Ok(false);
         }
-        Ok(false)
+    }
+
+    /// Tombstones a locked slot (klen = 0), then releases the lock.
+    async fn tombstone_and_unlock(&self, slot: u64, version: u64) -> Result<()> {
+        self.region
+            .write(slot * self.slot_bytes + 8, &0u16.to_le_bytes())
+            .await?;
+        self.region
+            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+            .await
     }
 
     fn check_key(&self, key: &[u8]) -> Result<()> {

@@ -68,7 +68,10 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use error::{RStoreError, Result};
 pub use kv::{KvConfig, KvTable};
 pub use master::{Master, MasterConfig};
-pub use proto::{AllocOptions, ClusterStats, Extent, Policy, RegionDesc, RegionState};
+pub use proto::{
+    AllocOptions, ClusterReport, ClusterStats, Extent, Policy, RegionDesc, RegionState,
+    RegionStats, ServerStats,
+};
 pub use region::{IoHandle, Region};
 pub use server::{MemServer, ServerConfig};
 
@@ -386,6 +389,47 @@ mod tests {
         assert_eq!(stats.servers, 3);
         assert_eq!(stats.regions, 1);
         assert_eq!(stats.used, 1 << 20);
+    }
+
+    #[test]
+    fn cluster_report_tracks_liveness_and_region_health() {
+        let cluster = boot(3);
+        let sim = cluster.sim.clone();
+        let fabric = cluster.fabric.clone();
+        let victim = cluster.servers[0].node();
+        let lease = MasterConfig::default().lease;
+        let (before, after) = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                let client = cluster.client(0).await.unwrap();
+                client
+                    .alloc("watched", 1 << 20, AllocOptions::default())
+                    .await
+                    .unwrap();
+                let before = client.cluster_stats().await.unwrap();
+                fabric.set_node_up(victim, false);
+                // Wait out the lease so the master marks the server dead.
+                sim.sleep(lease * 3).await;
+                let after = client.cluster_stats().await.unwrap();
+                (before, after)
+            }
+        });
+
+        assert_eq!(before.servers.len(), 3);
+        assert!(before.servers.iter().all(|s| s.alive));
+        assert_eq!(before.servers.iter().map(|s| s.used).sum::<u64>(), 1 << 20);
+        assert_eq!(before.regions.len(), 1);
+        assert_eq!(before.regions[0].name, "watched");
+        assert_eq!(before.regions[0].state, RegionState::Healthy);
+        assert_eq!(before.regions[0].corrupt_extents, 0);
+        assert_eq!(before.corruption_detected, 0);
+
+        // The dead server is still listed (capacity intact) but not alive,
+        // and every region striped across it reports Degraded.
+        assert_eq!(after.servers.len(), 3);
+        let dead = after.servers.iter().find(|s| s.node == victim.0).unwrap();
+        assert!(!dead.alive);
+        assert_eq!(after.regions[0].state, RegionState::Degraded);
     }
 
     #[test]

@@ -20,8 +20,8 @@ use sim::{DetRng, Sim, SimTime};
 use crate::crc::crc32c;
 use crate::error::{RStoreError, Result};
 use crate::proto::{
-    extent_alloc_len, AllocOptions, ClusterStats, CtrlReq, CtrlResp, Extent, Policy, RegionDesc,
-    RegionState, SrvReq, SrvResp, StripeGroup,
+    extent_alloc_len, AllocOptions, ClusterReport, ClusterStats, CtrlReq, CtrlResp, Extent, Policy,
+    RegionDesc, RegionState, RegionStats, ServerStats, SrvReq, SrvResp, StripeGroup,
 };
 use crate::rpc::{spawn_rpc_server, RpcClient};
 use crate::{CTRL_SERVICE, SRV_SERVICE};
@@ -236,6 +236,58 @@ impl Master {
         }
     }
 
+    /// A local (non-RPC) snapshot of the full introspection report — the
+    /// same view [`CtrlReq::ClusterStats`] returns over the wire: per-server
+    /// capacity and liveness, per-region health (computed exactly like
+    /// `Lookup`), and the corruption/repair counters at the current virtual
+    /// time. Rows are ordered (node id, region name) so the report is
+    /// deterministic.
+    pub fn local_report(&self) -> ClusterReport {
+        let st = self.state.borrow();
+        let servers = st
+            .servers
+            .iter()
+            .map(|(&node, s)| ServerStats {
+                node,
+                capacity: s.capacity,
+                used: s.used,
+                alive: s.alive,
+            })
+            .collect();
+        let mut names: Vec<&String> = st.regions.keys().collect();
+        names.sort();
+        let regions = names
+            .into_iter()
+            .map(|name| {
+                let desc = &st.regions[name];
+                let all_alive = desc
+                    .groups
+                    .iter()
+                    .flat_map(|g| &g.replicas)
+                    .all(|x| st.servers.get(&x.node).is_some_and(|s| s.alive));
+                let corrupt = st.corrupt.get(name).map_or(0, |s| s.len() as u32);
+                RegionStats {
+                    name: name.clone(),
+                    size: desc.size,
+                    state: if all_alive && corrupt == 0 {
+                        RegionState::Healthy
+                    } else {
+                        RegionState::Degraded
+                    },
+                    corrupt_extents: corrupt,
+                }
+            })
+            .collect();
+        let m = self.dev.metrics();
+        ClusterReport {
+            servers,
+            regions,
+            corruption_detected: m.counter("integrity.detected"),
+            repaired_extents: m.counter("rstore.repair.extents"),
+            scrub_passes: m.counter("integrity.scrub_passes"),
+        }
+    }
+
     async fn handle(&self, req: Vec<u8>) -> CtrlResp {
         let req = match CtrlReq::decode(&req) {
             Ok(r) => r,
@@ -310,6 +362,7 @@ impl Master {
                 Err(e) => CtrlResp::Err(e.to_string()),
             },
             CtrlReq::Stat => CtrlResp::Stats(self.local_stats()),
+            CtrlReq::ClusterStats => CtrlResp::Report(self.local_report()),
             CtrlReq::Grow {
                 name,
                 additional,
@@ -779,6 +832,7 @@ impl Master {
                 continue;
             };
             let src = group.replicas[src_idx];
+            let mut group_fully_repaired = true;
             for (ri, &replica_alive) in alive.iter().enumerate() {
                 if replica_alive {
                     continue;
@@ -786,6 +840,33 @@ impl Master {
                 let old = group.replicas[ri];
                 if self.repair_extent(name, gi, ri, &src, &old).await {
                     repaired += 1;
+                } else {
+                    group_fully_repaired = false;
+                }
+            }
+            // A replacement extent holds a point-in-time copy pulled from
+            // `src` while the region was taking traffic: writes issued under
+            // a degraded mapping (and per-slot lock words CASed by writers
+            // mid-episode) landed on the survivors only. Promote the copy
+            // source to replica 0 — the read/CAS primary — so clients keep
+            // seeing the authoritative image; the replacement converges as
+            // new writes land and is only read if the source fails later.
+            // Skipped while any replica of the group is still bad: corruption
+            // marks are keyed by replica index and must stay valid.
+            if group_fully_repaired {
+                let mut st = self.state.borrow_mut();
+                let marked = st
+                    .corrupt
+                    .get(name)
+                    .is_some_and(|marks| marks.iter().any(|&(g, _)| g == gi));
+                if !marked {
+                    if let Some(g) = st.regions.get_mut(name).and_then(|d| d.groups.get_mut(gi)) {
+                        if let Some(pos) = g.replicas.iter().position(|x| *x == src) {
+                            if pos != 0 {
+                                g.replicas.swap(0, pos);
+                            }
+                        }
+                    }
                 }
             }
         }

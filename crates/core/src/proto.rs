@@ -377,6 +377,11 @@ pub enum CtrlReq {
         /// descriptor before the mark is accepted).
         node: u32,
     },
+    /// Live cluster introspection: per-server capacity and liveness,
+    /// per-region health, and corruption/repair counts as of the current
+    /// virtual time. Answered with [`CtrlResp::Report`]; the flat
+    /// [`CtrlReq::Stat`] totals remain for cheap checks.
+    ClusterStats,
 }
 
 impl CtrlReq {
@@ -431,6 +436,9 @@ impl CtrlReq {
             } => {
                 e.u8(7).str(name).u32(*group).u32(*replica).u32(*node);
             }
+            CtrlReq::ClusterStats => {
+                e.u8(8);
+            }
         }
         e.into_bytes()
     }
@@ -479,6 +487,7 @@ impl CtrlReq {
                 replica: d.u32()?,
                 node: d.u32()?,
             },
+            8 => CtrlReq::ClusterStats,
             t => return Err(RStoreError::Protocol(format!("bad ctrl tag {t}"))),
         };
         d.finish()?;
@@ -499,6 +508,50 @@ pub struct ClusterStats {
     pub used: u64,
 }
 
+/// One memory server's row in a [`ClusterReport`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ServerStats {
+    /// Fabric node id of the server.
+    pub node: u32,
+    /// Donated bytes.
+    pub capacity: u64,
+    /// Bytes currently granted to regions (physical, trailer included).
+    pub used: u64,
+    /// Whether the server's lease is current.
+    pub alive: bool,
+}
+
+/// One region's row in a [`ClusterReport`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RegionStats {
+    /// Region name.
+    pub name: String,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// Health as of the report (same computation as `Lookup`).
+    pub state: RegionState,
+    /// Extents currently marked corrupt and awaiting repair.
+    pub corrupt_extents: u32,
+}
+
+/// Full cluster introspection report, answered to
+/// [`CtrlReq::ClusterStats`]: a live view of per-server capacity, per-region
+/// health, and the master's corruption/repair counters at the current
+/// virtual time.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ClusterReport {
+    /// One row per registered server, ordered by node id.
+    pub servers: Vec<ServerStats>,
+    /// One row per region, ordered by name.
+    pub regions: Vec<RegionStats>,
+    /// Checksum mismatches detected so far (client reports + scrubber).
+    pub corruption_detected: u64,
+    /// Extents re-replicated by the repair task so far.
+    pub repaired_extents: u64,
+    /// Completed background scrub passes.
+    pub scrub_passes: u64,
+}
+
 /// Master responses.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum CtrlResp {
@@ -510,6 +563,8 @@ pub enum CtrlResp {
     Region(RegionDesc),
     /// Statistics (for `Stat`).
     Stats(ClusterStats),
+    /// Full introspection report (for `ClusterStats`).
+    Report(ClusterReport),
 }
 
 impl CtrlResp {
@@ -534,6 +589,25 @@ impl CtrlResp {
                     .u64(s.capacity)
                     .u64(s.used);
             }
+            CtrlResp::Report(r) => {
+                e.u8(4);
+                e.u32(r.servers.len() as u32);
+                for s in &r.servers {
+                    e.u32(s.node).u64(s.capacity).u64(s.used).u8(s.alive as u8);
+                }
+                e.u32(r.regions.len() as u32);
+                for reg in &r.regions {
+                    e.str(&reg.name).u64(reg.size);
+                    e.u8(match reg.state {
+                        RegionState::Healthy => 0,
+                        RegionState::Degraded => 1,
+                    });
+                    e.u32(reg.corrupt_extents);
+                }
+                e.u64(r.corruption_detected)
+                    .u64(r.repaired_extents)
+                    .u64(r.scrub_passes);
+            }
         }
         e.into_bytes()
     }
@@ -555,6 +629,41 @@ impl CtrlResp {
                 capacity: d.u64()?,
                 used: d.u64()?,
             }),
+            4 => {
+                let ns = d.u32()? as usize;
+                let mut servers = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    servers.push(ServerStats {
+                        node: d.u32()?,
+                        capacity: d.u64()?,
+                        used: d.u64()?,
+                        alive: d.u8()? != 0,
+                    });
+                }
+                let nr = d.u32()? as usize;
+                let mut regions = Vec::with_capacity(nr);
+                for _ in 0..nr {
+                    regions.push(RegionStats {
+                        name: d.str()?,
+                        size: d.u64()?,
+                        state: match d.u8()? {
+                            0 => RegionState::Healthy,
+                            1 => RegionState::Degraded,
+                            v => {
+                                return Err(RStoreError::Protocol(format!("bad region state {v}")))
+                            }
+                        },
+                        corrupt_extents: d.u32()?,
+                    });
+                }
+                CtrlResp::Report(ClusterReport {
+                    servers,
+                    regions,
+                    corruption_detected: d.u64()?,
+                    repaired_extents: d.u64()?,
+                    scrub_passes: d.u64()?,
+                })
+            }
             t => return Err(RStoreError::Protocol(format!("bad resp tag {t}"))),
         };
         d.finish()?;
@@ -818,6 +927,7 @@ mod tests {
                 replica: 1,
                 node: 9,
             },
+            CtrlReq::ClusterStats,
         ];
         for req in reqs {
             assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
@@ -836,9 +946,71 @@ mod tests {
                 capacity: 1 << 40,
                 used: 123,
             }),
+            CtrlResp::Report(ClusterReport {
+                servers: vec![
+                    ServerStats {
+                        node: 1,
+                        capacity: 1 << 30,
+                        used: 4096,
+                        alive: true,
+                    },
+                    ServerStats {
+                        node: 2,
+                        capacity: 1 << 30,
+                        used: 0,
+                        alive: false,
+                    },
+                ],
+                regions: vec![
+                    RegionStats {
+                        name: "a/b".into(),
+                        size: 1 << 20,
+                        state: RegionState::Healthy,
+                        corrupt_extents: 0,
+                    },
+                    RegionStats {
+                        name: "c".into(),
+                        size: 4096,
+                        state: RegionState::Degraded,
+                        corrupt_extents: 2,
+                    },
+                ],
+                corruption_detected: 5,
+                repaired_extents: 3,
+                scrub_passes: 7,
+            }),
+            CtrlResp::Report(ClusterReport::default()),
         ];
         for resp in resps {
             assert_eq!(CtrlResp::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_report_errors_not_panics() {
+        let bytes = CtrlResp::Report(ClusterReport {
+            servers: vec![ServerStats {
+                node: 1,
+                capacity: 2,
+                used: 3,
+                alive: true,
+            }],
+            regions: vec![RegionStats {
+                name: "r".into(),
+                size: 9,
+                state: RegionState::Healthy,
+                corrupt_extents: 1,
+            }],
+            corruption_detected: 1,
+            repaired_extents: 1,
+            scrub_passes: 1,
+        })
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                CtrlResp::decode(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
         }
     }
 

@@ -664,9 +664,10 @@ impl RdmaDevice {
                 };
                 if let Some(recv) = qp.recvq.pop_front() {
                     let cq = qp.cq.clone();
+                    let stats = qp.stats.clone();
                     let reply_to = qp.remote_qpn.expect("connected QP has a peer");
                     drop(inner);
-                    let status = self.deliver_recv(&cq, recv, payload, imm);
+                    let status = self.deliver_recv(&cq, &stats, recv, payload, imm);
                     self.reply(src, reply_to, QpMsg::SendAck { req_id, status });
                 } else {
                     qp.unmatched.push_back((req_id, payload, imm));
@@ -700,6 +701,7 @@ impl RdmaDevice {
     fn deliver_recv(
         &self,
         cq: &CompletionQueue,
+        stats: &Metrics,
         recv: RecvWr,
         payload: Payload,
         imm: Option<u32>,
@@ -721,6 +723,7 @@ impl RdmaDevice {
             byte_len: len,
             imm,
         });
+        stats.record_value("cq_backlog", cq.len() as u64);
         status
     }
 
@@ -791,6 +794,9 @@ impl RdmaDevice {
                 cq.push(cqe);
             }
         }
+        // CQ backlog gauge: how many delivered-but-unpolled completions the
+        // consumer has let accumulate at this completion instant.
+        stats.record_value("cq_backlog", cq.len() as u64);
     }
 
     /// Puts a QP in the error state, flushing every pending work request.
@@ -837,6 +843,7 @@ impl RdmaDevice {
         for cqe in cqes {
             cq.push(cqe);
         }
+        stats.record_value("cq_backlog", cq.len() as u64);
     }
 }
 
@@ -1126,12 +1133,13 @@ impl Qp {
         }
         if let Some((req_id, payload, imm)) = qp.unmatched.pop_front() {
             let cq = qp.cq.clone();
+            let stats = qp.stats.clone();
             let peer = qp.remote_node;
             let peer_qpn = qp.remote_qpn.expect("connected");
             drop(inner);
             let status = self
                 .dev
-                .deliver_recv(&cq, RecvWr { wr_id, buf }, payload, imm);
+                .deliver_recv(&cq, &stats, RecvWr { wr_id, buf }, payload, imm);
             self.dev
                 .reply(peer, peer_qpn, QpMsg::SendAck { req_id, status });
         } else {
@@ -1880,6 +1888,33 @@ mod tests {
             assert_eq!(lat.len(), 3);
             assert!(lat.min() > 0);
             assert_eq!(m.counter("rdma.doorbells"), 3);
+        });
+    }
+
+    #[test]
+    fn cq_backlog_gauge_tracks_unpolled_completions() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(64).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dst = a.alloc(64).unwrap();
+            // Four reads posted back to back, none polled until all are
+            // done: the CQ backlog climbs to 4 at the final completion.
+            for i in 0..4 {
+                cqp.post_read(i, dst, mr.token().at(0, 64).unwrap())
+                    .unwrap();
+            }
+            a.sim().sleep(Duration::from_millis(1)).await;
+            let m = a.metrics();
+            let scope = format!("rdma.n{}.qp{}", a.node().0, cqp.qpn().0);
+            let backlog = m
+                .histogram(&format!("{scope}.cq_backlog"))
+                .expect("backlog recorded");
+            assert_eq!(backlog.len(), 4); // one sample per completion event
+            assert_eq!(backlog.max(), 4);
+            assert_eq!(backlog.min(), 1);
+            for _ in 0..4 {
+                assert!(ccq.next().await.status.is_ok());
+            }
         });
     }
 

@@ -37,6 +37,8 @@
 //! * [`rng`] — a seeded deterministic random number generator.
 //! * [`metrics`] — counters and latency histograms shared between components.
 //! * [`trace`] — deterministic span/instant tracing with Chrome-trace export.
+//! * [`timeseries`] — windowed counter-delta / percentile sampling on
+//!   virtual time (fixed-capacity, zero-cost when disabled).
 //! * [`future_util`] — small `join_all` / `yield_now` helpers (no external
 //!   futures crate is used anywhere in the workspace).
 
@@ -47,6 +49,7 @@ pub mod metrics;
 pub mod rng;
 pub mod sync;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use channel::{channel, oneshot, Receiver, Sender};
@@ -55,6 +58,7 @@ pub use future_util::{join_all, yield_now};
 pub use metrics::{Histogram, Metrics};
 pub use rng::DetRng;
 pub use time::SimTime;
+pub use timeseries::{Sampler, Window, WindowStats};
 pub use trace::{Span, TraceEvent, Tracer};
 
 /// Re-export of [`std::time::Duration`]; all simulated delays use it.

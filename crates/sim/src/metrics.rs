@@ -59,7 +59,15 @@ impl Metrics {
     /// Returns a handle sharing this registry in which every metric name is
     /// prefixed with `scope` + `.`. Scopes nest: `m.scoped("a").scoped("b")`
     /// writes under `a.b.`.
+    ///
+    /// Separators are normalised: leading/trailing dots on `scope` are
+    /// ignored (so `scoped("a.")` never yields `a..b` names) and an empty
+    /// scope is a no-op returning an equivalent handle.
     pub fn scoped(&self, scope: &str) -> Metrics {
+        let scope = scope.trim_matches('.');
+        if scope.is_empty() {
+            return self.clone();
+        }
         let prefix = match &self.prefix {
             Some(p) => format!("{p}{scope}."),
             None => format!("{scope}."),
@@ -223,6 +231,15 @@ impl Histogram {
         self.try_percentile(99.0).unwrap_or(0)
     }
 
+    /// Raw samples in insertion order (unless [`Histogram::percentile`] has
+    /// sorted this instance in place). Registry-held histograms are only ever
+    /// appended to, so windowed consumers (e.g. `sim::timeseries`) can slice
+    /// `samples()[prev_len..]` to see exactly the samples recorded since a
+    /// previous snapshot.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
     /// Minimum sample.
     ///
     /// # Panics
@@ -340,5 +357,43 @@ mod tests {
         // Reset through any handle clears the shared registry.
         qp.reset();
         assert_eq!(m.counter("fabric.link3.tx_msgs"), 0);
+    }
+
+    #[test]
+    fn scoped_normalises_separators() {
+        let m = Metrics::new();
+        // Empty scope is a no-op: same registry, same (absent) prefix.
+        let same = m.scoped("");
+        same.incr("top");
+        assert_eq!(m.counter("top"), 1);
+        assert!(m.counter_names().contains(&"top".into()));
+        // Dots-only scope is also a no-op.
+        m.scoped(".").scoped("a").incr("x");
+        assert_eq!(m.counter("a.x"), 1);
+        // Trailing/leading dots never produce double separators.
+        let s = m.scoped("fabric.").scoped(".link2");
+        s.incr("tx_msgs");
+        assert_eq!(m.counter("fabric.link2.tx_msgs"), 1);
+        assert!(m
+            .counter_names()
+            .iter()
+            .all(|n| !n.contains("..") && !n.starts_with('.')));
+        // Empty scope on an already-scoped handle keeps the prefix.
+        let nested = m.scoped("rdma").scoped("");
+        nested.incr("posted");
+        assert_eq!(m.counter("rdma.posted"), 1);
+    }
+
+    #[test]
+    fn histogram_samples_accessor_preserves_insertion_order() {
+        let m = Metrics::new();
+        for v in [5u64, 1, 9, 3] {
+            m.record_value("depth", v);
+        }
+        let h = m.histogram("depth").unwrap();
+        assert_eq!(h.samples(), &[5, 1, 9, 3]);
+        // try_percentile does not disturb the stored order.
+        assert_eq!(h.try_percentile(100.0), Some(9));
+        assert_eq!(h.samples(), &[5, 1, 9, 3]);
     }
 }

@@ -1,0 +1,412 @@
+//! Windowed time-series sampling on virtual time.
+//!
+//! PR 1's tracing and metrics answer "what happened" and "how much in
+//! total"; this module answers "how did it move through time". A
+//! [`Sampler`] snapshots a chosen set of counters and histograms at a fixed
+//! virtual-time interval, turning cumulative metrics into per-window
+//! *deltas* (throughput) and per-window *percentiles* (p50/p99 under a
+//! fault, queue depth during congestion) stored in a fixed-capacity series.
+//!
+//! The discipline mirrors [`crate::trace`]: a sampler starts disabled and
+//! costs nothing until [`Sampler::enable`] is called; the driver task is
+//! bounded (it exits once the series is full or the sampler is disabled),
+//! so enabling sampling never keeps a simulation alive forever; and because
+//! sampling is itself just virtual-time events on the deterministic
+//! executor, two seeded runs produce byte-identical series.
+//!
+//! ```rust
+//! use sim::{Duration, Metrics, Sim};
+//! use sim::timeseries::Sampler;
+//!
+//! let sim = Sim::new();
+//! let m = Metrics::new();
+//! let ts = Sampler::new();
+//! ts.enable(Duration::from_millis(1), 8);
+//! ts.track_counter("ops");
+//! ts.track_histogram("lat");
+//! ts.spawn_driver(&sim, &m);
+//! let (s, mm) = (sim.clone(), m.clone());
+//! sim.spawn(async move {
+//!     for i in 0..40u64 {
+//!         mm.incr("ops");
+//!         mm.record_value("lat", 100 + i);
+//!         s.sleep(Duration::from_micros(100)).await;
+//!     }
+//! });
+//! sim.run();
+//! let w = ts.windows();
+//! assert_eq!(w[0].counters["ops"], 10);
+//! assert_eq!(w[0].histograms["lat"].count, 10);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::executor::Sim;
+use crate::metrics::Metrics;
+use crate::time::SimTime;
+
+/// Per-window summary of one histogram: exact percentiles over only the
+/// samples recorded inside the window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Samples recorded in this window.
+    pub count: u64,
+    /// Window-local median (0 when the window saw no samples).
+    pub p50: u64,
+    /// Window-local 99th percentile (0 when empty).
+    pub p99: u64,
+    /// Window-local maximum (0 when empty).
+    pub max: u64,
+}
+
+/// One sampling window: `[start_ns, end_ns)` in virtual time, with counter
+/// deltas and histogram summaries for every tracked series.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Window {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Window start (virtual nanoseconds, inclusive).
+    pub start_ns: u64,
+    /// Window end (virtual nanoseconds, exclusive).
+    pub end_ns: u64,
+    /// Counter increments inside the window, keyed by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries over the window's samples, keyed by metric name.
+    pub histograms: BTreeMap<String, WindowStats>,
+}
+
+#[derive(Default)]
+struct State {
+    enabled: bool,
+    interval: Duration,
+    capacity: usize,
+    counters: Vec<String>,
+    histograms: Vec<String>,
+    prev_counters: BTreeMap<String, u64>,
+    prev_hist_len: BTreeMap<String, usize>,
+    last_sample_ns: u64,
+    windows: Vec<Window>,
+}
+
+/// A deterministic windowed sampler over a shared [`Metrics`] registry.
+///
+/// Clonable handle; all clones share state. See the module docs for the
+/// lifecycle (`enable` → `track_*` → `spawn_driver` → run → `windows`).
+#[derive(Clone, Default)]
+pub struct Sampler {
+    shared: Rc<RefCell<State>>,
+}
+
+impl Sampler {
+    /// Creates a disabled sampler. Disabled samplers never allocate windows
+    /// and their driver task exits immediately.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables sampling every `interval` of virtual time into a series of at
+    /// most `capacity` windows, clearing any previous configuration and
+    /// recorded windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `capacity` is zero.
+    pub fn enable(&self, interval: Duration, capacity: usize) {
+        assert!(!interval.is_zero(), "sampling interval must be > 0");
+        assert!(capacity > 0, "sampling capacity must be > 0");
+        let mut st = self.shared.borrow_mut();
+        *st = State {
+            enabled: true,
+            interval,
+            capacity,
+            ..State::default()
+        };
+    }
+
+    /// Disables sampling; recorded windows remain readable. A running driver
+    /// task exits at its next tick.
+    pub fn disable(&self) {
+        self.shared.borrow_mut().enabled = false;
+    }
+
+    /// True while sampling is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.borrow().enabled
+    }
+
+    /// Tracks the counter `name` (fully-qualified registry name): each
+    /// window records the counter's increment over that window.
+    pub fn track_counter(&self, name: &str) {
+        let mut st = self.shared.borrow_mut();
+        if !st.counters.iter().any(|n| n == name) {
+            st.counters.push(name.to_string());
+        }
+    }
+
+    /// Tracks the histogram `name`: each window records count/p50/p99/max
+    /// over only the samples that arrived inside that window.
+    pub fn track_histogram(&self, name: &str) {
+        let mut st = self.shared.borrow_mut();
+        if !st.histograms.iter().any(|n| n == name) {
+            st.histograms.push(name.to_string());
+        }
+    }
+
+    /// Re-baselines the delta tracking to the registry's current values, so
+    /// the next window measures increments from *now* rather than from the
+    /// registry's whole history.
+    pub fn baseline(&self, now: SimTime, metrics: &Metrics) {
+        let mut st = self.shared.borrow_mut();
+        st.last_sample_ns = now.as_nanos();
+        let counters = st.counters.clone();
+        for name in counters {
+            let v = metrics.counter(&name);
+            st.prev_counters.insert(name, v);
+        }
+        let histograms = st.histograms.clone();
+        for name in histograms {
+            let len = metrics.histogram(&name).map_or(0, |h| h.len());
+            st.prev_hist_len.insert(name, len);
+        }
+    }
+
+    /// Closes one window ending at `now`: snapshots counter deltas and
+    /// window-local histogram percentiles since the previous sample (or
+    /// baseline). No-op when disabled or when the series is full.
+    pub fn sample(&self, now: SimTime, metrics: &Metrics) {
+        let mut st = self.shared.borrow_mut();
+        if !st.enabled || st.windows.len() >= st.capacity {
+            return;
+        }
+        let end_ns = now.as_nanos();
+        let mut win = Window {
+            index: st.windows.len() as u64,
+            start_ns: st.last_sample_ns,
+            end_ns,
+            ..Window::default()
+        };
+        for name in &st.counters {
+            let v = metrics.counter(name);
+            let prev = st.prev_counters.get(name).copied().unwrap_or(0);
+            win.counters.insert(name.clone(), v.saturating_sub(prev));
+        }
+        for name in &st.histograms {
+            let prev_len = st.prev_hist_len.get(name).copied().unwrap_or(0);
+            let stats = match metrics.histogram(name) {
+                Some(h) => window_stats(&h.samples()[prev_len.min(h.len())..]),
+                None => WindowStats::default(),
+            };
+            win.histograms.insert(name.clone(), stats);
+        }
+        // Advance the baselines for the next window.
+        let updates: Vec<(String, u64)> = win
+            .counters
+            .keys()
+            .map(|n| (n.clone(), metrics.counter(n)))
+            .collect();
+        for (n, v) in updates {
+            st.prev_counters.insert(n, v);
+        }
+        let hist_updates: Vec<(String, usize)> = win
+            .histograms
+            .keys()
+            .map(|n| (n.clone(), metrics.histogram(n).map_or(0, |h| h.len())))
+            .collect();
+        for (n, l) in hist_updates {
+            st.prev_hist_len.insert(n, l);
+        }
+        st.last_sample_ns = end_ns;
+        st.windows.push(win);
+    }
+
+    /// Spawns the bounded driver task: starting from the current virtual
+    /// instant it re-baselines, then closes one window per interval until the
+    /// series reaches capacity or the sampler is disabled. The task is finite,
+    /// so [`Sim::run`] still terminates with a driver attached.
+    pub fn spawn_driver(&self, sim: &Sim, metrics: &Metrics) {
+        let ts = self.clone();
+        let sim2 = sim.clone();
+        let metrics = metrics.clone();
+        sim.spawn(async move {
+            if !ts.is_enabled() {
+                return;
+            }
+            ts.baseline(sim2.now(), &metrics);
+            loop {
+                let interval = {
+                    let st = ts.shared.borrow();
+                    if !st.enabled || st.windows.len() >= st.capacity {
+                        return;
+                    }
+                    st.interval
+                };
+                sim2.sleep(interval).await;
+                ts.sample(sim2.now(), &metrics);
+            }
+        });
+    }
+
+    /// Snapshot of every recorded window, in order.
+    pub fn windows(&self) -> Vec<Window> {
+        self.shared.borrow().windows.clone()
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.shared.borrow().windows.len()
+    }
+
+    /// True if no windows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.shared.borrow().windows.is_empty()
+    }
+}
+
+/// Exact percentiles over one window's samples (order-insensitive).
+fn window_stats(samples: &[u64]) -> WindowStats {
+    if samples.is_empty() {
+        return WindowStats::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: f64| sorted[((p / 100.0) * (sorted.len() - 1) as f64).floor() as usize];
+    WindowStats {
+        count: sorted.len() as u64,
+        p50: rank(50.0),
+        p99: rank(99.0),
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sampler_records_nothing() {
+        let sim = Sim::new();
+        let m = Metrics::new();
+        let ts = Sampler::new();
+        ts.track_counter("ops");
+        ts.spawn_driver(&sim, &m);
+        m.incr("ops");
+        ts.sample(sim.now(), &m);
+        sim.run();
+        assert!(ts.is_empty());
+        assert_eq!(sim.now(), SimTime::ZERO, "no driver events when disabled");
+    }
+
+    #[test]
+    fn windows_hold_deltas_not_cumulative_values() {
+        let sim = Sim::new();
+        let m = Metrics::new();
+        // Pre-existing history must not leak into the first window.
+        m.add("ops", 1000);
+        m.record_value("lat", 999_999);
+        let ts = Sampler::new();
+        ts.enable(Duration::from_millis(1), 4);
+        ts.track_counter("ops");
+        ts.track_histogram("lat");
+        ts.spawn_driver(&sim, &m);
+        let (s, mm) = (sim.clone(), m.clone());
+        sim.spawn(async move {
+            for i in 0..4u64 {
+                // Window i gets i+1 ops with latency 10*(i+1).
+                for _ in 0..=i {
+                    mm.incr("ops");
+                    mm.record_value("lat", 10 * (i + 1));
+                }
+                s.sleep(Duration::from_millis(1)).await;
+            }
+        });
+        sim.run();
+        let w = ts.windows();
+        assert_eq!(w.len(), 4);
+        for (i, win) in w.iter().enumerate() {
+            assert_eq!(win.index as usize, i);
+            assert_eq!(win.counters["ops"], i as u64 + 1);
+            let h = &win.histograms["lat"];
+            assert_eq!(h.count, i as u64 + 1);
+            assert_eq!(h.p50, 10 * (i as u64 + 1));
+            assert_eq!(h.p99, 10 * (i as u64 + 1));
+            assert_eq!(h.max, 10 * (i as u64 + 1));
+        }
+        assert_eq!(w[0].start_ns, 0);
+        assert_eq!(w[0].end_ns, 1_000_000);
+        assert_eq!(w[3].end_ns, 4_000_000);
+    }
+
+    #[test]
+    fn driver_is_bounded_by_capacity() {
+        let sim = Sim::new();
+        let m = Metrics::new();
+        let ts = Sampler::new();
+        ts.enable(Duration::from_millis(1), 3);
+        ts.track_counter("x");
+        ts.spawn_driver(&sim, &m);
+        // With no other tasks, run() must terminate after exactly `capacity`
+        // ticks — an unbounded driver would loop forever.
+        let end = sim.run();
+        assert_eq!(ts.len(), 3);
+        assert_eq!(end.as_nanos(), 3_000_000);
+    }
+
+    #[test]
+    fn empty_windows_are_explicit_zeros() {
+        let sim = Sim::new();
+        let m = Metrics::new();
+        let ts = Sampler::new();
+        ts.enable(Duration::from_millis(1), 2);
+        ts.track_counter("ops");
+        ts.track_histogram("lat");
+        ts.spawn_driver(&sim, &m);
+        sim.run();
+        let w = ts.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].counters["ops"], 0);
+        assert_eq!(w[0].histograms["lat"], WindowStats::default());
+    }
+
+    #[test]
+    fn two_runs_are_identical() {
+        fn run_once() -> Vec<Window> {
+            let sim = Sim::new();
+            let m = Metrics::new();
+            let ts = Sampler::new();
+            ts.enable(Duration::from_micros(500), 6);
+            ts.track_counter("ops");
+            ts.track_histogram("lat");
+            ts.spawn_driver(&sim, &m);
+            let (s, mm) = (sim.clone(), m.clone());
+            sim.spawn(async move {
+                for i in 0..30u64 {
+                    mm.incr("ops");
+                    mm.record_value("lat", (i * 37) % 11);
+                    s.sleep(Duration::from_micros(73)).await;
+                }
+            });
+            sim.run();
+            ts.windows()
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn disable_stops_the_driver() {
+        let sim = Sim::new();
+        let m = Metrics::new();
+        let ts = Sampler::new();
+        ts.enable(Duration::from_millis(1), 100);
+        ts.track_counter("x");
+        ts.spawn_driver(&sim, &m);
+        let ts2 = ts.clone();
+        sim.schedule(Duration::from_micros(2500), move || ts2.disable());
+        let end = sim.run();
+        // Two full windows close before the disable lands mid-third-window.
+        assert_eq!(ts.len(), 2);
+        assert!(end.as_nanos() <= 3_000_000);
+    }
+}

@@ -261,7 +261,14 @@ impl Tracer {
     pub fn export_chrome_trace(&self) -> String {
         let events = self.events();
         let mut out = String::with_capacity(events.len() * 128 + 64);
-        out.push_str("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [");
+        // `evicted` in the top-level metadata records how many events the
+        // ring dropped, so a truncated trace is never silently misread as
+        // the whole story.
+        let _ = write!(
+            out,
+            "{{\"displayTimeUnit\": \"ns\", \"evicted\": {}, \"traceEvents\": [",
+            self.evicted()
+        );
         for (i, ev) in events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -453,8 +460,21 @@ mod tests {
         assert!(json.contains("\"ph\": \"i\""));
         assert!(json.contains("\"ph\": \"X\""));
         assert!(json.contains("\"dur\": 1.500"));
+        assert!(json.contains("\"evicted\": 0"));
         // Deterministic: exporting twice is byte-identical.
         assert_eq!(json, t.export_chrome_trace());
+    }
+
+    #[test]
+    fn chrome_export_reports_evictions() {
+        let sim = Sim::new();
+        let t = sim.tracer();
+        t.enable(2);
+        for i in 0..5 {
+            t.instant("test", "tick", i, i);
+        }
+        let json = t.export_chrome_trace();
+        assert!(json.contains("\"evicted\": 3"));
     }
 
     #[test]
