@@ -16,8 +16,7 @@
 
 use std::process::ExitCode;
 
-use bench::diff::{diff_reports, DiffOptions};
-use bench::json;
+use bench::diff::{diff_reports, load_report, DiffOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -68,17 +67,17 @@ fn run_diff(args: &[String]) -> ExitCode {
     let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
         return usage();
     };
-    let baseline = match load(&baseline_path) {
+    let baseline = match load_report("baseline", &baseline_path) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("bench diff: {baseline_path}: {e}");
+            eprintln!("bench diff: {e}");
             return ExitCode::from(2);
         }
     };
-    let current = match load(&current_path) {
+    let current = match load_report("current", &current_path) {
         Ok(doc) => doc,
         Err(e) => {
-            eprintln!("bench diff: {current_path}: {e}");
+            eprintln!("bench diff: {e}");
             return ExitCode::from(2);
         }
     };
@@ -100,9 +99,4 @@ fn run_diff(args: &[String]) -> ExitCode {
         println!("  {}: {}", f.path, f.detail);
     }
     ExitCode::FAILURE
-}
-
-fn load(path: &str) -> Result<json::Json, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    json::parse(&text)
 }

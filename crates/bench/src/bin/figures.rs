@@ -11,8 +11,9 @@
 //! ```
 //!
 //! `--json` writes per-experiment tables plus structured extras (E3 gains a
-//! per-layer READ-latency attribution, E13 a per-window fault/repair
-//! timeline) to `BENCH_<runid>.json`. `--trace`
+//! per-layer READ-latency attribution, E12/E13 a per-op cost ledger, E13 a
+//! per-window fault/repair timeline) to `BENCH_<runid>.json`, and the
+//! wall-clock cost of each experiment to `SELFTIME_<runid>.json`. `--trace`
 //! runs a traced cluster lifecycle and writes Chrome trace-event JSON
 //! loadable in Perfetto / `chrome://tracing`. The run id defaults to the
 //! Unix timestamp; pass `--runid` to pin it.
@@ -88,11 +89,20 @@ fn main() {
     }
 
     if json_mode {
-        let doc = report::bench_report(&ids, &run_id).render();
+        let (report, selftime) = report::bench_report_timed(&ids, &run_id);
+        let doc = report.render();
         json::validate(&doc).expect("bench report must be valid JSON");
         let path = format!("BENCH_{run_id}.json");
         std::fs::write(&path, &doc).expect("write bench report");
         eprintln!("[wrote {path}]");
+        // Host-CPU cost per experiment goes to a companion file: wall-clock
+        // is nondeterministic, and BENCH_*.json must stay byte-identical
+        // across same-seed runs.
+        let st_doc = selftime.render();
+        json::validate(&st_doc).expect("selftime report must be valid JSON");
+        let st_path = format!("SELFTIME_{run_id}.json");
+        std::fs::write(&st_path, &st_doc).expect("write selftime report");
+        eprintln!("[wrote {st_path}]");
         return;
     }
 

@@ -24,6 +24,14 @@ const EXACT_KEYS: [&str; 5] = [
     "value_errors",
 ];
 
+/// Path suffixes compared exactly, regardless of tolerance. Clean-path RTT
+/// counts are design invariants, not performance numbers: a warm KV get
+/// growing from 1 to 2 round trips is a 100% latency regression that a
+/// relative tolerance of 25% — or even 99% — would wave through. Only the
+/// median is pinned: fault-era maxima legitimately wander with retry
+/// schedules, but the typical op's posting-round count is an API contract.
+const EXACT_SUFFIXES: [&str; 1] = ["rtts_per_op.p50"];
+
 /// Subtree keys excluded from comparison wherever they appear.
 const SKIPPED_KEYS: [&str; 2] = ["tables", "run_id"];
 
@@ -67,6 +75,33 @@ pub struct Finding {
     pub path: String,
     /// Human-readable description of the divergence.
     pub detail: String,
+}
+
+/// Loads one side of a comparison, turning the usual operator mistakes —
+/// wrong path, truncated export, stale artifact — into a one-line error
+/// that names the file and says what to do about it.
+///
+/// # Errors
+///
+/// A human-readable message naming `path` when the file is missing,
+/// unreadable, empty, or not valid JSON.
+pub fn load_report(role: &str, path: &str) -> Result<Json, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(format!(
+                "{role} report {path} not found \
+                 (generate it with `figures --json --runid <id> all`)"
+            ));
+        }
+        Err(e) => return Err(format!("{role} report {path} unreadable: {e}")),
+    };
+    if text.trim().is_empty() {
+        return Err(format!(
+            "{role} report {path} is empty (the export was interrupted?)"
+        ));
+    }
+    crate::json::parse(&text).map_err(|e| format!("{role} report {path} is not valid JSON: {e}"))
 }
 
 /// Compares two bench reports and returns every finding, in document order.
@@ -184,6 +219,18 @@ fn compare_numbers(path: &str, b: &str, c: &str, opts: &DiffOptions, out: &mut V
                 out,
                 path,
                 format!("correctness counter changed: baseline {b} vs current {c}"),
+            );
+        }
+        return;
+    }
+    if EXACT_SUFFIXES.iter().any(|s| path.ends_with(s)) {
+        if bv != cv {
+            push(
+                out,
+                path,
+                format!(
+                    "cost invariant changed: baseline {b} vs current {c} (exact match required)"
+                ),
             );
         }
         return;
@@ -312,6 +359,78 @@ mod tests {
         let findings = diff_reports(&missing, &base, &DiffOptions::default());
         assert_eq!(findings.len(), 1);
         assert!(findings[0].detail.contains("not in baseline"));
+    }
+
+    fn ops_doc(rtts_p50: u64) -> Json {
+        Json::obj([(
+            "experiments".to_string(),
+            Json::obj([(
+                "e12".to_string(),
+                Json::obj([(
+                    "ops".to_string(),
+                    Json::obj([(
+                        "per_op".to_string(),
+                        Json::Arr(vec![Json::obj([
+                            ("op".to_string(), Json::str("get")),
+                            (
+                                "rtts_per_op".to_string(),
+                                Json::obj([
+                                    ("p50".to_string(), Json::int(rtts_p50)),
+                                    ("max".to_string(), Json::int(rtts_p50 + 1)),
+                                ]),
+                            ),
+                        ])]),
+                    )]),
+                )]),
+            )]),
+        )])
+    }
+
+    #[test]
+    fn clean_path_rtt_p50_is_compared_exactly() {
+        // 1 -> 2 RTTs is only 50% relative drift, but the suffix rule must
+        // flag it even under an arbitrarily loose tolerance.
+        let base = ops_doc(1);
+        let regressed = ops_doc(2);
+        let loose = DiffOptions {
+            tolerance: 10.0,
+            overrides: Vec::new(),
+        };
+        let findings = diff_reports(&base, &regressed, &loose);
+        assert_eq!(findings.len(), 1, "findings: {findings:?}");
+        assert_eq!(
+            findings[0].path,
+            "experiments.e12.ops.per_op[0].rtts_per_op.p50"
+        );
+        assert!(findings[0].detail.contains("cost invariant"));
+        // The max leaf drifted too (2 -> 3) but stays within tolerance: only
+        // the median is pinned.
+        assert_eq!(diff_reports(&base, &base, &loose), vec![]);
+    }
+
+    #[test]
+    fn load_report_errors_name_the_file() {
+        let err = load_report("baseline", "/nonexistent/BENCH_seed.json")
+            .expect_err("missing file must fail");
+        assert!(err.contains("/nonexistent/BENCH_seed.json"), "{err}");
+        assert!(err.contains("not found"), "{err}");
+        assert!(err.contains("baseline"), "{err}");
+
+        let dir = std::env::temp_dir().join("rstore_diff_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let empty = dir.join("empty.json");
+        std::fs::write(&empty, "  \n").expect("write");
+        let err = load_report("current", empty.to_str().unwrap()).expect_err("empty must fail");
+        assert!(err.contains("is empty"), "{err}");
+
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{ not json").expect("write");
+        let err = load_report("current", bad.to_str().unwrap()).expect_err("bad json must fail");
+        assert!(err.contains("not valid JSON"), "{err}");
+
+        let good = dir.join("good.json");
+        std::fs::write(&good, "{\"schema\": \"x\"}").expect("write");
+        load_report("current", good.to_str().unwrap()).expect("valid file must load");
     }
 
     #[test]

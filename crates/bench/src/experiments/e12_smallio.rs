@@ -15,7 +15,10 @@
 //! tables and JSON.
 
 use rdma::DmaBuf;
-use rstore::{AllocOptions, ClientConfig, Cluster, ClusterConfig, RStoreClient, Region};
+use rstore::{
+    AllocOptions, ClientConfig, Cluster, ClusterConfig, KvConfig, KvTable, RStoreClient, Region,
+};
+use sim::OpSummary;
 
 use crate::table::{fmt_bytes, Table};
 
@@ -207,6 +210,124 @@ fn measure_size(size: u64) -> (SizeStats, u64) {
     })
 }
 
+/// Keys in the per-op cost profile's KV phase.
+const PROFILE_KEYS: u64 = 32;
+
+/// Per-op cost attribution for one representative burst of every data-path
+/// op type, measured with the client's [`sim::OpLedger`] enabled.
+///
+/// Derived from the same deterministic simulation as the throughput arms
+/// but on its own fresh cluster, so enabling the ledger cannot perturb the
+/// timed runs. All-integer ([`OpSummary`] is `Eq`), so two seeded runs must
+/// produce an identical profile — the report test asserts it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpsProfile {
+    /// One row per op type, lexicographic (`cas`, `get`, `multi_get`, …).
+    pub ops: Vec<OpSummary>,
+}
+
+impl OpsProfile {
+    fn row(&self, op: &str) -> &OpSummary {
+        self.ops
+            .iter()
+            .find(|s| s.op == op)
+            .expect("profiled op type")
+    }
+
+    /// Whether the batched `multi_get` rang fewer doorbells than it looked
+    /// up keys — the whole point of doorbell-batched multi-key reads.
+    pub fn multi_get_doorbells_lt_one(&self) -> bool {
+        let s = self.row("multi_get");
+        s.doorbells_total < s.units
+    }
+}
+
+/// Runs the ledger-enabled op burst and summarises its cost attribution.
+pub fn ops_profile() -> OpsProfile {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 1,
+        ..ClusterConfig::with_servers(4)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    let ops = sim.block_on(async move {
+        let dev = cluster.client_devs[0].clone();
+        let client = cluster
+            .client_with(
+                0,
+                ClientConfig {
+                    ledger: true,
+                    ..ClientConfig::default()
+                },
+            )
+            .await
+            .expect("client");
+
+        // Plain region: write, per-op reads, one batched posting round.
+        let opts = AllocOptions {
+            stripe_size: 64 << 10,
+            ..AllocOptions::default()
+        };
+        let region = client.alloc("e12ops", 1 << 20, opts).await.expect("alloc");
+        let fill = pattern(0, 256 << 10);
+        region.write(0, &fill).await.expect("write");
+        for op in 0..8u64 {
+            region.read(op * (4 << 10), 4 << 10).await.expect("read");
+        }
+        let batch_buf = dev.alloc(BATCH * (4 << 10)).expect("buf");
+        let ios: Vec<(u64, DmaBuf)> = (0..BATCH)
+            .map(|i| (i * (4 << 10), batch_buf.slice(i * (4 << 10), 4 << 10)))
+            .collect();
+        region.read_into_many(&ios).await.expect("read_many");
+        dev.free(batch_buf).expect("free");
+
+        // Checksummed region: verified write and read (`write_ck`/`read_ck`).
+        let ck_opts = AllocOptions {
+            stripe_size: 16 << 10,
+            checksums: true,
+            ..AllocOptions::default()
+        };
+        let ck = client
+            .alloc("e12opsck", 256 << 10, ck_opts)
+            .await
+            .expect("alloc ck");
+        ck.write(0, &fill[..128 << 10]).await.expect("write ck");
+        ck.read(0, 128 << 10).await.expect("read ck");
+
+        // KV: puts, warm gets, one batched multi_get, deletes.
+        let cfg = KvConfig {
+            buckets: 4096,
+            slot_bytes: 256,
+            max_probe: 64,
+            opts: AllocOptions {
+                stripe_size: 128 << 10,
+                ..AllocOptions::default()
+            },
+        };
+        let table = KvTable::create(&client, "e12kv", cfg)
+            .await
+            .expect("create");
+        let keys: Vec<Vec<u8>> = (0..PROFILE_KEYS)
+            .map(|k| format!("op{k:03}").into_bytes())
+            .collect();
+        for key in &keys {
+            table.put(key, b"profiled-value").await.expect("put");
+        }
+        for key in &keys[..8] {
+            table.get(key).await.expect("get");
+        }
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let got = table.multi_get(&refs).await.expect("multi_get");
+        assert!(got.iter().all(|v| v.is_some()), "profiled keys must exist");
+        for key in &keys[..4] {
+            table.delete(key).await.expect("delete");
+        }
+
+        sim::ledger::summarize(&dev.metrics())
+    });
+    OpsProfile { ops }
+}
+
 /// Compares `len` bytes of local memory at `addr` against the pattern for
 /// region offset `off`; returns 1 on mismatch.
 fn verify(region: &Region, addr: u64, off: u64, len: u64) -> u64 {
@@ -295,5 +416,50 @@ mod tests {
                 s.size
             );
         }
+    }
+
+    #[test]
+    fn ops_profile_is_deterministic_and_batched() {
+        let a = ops_profile();
+        let names: Vec<&str> = a.ops.iter().map(|s| s.op.as_str()).collect();
+        for op in [
+            "cas",
+            "delete",
+            "get",
+            "multi_get",
+            "put",
+            "read",
+            "read_ck",
+            "read_many",
+            "write",
+            "write_ck",
+        ] {
+            assert!(names.contains(&op), "profile missing op type {op:?}");
+        }
+
+        // Clean-path cost invariants, asserted on ledger counts rather than
+        // timing: a warm first-probe get is exactly one posting round, a
+        // clean put is probe + CAS + body + unlock, and the batched
+        // multi_get amortises its doorbells across keys.
+        let get = a.row("get");
+        assert_eq!((get.rtts_p50, get.rtts_max), (1, 1), "warm get RTTs");
+        assert_eq!(get.retries + get.failovers, 0, "warm gets must be clean");
+        let put = a.row("put");
+        assert_eq!((put.rtts_p50, put.rtts_max), (4, 4), "clean put RTTs");
+        let mg = a.row("multi_get");
+        assert_eq!(mg.units, PROFILE_KEYS, "multi_get must cover every key");
+        assert!(
+            a.multi_get_doorbells_lt_one(),
+            "multi_get rang {} doorbells for {} keys",
+            mg.doorbells_total,
+            mg.units
+        );
+        for s in &a.ops {
+            assert_eq!(s.verify_failures, 0, "{}: clean run verify failures", s.op);
+            assert!(s.bytes_total > 0, "{}: ops must move wire bytes", s.op);
+        }
+
+        let b = ops_profile();
+        assert_eq!(a, b, "seeded op profile must be identical across runs");
     }
 }

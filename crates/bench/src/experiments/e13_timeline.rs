@@ -20,7 +20,7 @@ use rstore::{
     AllocOptions, ClientConfig, Cluster, ClusterConfig, KvConfig, KvTable, MasterConfig,
     RStoreClient, RegionState, ServerConfig,
 };
-use sim::{DetRng, Sampler, Window};
+use sim::{DetRng, OpSummary, Sampler, Window};
 
 use crate::table::{fmt_dur, Table};
 
@@ -64,6 +64,11 @@ pub struct TimelineStats {
     pub window_ns: u64,
     /// Whether the final lookup after the episode reported `Healthy`.
     pub healthy_after_repair: bool,
+    /// Per-op cost attribution for the whole episode (ledger-enabled
+    /// client): RTTs/doorbells/bytes per op plus retry and failover totals.
+    /// Unlike E12's clean-path profile, this one crosses a server crash, so
+    /// the retry/failover columns are the episode's fingerprint.
+    pub ops: Vec<OpSummary>,
 }
 
 impl TimelineStats {
@@ -166,9 +171,16 @@ pub fn measure() -> TimelineStats {
     let m = metrics.clone();
     let (ops_total, io_errors, value_errors, abandoned, healthy) = sim.block_on(async move {
         let sim = s;
-        let client = RStoreClient::connect_with(&devs[0], master, ClientConfig::default())
-            .await
-            .expect("connect");
+        let client = RStoreClient::connect_with(
+            &devs[0],
+            master,
+            ClientConfig {
+                ledger: true,
+                ..ClientConfig::default()
+            },
+        )
+        .await
+        .expect("connect");
         let cfg = KvConfig {
             buckets: 1024,
             slot_bytes: SLOT_BYTES,
@@ -295,6 +307,7 @@ pub fn measure() -> TimelineStats {
         kill_ns: KILL_AT.as_nanos() as u64,
         window_ns: WINDOW.as_nanos() as u64,
         healthy_after_repair: healthy,
+        ops: sim::ledger::summarize(&metrics),
     }
 }
 
@@ -381,6 +394,15 @@ mod tests {
             a.recovery_p99(),
             pre
         );
+
+        // The op ledger must carry the episode's fingerprint: KV traffic
+        // shows up as op rows, and the crash era surfaces as retries or
+        // failovers somewhere in the attribution.
+        let names: Vec<&str> = a.ops.iter().map(|s| s.op.as_str()).collect();
+        assert!(names.contains(&"get"), "ledger must see gets");
+        assert!(names.contains(&"put"), "ledger must see puts");
+        let disturbed: u64 = a.ops.iter().map(|s| s.retries + s.failovers).sum();
+        assert!(disturbed > 0, "the kill must be visible in the op ledger");
 
         let b = measure();
         assert_eq!(a, b, "same seed must reproduce an identical timeline");

@@ -13,9 +13,11 @@ use crate::experiments::e12_smallio;
 use crate::experiments::e13_timeline;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
+use crate::selftime::SelfTime;
 use crate::table::Table;
 
 use rstore::{AllocOptions, Cluster, ClusterConfig};
+use sim::OpSummary;
 
 /// Serialises one result table: headers, rows and notes verbatim.
 pub fn table_json(t: &Table) -> Json {
@@ -39,6 +41,62 @@ pub fn table_json(t: &Table) -> Json {
             Json::Arr(t.notes.iter().map(Json::str).collect()),
         ),
     ])
+}
+
+fn per_op_hist_json(p50: u64, p99: u64, max: u64, total: u64) -> Json {
+    Json::obj([
+        ("p50".to_string(), Json::int(p50)),
+        ("p99".to_string(), Json::int(p99)),
+        ("max".to_string(), Json::int(max)),
+        ("total".to_string(), Json::int(total)),
+    ])
+}
+
+/// Serialises a per-op cost attribution (one object per op type, in the
+/// summaries' deterministic order). RTT counts are load-bearing: the diff
+/// gate compares every `rtts_per_op.p50` exactly, so a clean-path op
+/// growing a posting round fails CI regardless of tolerance.
+pub fn ops_json(ops: &[OpSummary]) -> Json {
+    Json::Arr(
+        ops.iter()
+            .map(|s| {
+                Json::obj([
+                    ("op".to_string(), Json::str(&s.op)),
+                    ("count".to_string(), Json::int(s.count)),
+                    ("units".to_string(), Json::int(s.units)),
+                    (
+                        "rtts_per_op".to_string(),
+                        per_op_hist_json(s.rtts_p50, s.rtts_p99, s.rtts_max, s.rtts_total),
+                    ),
+                    (
+                        "doorbells_per_op".to_string(),
+                        per_op_hist_json(
+                            s.doorbells_p50,
+                            s.doorbells_p99,
+                            s.doorbells_max,
+                            s.doorbells_total,
+                        ),
+                    ),
+                    (
+                        "bytes_per_op".to_string(),
+                        per_op_hist_json(s.bytes_p50, s.bytes_p99, s.bytes_max, s.bytes_total),
+                    ),
+                    ("retries".to_string(), Json::int(s.retries)),
+                    ("failovers".to_string(), Json::int(s.failovers)),
+                    ("verify_failures".to_string(), Json::int(s.verify_failures)),
+                    (
+                        "time_ns".to_string(),
+                        Json::obj([
+                            ("client".to_string(), Json::int(s.client_ns)),
+                            ("post".to_string(), Json::int(s.post_ns)),
+                            ("wire".to_string(), Json::int(s.wire_ns)),
+                            ("server".to_string(), Json::int(s.server_ns)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn layer_stat_json(s: &LayerStat) -> Json {
@@ -192,6 +250,17 @@ pub fn experiment_json(id: &str) -> Json {
                 ),
             ]),
         ));
+        let profile = e12_smallio::ops_profile();
+        fields.push((
+            "ops".to_string(),
+            Json::obj([
+                ("per_op".to_string(), ops_json(&profile.ops)),
+                (
+                    "multi_get_doorbells_lt_one".to_string(),
+                    Json::Bool(profile.multi_get_doorbells_lt_one()),
+                ),
+            ]),
+        ));
     }
     if id == "e13" {
         let s = e13_timeline::measure();
@@ -244,23 +313,38 @@ pub fn experiment_json(id: &str) -> Json {
                 ("windows".to_string(), Json::Arr(windows)),
             ]),
         ));
+        fields.push((
+            "ops".to_string(),
+            Json::obj([("per_op".to_string(), ops_json(&s.ops))]),
+        ));
     }
     Json::obj(fields)
 }
 
 /// Builds the full `BENCH_*.json` document for a set of experiment ids.
 pub fn bench_report(ids: &[&str], run_id: &str) -> Json {
-    Json::obj([
+    bench_report_timed(ids, run_id).0
+}
+
+/// Like [`bench_report`], but also collects the wall-clock cost of each
+/// experiment into a [`SelfTime`] series (the `SELFTIME_<runid>.json`
+/// companion document). The bench document itself stays deterministic —
+/// host-CPU time never leaks into it.
+pub fn bench_report_timed(ids: &[&str], run_id: &str) -> (Json, Json) {
+    let mut selftime = SelfTime::new();
+    let mut experiments = Vec::with_capacity(ids.len());
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let doc = experiment_json(id);
+        selftime.record(id, t0.elapsed().as_nanos() as u64);
+        experiments.push(((*id).to_string(), doc));
+    }
+    let report = Json::obj([
         ("schema".to_string(), Json::str("rstore-bench-v1")),
         ("run_id".to_string(), Json::str(run_id)),
-        (
-            "experiments".to_string(),
-            Json::obj(
-                ids.iter()
-                    .map(|id| ((*id).to_string(), experiment_json(id))),
-            ),
-        ),
-    ])
+        ("experiments".to_string(), Json::obj(experiments)),
+    ]);
+    (report, selftime.to_json(run_id))
 }
 
 /// Runs a representative cluster lifecycle (boot, alloc, write, read, grow,
@@ -311,6 +395,11 @@ mod tests {
         validate(&a).expect("e13 report must be valid JSON");
         assert!(a.contains("\"timeline\""));
         assert!(a.contains("\"e13.op_latency_us\""));
+        // The per-op cost ledger must be in the export, with the RTT series
+        // the diff gate pins exactly.
+        assert!(a.contains("\"ops\""));
+        assert!(a.contains("\"rtts_per_op\""));
+        assert!(a.contains("\"doorbells_per_op\""));
         let b = experiment_json("e13").render();
         assert_eq!(a, b, "seeded timeline export must be byte-identical");
     }

@@ -1,4 +1,5 @@
-//! Minimal self-timing harness for the `benches/` targets.
+//! Minimal self-timing harness for the `benches/` targets, plus the
+//! host-CPU per-experiment series exported by `figures --json`.
 //!
 //! The workspace builds without crates.io dependencies, so the benches are
 //! plain `harness = false` binaries that time their kernel with
@@ -6,8 +7,53 @@
 //! iteration. These track the *real-time* cost of the simulator engine;
 //! the experiments themselves are measured in deterministic virtual time
 //! by the `figures` binary.
+//!
+//! [`SelfTime`] collects how much *wall-clock* time each experiment cost
+//! the host while a report was built. Wall-clock is nondeterministic, so
+//! the series is written to its own `SELFTIME_<runid>.json` — never into
+//! `BENCH_*.json`, whose byte-identity across same-seed runs is asserted
+//! by CI.
 
 use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Host-CPU (wall-clock) cost per experiment of building one report.
+#[derive(Clone, Debug, Default)]
+pub struct SelfTime {
+    entries: Vec<(String, u64)>,
+}
+
+impl SelfTime {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one experiment's wall-clock cost, in document order.
+    pub fn record(&mut self, id: &str, wall_ns: u64) {
+        self.entries.push((id.to_string(), wall_ns));
+    }
+
+    /// Renders the `rstore-selftime-v1` document.
+    pub fn to_json(&self, run_id: &str) -> Json {
+        let total: u64 = self.entries.iter().map(|(_, ns)| *ns).sum();
+        Json::obj([
+            ("schema".to_string(), Json::str("rstore-selftime-v1")),
+            ("run_id".to_string(), Json::str(run_id)),
+            (
+                "experiments".to_string(),
+                Json::obj(self.entries.iter().map(|(id, ns)| {
+                    (
+                        id.clone(),
+                        Json::obj([("wall_ns".to_string(), Json::int(*ns))]),
+                    )
+                })),
+            ),
+            ("total_wall_ns".to_string(), Json::int(total)),
+        ])
+    }
+}
 
 /// Times `iters` runs of `body` (after one untimed warmup) and prints a
 /// one-line summary.
@@ -27,4 +73,21 @@ pub fn bench(name: &str, iters: u32, mut body: impl FnMut()) {
     println!(
         "{name:<28} iters={iters:<3} min={min:>12.3?} median={median:>12.3?} mean={mean:>12.3?}"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selftime_document_is_valid_and_totals_entries() {
+        let mut st = SelfTime::new();
+        st.record("e1", 100);
+        st.record("e2", 250);
+        let doc = st.to_json("test").render();
+        crate::json::validate(&doc).expect("selftime must render valid JSON");
+        assert!(doc.contains("rstore-selftime-v1"), "{doc}");
+        assert!(doc.contains("\"wall_ns\": 100"), "{doc}");
+        assert!(doc.contains("\"total_wall_ns\": 350"), "{doc}");
+    }
 }

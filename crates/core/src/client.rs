@@ -40,6 +40,12 @@ pub struct ClientConfig {
     /// while preserving per-stripe failover semantics and the first-failing-
     /// stripe error.
     pub pipeline_depth: usize,
+    /// Enables per-operation cost ledgers ([`sim::OpLedger`]): every
+    /// logical op (`get`/`put`/`read`/`write_ck`/…) records its round
+    /// trips, doorbells, wire bytes, retries/failovers and per-layer time
+    /// split under the `ops.*` metrics namespace. Off by default; a
+    /// disabled ledger costs one branch per charge and allocates nothing.
+    pub ledger: bool,
 }
 
 impl Default for ClientConfig {
@@ -49,6 +55,7 @@ impl Default for ClientConfig {
             redial_backoff_max: Duration::from_millis(100),
             io_grace: Duration::from_millis(100),
             pipeline_depth: 8,
+            ledger: false,
         }
     }
 }

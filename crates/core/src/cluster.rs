@@ -6,7 +6,7 @@ use fabric::{Fabric, FabricConfig, NodeId};
 use rdma::{NetMsg, RdmaConfig, RdmaDevice};
 use sim::Sim;
 
-use crate::client::RStoreClient;
+use crate::client::{ClientConfig, RStoreClient};
 use crate::error::Result;
 use crate::master::{Master, MasterConfig};
 use crate::server::{MemServer, ServerConfig};
@@ -140,5 +140,19 @@ impl Cluster {
     /// Panics if `i` is out of range.
     pub async fn client(&self, i: usize) -> Result<RStoreClient> {
         RStoreClient::connect(&self.client_devs[i], self.master.node()).await
+    }
+
+    /// Connects client machine `i` with an explicit [`ClientConfig`] (e.g.
+    /// to enable per-op cost ledgers).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub async fn client_with(&self, i: usize, cfg: ClientConfig) -> Result<RStoreClient> {
+        RStoreClient::connect_with(&self.client_devs[i], self.master.node(), cfg).await
     }
 }

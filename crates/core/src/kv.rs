@@ -47,6 +47,7 @@
 //! no owner, wedging every later writer that hashes to it.
 
 use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RemoteAddr};
+use sim::OpLedger;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -278,6 +279,15 @@ impl KvTable {
     /// IO failures (including a bounded lock wait that times out);
     /// [`RStoreError::Protocol`] if the key exceeds the slot.
     pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let ledger = self.region.op_ledger("get");
+        let result = self.get_l(key, &ledger).await;
+        self.region.finish_ledger(&ledger);
+        result
+    }
+
+    /// [`get`](Self::get) charging an existing ledger (used by `multi_get`
+    /// fallbacks so chained probes stay attributed to the batch op).
+    async fn get_l(&self, key: &[u8], ledger: &OpLedger) -> Result<Option<Vec<u8>>> {
         self.check_key(key)?;
         let start = hash_key(key) & self.mask;
         let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
@@ -288,7 +298,7 @@ impl KvTable {
                 // (no staging alloc/free per probe) and peek the version
                 // word; the full parse below reads the same snapshot.
                 self.region
-                    .read_into(slot * self.slot_bytes, self.probe_buf)
+                    .read_into_l(slot * self.slot_bytes, self.probe_buf, ledger)
                     .await?;
                 if self.dev.read_u64(self.probe_buf.addr)? % 2 == 0 {
                     break;
@@ -296,6 +306,7 @@ impl KvTable {
                 // Locked by a writer: brief virtual backoff, retry. Bounded
                 // so a lock orphaned by a crashed writer surfaces as an IO
                 // error rather than an infinite spin.
+                ledger.retry();
                 self.lock_wait(deadline).await?;
             }
             let mut img = self.probe_scratch.borrow_mut();
@@ -330,9 +341,12 @@ impl KvTable {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
+        let ledger = self.region.op_ledger("multi_get");
+        ledger.set_units(keys.len() as u64);
         let staging = self.dev.alloc(self.slot_bytes * keys.len() as u64)?;
-        let result = self.multi_get_staged(keys, staging).await;
+        let result = self.multi_get_staged(keys, staging, &ledger).await;
         let _ = self.dev.free(staging);
+        self.region.finish_ledger(&ledger);
         result
     }
 
@@ -340,6 +354,7 @@ impl KvTable {
         &self,
         keys: &[&[u8]],
         staging: DmaBuf,
+        ledger: &OpLedger,
     ) -> Result<Vec<Option<Vec<u8>>>> {
         let mut ios = Vec::with_capacity(keys.len());
         for (i, key) in keys.iter().enumerate() {
@@ -349,7 +364,7 @@ impl KvTable {
                 staging.slice(i as u64 * self.slot_bytes, self.slot_bytes),
             ));
         }
-        self.region.read_into_many(&ios).await?;
+        self.region.read_into_many_l(&ios, ledger).await?;
         let mut out = Vec::with_capacity(keys.len());
         for (i, key) in keys.iter().enumerate() {
             let img = self
@@ -357,8 +372,9 @@ impl KvTable {
                 .read_mem(staging.addr + i as u64 * self.slot_bytes, self.slot_bytes)?;
             let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
             if version % 2 == 1 {
-                // Locked by a writer mid-batch: take the retrying path.
-                out.push(self.get(key).await?);
+                // Locked by a writer mid-batch: take the retrying path,
+                // charged to the batch op.
+                out.push(self.get_l(key, ledger).await?);
                 continue;
             }
             match Self::parse_slot(&img, key) {
@@ -366,7 +382,7 @@ impl KvTable {
                 SlotView::Hit(v) => out.push(Some(v)),
                 // Tombstone or a colliding entry: the answer lives further
                 // down the probe chain.
-                SlotView::Tombstone | SlotView::Other => out.push(self.get(key).await?),
+                SlotView::Tombstone | SlotView::Other => out.push(self.get_l(key, ledger).await?),
             }
         }
         Ok(out)
@@ -407,6 +423,13 @@ impl KvTable {
                 self.slot_bytes - HDR_BYTES
             )));
         }
+        let ledger = self.region.op_ledger("put");
+        let result = self.put_l(key, value, &ledger).await;
+        self.region.finish_ledger(&ledger);
+        result
+    }
+
+    async fn put_l(&self, key: &[u8], value: &[u8], ledger: &OpLedger) -> Result<()> {
         let start = hash_key(key) & self.mask;
         let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
         'retry: loop {
@@ -417,7 +440,7 @@ impl KvTable {
                 let slot = (start + probe) & self.mask;
                 let bytes = self
                     .region
-                    .read(slot * self.slot_bytes, self.slot_bytes)
+                    .read_l(slot * self.slot_bytes, self.slot_bytes, ledger)
                     .await?;
                 let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
                 let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
@@ -438,6 +461,7 @@ impl KvTable {
                     // Locked: a writer is mutating this slot. If it could be
                     // our key, retry the whole operation after a bounded
                     // backoff.
+                    ledger.retry();
                     self.lock_wait(deadline).await?;
                     continue 'retry;
                 }
@@ -452,14 +476,16 @@ impl KvTable {
             // retries; an ambiguous CAS (IO error) is resolved by read-back
             // before the error surfaces, so it can never orphan the lock.
             let lock = lock_word(version, next_nonce());
-            let won = match self.cas_version(slot, version, lock).await {
+            let won = match self.cas_version(slot, version, lock, ledger).await {
                 Ok(w) => w,
                 Err(e) => {
-                    self.recover_ambiguous_cas(slot, version, lock).await;
+                    self.recover_ambiguous_cas(slot, version, lock, ledger)
+                        .await;
                     return Err(e);
                 }
             };
             if !won {
+                ledger.retry();
                 self.lock_wait(deadline).await?;
                 continue 'retry;
             }
@@ -471,10 +497,10 @@ impl KvTable {
             body.extend_from_slice(&[0u8; 4]);
             body.extend_from_slice(key);
             body.extend_from_slice(value);
-            if let Err(e) = self.write_and_unlock(slot, version, &body).await {
+            if let Err(e) = self.write_and_unlock(slot, version, &body, ledger).await {
                 // The op was never acknowledged: abort the slot so the lock
                 // is not orphaned on the replicas that are still reachable.
-                self.abort_locked_slot(slot, version).await;
+                self.abort_locked_slot(slot, version, ledger).await;
                 return Err(e);
             }
             return Ok(());
@@ -495,10 +521,18 @@ impl KvTable {
 
     /// Writes a locked slot's body, then releases the lock by writing
     /// `version + 2`.
-    async fn write_and_unlock(&self, slot: u64, version: u64, body: &[u8]) -> Result<()> {
-        self.region.write(slot * self.slot_bytes + 8, body).await?;
+    async fn write_and_unlock(
+        &self,
+        slot: u64,
+        version: u64,
+        body: &[u8],
+        ledger: &OpLedger,
+    ) -> Result<()> {
         self.region
-            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+            .write_l(slot * self.slot_bytes + 8, body, ledger)
+            .await?;
+        self.region
+            .write_l(slot * self.slot_bytes, &(version + 2).to_le_bytes(), ledger)
             .await
     }
 
@@ -508,14 +542,14 @@ impl KvTable {
     /// mutation's IO failed mid-flight — the caller surfaces that error, and
     /// errors here are deliberately swallowed (the servers still reachable
     /// get unlocked; repair rebuilds the rest from them).
-    async fn abort_locked_slot(&self, slot: u64, version: u64) {
+    async fn abort_locked_slot(&self, slot: u64, version: u64, ledger: &OpLedger) {
         let _ = self
             .region
-            .write(slot * self.slot_bytes + 8, &[0u8; 4])
+            .write_l(slot * self.slot_bytes + 8, &[0u8; 4], ledger)
             .await;
         let _ = self
             .region
-            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+            .write_l(slot * self.slot_bytes, &(version + 2).to_le_bytes(), ledger)
             .await;
     }
 
@@ -526,13 +560,13 @@ impl KvTable {
     /// have produced exactly `lock`, so seeing it proves ownership and the
     /// slot is aborted; any other value means the swap lost or another
     /// writer holds a lock that its owner will release.
-    async fn recover_ambiguous_cas(&self, slot: u64, version: u64, lock: u64) {
-        let Ok(bytes) = self.region.read(slot * self.slot_bytes, 8).await else {
+    async fn recover_ambiguous_cas(&self, slot: u64, version: u64, lock: u64, ledger: &OpLedger) {
+        let Ok(bytes) = self.region.read_l(slot * self.slot_bytes, 8, ledger).await else {
             return;
         };
         let word = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
         if word == lock {
-            self.abort_locked_slot(slot, version).await;
+            self.abort_locked_slot(slot, version, ledger).await;
         }
     }
 
@@ -543,6 +577,13 @@ impl KvTable {
     /// IO failures (including a bounded lock wait that times out).
     pub async fn delete(&self, key: &[u8]) -> Result<bool> {
         self.check_key(key)?;
+        let ledger = self.region.op_ledger("delete");
+        let result = self.delete_l(key, &ledger).await;
+        self.region.finish_ledger(&ledger);
+        result
+    }
+
+    async fn delete_l(&self, key: &[u8], ledger: &OpLedger) -> Result<bool> {
         let start = hash_key(key) & self.mask;
         let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
         'retry: loop {
@@ -550,34 +591,37 @@ impl KvTable {
                 let slot = (start + probe) & self.mask;
                 let bytes = self
                     .region
-                    .read(slot * self.slot_bytes, self.slot_bytes)
+                    .read_l(slot * self.slot_bytes, self.slot_bytes, ledger)
                     .await?;
                 let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
                 if version == 0 {
                     return Ok(false);
                 }
                 if version % 2 == 1 {
+                    ledger.retry();
                     self.lock_wait(deadline).await?;
                     continue 'retry;
                 }
                 let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
                 if klen != 0 && &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
                     let lock = lock_word(version, next_nonce());
-                    let won = match self.cas_version(slot, version, lock).await {
+                    let won = match self.cas_version(slot, version, lock, ledger).await {
                         Ok(w) => w,
                         Err(e) => {
-                            self.recover_ambiguous_cas(slot, version, lock).await;
+                            self.recover_ambiguous_cas(slot, version, lock, ledger)
+                                .await;
                             return Err(e);
                         }
                     };
                     if !won {
+                        ledger.retry();
                         self.lock_wait(deadline).await?;
                         continue 'retry;
                     }
                     // Tombstone: klen = 0, then release; abort on IO failure
                     // so the lock is not orphaned.
-                    if let Err(e) = self.tombstone_and_unlock(slot, version).await {
-                        self.abort_locked_slot(slot, version).await;
+                    if let Err(e) = self.tombstone_and_unlock(slot, version, ledger).await {
+                        self.abort_locked_slot(slot, version, ledger).await;
                         return Err(e);
                     }
                     return Ok(true);
@@ -588,12 +632,12 @@ impl KvTable {
     }
 
     /// Tombstones a locked slot (klen = 0), then releases the lock.
-    async fn tombstone_and_unlock(&self, slot: u64, version: u64) -> Result<()> {
+    async fn tombstone_and_unlock(&self, slot: u64, version: u64, ledger: &OpLedger) -> Result<()> {
         self.region
-            .write(slot * self.slot_bytes + 8, &0u16.to_le_bytes())
+            .write_l(slot * self.slot_bytes + 8, &0u16.to_le_bytes(), ledger)
             .await?;
         self.region
-            .write(slot * self.slot_bytes, &(version + 2).to_le_bytes())
+            .write_l(slot * self.slot_bytes, &(version + 2).to_le_bytes(), ledger)
             .await
     }
 
@@ -605,8 +649,18 @@ impl KvTable {
     }
 
     /// One-sided CAS on a slot's version word; true if it won.
+    ///
+    /// Records its own `cas` op ledger (when enabled), then folds the costs
+    /// into `parent` so the enclosing put/delete still accounts for the
+    /// whole logical mutation.
     #[allow(clippy::await_holding_refcell_ref)] // single-threaded sim
-    async fn cas_version(&self, slot: u64, expect: u64, swap: u64) -> Result<bool> {
+    async fn cas_version(
+        &self,
+        slot: u64,
+        expect: u64,
+        swap: u64,
+        parent: &OpLedger,
+    ) -> Result<bool> {
         // Locate the extent holding the version word.
         let offset = slot * self.slot_bytes;
         let pieces = crate::layout::Layout::new(self.region.desc()).pieces(offset, 8)?;
@@ -635,18 +689,33 @@ impl KvTable {
             addr: extent.addr + piece.offset_in_stripe,
             rkey: rdma::RKey(extent.rkey),
         };
-        qp.post_cas(1, self.scratch.slice(0, 8), remote, expect, swap)?;
-        loop {
-            let cqe = self.atomic_cq.next().await;
-            if cqe.opcode == CqeOpcode::CompSwap {
-                if cqe.status != CqStatus::Success {
-                    return Err(RStoreError::Io(cqe.status));
-                }
-                break;
+        let cas_ledger = if parent.enabled() {
+            self.region.op_ledger("cas")
+        } else {
+            OpLedger::disabled()
+        };
+        let result = async {
+            {
+                let _scope = self.dev.ledger_scope(&cas_ledger);
+                qp.post_cas(1, self.scratch.slice(0, 8), remote, expect, swap)?;
             }
+            loop {
+                let cqe = self.atomic_cq.next().await;
+                if cqe.opcode == CqeOpcode::CompSwap {
+                    cas_ledger.rtt();
+                    if cqe.status != CqStatus::Success {
+                        return Err(RStoreError::Io(cqe.status));
+                    }
+                    break;
+                }
+            }
+            let old = self.dev.read_u64(self.scratch.addr)?;
+            Ok(old == expect)
         }
-        let old = self.dev.read_u64(self.scratch.addr)?;
-        Ok(old == expect)
+        .await;
+        self.region.finish_ledger(&cas_ledger);
+        parent.absorb(&cas_ledger);
+        result
     }
 }
 
@@ -784,6 +853,97 @@ mod tests {
                 doorbells < keys.len() as u64 / 2,
                 "48 first-probe misses rang {doorbells} doorbells — batching had no effect"
             );
+        });
+    }
+
+    #[test]
+    fn ledger_warm_path_rtt_invariants() {
+        // The communication-cost contract of the KV clean path, asserted via
+        // the op ledger (not timing): a first-probe GET hit is exactly one
+        // round trip and one doorbell; a multi_get of K first-probe hits is
+        // one posting round; a first-hole PUT is probe read + CAS + body
+        // write + unlock write = 4 RTTs.
+        let cluster = boot(1);
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster
+                .client_with(
+                    0,
+                    crate::client::ClientConfig {
+                        ledger: true,
+                        ..Default::default()
+                    },
+                )
+                .await
+                .unwrap();
+            let cfg = small_cfg();
+            let kv = KvTable::create(&client, "rtt", cfg).await.unwrap();
+            // Pick keys whose home slots are pairwise distinct, so every
+            // lookup resolves on its first probe (no collision chains).
+            let mask = cfg.buckets.next_power_of_two() - 1;
+            let mut chosen: Vec<String> = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for i in 0..256u32 {
+                let name = format!("rtt-{i}");
+                if used.insert(hash_key(name.as_bytes()) & mask) {
+                    chosen.push(name);
+                }
+                if chosen.len() == 9 {
+                    break;
+                }
+            }
+            let spare = chosen.pop().unwrap();
+            for name in &chosen {
+                kv.put(name.as_bytes(), b"value").await.unwrap();
+            }
+            let metrics = client.device().metrics();
+
+            // GET warm path: a successful first-probe hit charges exactly
+            // one RTT and one doorbell.
+            metrics.reset();
+            assert_eq!(
+                kv.get(chosen[0].as_bytes()).await.unwrap().unwrap(),
+                b"value"
+            );
+            let ops = sim::ledger::summarize(&metrics);
+            assert_eq!(ops.len(), 1, "only a get op recorded: {ops:?}");
+            let get = &ops[0];
+            assert_eq!(get.op, "get");
+            assert_eq!(get.count, 1);
+            assert_eq!((get.rtts_p50, get.rtts_max), (1, 1), "warm get is 1 RTT");
+            assert_eq!(get.doorbells_max, 1);
+            assert_eq!(get.retries + get.failovers, 0);
+            assert!(get.bytes_total > 0);
+
+            // multi_get of K first-probe hits: one posting round (1 RTT),
+            // batched doorbells well under one per key.
+            metrics.reset();
+            let keys: Vec<&[u8]> = chosen.iter().map(|n| n.as_bytes()).collect();
+            let got = kv.multi_get(&keys).await.unwrap();
+            assert!(got.iter().all(|v| v.as_deref() == Some(b"value".as_ref())));
+            let ops = sim::ledger::summarize(&metrics);
+            assert_eq!(ops.len(), 1, "no per-key fallback gets: {ops:?}");
+            let mget = &ops[0];
+            assert_eq!(mget.op, "multi_get");
+            assert_eq!(mget.units, keys.len() as u64);
+            assert_eq!(mget.rtts_max, 1, "K first-probe hits are 1 posting round");
+            assert!(
+                mget.doorbells_max < keys.len() as u64,
+                "batched probes must ring fewer doorbells than keys"
+            );
+
+            // PUT clean path into a fresh slot: probe read + CAS + body
+            // write + unlock write. The CAS sub-op is absorbed into the
+            // put's totals and also recorded as its own op type.
+            metrics.reset();
+            kv.put(spare.as_bytes(), b"value").await.unwrap();
+            let ops = sim::ledger::summarize(&metrics);
+            let names: Vec<&str> = ops.iter().map(|s| s.op.as_str()).collect();
+            assert_eq!(names, ["cas", "put"]);
+            let (cas, put) = (&ops[0], &ops[1]);
+            assert_eq!((put.rtts_p50, put.rtts_max), (4, 4), "clean put is 4 RTTs");
+            assert_eq!(cas.rtts_max, 1);
+            assert_eq!(put.retries + put.failovers, 0);
         });
     }
 

@@ -12,6 +12,7 @@ use std::rc::Rc;
 use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError};
 use sim::channel::oneshot;
 use sim::sync::Semaphore;
+use sim::OpLedger;
 
 use crate::client::RStoreClient;
 use crate::crc::crc32c;
@@ -100,6 +101,23 @@ impl Region {
         self.client.sync().await;
     }
 
+    /// Starts a cost ledger for one logical `op` if the owning client has
+    /// ledgers enabled ([`ClientConfig::ledger`](crate::client::ClientConfig::ledger)),
+    /// otherwise the free disabled ledger.
+    pub(crate) fn op_ledger(&self, op: &str) -> OpLedger {
+        let s = &self.client.shared;
+        if s.cfg.ledger {
+            OpLedger::start(&s.dev.metrics(), op, s.sim.now())
+        } else {
+            OpLedger::disabled()
+        }
+    }
+
+    /// Finishes `ledger` at the current virtual time.
+    pub(crate) fn finish_ledger(&self, ledger: &OpLedger) {
+        ledger.finish(self.client.shared.sim.now());
+    }
+
     // --- convenience byte API -------------------------------------------------
 
     /// Reads `len` bytes at `offset` into a fresh `Vec`.
@@ -117,6 +135,34 @@ impl Region {
         let result = async {
             self.read_into(offset, staging.slice(0, len)).await?;
             Ok(dev.read_mem(staging.addr, len)?)
+        }
+        .await;
+        let _ = dev.free(staging);
+        result
+    }
+
+    /// [`read`](Self::read) charging an existing ledger.
+    pub(crate) async fn read_l(&self, offset: u64, len: u64, ledger: &OpLedger) -> Result<Vec<u8>> {
+        let dev = self.client.shared.dev.clone();
+        let staging = dev.alloc(len.max(1))?;
+        let result = async {
+            self.read_into_l(offset, staging.slice(0, len), ledger)
+                .await?;
+            Ok(dev.read_mem(staging.addr, len)?)
+        }
+        .await;
+        let _ = dev.free(staging);
+        result
+    }
+
+    /// [`write`](Self::write) charging an existing ledger.
+    pub(crate) async fn write_l(&self, offset: u64, data: &[u8], ledger: &OpLedger) -> Result<()> {
+        let dev = self.client.shared.dev.clone();
+        let staging = dev.alloc(data.len().max(1) as u64)?;
+        let result = async {
+            dev.write_mem(staging.addr, data)?;
+            self.write_from_l(offset, staging.slice(0, data.len() as u64), ledger)
+                .await
         }
         .await;
         let _ = dev.free(staging);
@@ -150,13 +196,32 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn read_into(&self, offset: u64, dst: DmaBuf) -> Result<()> {
+        let ledger = self.op_ledger(if self.desc.checksums {
+            "read_ck"
+        } else {
+            "read"
+        });
+        let result = self.read_into_l(offset, dst, &ledger).await;
+        self.finish_ledger(&ledger);
+        result
+    }
+
+    /// [`read_into`](Self::read_into) charging an existing ledger instead of
+    /// opening a fresh one — for callers (the KV layer, `read_into_many`)
+    /// that own the logical op.
+    pub(crate) async fn read_into_l(
+        &self,
+        offset: u64,
+        dst: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let s = &self.client.shared;
         let _span = s
             .sim
             .tracer()
             .span_arg("core", "rstore.read", s.dev.node().0 as u64, dst.len);
         if self.desc.checksums {
-            return self.read_into_ck(offset, dst).await;
+            return self.read_into_ck(offset, dst, ledger).await;
         }
         let pieces = self.layout.pieces(offset, dst.len)?;
         // Post every piece's primary read in parallel. The bool marks
@@ -164,12 +229,12 @@ impl Region {
         let mut waits: Vec<ReadWait> = Vec::new();
         let mut retry: Vec<ReadRetry> = Vec::new();
         for piece in pieces {
-            match self.post_piece(&piece, dst, Dir::Read, 0) {
+            match self.post_piece(&piece, dst, Dir::Read, 0, ledger) {
                 Ok(rx) => waits.push((piece, dst, 0, false, rx)),
                 Err(_) => retry.push((piece, dst, 0, false)),
             }
         }
-        self.drain_reads(waits, retry).await
+        self.drain_reads(waits, retry, ledger).await
     }
 
     /// Reads many `(offset, dst)` pairs as one posting round.
@@ -190,6 +255,23 @@ impl Region {
     /// [`RStoreError::OutOfRange`] (checked for every pair before anything
     /// posts) or [`RStoreError::Io`] when all replicas of some stripe fail.
     pub async fn read_into_many(&self, ios: &[(u64, DmaBuf)]) -> Result<()> {
+        let ledger = self.op_ledger(if self.desc.checksums {
+            "read_ck"
+        } else {
+            "read_many"
+        });
+        ledger.set_units(ios.len() as u64);
+        let result = self.read_into_many_l(ios, &ledger).await;
+        self.finish_ledger(&ledger);
+        result
+    }
+
+    /// [`read_into_many`](Self::read_into_many) charging an existing ledger.
+    pub(crate) async fn read_into_many_l(
+        &self,
+        ios: &[(u64, DmaBuf)],
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let s = &self.client.shared;
         let _span = s.sim.tracer().span_arg(
             "core",
@@ -199,7 +281,7 @@ impl Region {
         );
         if self.desc.checksums {
             for &(offset, dst) in ios {
-                self.read_into_ck(offset, dst).await?;
+                self.read_into_ck(offset, dst, ledger).await?;
             }
             return Ok(());
         }
@@ -245,7 +327,11 @@ impl Region {
                 ));
                 regs.push((wr_id, rx));
             }
-            match qp.post_batch(&wrs) {
+            let posted = {
+                let _scope = s.dev.ledger_scope(ledger);
+                qp.post_batch(&wrs)
+            };
+            match posted {
                 Ok(()) => {
                     for ((piece, buf), (wr_id, rx)) in items.into_iter().zip(regs) {
                         self.arm_backstop(wr_id, piece.len);
@@ -265,7 +351,7 @@ impl Region {
                 }
             }
         }
-        self.drain_reads(waits, retry).await
+        self.drain_reads(waits, retry, ledger).await
     }
 
     /// Awaits a round of posted reads and runs the replica-failover loop
@@ -275,8 +361,19 @@ impl Region {
     /// broken while the server is fine — and only advances to the next
     /// replica once that retry fails or the re-dial is refused (backoff
     /// gate, dead node). A piece that exhausts its replicas fails the read.
-    async fn drain_reads(&self, mut waits: Vec<ReadWait>, mut retry: Vec<ReadRetry>) -> Result<()> {
+    async fn drain_reads(
+        &self,
+        mut waits: Vec<ReadWait>,
+        mut retry: Vec<ReadRetry>,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         loop {
+            // Each pass that awaits at least one posted completion is one
+            // round trip for the logical op (pieces in a round fly in
+            // parallel).
+            if !waits.is_empty() {
+                ledger.rtt();
+            }
             for (piece, buf, replica, redialed, rx) in waits.drain(..) {
                 let ok = matches!(rx.await, Some(CqStatus::Success));
                 if !ok {
@@ -292,7 +389,8 @@ impl Region {
                 if !redialed {
                     let node = self.desc.groups[piece.group].replicas[replica].node;
                     if self.client.redial(node).await.is_ok() {
-                        if let Ok(rx) = self.post_piece(&piece, buf, Dir::Read, replica) {
+                        if let Ok(rx) = self.post_piece(&piece, buf, Dir::Read, replica, ledger) {
+                            ledger.retry();
                             next_round.push((piece, buf, replica, true, rx));
                             continue;
                         }
@@ -305,7 +403,8 @@ impl Region {
                 if next >= self.desc.groups[piece.group].replicas.len() {
                     return Err(RStoreError::Io(CqStatus::Timeout));
                 }
-                match self.post_piece(&piece, buf, Dir::Read, next) {
+                ledger.failover();
+                match self.post_piece(&piece, buf, Dir::Read, next, ledger) {
                     Ok(rx) => next_round.push((piece, buf, next, false, rx)),
                     Err(_) => retry.push((piece, buf, next, false)),
                 }
@@ -321,24 +420,45 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn write_from(&self, offset: u64, src: DmaBuf) -> Result<()> {
+        let ledger = self.op_ledger(if self.desc.checksums {
+            "write_ck"
+        } else {
+            "write"
+        });
+        let result = self.write_from_l(offset, src, &ledger).await;
+        self.finish_ledger(&ledger);
+        result
+    }
+
+    /// [`write_from`](Self::write_from) charging an existing ledger.
+    pub(crate) async fn write_from_l(
+        &self,
+        offset: u64,
+        src: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let s = &self.client.shared;
         let _span = s
             .sim
             .tracer()
             .span_arg("core", "rstore.write", s.dev.node().0 as u64, src.len);
         if self.desc.checksums {
-            return self.write_from_ck(offset, src).await;
+            return self.write_from_ck(offset, src, ledger).await;
         }
         let pieces = self.layout.pieces(offset, src.len)?;
         let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
         let mut failed: Vec<(Piece, usize)> = Vec::new();
         for piece in &pieces {
             for r in 0..self.desc.groups[piece.group].replicas.len() {
-                match self.post_piece(piece, src, Dir::Write, r) {
+                match self.post_piece(piece, src, Dir::Write, r, ledger) {
                     Ok(rx) => waits.push((*piece, r, rx)),
                     Err(_) => failed.push((*piece, r)),
                 }
             }
+        }
+        // All replicas of all pieces fly in parallel: one round trip.
+        if !waits.is_empty() {
+            ledger.rtt();
         }
         for (piece, r, rx) in waits {
             if !matches!(rx.await, Some(CqStatus::Success)) {
@@ -353,9 +473,11 @@ impl Region {
             if self.client.redial(node).await.is_err() {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             }
-            let Ok(rx) = self.post_piece(&piece, src, Dir::Write, r) else {
+            let Ok(rx) = self.post_piece(&piece, src, Dir::Write, r, ledger) else {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             };
+            ledger.retry();
+            ledger.rtt();
             match rx.await {
                 Some(CqStatus::Success) => {}
                 Some(status) => return Err(RStoreError::Io(status)),
@@ -380,10 +502,12 @@ impl Region {
     /// stripe reads are kept in flight at once, so verification of one
     /// stripe overlaps the fabric round trip of the next instead of
     /// post→await→post serialization.
-    async fn read_into_ck(&self, offset: u64, dst: DmaBuf) -> Result<()> {
+    async fn read_into_ck(&self, offset: u64, dst: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let pieces = self.layout.pieces(offset, dst.len)?;
-        self.pipeline_ck(pieces, move |this, piece| async move {
-            this.read_piece_verified(&piece, dst).await
+        let ledger = ledger.clone();
+        self.pipeline_ck(pieces, move |this, piece| {
+            let ledger = ledger.clone();
+            async move { this.read_piece_verified(&piece, dst, &ledger).await }
         })
         .await
     }
@@ -450,11 +574,18 @@ impl Region {
 
     /// Reads and verifies the stripe containing `want`, then copies the
     /// requested sub-range into `dst`.
-    async fn read_piece_verified(&self, want: &Piece, dst: DmaBuf) -> Result<()> {
+    async fn read_piece_verified(
+        &self,
+        want: &Piece,
+        dst: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let dev = self.client.shared.dev.clone();
         let stripe_len = self.desc.groups[want.group].len();
         let staging = dev.alloc(stripe_len + CK_BYTES)?;
-        let result = self.read_piece_verified_into(want, dst, staging).await;
+        let result = self
+            .read_piece_verified_into(want, dst, staging, ledger)
+            .await;
         let _ = dev.free(staging);
         result
     }
@@ -468,6 +599,7 @@ impl Region {
         want: &Piece,
         dst: DmaBuf,
         staging: DmaBuf,
+        ledger: &OpLedger,
     ) -> Result<()> {
         let s = &self.client.shared;
         let group = &self.desc.groups[want.group];
@@ -482,8 +614,11 @@ impl Region {
         let mut replica = 0usize;
         let mut redialed = false;
         while replica < group.replicas.len() {
-            let ok = match self.post_piece(&full, staging, Dir::Read, replica) {
-                Ok(rx) => matches!(rx.await, Some(CqStatus::Success)),
+            let ok = match self.post_piece(&full, staging, Dir::Read, replica, ledger) {
+                Ok(rx) => {
+                    ledger.rtt();
+                    matches!(rx.await, Some(CqStatus::Success))
+                }
                 Err(_) => false,
             };
             if ok {
@@ -502,6 +637,8 @@ impl Region {
                 // it, tell the master (fire-and-forget; the data path must
                 // not block on the control path), and fail over.
                 let node = group.replicas[replica].node;
+                ledger.verify_failure();
+                ledger.failover();
                 s.dev.metrics().incr("integrity.read_mismatch");
                 s.sim.tracer().instant(
                     "core",
@@ -525,9 +662,11 @@ impl Region {
                 redialed = true;
                 let node = group.replicas[replica].node;
                 if self.client.redial(node).await.is_ok() {
+                    ledger.retry();
                     continue;
                 }
             }
+            ledger.failover();
             replica += 1;
             redialed = false;
         }
@@ -551,10 +690,12 @@ impl Region {
     /// like verified reads (up to `pipeline_depth` in flight), so stripes
     /// may commit in any order — unchanged from the API contract, which
     /// never promised cross-stripe ordering within a write.
-    async fn write_from_ck(&self, offset: u64, src: DmaBuf) -> Result<()> {
+    async fn write_from_ck(&self, offset: u64, src: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let pieces = self.layout.pieces(offset, src.len)?;
-        self.pipeline_ck(pieces, move |this, piece| async move {
-            this.write_piece_ck(&piece, src).await
+        let ledger = ledger.clone();
+        self.pipeline_ck(pieces, move |this, piece| {
+            let ledger = ledger.clone();
+            async move { this.write_piece_ck(&piece, src, &ledger).await }
         })
         .await
     }
@@ -562,7 +703,7 @@ impl Region {
     /// Assembles and replicates one checksummed stripe: optional verified
     /// read-modify-write fill, overlay of the new bytes, trailer recompute,
     /// then a write to every replica.
-    async fn write_piece_ck(&self, piece: &Piece, src: DmaBuf) -> Result<()> {
+    async fn write_piece_ck(&self, piece: &Piece, src: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let dev = self.client.shared.dev.clone();
         let stripe_len = self.desc.groups[piece.group].len();
         let full = Piece {
@@ -583,7 +724,7 @@ impl Region {
                     len: stripe_len,
                     buf_offset: 0,
                 };
-                self.read_piece_verified_into(&cur, staging, staging)
+                self.read_piece_verified_into(&cur, staging, staging, ledger)
                     .await?;
             }
             // Overlay the new data and recompute the trailer.
@@ -594,7 +735,7 @@ impl Region {
                 staging.addr + stripe_len,
                 &(crc32c(&data) as u64).to_le_bytes(),
             )?;
-            self.write_piece_all_replicas(&full, staging).await
+            self.write_piece_all_replicas(&full, staging, ledger).await
         }
         .await;
         let _ = dev.free(staging);
@@ -605,14 +746,22 @@ impl Region {
     /// [`write_from`](Self::write_from)'s recovery round: each failed
     /// replica gets one re-dial plus repost, and a replica that stays
     /// unreachable fails the IO.
-    async fn write_piece_all_replicas(&self, piece: &Piece, buf: DmaBuf) -> Result<()> {
+    async fn write_piece_all_replicas(
+        &self,
+        piece: &Piece,
+        buf: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let mut waits = Vec::new();
         let mut failed = Vec::new();
         for r in 0..self.desc.groups[piece.group].replicas.len() {
-            match self.post_piece(piece, buf, Dir::Write, r) {
+            match self.post_piece(piece, buf, Dir::Write, r, ledger) {
                 Ok(rx) => waits.push((r, rx)),
                 Err(_) => failed.push(r),
             }
+        }
+        if !waits.is_empty() {
+            ledger.rtt();
         }
         for (r, rx) in waits {
             if !matches!(rx.await, Some(CqStatus::Success)) {
@@ -628,10 +777,14 @@ impl Region {
             if self.client.redial(node).await.is_err() {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             }
-            let Ok(rx) = self.post_piece(piece, buf, Dir::Write, r) else {
+            let Ok(rx) = self.post_piece(piece, buf, Dir::Write, r, ledger) else {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             };
+            ledger.retry();
             reposts.push(rx);
+        }
+        if !reposts.is_empty() {
+            ledger.rtt();
         }
         for rx in reposts {
             match rx.await {
@@ -682,7 +835,9 @@ impl Region {
                 Dir::Write => self.desc.groups[piece.group].replicas.len(),
             };
             for r in 0..replicas {
-                match self.post_piece(piece, buf, dir, r) {
+                // The zero-copy API has no logical-op boundary to attribute
+                // to; its WRs stay unledgered.
+                match self.post_piece(piece, buf, dir, r, &OpLedger::disabled()) {
                     Ok(rx) => rxs.push(rx),
                     Err(_) => failed = true,
                 }
@@ -702,6 +857,7 @@ impl Region {
         buf: DmaBuf,
         dir: Dir,
         replica: usize,
+        ledger: &OpLedger,
     ) -> Result<oneshot::Receiver<CqStatus>> {
         let s = &self.client.shared;
         let extent = &self.desc.groups[piece.group].replicas[replica];
@@ -720,9 +876,12 @@ impl Region {
         let (tx, rx) = oneshot::channel();
         s.pending.borrow_mut().insert(wr_id, tx);
         s.outstanding.add(1);
-        let posted = match dir {
-            Dir::Read => qp.post_read(wr_id, local, remote),
-            Dir::Write => qp.post_write(wr_id, local, remote),
+        let posted = {
+            let _scope = s.dev.ledger_scope(ledger);
+            match dir {
+                Dir::Read => qp.post_read(wr_id, local, remote),
+                Dir::Write => qp.post_write(wr_id, local, remote),
+            }
         };
         if let Err(e) = posted {
             s.pending.borrow_mut().remove(&wr_id);

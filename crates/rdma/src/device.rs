@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use fabric::{Delivery, Fabric, NodeId};
 use sim::channel::{channel, oneshot, Receiver, Sender};
-use sim::{Metrics, Sim, SimTime, Tracer};
+use sim::{Layer, Metrics, OpLedger, Sim, SimTime, Tracer};
 
 use crate::config::RdmaConfig;
 use crate::cq::{CompletionQueue, CqStatus, Cqe, CqeOpcode};
@@ -100,6 +100,12 @@ struct PendingWr {
     /// Whether a *successful* completion generates a CQE. Error and flush
     /// completions are always delivered, matching verbs hardware.
     signaled: bool,
+    /// Cost ledger of the logical op this WR belongs to (disabled unless a
+    /// [`RdmaDevice::ledger_scope`] was active at post time).
+    ledger: OpLedger,
+    /// Doorbell/WQE-build nanoseconds already charged to [`Layer::Post`]
+    /// for this WR; subtracted when attributing completion latency.
+    post_cost_ns: u64,
 }
 
 struct RecvWr {
@@ -138,6 +144,9 @@ struct DevInner {
     /// feeds the backlog-aware operation timeout (a device that just posted
     /// gigabytes must not expire ops queued behind its own backlog).
     outstanding_bytes: u64,
+    /// Ledger charged by work requests posted while a
+    /// [`RdmaDevice::ledger_scope`] is active. Disabled by default.
+    current_ledger: OpLedger,
 }
 
 /// A simulated RDMA NIC attached to one fabric node.
@@ -186,6 +195,7 @@ impl RdmaDevice {
                 next_qpn: 1,
                 next_conn: 1,
                 outstanding_bytes: 0,
+                current_ledger: OpLedger::disabled(),
             })),
             cfg: Rc::new(cfg),
         };
@@ -237,6 +247,20 @@ impl RdmaDevice {
     /// The device's timing configuration.
     pub fn config(&self) -> &RdmaConfig {
         &self.cfg
+    }
+
+    /// Makes `ledger` the cost ledger charged by every work request posted
+    /// on this device until the returned guard drops (scopes nest: the
+    /// previous ledger is restored). The simulation is single-threaded and
+    /// posting is synchronous, so a scope held across `post_*` calls
+    /// attributes exactly those WRs — in-flight completion charges follow
+    /// the WR, not the scope.
+    pub fn ledger_scope(&self, ledger: &OpLedger) -> LedgerScope {
+        let prev = std::mem::replace(&mut self.inner.borrow_mut().current_ledger, ledger.clone());
+        LedgerScope {
+            inner: self.inner.clone(),
+            prev,
+        }
     }
 
     /// Upper bound on how long an operation of `bytes` posted *now* may take
@@ -768,18 +792,39 @@ impl RdmaDevice {
                 },
                 w.posted_at,
                 w.signaled,
+                w.ledger,
+                w.post_cost_ns,
             ));
         }
         inner.outstanding_bytes = inner.outstanding_bytes.saturating_sub(released);
         drop(inner);
         let now = self.sim.now();
         let metrics = self.metrics();
-        for (cqe, posted_at, signaled) in cqes {
+        let nic_ns = self.cfg.nic_delay.as_nanos() as u64;
+        for (cqe, posted_at, signaled, ledger, post_cost_ns) in cqes {
             stats.incr("completed");
             metrics.record(
                 opcode_latency_metric(cqe.opcode),
                 now.saturating_since(posted_at),
             );
+            if cqe.status == CqStatus::Success {
+                // Reads and atomics carry a response payload back.
+                if matches!(
+                    cqe.opcode,
+                    CqeOpcode::Read | CqeOpcode::CompSwap | CqeOpcode::FetchAdd
+                ) {
+                    ledger.wire(cqe.byte_len);
+                }
+                // Attribution split for the WR's round trip: the NIC delay
+                // is paid once per direction; whatever remains after the
+                // already-charged posting cost is fabric wire time.
+                let elapsed = now.saturating_since(posted_at).as_nanos() as u64;
+                ledger.layer_ns(Layer::Server, 2 * nic_ns);
+                ledger.layer_ns(
+                    Layer::Wire,
+                    elapsed.saturating_sub(post_cost_ns + 2 * nic_ns),
+                );
+            }
             self.tracer.complete_at(
                 "rdma",
                 opcode_trace_name(cqe.opcode),
@@ -844,6 +889,19 @@ impl RdmaDevice {
             cq.push(cqe);
         }
         stats.record_value("cq_backlog", cq.len() as u64);
+    }
+}
+
+/// Guard returned by [`RdmaDevice::ledger_scope`]; restores the previously
+/// active ledger on drop.
+pub struct LedgerScope {
+    inner: Rc<RefCell<DevInner>>,
+    prev: OpLedger,
+}
+
+impl Drop for LedgerScope {
+    fn drop(&mut self) {
+        self.inner.borrow_mut().current_ledger = std::mem::take(&mut self.prev);
     }
 }
 
@@ -1156,7 +1214,8 @@ impl Qp {
         local_dst: Option<DmaBuf>,
         build: impl FnOnce(u64) -> QpMsg,
     ) -> Result<()> {
-        let (req_id, peer, peer_qpn, backlog) = {
+        let post_cost_ns = self.dev.cfg.post_overhead.as_nanos() as u64;
+        let (req_id, peer, peer_qpn, backlog, ledger) = {
             let mut inner = self.dev.inner.borrow_mut();
             // Validate the landing buffer up front.
             if let Some(dst) = local_dst {
@@ -1164,6 +1223,7 @@ impl Qp {
             }
             let backlog = inner.outstanding_bytes;
             inner.outstanding_bytes += byte_len;
+            let ledger = inner.current_ledger.clone();
             let qp = inner
                 .qps
                 .get_mut(&self.qpn.0)
@@ -1182,6 +1242,8 @@ impl Qp {
                 local_dst,
                 posted_at: self.dev.sim.now(),
                 signaled: true,
+                ledger: ledger.clone(),
+                post_cost_ns,
             });
             qp.stats.incr("posted");
             qp.stats
@@ -1191,6 +1253,7 @@ impl Qp {
                 qp.remote_node,
                 qp.remote_qpn.expect("QP not connected"),
                 backlog,
+                ledger,
             )
         };
         let metrics = self.dev.metrics();
@@ -1202,6 +1265,9 @@ impl Qp {
             msg: build(req_id),
         };
         let wire = msg.wire_bytes();
+        ledger.doorbell();
+        ledger.wire(wire);
+        ledger.layer_ns(Layer::Post, post_cost_ns);
         let dev = self.dev.clone();
         let src_node = self.dev.node;
         // Charge the doorbell/WQE-build CPU cost before the packet exists.
@@ -1288,6 +1354,9 @@ impl Qp {
             }
         }
         let metrics = self.dev.metrics();
+        let ledger = self.dev.inner.borrow().current_ledger.clone();
+        let first_wr_cost = cfg.post_overhead.as_nanos() as u64;
+        let linked_wr_cost = cfg.batch_wr_overhead.as_nanos() as u64;
         let mut payloads = payloads.into_iter();
         // Cumulative WQE-build delay: chunk k's packets leave once every WQE
         // of chunks 0..=k is built.
@@ -1306,7 +1375,7 @@ impl Qp {
                     .ok_or(RdmaError::InvalidHandle)?;
                 let peer = qp.remote_node;
                 let peer_qpn = qp.remote_qpn.expect("QP not connected");
-                for wr in chunk {
+                for (i, wr) in chunk.iter().enumerate() {
                     let payload = payloads.next().expect("one snapshot per WR");
                     let req_id = qp.next_req;
                     qp.next_req += 1;
@@ -1343,6 +1412,12 @@ impl Qp {
                         local_dst,
                         posted_at: now,
                         signaled: wr.signaled,
+                        ledger: ledger.clone(),
+                        post_cost_ns: if i == 0 {
+                            first_wr_cost
+                        } else {
+                            linked_wr_cost
+                        },
                     });
                     qp.stats.incr("posted");
                     qp.stats
@@ -1350,7 +1425,9 @@ impl Qp {
                     metrics.record_value("rdma.doorbell_bytes", byte_len);
                     meta.push((req_id, byte_len, backlog, opcode));
                     let msg = NetMsg::Qp { dst: peer_qpn, msg };
-                    msgs.push((msg.wire_bytes(), msg));
+                    let wire = msg.wire_bytes();
+                    ledger.wire(wire);
+                    msgs.push((wire, msg));
                     backlog += byte_len;
                 }
                 inner.outstanding_bytes = backlog;
@@ -1360,6 +1437,11 @@ impl Qp {
             // above, and the ring size feeds the batching histogram.
             metrics.incr("rdma.doorbells");
             metrics.record_value("rdma.doorbell_wrs", chunk.len() as u64);
+            ledger.doorbell();
+            ledger.layer_ns(
+                Layer::Post,
+                first_wr_cost + linked_wr_cost * chunk.len().saturating_sub(1) as u64,
+            );
             build_delay += cfg.post_overhead
                 + cfg
                     .batch_wr_overhead

@@ -36,6 +36,8 @@
 //! * [`sync`] — semaphores, barriers and wait groups in virtual time.
 //! * [`rng`] — a seeded deterministic random number generator.
 //! * [`metrics`] — counters and latency histograms shared between components.
+//! * [`ledger`] — per-operation cost attribution (RTTs, doorbells, wire
+//!   bytes, per-layer time split; zero-cost when disabled).
 //! * [`trace`] — deterministic span/instant tracing with Chrome-trace export.
 //! * [`timeseries`] — windowed counter-delta / percentile sampling on
 //!   virtual time (fixed-capacity, zero-cost when disabled).
@@ -45,6 +47,7 @@
 pub mod channel;
 pub mod executor;
 pub mod future_util;
+pub mod ledger;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
@@ -55,6 +58,7 @@ pub mod trace;
 pub use channel::{channel, oneshot, Receiver, Sender};
 pub use executor::{JoinHandle, Sim};
 pub use future_util::{join_all, yield_now};
+pub use ledger::{Layer, OpCosts, OpLedger, OpSummary};
 pub use metrics::{Histogram, Metrics};
 pub use rng::DetRng;
 pub use time::SimTime;

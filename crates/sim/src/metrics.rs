@@ -240,6 +240,11 @@ impl Histogram {
         &self.samples
     }
 
+    /// Sum of all samples (zero if empty).
+    pub fn sum(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
     /// Minimum sample.
     ///
     /// # Panics

@@ -1,6 +1,7 @@
-//! Disabled tracing must be free: recording through a disabled tracer
-//! performs no heap allocation. This is the only test in the binary so the
-//! counting global allocator sees no concurrent test threads.
+//! Disabled observability must be free: recording through a disabled
+//! tracer or charging a disabled op ledger performs no heap allocation.
+//! This is the only test in the binary so the counting global allocator
+//! sees no concurrent test threads.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,4 +41,49 @@ fn disabled_tracing_does_not_allocate() {
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled tracer must not touch the heap");
+
+    // The per-op cost ledger follows the same discipline: a disabled ledger
+    // (every op of a client with `ClientConfig::ledger` off) must charge,
+    // clone, absorb, and finish without touching the heap. An enabled
+    // ledger is allowed to allocate — but only when it is created and when
+    // its costs fold into the metrics registry, never per charge.
+    let disabled = sim::OpLedger::disabled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000u64 {
+        disabled.rtt();
+        disabled.doorbell();
+        disabled.wire(4096 + i);
+        disabled.retry();
+        disabled.failover();
+        disabled.verify_failure();
+        disabled.layer_ns(sim::Layer::Wire, i);
+        disabled.set_units(i + 1);
+        let clone = disabled.clone();
+        clone.absorb(&disabled);
+        clone.finish(sim::SimTime::ZERO);
+    }
+    disabled.finish(sim::SimTime::ZERO);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled ledger must not touch the heap");
+
+    let metrics = sim::Metrics::new();
+    let enabled = sim::OpLedger::start(&metrics, "get", sim::SimTime::ZERO);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000u64 {
+        enabled.rtt();
+        enabled.doorbell();
+        enabled.wire(4096 + i);
+        enabled.layer_ns(sim::Layer::Wire, i);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "enabled ledger charges must stay allocation-free (only start/finish may allocate)"
+    );
+    enabled.finish(sim::SimTime::ZERO);
+    assert!(
+        metrics.counter("ops.get.count") == 1,
+        "enabled ledger must fold into metrics on finish"
+    );
 }
