@@ -439,13 +439,13 @@ mod tests {
 
         // Clean-path cost invariants, asserted on ledger counts rather than
         // timing: a warm first-probe get is exactly one posting round, a
-        // clean put is probe + CAS + body + unlock, and the batched
+        // cold put is probe + CAS + single publishing write, and the batched
         // multi_get amortises its doorbells across keys.
         let get = a.row("get");
         assert_eq!((get.rtts_p50, get.rtts_max), (1, 1), "warm get RTTs");
         assert_eq!(get.retries + get.failovers, 0, "warm gets must be clean");
         let put = a.row("put");
-        assert_eq!((put.rtts_p50, put.rtts_max), (4, 4), "clean put RTTs");
+        assert_eq!((put.rtts_p50, put.rtts_max), (3, 3), "cold put RTTs");
         let mg = a.row("multi_get");
         assert_eq!(mg.units, PROFILE_KEYS, "multi_get must cover every key");
         assert!(

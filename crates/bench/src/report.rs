@@ -11,6 +11,7 @@ use crate::experiments::e10_availability;
 use crate::experiments::e11_integrity;
 use crate::experiments::e12_smallio;
 use crate::experiments::e13_timeline;
+use crate::experiments::e14_ycsb;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::selftime::SelfTime;
@@ -318,6 +319,78 @@ pub fn experiment_json(id: &str) -> Json {
             Json::obj([("per_op".to_string(), ops_json(&s.ops))]),
         ));
     }
+    if id == "e14" {
+        let s = e14_ycsb::measure();
+        let mixes: Vec<Json> = s
+            .mixes
+            .iter()
+            .map(|x| {
+                Json::obj([
+                    ("name".to_string(), Json::str(x.name)),
+                    ("read_fraction".to_string(), Json::float(x.read_fraction)),
+                    ("ops_total".to_string(), Json::int(x.ops_total)),
+                    ("value_errors".to_string(), Json::int(x.value_errors)),
+                    ("ops_per_sec".to_string(), Json::float(x.ops_per_sec)),
+                    (
+                        "index".to_string(),
+                        Json::obj([
+                            ("hit".to_string(), Json::int(x.index_hit)),
+                            ("miss".to_string(), Json::int(x.index_miss)),
+                            ("stale".to_string(), Json::int(x.index_stale)),
+                            ("invalidate".to_string(), Json::int(x.index_invalidate)),
+                            ("evict".to_string(), Json::int(x.index_evict)),
+                        ]),
+                    ),
+                    ("per_op".to_string(), ops_json(&x.ops)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "ycsb".to_string(),
+            Json::obj([
+                ("keys".to_string(), Json::int(s.keys)),
+                ("clients".to_string(), Json::int(s.clients)),
+                ("ops_per_client".to_string(), Json::int(s.ops_per_client)),
+                ("mixes".to_string(), Json::Arr(mixes)),
+                (
+                    "warm_probe".to_string(),
+                    Json::obj([
+                        ("warm_get_rtts".to_string(), Json::int(s.warm.get_rtts)),
+                        (
+                            "warm_get_doorbells".to_string(),
+                            Json::int(s.warm.get_doorbells),
+                        ),
+                        ("warm_put_rtts".to_string(), Json::int(s.warm.put_rtts)),
+                        (
+                            "warm_put_doorbells".to_string(),
+                            Json::int(s.warm.put_doorbells),
+                        ),
+                        (
+                            "warm_delete_rtts".to_string(),
+                            Json::int(s.warm.delete_rtts),
+                        ),
+                    ]),
+                ),
+                (
+                    "resize".to_string(),
+                    Json::obj([
+                        ("keys".to_string(), Json::int(s.resize.keys)),
+                        ("moved".to_string(), Json::int(s.resize.moved)),
+                        (
+                            "reader_errors".to_string(),
+                            Json::int(s.resize.reader_errors),
+                        ),
+                        ("refreshes".to_string(), Json::int(s.resize.refreshes)),
+                        (
+                            "verify_errors".to_string(),
+                            Json::int(s.resize.verify_errors),
+                        ),
+                    ]),
+                ),
+                ("data_errors".to_string(), Json::int(s.data_errors)),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -402,6 +475,28 @@ mod tests {
         assert!(a.contains("\"doorbells_per_op\""));
         let b = experiment_json("e13").render();
         assert_eq!(a, b, "seeded timeline export must be byte-identical");
+    }
+
+    #[test]
+    fn e14_ycsb_json_is_valid_and_complete() {
+        // Byte-identity across runs is enforced end-to-end by the CI smoke
+        // step (two `figures --json -- e14` runs diffed); here we pin the
+        // structure the diff gate and the greps depend on.
+        let a = experiment_json("e14").render();
+        validate(&a).expect("e14 report must be valid JSON");
+        for field in [
+            "\"ycsb\"",
+            "\"mixes\"",
+            "\"warm_probe\"",
+            "\"warm_get_rtts\"",
+            "\"warm_put_rtts\"",
+            "\"resize\"",
+            "\"data_errors\"",
+            "\"rtts_per_op\"",
+            "\"doorbells_per_op\"",
+        ] {
+            assert!(a.contains(field), "e14 export must carry {field}");
+        }
     }
 
     #[test]

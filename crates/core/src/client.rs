@@ -46,6 +46,12 @@ pub struct ClientConfig {
     /// split under the `ops.*` metrics namespace. Off by default; a
     /// disabled ledger costs one branch per charge and allocates nothing.
     pub ledger: bool,
+    /// Capacity of the per-table cached KV index (key → slot hints) that
+    /// [`KvTable`](crate::kv::KvTable) handles opened through this client
+    /// keep, in entries. A warm hint turns a `get` into a single one-sided
+    /// READ and a `put` into CAS + WRITE regardless of probe-chain depth.
+    /// `0` disables the cache (every op probes from the home slot).
+    pub kv_hint_capacity: usize,
 }
 
 impl Default for ClientConfig {
@@ -56,6 +62,7 @@ impl Default for ClientConfig {
             io_grace: Duration::from_millis(100),
             pipeline_depth: 8,
             ledger: false,
+            kv_hint_capacity: 4096,
         }
     }
 }

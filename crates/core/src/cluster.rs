@@ -26,6 +26,9 @@ pub struct ClusterConfig {
     pub master: MasterConfig,
     /// Memory-server parameters.
     pub server: ServerConfig,
+    /// Client parameters applied by [`Cluster::client`] (override per
+    /// connection with [`Cluster::client_with`]).
+    pub client: ClientConfig,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +40,7 @@ impl Default for ClusterConfig {
             rdma: RdmaConfig::default(),
             master: MasterConfig::default(),
             server: ServerConfig::default(),
+            client: ClientConfig::default(),
         }
     }
 }
@@ -65,6 +69,7 @@ pub struct Cluster {
     pub servers: Vec<MemServer>,
     /// Pre-created client devices (one per client machine).
     pub client_devs: Vec<RdmaDevice>,
+    client_cfg: ClientConfig,
 }
 
 impl fmt::Debug for Cluster {
@@ -114,6 +119,7 @@ impl Cluster {
             master: master.clone(),
             servers,
             client_devs,
+            client_cfg: cfg.client,
         };
 
         // Let registration traffic drain so callers start from a settled
@@ -139,7 +145,7 @@ impl Cluster {
     ///
     /// Panics if `i` is out of range.
     pub async fn client(&self, i: usize) -> Result<RStoreClient> {
-        RStoreClient::connect(&self.client_devs[i], self.master.node()).await
+        RStoreClient::connect_with(&self.client_devs[i], self.master.node(), self.client_cfg).await
     }
 
     /// Connects client machine `i` with an explicit [`ClientConfig`] (e.g.

@@ -30,8 +30,12 @@ enum Dir {
 /// A posted read awaiting completion: `(piece, dst, replica, redialed, rx)`.
 /// The bool marks whether this replica has spent its one reconnect retry.
 type ReadWait = (Piece, DmaBuf, usize, bool, oneshot::Receiver<CqStatus>);
-/// A read that needs a failover pass: `(piece, dst, replica, redialed)`.
-type ReadRetry = (Piece, DmaBuf, usize, bool);
+/// A read that needs a failover pass: `(piece, dst, replica, redialed,
+/// status)`. The status is the completion that sent it here, preserved so a
+/// piece that exhausts its replicas surfaces *why* (e.g. `RemoteAccess` when
+/// every replica rejected the rkey — the signal a region was freed under the
+/// reader) instead of a generic timeout.
+type ReadRetry = (Piece, DmaBuf, usize, bool, CqStatus);
 
 /// A mapped region of distributed memory.
 ///
@@ -231,7 +235,7 @@ impl Region {
         for piece in pieces {
             match self.post_piece(&piece, dst, Dir::Read, 0, ledger) {
                 Ok(rx) => waits.push((piece, dst, 0, false, rx)),
-                Err(_) => retry.push((piece, dst, 0, false)),
+                Err(_) => retry.push((piece, dst, 0, false, CqStatus::Timeout)),
             }
         }
         self.drain_reads(waits, retry, ledger).await
@@ -301,7 +305,11 @@ impl Region {
             let Some(qp) = qp else {
                 // No connection: send the whole group through the failover
                 // path, which grants the usual re-dial retry.
-                retry.extend(items.into_iter().map(|(p, b)| (p, b, 0, false)));
+                retry.extend(
+                    items
+                        .into_iter()
+                        .map(|(p, b)| (p, b, 0, false, CqStatus::Timeout)),
+                );
                 continue;
             };
             let mut wrs = Vec::with_capacity(items.len());
@@ -346,7 +354,7 @@ impl Region {
                     for ((piece, buf), (wr_id, _rx)) in items.into_iter().zip(regs) {
                         s.pending.borrow_mut().remove(&wr_id);
                         s.outstanding.done();
-                        retry.push((piece, buf, 0, false));
+                        retry.push((piece, buf, 0, false, CqStatus::Timeout));
                     }
                 }
             }
@@ -375,9 +383,10 @@ impl Region {
                 ledger.rtt();
             }
             for (piece, buf, replica, redialed, rx) in waits.drain(..) {
-                let ok = matches!(rx.await, Some(CqStatus::Success));
-                if !ok {
-                    retry.push((piece, buf, replica, redialed));
+                match rx.await {
+                    Some(CqStatus::Success) => {}
+                    Some(status) => retry.push((piece, buf, replica, redialed, status)),
+                    None => retry.push((piece, buf, replica, redialed, CqStatus::Flushed)),
                 }
             }
             if retry.is_empty() {
@@ -385,7 +394,7 @@ impl Region {
             }
             let failed = std::mem::take(&mut retry);
             let mut next_round = Vec::new();
-            for (piece, buf, replica, redialed) in failed {
+            for (piece, buf, replica, redialed, status) in failed {
                 if !redialed {
                     let node = self.desc.groups[piece.group].replicas[replica].node;
                     if self.client.redial(node).await.is_ok() {
@@ -396,17 +405,17 @@ impl Region {
                         }
                     }
                     // The reconnect retry is spent; advance next pass.
-                    retry.push((piece, buf, replica, true));
+                    retry.push((piece, buf, replica, true, status));
                     continue;
                 }
                 let next = replica + 1;
                 if next >= self.desc.groups[piece.group].replicas.len() {
-                    return Err(RStoreError::Io(CqStatus::Timeout));
+                    return Err(RStoreError::Io(status));
                 }
                 ledger.failover();
                 match self.post_piece(&piece, buf, Dir::Read, next, ledger) {
                     Ok(rx) => next_round.push((piece, buf, next, false, rx)),
-                    Err(_) => retry.push((piece, buf, next, false)),
+                    Err(_) => retry.push((piece, buf, next, false, status)),
                 }
             }
             waits = next_round;

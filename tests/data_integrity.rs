@@ -5,9 +5,10 @@ use std::time::Duration;
 
 use fabric::{FaultPlan, NodeId};
 use rstore::{
-    AllocOptions, Cluster, ClusterConfig, MasterConfig, RStoreClient, RStoreError, RegionState,
-    ServerConfig,
+    AllocOptions, Cluster, ClusterConfig, KvConfig, KvTable, MasterConfig, RStoreClient,
+    RStoreError, RegionState, ServerConfig,
 };
+use sim::DetRng;
 
 fn boot(servers: usize, scrub: bool) -> Cluster {
     Cluster::boot(ClusterConfig {
@@ -226,6 +227,162 @@ fn all_replicas_corrupt_surfaces_structured_error() {
             }
             other => panic!("expected CorruptionDetected, got {other:?}"),
         }
+    });
+}
+
+#[test]
+fn kv_slot_corruption_storm_never_panics_clients() {
+    // Adversarial property test for the slot codec: seeded random byte
+    // flips — header words and payload alike — land on the live KV data
+    // region between client ops. KV tables carry no stripe checksums (the
+    // seqlock replaces them), so a flip that forges a structurally valid
+    // slot may legally surface stale/garbage bytes; what must NEVER happen
+    // is a client panic (e.g. a slice out of bounds on a forged klen/vlen)
+    // or an unstructured error. Before the codec hardening, a flipped
+    // length word panicked `parse_slot`.
+    let cluster = boot(3, false);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let cfg = KvConfig {
+            buckets: 64,
+            slot_bytes: 128,
+            max_probe: 16,
+            opts: AllocOptions {
+                stripe_size: 1024,
+                replicas: 1,
+                ..AllocOptions::default()
+            },
+        };
+        let table = KvTable::create(&c, "storm", cfg).await.unwrap();
+        let key = |i: u64| format!("storm{i:03}").into_bytes();
+        for i in 0..48u64 {
+            table.put(&key(i), &pattern(40)).await.unwrap();
+        }
+
+        // A raw mapping of the table's current-generation data region: the
+        // very bytes every client op reads.
+        let raw = c.map("storm@g1").await.unwrap();
+        let size = 64 * 128u64;
+        let mut rng = DetRng::new(0xAD5107);
+        for _ in 0..120 {
+            // Flip 1..=8 bytes somewhere in the live image.
+            let mut junk = [0u8; 8];
+            rng.fill_bytes(&mut junk);
+            let n = rng.range_u64(1, 9) as usize;
+            let off = rng.range_u64(0, size - n as u64);
+            raw.write(off, &junk[..n]).await.unwrap();
+
+            // A burst of ops right on top of the damage. Every outcome must
+            // be a structured Result — the match below cannot catch a
+            // panic, so merely completing the storm is the property.
+            for _ in 0..4 {
+                let k = key(rng.range_u64(0, 64));
+                let outcome = match rng.range_u64(0, 4) {
+                    0 => table.get(&k).await.map(|_| ()),
+                    1 => table.put(&k, b"fresh").await,
+                    2 => table.delete(&k).await.map(|_| ()),
+                    _ => {
+                        let ks = [&k[..], b"storm000", b"absent"];
+                        table.multi_get(&ks).await.map(|_| ())
+                    }
+                };
+                if let Err(e) = outcome {
+                    assert!(
+                        matches!(
+                            e,
+                            RStoreError::CorruptionDetected { .. }
+                                | RStoreError::Protocol(_)
+                                | RStoreError::Io(_)
+                                | RStoreError::InsufficientCapacity { .. }
+                        ),
+                        "storm op must fail structurally, got {e:?}"
+                    );
+                }
+            }
+        }
+        // The storm must actually have exercised the corruption path, not
+        // just missed every slot.
+        assert!(
+            fabric.metrics().counter("kv.slot_corrupt") >= 1,
+            "structural validation never fired; the storm was too gentle"
+        );
+
+        // The connection (device, QPs, mappings) survives: a fresh table on
+        // the same client works end to end.
+        let t2 = KvTable::create(&c, "after", cfg).await.unwrap();
+        t2.put(b"alive", b"yes").await.unwrap();
+        assert_eq!(
+            t2.get(b"alive").await.unwrap().as_deref(),
+            Some(&b"yes"[..])
+        );
+    });
+}
+
+#[test]
+fn checksummed_random_reads_never_return_silent_garbage() {
+    // The checksummed counterpart of the storm: with trailers on, a seeded
+    // spray of at-rest flips means every subsequent read — random offset,
+    // random length, stripe-spanning or not — must return either the exact
+    // written bytes or a structured `CorruptionDetected`. Silent garbage is
+    // the one forbidden outcome.
+    let cluster = boot(2, false);
+    let sim = cluster.sim.clone();
+    let fabric = cluster.fabric.clone();
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    let s = sim.clone();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let size = 64 * 1024u64;
+        let model = pattern(size as usize);
+        let region = c
+            .alloc(
+                "advck",
+                size,
+                AllocOptions {
+                    stripe_size: 4096,
+                    replicas: 1,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        region.write(0, &model).await.unwrap();
+
+        let victim = region.desc().groups[0].replicas[0].node;
+        FaultPlan::new(0xADC)
+            .corrupt_at(Duration::from_millis(1), NodeId(victim), 48)
+            .install(&fabric);
+        s.sleep(Duration::from_millis(5)).await;
+        assert_eq!(fabric.metrics().counter("integrity.injected"), 48);
+
+        let mut rng = DetRng::new(0xADC2);
+        let mut detected = 0u64;
+        for _ in 0..200 {
+            let off = rng.range_u64(0, size - 1);
+            let len = rng.range_u64(1, (size - off).min(9000) + 1);
+            match region.read(off, len).await {
+                Ok(bytes) => assert_eq!(
+                    bytes,
+                    &model[off as usize..(off + len) as usize],
+                    "verified read returned wrong bytes at {off}+{len}"
+                ),
+                Err(RStoreError::CorruptionDetected { region, .. }) => {
+                    assert_eq!(region, "advck");
+                    detected += 1;
+                }
+                Err(other) => panic!("expected clean data or CorruptionDetected, got {other:?}"),
+            }
+        }
+        assert!(
+            detected >= 1,
+            "48 at-rest flips with one replica must trip at least one read"
+        );
     });
 }
 
