@@ -12,6 +12,7 @@ use crate::experiments::e11_integrity;
 use crate::experiments::e12_smallio;
 use crate::experiments::e13_timeline;
 use crate::experiments::e14_ycsb;
+use crate::experiments::e15_elasticity;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::selftime::SelfTime;
@@ -41,6 +42,31 @@ pub fn table_json(t: &Table) -> Json {
             "notes".to_string(),
             Json::Arr(t.notes.iter().map(Json::str).collect()),
         ),
+    ])
+}
+
+/// Serialises one sampler window: virtual-time bounds, counters, and
+/// histogram percentiles. Shared by the continuous-telemetry experiments
+/// (E13 fault timeline, E15 elasticity).
+fn window_json(w: &sim::Window) -> Json {
+    let counters = Json::obj(w.counters.iter().map(|(k, v)| (k.clone(), Json::int(*v))));
+    let histograms = Json::obj(w.histograms.iter().map(|(k, h)| {
+        (
+            k.clone(),
+            Json::obj([
+                ("count".to_string(), Json::int(h.count)),
+                ("p50".to_string(), Json::int(h.p50)),
+                ("p99".to_string(), Json::int(h.p99)),
+                ("max".to_string(), Json::int(h.max)),
+            ]),
+        )
+    }));
+    Json::obj([
+        ("index".to_string(), Json::int(w.index)),
+        ("start_ns".to_string(), Json::int(w.start_ns)),
+        ("end_ns".to_string(), Json::int(w.end_ns)),
+        ("counters".to_string(), counters),
+        ("histograms".to_string(), histograms),
     ])
 }
 
@@ -265,32 +291,7 @@ pub fn experiment_json(id: &str) -> Json {
     }
     if id == "e13" {
         let s = e13_timeline::measure();
-        let windows: Vec<Json> = s
-            .windows
-            .iter()
-            .map(|w| {
-                let counters =
-                    Json::obj(w.counters.iter().map(|(k, v)| (k.clone(), Json::int(*v))));
-                let histograms = Json::obj(w.histograms.iter().map(|(k, h)| {
-                    (
-                        k.clone(),
-                        Json::obj([
-                            ("count".to_string(), Json::int(h.count)),
-                            ("p50".to_string(), Json::int(h.p50)),
-                            ("p99".to_string(), Json::int(h.p99)),
-                            ("max".to_string(), Json::int(h.max)),
-                        ]),
-                    )
-                }));
-                Json::obj([
-                    ("index".to_string(), Json::int(w.index)),
-                    ("start_ns".to_string(), Json::int(w.start_ns)),
-                    ("end_ns".to_string(), Json::int(w.end_ns)),
-                    ("counters".to_string(), counters),
-                    ("histograms".to_string(), histograms),
-                ])
-            })
-            .collect();
+        let windows: Vec<Json> = s.windows.iter().map(window_json).collect();
         fields.push((
             "timeline".to_string(),
             Json::obj([
@@ -388,6 +389,58 @@ pub fn experiment_json(id: &str) -> Json {
                     ]),
                 ),
                 ("data_errors".to_string(), Json::int(s.data_errors)),
+            ]),
+        ));
+    }
+    if id == "e15" {
+        let s = e15_elasticity::measure();
+        let data_errors: u64 = s.scales.iter().map(|x| x.value_errors + x.abandoned).sum();
+        let scales: Vec<Json> = s
+            .scales
+            .iter()
+            .map(|x| {
+                Json::obj([
+                    ("servers".to_string(), Json::int(x.servers)),
+                    ("ops_total".to_string(), Json::int(x.ops_total)),
+                    ("io_errors".to_string(), Json::int(x.io_errors)),
+                    ("value_errors".to_string(), Json::int(x.value_errors)),
+                    ("abandoned".to_string(), Json::int(x.abandoned)),
+                    ("joined".to_string(), Json::int(x.joined)),
+                    (
+                        "drain".to_string(),
+                        Json::obj([
+                            ("ok".to_string(), Json::Bool(x.drain_ok)),
+                            ("min_bytes".to_string(), Json::int(x.drain_min_bytes)),
+                            ("bytes".to_string(), Json::int(x.drain_bytes)),
+                            ("extents".to_string(), Json::int(x.drain_extents)),
+                            (
+                                "residual_bytes".to_string(),
+                                Json::int(x.drained_residual_bytes),
+                            ),
+                            ("overhead".to_string(), Json::float(x.drain_overhead())),
+                        ]),
+                    ),
+                    ("rebalance_bytes".to_string(), Json::int(x.rebalance_bytes)),
+                    ("desc_refreshes".to_string(), Json::int(x.desc_refreshes)),
+                    ("pre_p99_us".to_string(), Json::int(x.pre_p99_us)),
+                    ("spike_p99_us".to_string(), Json::int(x.spike_p99_us)),
+                    ("final_p99_us".to_string(), Json::int(x.final_p99_us)),
+                    ("p99_bounded".to_string(), Json::Bool(x.p99_bounded())),
+                    ("healthy_after".to_string(), Json::Bool(x.healthy_after)),
+                    ("consistent".to_string(), Json::Bool(x.consistent)),
+                    (
+                        "windows".to_string(),
+                        Json::Arr(x.windows.iter().map(window_json).collect()),
+                    ),
+                    ("per_op".to_string(), ops_json(&x.ops)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "elasticity".to_string(),
+            Json::obj([
+                ("scales".to_string(), Json::Arr(scales)),
+                ("data_errors".to_string(), Json::int(data_errors)),
             ]),
         ));
     }
@@ -496,6 +549,33 @@ mod tests {
             "\"doorbells_per_op\"",
         ] {
             assert!(a.contains(field), "e14 export must carry {field}");
+        }
+    }
+
+    #[test]
+    fn e15_elasticity_json_is_valid_and_complete() {
+        // Byte-identity across runs is enforced end-to-end by the CI smoke
+        // step (two `figures --json -- e15` runs diffed); here we pin the
+        // structure the diff gate and the greps depend on.
+        let a = experiment_json("e15").render();
+        validate(&a).expect("e15 report must be valid JSON");
+        for field in [
+            "\"elasticity\"",
+            "\"scales\"",
+            "\"drain\"",
+            "\"min_bytes\"",
+            "\"residual_bytes\"",
+            "\"overhead\"",
+            "\"rebalance_bytes\"",
+            "\"desc_refreshes\"",
+            "\"p99_bounded\"",
+            "\"consistent\"",
+            "\"data_errors\"",
+            "\"windows\"",
+            "\"e15.op_latency_us\"",
+            "\"rtts_per_op\"",
+        ] {
+            assert!(a.contains(field), "e15 export must carry {field}");
         }
     }
 

@@ -52,6 +52,12 @@ pub struct ClientConfig {
     /// READ and a `put` into CAS + WRITE regardless of probe-chain depth.
     /// `0` disables the cache (every op probes from the home slot).
     pub kv_hint_capacity: usize,
+    /// How long a control RPC to the master waits for its response before
+    /// the connection is declared broken and redialed. The default matches
+    /// the RPC layer's conservative 1s; chaos-tolerant deployments should
+    /// set it near their data-path timeout so a lost response costs one
+    /// revalidation round, not a second of stalled retries.
+    pub ctrl_response_timeout: Duration,
 }
 
 impl Default for ClientConfig {
@@ -63,6 +69,7 @@ impl Default for ClientConfig {
             pipeline_depth: 8,
             ledger: false,
             kv_hint_capacity: 4096,
+            ctrl_response_timeout: crate::rpc::RESPONSE_TIMEOUT,
         }
     }
 }
@@ -135,7 +142,8 @@ impl RStoreClient {
         master: NodeId,
         cfg: ClientConfig,
     ) -> Result<RStoreClient> {
-        let ctrl = RpcClient::connect(dev, master, CTRL_SERVICE).await?;
+        let mut ctrl = RpcClient::connect(dev, master, CTRL_SERVICE).await?;
+        ctrl.set_response_timeout(cfg.ctrl_response_timeout);
         let shared = Rc::new(ClientShared {
             dev: dev.clone(),
             sim: dev.sim().clone(),
@@ -318,6 +326,26 @@ impl RStoreClient {
         }
     }
 
+    /// Gracefully drains a memory server: the master migrates every extent
+    /// it hosts onto other servers (live, one-sided copies with atomic
+    /// descriptor swaps) and excludes it from future placement. Returns
+    /// `(extents, bytes)` migrated.
+    ///
+    /// # Errors
+    ///
+    /// * [`RStoreError::InsufficientCapacity`] — the remaining servers
+    ///   cannot absorb the node's data; the node stays in service.
+    /// * [`RStoreError::Remote`] — unknown server, duplicate drain, or a
+    ///   stalled drain.
+    /// * Transport errors.
+    pub async fn drain(&self, node: NodeId) -> Result<(u64, u64)> {
+        match self.ctrl_call(CtrlReq::Drain { node: node.0 }).await? {
+            CtrlResp::Drained { extents, bytes } => Ok((extents, bytes)),
+            CtrlResp::Err(m) => Err(remap_err(m)),
+            _ => Err(RStoreError::Protocol("unexpected drain response".into())),
+        }
+    }
+
     /// Waits until every outstanding asynchronous IO posted through this
     /// client has completed (the paper's `r_sync`).
     pub async fn sync(&self) {
@@ -425,7 +453,11 @@ impl RStoreClient {
         let result = async {
             let mut conn = match s.ctrl.borrow_mut().take() {
                 Some(c) => c,
-                None => RpcClient::connect(&s.dev, s.master, CTRL_SERVICE).await?,
+                None => {
+                    let mut c = RpcClient::connect(&s.dev, s.master, CTRL_SERVICE).await?;
+                    c.set_response_timeout(s.cfg.ctrl_response_timeout);
+                    c
+                }
             };
             match conn.call(&req.encode()).await {
                 Ok(bytes) => {
@@ -497,6 +529,7 @@ fn ctrl_op_names(req: &CtrlReq) -> (&'static str, &'static str) {
             "rstore.ctrl.report_corruption",
             "rstore.ctrl_latency.report_corruption",
         ),
+        CtrlReq::Drain { .. } => ("rstore.ctrl.drain", "rstore.ctrl_latency.drain"),
     }
 }
 

@@ -70,6 +70,8 @@ pub struct Cluster {
     /// Pre-created client devices (one per client machine).
     pub client_devs: Vec<RdmaDevice>,
     client_cfg: ClientConfig,
+    rdma_cfg: RdmaConfig,
+    server_cfg: ServerConfig,
 }
 
 impl fmt::Debug for Cluster {
@@ -120,6 +122,8 @@ impl Cluster {
             servers,
             client_devs,
             client_cfg: cfg.client,
+            rdma_cfg: cfg.rdma,
+            server_cfg: cfg.server,
         };
 
         // Let registration traffic drain so callers start from a settled
@@ -160,5 +164,27 @@ impl Cluster {
     /// Panics if `i` is out of range.
     pub async fn client_with(&self, i: usize, cfg: ClientConfig) -> Result<RStoreClient> {
         RStoreClient::connect_with(&self.client_devs[i], self.master.node(), cfg).await
+    }
+
+    /// Creates a *dark* standby server machine: a device on the fabric whose
+    /// `NodeId` is known immediately — so a [`fabric::FaultPlan`] can name it
+    /// in a `join_at` event — but which donates nothing and serves nothing
+    /// until [`start_server`](Self::start_server) brings it up.
+    pub fn add_dark_server(&self) -> RdmaDevice {
+        RdmaDevice::new(&self.fabric, self.rdma_cfg.clone())
+    }
+
+    /// Starts a memory server on a (dark) device with the cluster's boot-time
+    /// [`ServerConfig`]: the elastic join. The server registers with the
+    /// master on its first heartbeat; the handle is returned rather than
+    /// appended to [`servers`](Self::servers) so membership hooks holding
+    /// `&Cluster` can join nodes mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures (e.g. service id collisions from calling
+    /// this twice on one device).
+    pub fn start_server(&self, dev: &RdmaDevice) -> Result<MemServer> {
+        MemServer::spawn(dev, self.master.node(), self.server_cfg.clone())
     }
 }

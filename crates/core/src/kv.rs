@@ -74,6 +74,20 @@
 //! word back, and only if it carries *its own* tag does it abort the slot.
 //! Without the tag, a lost-completion CAS would leave the slot locked with
 //! no owner, wedging every later writer that hashes to it.
+//!
+//! A lock can also be orphaned with no surviving owner to abort it: live
+//! migration copies extents byte-for-byte, and if a slot is locked at copy
+//! time the new extent inherits the odd word while the owner's unlock lands
+//! on the sealed, soon-freed source. The key observation is that the body
+//! under an odd word is always the intact pre-lock image — the lock CAS
+//! touches only the version word, and the publish writes word + body in one
+//! WRITE — so any waiter can *break* the lock by CASing the exact tagged
+//! word it observed back to the pre-lock stable version, restoring the slot
+//! to a state it already had. The nonce makes the observed word unique to
+//! one lock attempt (no ABA), and the CAS fails benignly if the owner turns
+//! out to be alive and releases first. Waiters only do this after watching
+//! the *same* tagged word for most of their wait budget ([`LockWatch`]) —
+//! orders of magnitude past a healthy hold time.
 
 use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RemoteAddr};
 use sim::{OpLedger, SimTime};
@@ -161,6 +175,68 @@ fn lock_word(version: u64, nonce: u64) -> u64 {
 /// A fresh nonzero 31-bit nonce.
 fn next_nonce() -> u64 {
     (NEXT_LOCK_NONCE.fetch_add(1, Ordering::Relaxed) % 0x7FFF_FFFF) + 1
+}
+
+/// The stable version a slot held before `lock` was CASed in — the inverse
+/// of [`lock_word`] (stable versions stay below 2^32, the tag lives above).
+fn pre_lock_version(lock: u64) -> u64 {
+    (lock & 0xFFFF_FFFF) - 1
+}
+
+/// Minimum time a waiter must have watched one unchanged tagged lock word
+/// before it may break the lock as orphaned. Healthy holds last
+/// microseconds and even a holder stalled behind a degraded-window timeout
+/// releases (or aborts) within tens of milliseconds — and its unlock WRITE
+/// either lands within wire latency of being posted or never. A word that
+/// sits unchanged this long has no owner left to release it.
+const ORPHAN_BREAK_AGE: Duration = Duration::from_millis(15);
+
+/// One op's view of the locked slots it has waited on. Feeding every
+/// observed `(slot, word)` pair into the watch lets the op tell a live
+/// writer (words change between waits) from an orphaned lock (the same
+/// tagged word across the whole budget) and break only the latter — see
+/// the module docs on migration-orphaned locks.
+struct LockWatch {
+    /// First locked `(slot, word)` observed, and when.
+    first: Option<(u64, u64, SimTime)>,
+    /// False once a different slot or word has been seen (live writers).
+    stable: bool,
+    /// Set after one break attempt so an op never breaks twice.
+    spent: bool,
+}
+
+impl LockWatch {
+    fn new() -> LockWatch {
+        LockWatch {
+            first: None,
+            stable: true,
+            spent: false,
+        }
+    }
+
+    /// Records one locked-word sighting.
+    fn observe(&mut self, slot: u64, word: u64, now: SimTime) {
+        match self.first {
+            None => self.first = Some((slot, word, now)),
+            Some((s, w, _)) if (s, w) != (slot, word) => self.stable = false,
+            _ => {}
+        }
+    }
+
+    /// The `(slot, word)` to break, if this op has watched a single
+    /// unchanged tagged word for at least [`ORPHAN_BREAK_AGE`].
+    fn breakable(&self, now: SimTime) -> Option<(u64, u64)> {
+        match self.first {
+            Some((slot, word, since))
+                if self.stable
+                    && !self.spent
+                    && now.saturating_since(since) >= ORPHAN_BREAK_AGE =>
+            {
+                Some((slot, word))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Name of the data region backing generation `generation`.
@@ -380,6 +456,16 @@ impl std::fmt::Debug for KvTable {
     }
 }
 
+impl Drop for KvTable {
+    fn drop(&mut self) {
+        // Degraded remaps under chaos open fresh handles every retry; without
+        // this the per-handle scratch buffers leak arena bytes for the life
+        // of the client device. Best-effort: the device may already be gone.
+        let _ = self.dev.free(self.scratch);
+        let _ = self.dev.free(self.probe_buf);
+    }
+}
+
 fn hash_key(key: &[u8]) -> u64 {
     // FNV-1a, then a finalizer; deterministic across clients.
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -559,8 +645,12 @@ impl KvTable {
                 "stripe_size must be a multiple of slot_bytes (a slot image must be one WR)".into(),
             ));
         }
-        let scratch = dev.alloc(m.slot_bytes.max(16))?;
-        let probe_buf = dev.alloc(m.slot_bytes)?;
+        // Both buffers are read through the word-granularity helpers (slot
+        // version words, CAS results), which reject misaligned addresses —
+        // and the client arena fragments onto odd offsets under load, so
+        // plain `alloc` is not good enough here.
+        let scratch = dev.alloc_aligned(m.slot_bytes.max(16), 8)?;
+        let probe_buf = dev.alloc_aligned(m.slot_bytes, 8)?;
         let hint_cap = client.shared.cfg.kv_hint_capacity;
         // The meta block was just read (or written) and its epoch was even:
         // that read doubles as the first write lease.
@@ -638,7 +728,7 @@ impl KvTable {
     fn corrupt_err(&self, data: &Region, slot: u64) -> RStoreError {
         let offset = slot * self.slot_bytes;
         let desc = data.desc();
-        let node = Layout::new(desc)
+        let node = Layout::new(&desc)
             .pieces(offset, 8)
             .ok()
             .and_then(|p| p.first().map(|p| desc.groups[p.group].replicas[0].node))
@@ -734,6 +824,7 @@ impl KvTable {
         // Probe chain from the home slot.
         let start = hash_key(key) & mask;
         let deadline = self.dev.sim().now() + LOCK_WAIT_BUDGET;
+        let mut watch = LockWatch::new();
         for probe in 0..self.max_probe.min(mask + 1) {
             let slot = (start + probe) & mask;
             loop {
@@ -741,14 +832,17 @@ impl KvTable {
                 // (no staging alloc/free per probe) and peek the version
                 // word; the full parse below reads the same snapshot.
                 self.read_slot_into_probe_buf(&data, slot, ledger).await?;
-                if self.dev.read_u64(self.probe_buf.addr)? % 2 == 0 {
+                let word = self.dev.read_u64(self.probe_buf.addr)?;
+                if word % 2 == 0 {
                     break;
                 }
                 // Locked by a writer: brief virtual backoff, retry. Bounded
                 // so a lock orphaned by a crashed writer surfaces as an IO
-                // error rather than an infinite spin.
+                // error rather than an infinite spin — unless the watch
+                // proves it orphaned, in which case it is broken in place.
                 ledger.retry();
-                self.lock_wait(deadline).await?;
+                self.lock_wait_on(&data, &mut watch, deadline, slot, word, ledger)
+                    .await?;
             }
             let view = {
                 let mut img = self.probe_scratch.borrow_mut();
@@ -1017,6 +1111,7 @@ impl KvTable {
             self.bump("kv.index.miss");
         }
 
+        let mut watch = LockWatch::new();
         'retry: loop {
             // First pass: find the key (overwrite) or the first reusable
             // slot.
@@ -1048,9 +1143,11 @@ impl KvTable {
                 } else {
                     // Locked: a writer is mutating this slot. If it could be
                     // our key, retry the whole operation after a bounded
-                    // backoff.
+                    // backoff (breaking the lock first if the watch proves
+                    // it orphaned).
                     ledger.retry();
-                    self.lock_wait(deadline).await?;
+                    self.lock_wait_on(&data, &mut watch, deadline, slot, version, ledger)
+                        .await?;
                     continue 'retry;
                 }
             }
@@ -1114,6 +1211,66 @@ impl KvTable {
         }
         self.dev.sim().sleep(LOCK_BACKOFF).await;
         Ok(())
+    }
+
+    /// [`lock_wait`](Self::lock_wait) for waits where the blocking word is
+    /// known: feeds the sighting into `watch`, and at the deadline — before
+    /// surfacing the timeout — breaks the lock if the watch proves it
+    /// orphaned. A successful break returns `Ok` so the caller re-probes the
+    /// now-stable slot (its next wait past the deadline still errors).
+    async fn lock_wait_on(
+        &self,
+        data: &Region,
+        watch: &mut LockWatch,
+        deadline: SimTime,
+        slot: u64,
+        word: u64,
+        ledger: &OpLedger,
+    ) -> Result<()> {
+        let now = self.dev.sim().now();
+        watch.observe(slot, word, now);
+        if now >= deadline {
+            if let Some((slot, lock)) = watch.breakable(now) {
+                watch.spent = true;
+                if self.break_orphaned_lock(data, slot, lock, ledger).await {
+                    return Ok(());
+                }
+            }
+            return Err(RStoreError::Io(CqStatus::Timeout));
+        }
+        self.dev.sim().sleep(LOCK_BACKOFF).await;
+        Ok(())
+    }
+
+    /// Breaks an orphaned slot lock by CASing the exact tagged word the
+    /// waiter observed back to its pre-lock stable version. Sound because
+    /// the body under an odd word is always the intact pre-lock image (the
+    /// lock CAS touches only the version word; publish is one WRITE of word
+    /// plus body), so success restores a state the slot already had — and
+    /// if the owner is somehow still alive, either its release already
+    /// landed (this CAS fails benignly) or its full-image publish supersedes
+    /// the restored word. Returns whether the slot was healed.
+    async fn break_orphaned_lock(
+        &self,
+        data: &Region,
+        slot: u64,
+        lock: u64,
+        ledger: &OpLedger,
+    ) -> bool {
+        let version = pre_lock_version(lock);
+        match self
+            .cas_word(data, slot * self.slot_bytes, lock, version, ledger)
+            .await
+        {
+            Ok(true) => {
+                self.bump("kv.lock.break");
+                true
+            }
+            // Lost the CAS (owner or another waiter resolved it first) or
+            // the IO failed: either way the caller falls back to the
+            // timeout error and the next op re-evaluates the slot.
+            _ => false,
+        }
     }
 
     /// Publishes a locked slot in one WRITE: the full image `[version + 2 |
@@ -1257,6 +1414,7 @@ impl KvTable {
             self.bump("kv.index.miss");
         }
 
+        let mut watch = LockWatch::new();
         'retry: loop {
             let start = hash_key(key) & mask;
             for probe in 0..self.max_probe.min(mask + 1) {
@@ -1270,7 +1428,8 @@ impl KvTable {
                 }
                 if version % 2 == 1 {
                     ledger.retry();
-                    self.lock_wait(deadline).await?;
+                    self.lock_wait_on(&data, &mut watch, deadline, slot, version, ledger)
+                        .await?;
                     continue 'retry;
                 }
                 let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
@@ -1370,8 +1529,12 @@ impl KvTable {
     /// Reacts to a stale-generation fault (`RemoteAccess`: the data region
     /// was freed under us). Polls the meta block; if the generation moved,
     /// remaps and returns `true` (retry the op). If the generation is
-    /// unchanged after a short budget — the fault had some other cause —
-    /// returns `false` (surface the original error).
+    /// unchanged after a short budget, the data may have been live-migrated
+    /// *within* the generation (extent swap, no generation bump): the cached
+    /// stripe descriptor is refreshed from the master, and a changed
+    /// placement also returns `true`. Only when neither the generation nor
+    /// the descriptor moved does this return `false` (surface the original
+    /// error).
     async fn revalidate_generation(&self, ledger: &OpLedger) -> Result<bool> {
         let now = self.dev.sim().now();
         let same_gen_deadline = now + STALE_GEN_BUDGET;
@@ -1386,7 +1549,7 @@ impl KvTable {
                         Err(e) => return Err(e),
                     }
                 } else if self.dev.sim().now() >= same_gen_deadline {
-                    return Ok(false);
+                    return self.revalidate_placement().await;
                 }
             }
             if self.dev.sim().now() >= deadline {
@@ -1394,6 +1557,26 @@ impl KvTable {
             }
             self.dev.sim().sleep(RESIZE_POLL).await;
         }
+    }
+
+    /// Same-generation fallback for a persistent `RemoteAccess` fault: the
+    /// data region's extents may have moved (drain or rebalance migration).
+    /// Re-fetches the descriptor; a changed placement invalidates the slot
+    /// hints' transport (not their slot numbers — geometry is unchanged) and
+    /// is worth one retry.
+    async fn revalidate_placement(&self) -> Result<bool> {
+        let data = self.state.borrow().data.clone();
+        let before = data.desc();
+        if data.revalidate().await.is_err() {
+            // Lookup failed (e.g. the generation region raced a free):
+            // nothing learned, surface the original fault.
+            return Ok(false);
+        }
+        let moved = data.desc() != before;
+        if moved {
+            self.bump("kv.index.refresh");
+        }
+        Ok(moved)
     }
 
     /// Maps the generation named by `m` and swaps it in: hints die (they are
@@ -1788,7 +1971,7 @@ impl KvTable {
         parent: &OpLedger,
     ) -> Result<bool> {
         // Locate the extent holding the word.
-        let pieces = Layout::new(region.desc()).pieces(offset, 8)?;
+        let pieces = Layout::new(&region.desc()).pieces(offset, 8)?;
         let piece = pieces.first().expect("8 bytes maps to one piece");
         debug_assert_eq!(piece.len, 8, "CAS word must not straddle stripes");
         let extent = region.desc().groups[piece.group].replicas[0];

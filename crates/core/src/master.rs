@@ -48,6 +48,29 @@ pub struct MasterConfig {
     pub scrub: bool,
     /// How often the scrubber sweeps.
     pub scrub_interval: Duration,
+    /// Whether the background rebalancer runs, migrating extents from the
+    /// most- to the least-utilized server when the utilization spread
+    /// exceeds [`rebalance_spread`](Self::rebalance_spread). Off by
+    /// default: planned data movement is an operator choice.
+    pub rebalance: bool,
+    /// How often the rebalancer sweeps.
+    pub rebalance_interval: Duration,
+    /// Hysteresis: the rebalancer only acts while
+    /// `max(utilization) - min(utilization)` across live servers exceeds
+    /// this fraction (utilization = (used + pending) / capacity). Keeps it
+    /// from thrashing on noise-level imbalance.
+    pub rebalance_spread: f64,
+    /// Bytes-moved budget per rebalance sweep: a sweep stops migrating once
+    /// it has moved this many physical bytes, resuming next interval. Bounds
+    /// the data-path interference of any single sweep.
+    pub rebalance_budget: u64,
+    /// How long a server-facing RPC (extent alloc, replicate, seal) waits
+    /// for its response before the connection is declared broken. The 1s
+    /// default is safe for any alloc size; chaos-tolerant deployments
+    /// should set it near their repair cadence — a migration blocked a
+    /// whole second on one lost response holds the source extent sealed
+    /// while writers spin on revalidation.
+    pub srv_response_timeout: Duration,
 }
 
 impl Default for MasterConfig {
@@ -61,13 +84,28 @@ impl Default for MasterConfig {
             repair_interval: Duration::from_millis(500),
             scrub: true,
             scrub_interval: Duration::from_millis(500),
+            rebalance: false,
+            rebalance_interval: Duration::from_millis(500),
+            rebalance_spread: 0.15,
+            rebalance_budget: 64 << 20,
+            srv_response_timeout: crate::rpc::RESPONSE_TIMEOUT,
         }
     }
 }
 
 struct ServerInfo {
     capacity: u64,
+    /// Bytes granted to extents that appear in a region descriptor. The
+    /// accounting invariant — checked by [`Master::local_stats`] — is that
+    /// this equals the per-descriptor sum at every await point; transfers
+    /// between `pending` and `used` happen in the same borrow as the
+    /// descriptor mutation they mirror.
     used: u64,
+    /// Bytes reserved by an in-flight allocation, repair, or migration:
+    /// granted (or about to be granted) on the server but not yet published
+    /// in any descriptor. Returned to zero on commit (moved into `used`) or
+    /// rollback.
+    pending: u64,
     last_hb: SimTime,
     alive: bool,
 }
@@ -91,8 +129,44 @@ struct MState {
     /// repair source, re-replicated by the repair task, and keeping the
     /// region `Degraded` until cleared.
     corrupt: BTreeMap<String, BTreeSet<(usize, usize)>>,
+    /// Servers being gracefully drained: excluded as placement, repair, and
+    /// migration targets while their data moves off. Cleared when the drain
+    /// completes or fails.
+    draining: BTreeSet<u32>,
+    /// Per-region in-flight-move guard: a region in this set has a repair,
+    /// drain, or rebalance actively rewriting its descriptor, and every
+    /// other mover must skip it. Held via [`RegionGuard`] so a panicking or
+    /// early-returning mover can never leak the lock.
+    busy_regions: std::collections::HashSet<String>,
     rng: DetRng,
     conns: HashMap<u32, Rc<ConnSlot>>,
+}
+
+/// RAII holder of a `busy_regions` entry (see [`MState::busy_regions`]).
+struct RegionGuard {
+    state: Rc<RefCell<MState>>,
+    name: String,
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        self.state.borrow_mut().busy_regions.remove(&self.name);
+    }
+}
+
+/// Result of one planned extent migration attempt.
+enum MigrateOutcome {
+    /// Copied, swapped, and freed: the extent now lives elsewhere. Carries
+    /// the physical bytes moved.
+    Moved(u64),
+    /// The descriptor changed underneath us (region freed, slot swapped by
+    /// another mover) — nothing was migrated and nothing needs to be.
+    Gone,
+    /// No eligible target server has the capacity.
+    NoCapacity,
+    /// A server call failed mid-protocol; everything was rolled back
+    /// exactly (new extent freed, source unsealed, accounting restored).
+    Failed,
 }
 
 /// Handle to a running master.
@@ -132,6 +206,8 @@ impl Master {
                 reserved: std::collections::HashSet::new(),
                 synthetic: std::collections::HashSet::new(),
                 corrupt: BTreeMap::new(),
+                draining: BTreeSet::new(),
+                busy_regions: std::collections::HashSet::new(),
                 rng: DetRng::new(cfg.seed),
                 conns: HashMap::new(),
             })),
@@ -172,6 +248,18 @@ impl Master {
                 loop {
                     m.sim.sleep(m.cfg.repair_interval).await;
                     m.repair_sweep().await;
+                }
+            });
+        }
+
+        // Rebalancer: migrate extents from the most- to the least-utilized
+        // server while the utilization spread exceeds the hysteresis band.
+        if master.cfg.rebalance {
+            let m = master.clone();
+            master.sim.spawn(async move {
+                loop {
+                    m.sim.sleep(m.cfg.rebalance_interval).await;
+                    m.rebalance_sweep().await;
                 }
             });
         }
@@ -222,10 +310,15 @@ impl Master {
     /// and lost its soft state. The server's next heartbeat is answered with
     /// an error, prompting it to re-register. Admin/test hook.
     pub fn forget_server(&self, node: NodeId) {
-        self.state.borrow_mut().servers.remove(&node.0);
+        let mut st = self.state.borrow_mut();
+        st.servers.remove(&node.0);
+        st.draining.remove(&node.0);
     }
 
-    /// A local (non-RPC) snapshot of cluster statistics.
+    /// A local (non-RPC) snapshot of cluster statistics, including the
+    /// accounting-invariant check: `consistent` is true iff every registered
+    /// server's `used` counter equals the sum of extent allocation lengths
+    /// the descriptors place on it.
     pub fn local_stats(&self) -> ClusterStats {
         let st = self.state.borrow();
         ClusterStats {
@@ -233,6 +326,20 @@ impl Master {
             regions: st.regions.len() as u32,
             capacity: st.servers.values().map(|s| s.capacity).sum(),
             used: st.servers.values().map(|s| s.used).sum(),
+            consistent: accounting_consistent(&st),
+        }
+    }
+
+    /// Acquires the in-flight-move guard for `name`, or returns `None` if
+    /// another mover (repair, drain, rebalance) already holds it.
+    fn try_guard_region(&self, name: &str) -> Option<RegionGuard> {
+        if self.state.borrow_mut().busy_regions.insert(name.to_owned()) {
+            Some(RegionGuard {
+                state: self.state.clone(),
+                name: name.to_owned(),
+            })
+        } else {
+            None
         }
     }
 
@@ -308,11 +415,19 @@ impl Master {
                         info.alive = true;
                     }
                     None => {
+                        // An unknown node may still be referenced by live
+                        // descriptors (the master forgot it mid-flight, or
+                        // restarted): rebuild `used` from the descriptors
+                        // instead of assuming zero, or the books would
+                        // double-count every extent the repair task touches
+                        // afterwards and the master would over-allocate.
+                        let used = desc_usage(&st).get(&node).copied().unwrap_or(0);
                         st.servers.insert(
                             node,
                             ServerInfo {
                                 capacity,
-                                used: 0,
+                                used,
+                                pending: 0,
                                 last_hb: now,
                                 alive: true,
                             },
@@ -400,6 +515,10 @@ impl Master {
                 }
                 CtrlResp::Ok
             }
+            CtrlReq::Drain { node } => match self.drain(NodeId(node)).await {
+                Ok((extents, bytes)) => CtrlResp::Drained { extents, bytes },
+                Err(e) => CtrlResp::Err(e.to_string()),
+            },
         }
     }
 
@@ -427,7 +546,7 @@ impl Master {
         let alive: Vec<u32> = st
             .servers
             .iter()
-            .filter(|(_, s)| s.alive)
+            .filter(|(&n, s)| s.alive && !st.draining.contains(&n))
             .map(|(&n, _)| n)
             .collect();
         if alive.len() < replicas {
@@ -439,7 +558,9 @@ impl Master {
         let mut planned: HashMap<u32, u64> = HashMap::new();
         let free = |st: &MState, planned: &HashMap<u32, u64>, n: u32| {
             let s = &st.servers[&n];
-            s.capacity - s.used - planned.get(&n).copied().unwrap_or(0)
+            (s.capacity - s.used)
+                .saturating_sub(s.pending)
+                .saturating_sub(planned.get(&n).copied().unwrap_or(0))
         };
 
         let mut placement = Vec::with_capacity(stripe_lens.len());
@@ -494,9 +615,13 @@ impl Master {
             placement.push(chosen);
         }
 
-        // Commit the reservation.
+        // Reserve the bytes as pending; they move to `used` in the same
+        // borrow that publishes the extents into a descriptor.
         for (n, bytes) in planned {
-            st.servers.get_mut(&n).expect("placed on known server").used += bytes;
+            st.servers
+                .get_mut(&n)
+                .expect("placed on known server")
+                .pending += bytes;
         }
         Ok(placement)
     }
@@ -526,6 +651,10 @@ impl Master {
                 if synthetic {
                     st.synthetic.insert(name.clone());
                 }
+                // Publish and commit atomically: the extents enter the
+                // namespace in the same borrow their reservation moves from
+                // `pending` to `used`.
+                commit_groups(&mut st, &desc.groups, desc.checksums);
                 st.regions.insert(name, desc.clone());
                 Ok(desc)
             }
@@ -590,7 +719,9 @@ impl Master {
                 Some(desc) => {
                     desc.groups.extend(groups.iter().cloned());
                     desc.size += additional;
-                    Some(desc.clone())
+                    let desc = desc.clone();
+                    commit_groups(&mut st, &groups, checksums);
+                    Some(desc)
                 }
                 None => None,
             }
@@ -598,9 +729,10 @@ impl Master {
         match committed {
             Some(desc) => Ok(desc),
             // The region was freed while we were allocating: roll back the
-            // fresh extents and their capacity reservation.
+            // fresh extents and their capacity reservation (still pending —
+            // they never made it into a descriptor).
             None => {
-                self.release_groups(&groups, checksums).await;
+                self.release_groups(&groups, checksums, true).await;
                 Err(RStoreError::NotFound(name))
             }
         }
@@ -669,7 +801,20 @@ impl Master {
         }
 
         if let Some(e) = failure {
-            // Roll back granted extents and the capacity reservation.
+            // Roll back the pending reservation first (sync, one borrow),
+            // then free granted extents best-effort.
+            {
+                let mut st = self.state.borrow_mut();
+                for (i, servers) in placement.iter().enumerate() {
+                    for &n in servers {
+                        if let Some(info) = st.servers.get_mut(&n) {
+                            info.pending = info
+                                .pending
+                                .saturating_sub(extent_alloc_len(stripe_lens[i], ck));
+                        }
+                    }
+                }
+            }
             for ((node, _len), extents) in granted {
                 let _ = self
                     .server_call(
@@ -682,16 +827,6 @@ impl Master {
                         },
                     )
                     .await;
-            }
-            let mut st = self.state.borrow_mut();
-            for (i, servers) in placement.iter().enumerate() {
-                for &n in servers {
-                    if let Some(info) = st.servers.get_mut(&n) {
-                        info.used = info
-                            .used
-                            .saturating_sub(extent_alloc_len(stripe_lens[i], ck));
-                    }
-                }
             }
             return Err(e);
         }
@@ -724,15 +859,20 @@ impl Master {
             st.corrupt.remove(&name);
             desc
         };
-        self.release_groups(&desc.groups, desc.checksums).await;
+        self.release_groups(&desc.groups, desc.checksums, false)
+            .await;
         Ok(())
     }
 
     /// Frees the extents of `groups` on their servers (best effort, skipping
     /// dead ones — a server dying loses the memory anyway) and returns the
     /// reserved capacity to the accounting. `ck` selects the physical
-    /// (trailer-inclusive) extent length.
-    async fn release_groups(&self, groups: &[StripeGroup], ck: bool) {
+    /// (trailer-inclusive) extent length. `from_pending` picks which counter
+    /// the bytes come back from: `pending` for extents that never reached a
+    /// descriptor (grow rollback), `used` for published ones (free). The
+    /// accounting is returned synchronously in one borrow — before any RPC —
+    /// so the invariant holds at every await point.
+    async fn release_groups(&self, groups: &[StripeGroup], ck: bool, from_pending: bool) {
         let mut per_server: BTreeMap<u32, Vec<(u64, u64)>> = BTreeMap::new();
         for g in groups {
             for x in &g.replicas {
@@ -742,8 +882,20 @@ impl Master {
                     .push((x.addr, extent_alloc_len(x.len, ck)));
             }
         }
+        {
+            let mut st = self.state.borrow_mut();
+            for (&node, extents) in &per_server {
+                let bytes: u64 = extents.iter().map(|(_, l)| l).sum();
+                if let Some(info) = st.servers.get_mut(&node) {
+                    if from_pending {
+                        info.pending = info.pending.saturating_sub(bytes);
+                    } else {
+                        info.used = info.used.saturating_sub(bytes);
+                    }
+                }
+            }
+        }
         for (node, extents) in per_server {
-            let bytes: u64 = extents.iter().map(|(_, l)| l).sum();
             let alive = self
                 .state
                 .borrow()
@@ -754,10 +906,6 @@ impl Master {
                 let _ = self
                     .server_call(node, SrvReq::FreeExtents { extents })
                     .await;
-            }
-            let mut st = self.state.borrow_mut();
-            if let Some(info) = st.servers.get_mut(&node) {
-                info.used = info.used.saturating_sub(bytes);
             }
         }
     }
@@ -794,6 +942,11 @@ impl Master {
     /// intact replica are unrecoverable and left degraded; unreplicated
     /// regions therefore stay `Degraded`.
     async fn repair_region(&self, name: &str) {
+        // One mover per region: if a drain or rebalance is mid-migration
+        // here, skip — the next sweep revisits.
+        let Some(_guard) = self.try_guard_region(name) else {
+            return;
+        };
         let groups = {
             let st = self.state.borrow();
             match st.regions.get(name) {
@@ -911,10 +1064,13 @@ impl Master {
             let hosts: Vec<u32> = group.replicas.iter().map(|x| x.node).collect();
             let mut best: Option<(u64, u32)> = None;
             for (&n, info) in &st.servers {
-                if !info.alive || hosts.contains(&n) {
+                if !info.alive || hosts.contains(&n) || st.draining.contains(&n) {
                     continue;
                 }
-                let free = info.capacity.saturating_sub(info.used);
+                let free = info
+                    .capacity
+                    .saturating_sub(info.used)
+                    .saturating_sub(info.pending);
                 if free < phys {
                     continue;
                 }
@@ -925,13 +1081,13 @@ impl Master {
             let Some((_, n)) = best else {
                 return false;
             };
-            st.servers.get_mut(&n).expect("alive server").used += phys;
+            st.servers.get_mut(&n).expect("alive server").pending += phys;
             n
         };
         let unreserve = |node: u32, bytes: u64| {
             let mut st = self.state.borrow_mut();
             if let Some(info) = st.servers.get_mut(&node) {
-                info.used = info.used.saturating_sub(bytes);
+                info.pending = info.pending.saturating_sub(bytes);
             }
         };
         let new_extent = match self
@@ -1014,6 +1170,16 @@ impl Master {
                             st.corrupt.remove(name);
                         }
                     }
+                    // Transfer the accounting in the same borrow as the
+                    // descriptor swap: the new extent becomes `used` on the
+                    // target, the old one stops being `used` on the source.
+                    if let Some(info) = st.servers.get_mut(&target) {
+                        info.pending = info.pending.saturating_sub(phys);
+                        info.used += phys;
+                    }
+                    if let Some(info) = st.servers.get_mut(&old.node) {
+                        info.used = info.used.saturating_sub(phys);
+                    }
                     let old_alive = st.servers.get(&old.node).is_some_and(|s| s.alive);
                     (true, old_alive)
                 }
@@ -1040,11 +1206,427 @@ impl Master {
                 )
                 .await;
         }
-        unreserve(old.node, phys);
         self.sim
             .tracer()
             .instant("core", "rstore.repair.extent", old.node as u64, old.len);
         true
+    }
+
+    /// Migrates one live extent off `old.node` onto the best eligible
+    /// server: **seal → copy → swap → free**. The source is first sealed
+    /// read-only (same rkey — readers keep serving), so no client WRITE/CAS
+    /// can land between the point-in-time copy and the descriptor swap;
+    /// sealed writers fault with `RemoteAccess`, revalidate their
+    /// descriptor, and retry against the new home. Any mid-protocol failure
+    /// rolls back exactly: the replacement is freed, the source unsealed,
+    /// and the pending reservation returned. The caller must hold the
+    /// region's [`RegionGuard`]. `reason` ("drain" / "rebalance") names the
+    /// metric family charged for the move.
+    async fn migrate_extent(
+        &self,
+        name: &str,
+        gi: usize,
+        ri: usize,
+        old: &Extent,
+        reason: &'static str,
+    ) -> MigrateOutcome {
+        let (synthetic, ck) = {
+            let st = self.state.borrow();
+            if st.corrupt.get(name).is_some_and(|m| m.contains(&(gi, ri))) {
+                // Corrupt replicas are the repair task's to rebuild (it
+                // copies from an intact source); migrating one would spread
+                // the bad bytes.
+                return MigrateOutcome::Gone;
+            }
+            (
+                st.synthetic.contains(name),
+                st.regions.get(name).is_some_and(|d| d.checksums),
+            )
+        };
+        let phys = extent_alloc_len(old.len, ck);
+        // Pick the live, non-draining server with the most free capacity
+        // that does not already host a replica of this group, and reserve.
+        let target = {
+            let mut st = self.state.borrow_mut();
+            let Some(group) = st.regions.get(name).and_then(|d| d.groups.get(gi)) else {
+                return MigrateOutcome::Gone;
+            };
+            if group.replicas.get(ri) != Some(old) {
+                return MigrateOutcome::Gone;
+            }
+            let hosts: Vec<u32> = group.replicas.iter().map(|x| x.node).collect();
+            let mut best: Option<(u64, u32)> = None;
+            for (&n, info) in &st.servers {
+                if !info.alive || hosts.contains(&n) || st.draining.contains(&n) {
+                    continue;
+                }
+                let free = info
+                    .capacity
+                    .saturating_sub(info.used)
+                    .saturating_sub(info.pending);
+                if free < phys {
+                    continue;
+                }
+                if best.is_none_or(|(bf, _)| free > bf) {
+                    best = Some((free, n));
+                }
+            }
+            let Some((_, n)) = best else {
+                return MigrateOutcome::NoCapacity;
+            };
+            st.servers.get_mut(&n).expect("alive server").pending += phys;
+            n
+        };
+        let unreserve = |node: u32, bytes: u64| {
+            let mut st = self.state.borrow_mut();
+            if let Some(info) = st.servers.get_mut(&node) {
+                info.pending = info.pending.saturating_sub(bytes);
+            }
+        };
+        let new_extent = match self
+            .server_call(
+                target,
+                SrvReq::AllocExtents {
+                    count: 1,
+                    len: old.len,
+                    synthetic,
+                    checksums: ck,
+                },
+            )
+            .await
+        {
+            Ok(SrvResp::Extents(v)) if v.len() == 1 => {
+                let (addr, rkey, len) = v[0];
+                Extent {
+                    node: target,
+                    addr,
+                    rkey,
+                    len,
+                }
+            }
+            _ => {
+                unreserve(target, phys);
+                return MigrateOutcome::Failed;
+            }
+        };
+        let free_new = |master: &Master| {
+            let master = master.clone();
+            async move {
+                let _ = master
+                    .server_call(
+                        target,
+                        SrvReq::FreeExtents {
+                            extents: vec![(new_extent.addr, extent_alloc_len(new_extent.len, ck))],
+                        },
+                    )
+                    .await;
+            }
+        };
+        // Seal the source read-only before the copy. From here until the
+        // swap (or the rollback unseal), writers to this extent bounce.
+        let sealed = matches!(
+            self.server_call(
+                old.node,
+                SrvReq::SetAccess {
+                    rkey: old.rkey,
+                    writable: false,
+                },
+            )
+            .await,
+            Ok(SrvResp::Ok)
+        );
+        if !sealed {
+            free_new(self).await;
+            unreserve(target, phys);
+            return MigrateOutcome::Failed;
+        }
+        let unseal = |master: &Master| {
+            let master = master.clone();
+            async move {
+                let _ = master
+                    .server_call(
+                        old.node,
+                        SrvReq::SetAccess {
+                            rkey: old.rkey,
+                            writable: true,
+                        },
+                    )
+                    .await;
+            }
+        };
+        // Point-in-time copy over the data path: the target pulls the
+        // sealed source (stripe + trailer) with a one-sided READ.
+        let copied = matches!(
+            self.server_call(
+                target,
+                SrvReq::Replicate {
+                    src_node: old.node,
+                    src_addr: old.addr,
+                    src_rkey: old.rkey,
+                    dst_addr: new_extent.addr,
+                    len: phys,
+                },
+            )
+            .await,
+            Ok(SrvResp::Ok)
+        );
+        if !copied {
+            unseal(self).await;
+            free_new(self).await;
+            unreserve(target, phys);
+            return MigrateOutcome::Failed;
+        }
+        // Atomic descriptor swap, guarded against the region changing
+        // underneath, with the accounting transferred in the same borrow.
+        let swapped = {
+            let mut st = self.state.borrow_mut();
+            match st
+                .regions
+                .get_mut(name)
+                .and_then(|d| d.groups.get_mut(gi))
+                .and_then(|g| g.replicas.get_mut(ri))
+            {
+                Some(slot) if slot == old => {
+                    *slot = new_extent;
+                    if let Some(info) = st.servers.get_mut(&target) {
+                        info.pending = info.pending.saturating_sub(phys);
+                        info.used += phys;
+                    }
+                    if let Some(info) = st.servers.get_mut(&old.node) {
+                        info.used = info.used.saturating_sub(phys);
+                    }
+                    true
+                }
+                _ => false,
+            }
+        };
+        if !swapped {
+            unseal(self).await;
+            free_new(self).await;
+            unreserve(target, phys);
+            return MigrateOutcome::Gone;
+        }
+        // Free the source extent (dropping its MR — stale cached
+        // descriptors now fault RemoteAccess and revalidate).
+        let _ = self
+            .server_call(
+                old.node,
+                SrvReq::FreeExtents {
+                    extents: vec![(old.addr, phys)],
+                },
+            )
+            .await;
+        let m = self.dev.metrics();
+        m.incr(&format!("{reason}.extents"));
+        m.add(&format!("{reason}.bytes"), phys);
+        self.sim
+            .tracer()
+            .instant("core", "rstore.migrate.extent", old.node as u64, phys);
+        MigrateOutcome::Moved(phys)
+    }
+
+    /// Gracefully drains `node`: migrates every extent it hosts onto other
+    /// servers and leaves it registered but permanently excluded from
+    /// placement, so a subsequent [`forget_server`](Master::forget_server)
+    /// (or shutdown) loses no data. Returns `(extents, bytes)` moved.
+    ///
+    /// # Errors
+    ///
+    /// * [`RStoreError::InsufficientCapacity`] — the remaining servers
+    ///   cannot absorb the node's data; the drain mark is cleared and the
+    ///   node resumes normal service (extents already moved stay moved).
+    /// * [`RStoreError::Remote`] — unknown/duplicate drain, or the drain
+    ///   stalled (e.g. unmovable corrupt extents with repair disabled).
+    ///   Never hangs: progress is re-checked each pass with a bounded stall
+    ///   count.
+    pub async fn drain(&self, node: NodeId) -> Result<(u64, u64)> {
+        let node = node.0;
+        {
+            let mut st = self.state.borrow_mut();
+            if !st.servers.contains_key(&node) {
+                return Err(RStoreError::Remote(format!("unknown server {node}")));
+            }
+            if !st.draining.insert(node) {
+                return Err(RStoreError::Remote(format!(
+                    "server {node} is already draining"
+                )));
+            }
+        }
+        let span = self.sim.tracer().span("core", "rstore.drain", node as u64);
+        let result = self.drain_inner(node).await;
+        if result.is_err() {
+            // Failed drains put the node back into normal service; a
+            // successful drain keeps the mark so the empty node never
+            // receives new placements.
+            self.state.borrow_mut().draining.remove(&node);
+        }
+        span.end();
+        result
+    }
+
+    async fn drain_inner(&self, node: u32) -> Result<(u64, u64)> {
+        let mut extents_moved = 0u64;
+        let mut bytes_moved = 0u64;
+        let mut stalls = 0u32;
+        loop {
+            // Regions hosting extents on the node, in sorted order so drain
+            // order (and every trace) is identical across runs.
+            let mut names: Vec<String> = {
+                let st = self.state.borrow();
+                st.regions
+                    .iter()
+                    .filter(|(_, d)| {
+                        d.groups
+                            .iter()
+                            .flat_map(|g| &g.replicas)
+                            .any(|x| x.node == node)
+                    })
+                    .map(|(n, _)| n.clone())
+                    .collect()
+            };
+            names.sort();
+            let mut progressed = false;
+            for name in names {
+                let Some(_guard) = self.try_guard_region(&name) else {
+                    continue; // another mover owns it; next pass revisits
+                };
+                loop {
+                    let found = {
+                        let st = self.state.borrow();
+                        st.regions.get(&name).and_then(|d| {
+                            d.groups.iter().enumerate().find_map(|(gi, g)| {
+                                g.replicas.iter().enumerate().find_map(|(ri, x)| {
+                                    let corrupt = st
+                                        .corrupt
+                                        .get(&name)
+                                        .is_some_and(|m| m.contains(&(gi, ri)));
+                                    (x.node == node && !corrupt).then_some((gi, ri, *x))
+                                })
+                            })
+                        })
+                    };
+                    let Some((gi, ri, old)) = found else {
+                        break;
+                    };
+                    match self.migrate_extent(&name, gi, ri, &old, "drain").await {
+                        MigrateOutcome::Moved(b) => {
+                            extents_moved += 1;
+                            bytes_moved += b;
+                            progressed = true;
+                        }
+                        MigrateOutcome::Gone => break, // re-scan next pass
+                        MigrateOutcome::NoCapacity => {
+                            let remaining = {
+                                let st = self.state.borrow();
+                                desc_usage(&st).get(&node).copied().unwrap_or(0)
+                            };
+                            return Err(RStoreError::InsufficientCapacity {
+                                requested: remaining,
+                            });
+                        }
+                        MigrateOutcome::Failed => break,
+                    }
+                }
+            }
+            let remaining = {
+                let st = self.state.borrow();
+                desc_usage(&st).get(&node).copied().unwrap_or(0)
+            };
+            if remaining == 0 {
+                break;
+            }
+            if progressed {
+                stalls = 0;
+            } else {
+                stalls += 1;
+                if stalls >= 3 {
+                    return Err(RStoreError::Remote(format!(
+                        "drain of server {node} stalled with {remaining} bytes unmovable"
+                    )));
+                }
+            }
+            // Give the repair task a beat to clear corrupt extents (their
+            // replacements land off the draining node) and busy regions a
+            // chance to quiesce.
+            self.sim.sleep(self.cfg.repair_interval).await;
+        }
+        Ok((extents_moved, bytes_moved))
+    }
+
+    /// One rebalancer pass: while the utilization spread across live,
+    /// non-draining servers exceeds the hysteresis band and the sweep's
+    /// bytes-moved budget remains, migrate one extent at a time off the
+    /// most-loaded server. Utilization is `(used + pending) / capacity`;
+    /// ties on utilization are broken toward the server whose fabric link
+    /// has been busier (`fabric.link<N>.{tx,rx}_busy_ns` gauges).
+    async fn rebalance_sweep(&self) {
+        let metrics = self.dev.metrics();
+        let link_busy = |n: u32| {
+            metrics.counter(&format!("fabric.link{n}.tx_busy_ns"))
+                + metrics.counter(&format!("fabric.link{n}.rx_busy_ns"))
+        };
+        let mut moved = 0u64;
+        while moved < self.cfg.rebalance_budget {
+            // Hottest eligible server, by (utilization, link busy).
+            let src = {
+                let st = self.state.borrow();
+                let mut lo: Option<f64> = None;
+                let mut hi: Option<(f64, u64, u32)> = None;
+                for (&n, info) in &st.servers {
+                    if !info.alive || st.draining.contains(&n) || info.capacity == 0 {
+                        continue;
+                    }
+                    let util = (info.used + info.pending) as f64 / info.capacity as f64;
+                    if lo.is_none_or(|l| util < l) {
+                        lo = Some(util);
+                    }
+                    let busy = link_busy(n);
+                    if hi.is_none_or(|(hu, hb, _)| util > hu || (util == hu && busy > hb)) {
+                        hi = Some((util, busy, n));
+                    }
+                }
+                match (lo, hi) {
+                    (Some(lo), Some((hu, _, n))) if hu - lo > self.cfg.rebalance_spread => n,
+                    _ => break, // inside the hysteresis band: nothing to do
+                }
+            };
+            // First migratable extent on the hot server, in sorted region
+            // order, skipping busy regions and corrupt replicas.
+            let found = {
+                let st = self.state.borrow();
+                let mut names: Vec<&String> = st.regions.keys().collect();
+                names.sort();
+                let mut found = None;
+                'outer: for name in names {
+                    if st.busy_regions.contains(name) {
+                        continue;
+                    }
+                    let desc = &st.regions[name];
+                    for (gi, g) in desc.groups.iter().enumerate() {
+                        for (ri, x) in g.replicas.iter().enumerate() {
+                            let corrupt =
+                                st.corrupt.get(name).is_some_and(|m| m.contains(&(gi, ri)));
+                            if x.node == src && !corrupt {
+                                found = Some((name.clone(), gi, ri, *x));
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                found
+            };
+            let Some((name, gi, ri, old)) = found else {
+                break;
+            };
+            let Some(_guard) = self.try_guard_region(&name) else {
+                break;
+            };
+            match self.migrate_extent(&name, gi, ri, &old, "rebalance").await {
+                MigrateOutcome::Moved(b) => moved += b,
+                MigrateOutcome::Gone => continue,
+                MigrateOutcome::NoCapacity | MigrateOutcome::Failed => break,
+            }
+        }
     }
 
     /// One scrubber pass: re-verify the checksum of every replica of every
@@ -1226,7 +1808,11 @@ impl Master {
         let result = async {
             let mut conn = match slot.conn.borrow_mut().take() {
                 Some(c) => c,
-                None => RpcClient::connect(&self.dev, NodeId(node), SRV_SERVICE).await?,
+                None => {
+                    let mut c = RpcClient::connect(&self.dev, NodeId(node), SRV_SERVICE).await?;
+                    c.set_response_timeout(self.cfg.srv_response_timeout);
+                    c
+                }
             };
             match conn.call(&req.encode()).await {
                 Ok(bytes) => {
@@ -1239,6 +1825,42 @@ impl Master {
         .await;
         slot.sem.release();
         result
+    }
+}
+
+/// Per-node sum of physical extent allocation lengths over every region
+/// descriptor: the ground truth the `used` counters must mirror.
+fn desc_usage(st: &MState) -> BTreeMap<u32, u64> {
+    let mut usage: BTreeMap<u32, u64> = BTreeMap::new();
+    for desc in st.regions.values() {
+        for x in desc.groups.iter().flat_map(|g| &g.replicas) {
+            *usage.entry(x.node).or_default() += extent_alloc_len(x.len, desc.checksums);
+        }
+    }
+    usage
+}
+
+/// The capacity-accounting invariant: every registered server's `used`
+/// equals what the descriptors place on it. Extents referencing servers the
+/// master has forgotten are excluded — that is the known master-restart
+/// window, healed by re-registration or repair.
+fn accounting_consistent(st: &MState) -> bool {
+    let usage = desc_usage(st);
+    st.servers
+        .iter()
+        .all(|(n, info)| info.used == usage.get(n).copied().unwrap_or(0))
+}
+
+/// Moves the capacity reservation of freshly allocated `groups` from
+/// `pending` to `used`. Must be called in the same borrow that publishes the
+/// extents into a descriptor, so the invariant holds at every await point.
+fn commit_groups(st: &mut MState, groups: &[StripeGroup], ck: bool) {
+    for x in groups.iter().flat_map(|g| &g.replicas) {
+        let phys = extent_alloc_len(x.len, ck);
+        if let Some(info) = st.servers.get_mut(&x.node) {
+            info.pending = info.pending.saturating_sub(phys);
+            info.used += phys;
+        }
     }
 }
 

@@ -382,6 +382,15 @@ pub enum CtrlReq {
     /// virtual time. Answered with [`CtrlResp::Report`]; the flat
     /// [`CtrlReq::Stat`] totals remain for cheap checks.
     ClusterStats,
+    /// Gracefully drain a memory server: migrate every extent it hosts onto
+    /// other servers, then deregister it. Answered with
+    /// [`CtrlResp::Drained`] on success or [`CtrlResp::Err`] (structured
+    /// `InsufficientCapacity`) when the remaining cluster cannot absorb the
+    /// data.
+    Drain {
+        /// Fabric node of the server to drain.
+        node: u32,
+    },
 }
 
 impl CtrlReq {
@@ -439,6 +448,9 @@ impl CtrlReq {
             CtrlReq::ClusterStats => {
                 e.u8(8);
             }
+            CtrlReq::Drain { node } => {
+                e.u8(9).u32(*node);
+            }
         }
         e.into_bytes()
     }
@@ -488,6 +500,7 @@ impl CtrlReq {
                 node: d.u32()?,
             },
             8 => CtrlReq::ClusterStats,
+            9 => CtrlReq::Drain { node: d.u32()? },
             t => return Err(RStoreError::Protocol(format!("bad ctrl tag {t}"))),
         };
         d.finish()?;
@@ -506,6 +519,11 @@ pub struct ClusterStats {
     pub capacity: u64,
     /// Bytes allocated to regions (including replicas).
     pub used: u64,
+    /// Accounting invariant: for every server, the `used` counter equals the
+    /// sum of extent allocation lengths the descriptors place on it (plus
+    /// bytes reserved by an in-flight repair/migration). `false` means the
+    /// master's books are off — a bug, never an expected state.
+    pub consistent: bool,
 }
 
 /// One memory server's row in a [`ClusterReport`].
@@ -565,6 +583,14 @@ pub enum CtrlResp {
     Stats(ClusterStats),
     /// Full introspection report (for `ClusterStats`).
     Report(ClusterReport),
+    /// A [`CtrlReq::Drain`] completed: how much data was migrated off the
+    /// drained server.
+    Drained {
+        /// Extents migrated away.
+        extents: u64,
+        /// Physical bytes migrated away.
+        bytes: u64,
+    },
 }
 
 impl CtrlResp {
@@ -587,7 +613,8 @@ impl CtrlResp {
                     .u32(s.servers)
                     .u32(s.regions)
                     .u64(s.capacity)
-                    .u64(s.used);
+                    .u64(s.used)
+                    .u8(s.consistent as u8);
             }
             CtrlResp::Report(r) => {
                 e.u8(4);
@@ -607,6 +634,9 @@ impl CtrlResp {
                 e.u64(r.corruption_detected)
                     .u64(r.repaired_extents)
                     .u64(r.scrub_passes);
+            }
+            CtrlResp::Drained { extents, bytes } => {
+                e.u8(5).u64(*extents).u64(*bytes);
             }
         }
         e.into_bytes()
@@ -628,6 +658,7 @@ impl CtrlResp {
                 regions: d.u32()?,
                 capacity: d.u64()?,
                 used: d.u64()?,
+                consistent: d.u8()? != 0,
             }),
             4 => {
                 let ns = d.u32()? as usize;
@@ -664,6 +695,10 @@ impl CtrlResp {
                     scrub_passes: d.u64()?,
                 })
             }
+            5 => CtrlResp::Drained {
+                extents: d.u64()?,
+                bytes: d.u64()?,
+            },
             t => return Err(RStoreError::Protocol(format!("bad resp tag {t}"))),
         };
         d.finish()?;
@@ -710,6 +745,18 @@ pub enum SrvReq {
         /// Bytes to copy.
         len: u64,
     },
+    /// Change the remote rights on a registered extent without invalidating
+    /// its rkey. Migration seals the source read-only (`writable: false`)
+    /// before the copy so no client WRITE/CAS can land between the
+    /// point-in-time copy and the descriptor swap — sealed writers fault
+    /// with `RemoteAccess`, refresh the descriptor, and retry on the new
+    /// home. `writable: true` restores full rights (rollback path).
+    SetAccess {
+        /// rkey of the extent's registration.
+        rkey: u64,
+        /// `false` seals to read-only; `true` restores read/write/atomic.
+        writable: bool,
+    },
 }
 
 impl SrvReq {
@@ -749,6 +796,9 @@ impl SrvReq {
                     .u64(*dst_addr)
                     .u64(*len);
             }
+            SrvReq::SetAccess { rkey, writable } => {
+                e.u8(3).u64(*rkey).u8(*writable as u8);
+            }
         }
         e.into_bytes()
     }
@@ -781,6 +831,10 @@ impl SrvReq {
                 src_rkey: d.u64()?,
                 dst_addr: d.u64()?,
                 len: d.u64()?,
+            },
+            3 => SrvReq::SetAccess {
+                rkey: d.u64()?,
+                writable: d.u8()? != 0,
             },
             t => return Err(RStoreError::Protocol(format!("bad srv tag {t}"))),
         };
@@ -928,6 +982,7 @@ mod tests {
                 node: 9,
             },
             CtrlReq::ClusterStats,
+            CtrlReq::Drain { node: 11 },
         ];
         for req in reqs {
             assert_eq!(CtrlReq::decode(&req.encode()).unwrap(), req);
@@ -945,7 +1000,19 @@ mod tests {
                 regions: 3,
                 capacity: 1 << 40,
                 used: 123,
+                consistent: true,
             }),
+            CtrlResp::Stats(ClusterStats {
+                servers: 1,
+                regions: 0,
+                capacity: 0,
+                used: 0,
+                consistent: false,
+            }),
+            CtrlResp::Drained {
+                extents: 42,
+                bytes: 1 << 33,
+            },
             CtrlResp::Report(ClusterReport {
                 servers: vec![
                     ServerStats {
@@ -1032,6 +1099,14 @@ mod tests {
                 src_rkey: 0xfeed,
                 dst_addr: 0x2000,
                 len: 1 << 16,
+            },
+            SrvReq::SetAccess {
+                rkey: 0xbeef,
+                writable: false,
+            },
+            SrvReq::SetAccess {
+                rkey: 0x11,
+                writable: true,
             },
         ];
         for req in reqs {

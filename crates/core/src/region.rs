@@ -4,10 +4,11 @@
 //! pure one-sided RDMA against the memory servers named in the region's
 //! descriptor — no master involvement, no remote CPU.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Duration;
 
 use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError};
 use sim::channel::oneshot;
@@ -18,7 +19,7 @@ use crate::client::RStoreClient;
 use crate::crc::crc32c;
 use crate::error::{RStoreError, Result};
 use crate::layout::{Layout, Piece};
-use crate::proto::{RegionDesc, CK_BYTES};
+use crate::proto::{Extent, RegionDesc, CK_BYTES};
 
 /// Direction of a posted IO.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,16 +55,26 @@ type ReadRetry = (Piece, DmaBuf, usize, bool, CqStatus);
 #[derive(Clone)]
 pub struct Region {
     client: RStoreClient,
-    desc: RegionDesc,
-    layout: Layout,
+    /// The cached descriptor, shared by every clone of this handle: when one
+    /// IO path discovers the data moved (live migration, drain) and
+    /// [`revalidate`](Self::revalidate)s, all clones see the refresh.
+    desc: Rc<RefCell<RegionDesc>>,
+    /// Derived from `desc`; refreshed together with it.
+    layout: Rc<RefCell<Layout>>,
+    /// The region's name never changes across refreshes; cached outside the
+    /// cell so `name()` can hand out a plain `&str`.
+    name: Rc<str>,
+    /// Likewise immutable for the region's lifetime.
+    checksums: bool,
 }
 
 impl fmt::Debug for Region {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.desc.borrow();
         f.debug_struct("Region")
-            .field("name", &self.desc.name)
-            .field("size", &self.desc.size)
-            .field("stripes", &self.desc.groups.len())
+            .field("name", &d.name)
+            .field("size", &d.size)
+            .field("stripes", &d.groups.len())
             .finish()
     }
 }
@@ -71,26 +82,88 @@ impl fmt::Debug for Region {
 impl Region {
     pub(crate) fn new(client: RStoreClient, desc: RegionDesc) -> Region {
         let layout = Layout::new(&desc);
+        let name = Rc::from(desc.name.as_str());
+        let checksums = desc.checksums;
         Region {
             client,
-            desc,
-            layout,
+            desc: Rc::new(RefCell::new(desc)),
+            layout: Rc::new(RefCell::new(layout)),
+            name,
+            checksums,
         }
     }
 
     /// Logical size in bytes.
     pub fn size(&self) -> u64 {
-        self.desc.size
+        self.desc.borrow().size
     }
 
     /// The region's name in the master's namespace.
     pub fn name(&self) -> &str {
-        &self.desc.name
+        &self.name
     }
 
-    /// The full control-path descriptor.
-    pub fn desc(&self) -> &RegionDesc {
-        &self.desc
+    /// A snapshot of the control-path descriptor as currently cached.
+    pub fn desc(&self) -> RegionDesc {
+        self.desc.borrow().clone()
+    }
+
+    /// The extent serving `replica` of stripe `group`, per the cached
+    /// descriptor.
+    fn extent(&self, group: usize, replica: usize) -> Extent {
+        self.desc.borrow().groups[group].replicas[replica]
+    }
+
+    /// Replica count of stripe `group`.
+    fn replicas(&self, group: usize) -> usize {
+        self.desc.borrow().groups[group].replicas.len()
+    }
+
+    /// Stripe length of `group`.
+    fn stripe_len(&self, group: usize) -> u64 {
+        self.desc.borrow().groups[group].len()
+    }
+
+    /// Re-fetches the descriptor from the master because cached placement
+    /// went stale (an extent answered `RemoteAccess`: it was migrated away,
+    /// or is sealed mid-migration). Polls with bounded exponential backoff
+    /// until the master publishes a *different* descriptor, then installs it
+    /// for every clone of this handle. Returns `Ok` even if the descriptor
+    /// never changed within the budget — the caller's single retry then
+    /// surfaces the truth (a migration that rolled back unseals the original
+    /// extent, so the retry succeeds against the unchanged descriptor).
+    ///
+    /// # Errors
+    ///
+    /// Control-path failures, e.g. [`RStoreError::NotFound`] once the region
+    /// has been freed. Callers keep their original IO error in that case —
+    /// "the data is gone" must keep surfacing as `RemoteAccess` for layered
+    /// recovery (the KV generation machinery) to work unchanged.
+    pub(crate) async fn revalidate(&self) -> Result<()> {
+        let s = &self.client.shared;
+        s.dev.metrics().incr("rstore.desc.stale");
+        let mut backoff = Duration::from_millis(1);
+        for attempt in 0u64..8 {
+            let fresh = self.client.lookup(self.name()).await?;
+            if fresh != *self.desc.borrow() {
+                s.dev.metrics().incr("rstore.desc.refresh");
+                s.sim.tracer().instant(
+                    "core",
+                    "rstore.desc.refresh",
+                    s.dev.node().0 as u64,
+                    attempt,
+                );
+                *self.layout.borrow_mut() = Layout::new(&fresh);
+                *self.desc.borrow_mut() = fresh;
+                return Ok(());
+            }
+            if attempt == 7 {
+                break;
+            }
+            s.sim.sleep(backoff).await;
+            backoff = (backoff * 2).min(Duration::from_millis(50));
+        }
+        Ok(())
     }
 
     /// The owning client.
@@ -200,11 +273,7 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn read_into(&self, offset: u64, dst: DmaBuf) -> Result<()> {
-        let ledger = self.op_ledger(if self.desc.checksums {
-            "read_ck"
-        } else {
-            "read"
-        });
+        let ledger = self.op_ledger(if self.checksums { "read_ck" } else { "read" });
         let result = self.read_into_l(offset, dst, &ledger).await;
         self.finish_ledger(&ledger);
         result
@@ -212,22 +281,41 @@ impl Region {
 
     /// [`read_into`](Self::read_into) charging an existing ledger instead of
     /// opening a fresh one — for callers (the KV layer, `read_into_many`)
-    /// that own the logical op.
+    /// that own the logical op. When every replica of some stripe answers
+    /// `RemoteAccess` the cached descriptor is stale (the data was migrated
+    /// away), so the read revalidates and retries once rather than erroring.
     pub(crate) async fn read_into_l(
         &self,
         offset: u64,
         dst: DmaBuf,
         ledger: &OpLedger,
     ) -> Result<()> {
+        match self.read_into_raw(offset, dst, ledger).await {
+            Err(e) if is_stale(&e) => {
+                // A failed refresh (e.g. the region was freed, so lookup says
+                // NotFound) keeps the original IO error: layered protocols —
+                // the KV generation machinery — key their own recovery on
+                // `RemoteAccess`, not on control-path lookup errors.
+                if self.revalidate().await.is_err() {
+                    return Err(e);
+                }
+                ledger.retry();
+                self.read_into_raw(offset, dst, ledger).await
+            }
+            r => r,
+        }
+    }
+
+    async fn read_into_raw(&self, offset: u64, dst: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let s = &self.client.shared;
         let _span = s
             .sim
             .tracer()
             .span_arg("core", "rstore.read", s.dev.node().0 as u64, dst.len);
-        if self.desc.checksums {
+        if self.checksums {
             return self.read_into_ck(offset, dst, ledger).await;
         }
-        let pieces = self.layout.pieces(offset, dst.len)?;
+        let pieces = self.layout.borrow().pieces(offset, dst.len)?;
         // Post every piece's primary read in parallel. The bool marks
         // whether the replica has already spent its one reconnect retry.
         let mut waits: Vec<ReadWait> = Vec::new();
@@ -259,7 +347,7 @@ impl Region {
     /// [`RStoreError::OutOfRange`] (checked for every pair before anything
     /// posts) or [`RStoreError::Io`] when all replicas of some stripe fail.
     pub async fn read_into_many(&self, ios: &[(u64, DmaBuf)]) -> Result<()> {
-        let ledger = self.op_ledger(if self.desc.checksums {
+        let ledger = self.op_ledger(if self.checksums {
             "read_ck"
         } else {
             "read_many"
@@ -271,11 +359,26 @@ impl Region {
     }
 
     /// [`read_into_many`](Self::read_into_many) charging an existing ledger.
+    /// Stale-descriptor handling mirrors [`read_into_l`](Self::read_into_l):
+    /// one revalidate-and-retry on `RemoteAccess`.
     pub(crate) async fn read_into_many_l(
         &self,
         ios: &[(u64, DmaBuf)],
         ledger: &OpLedger,
     ) -> Result<()> {
+        match self.read_into_many_raw(ios, ledger).await {
+            Err(e) if is_stale(&e) => {
+                if self.revalidate().await.is_err() {
+                    return Err(e);
+                }
+                ledger.retry();
+                self.read_into_many_raw(ios, ledger).await
+            }
+            r => r,
+        }
+    }
+
+    async fn read_into_many_raw(&self, ios: &[(u64, DmaBuf)], ledger: &OpLedger) -> Result<()> {
         let s = &self.client.shared;
         let _span = s.sim.tracer().span_arg(
             "core",
@@ -283,7 +386,7 @@ impl Region {
             s.dev.node().0 as u64,
             ios.len() as u64,
         );
-        if self.desc.checksums {
+        if self.checksums {
             for &(offset, dst) in ios {
                 self.read_into_ck(offset, dst, ledger).await?;
             }
@@ -293,8 +396,8 @@ impl Region {
         // before a single byte is posted.
         let mut by_node: BTreeMap<u32, Vec<(Piece, DmaBuf)>> = BTreeMap::new();
         for &(offset, dst) in ios {
-            for piece in self.layout.pieces(offset, dst.len)? {
-                let node = self.desc.groups[piece.group].replicas[0].node;
+            for piece in self.layout.borrow().pieces(offset, dst.len)? {
+                let node = self.extent(piece.group, 0).node;
                 by_node.entry(node).or_default().push((piece, dst));
             }
         }
@@ -315,7 +418,7 @@ impl Region {
             let mut wrs = Vec::with_capacity(items.len());
             let mut regs = Vec::with_capacity(items.len());
             for (piece, buf) in &items {
-                let extent = &self.desc.groups[piece.group].replicas[0];
+                let extent = self.extent(piece.group, 0);
                 let remote = rdma::RemoteAddr {
                     addr: extent.addr + piece.offset_in_stripe,
                     rkey: rdma::RKey(extent.rkey),
@@ -396,7 +499,7 @@ impl Region {
             let mut next_round = Vec::new();
             for (piece, buf, replica, redialed, status) in failed {
                 if !redialed {
-                    let node = self.desc.groups[piece.group].replicas[replica].node;
+                    let node = self.extent(piece.group, replica).node;
                     if self.client.redial(node).await.is_ok() {
                         if let Ok(rx) = self.post_piece(&piece, buf, Dir::Read, replica, ledger) {
                             ledger.retry();
@@ -409,7 +512,7 @@ impl Region {
                     continue;
                 }
                 let next = replica + 1;
-                if next >= self.desc.groups[piece.group].replicas.len() {
+                if next >= self.replicas(piece.group) {
                     return Err(RStoreError::Io(status));
                 }
                 ledger.failover();
@@ -429,36 +532,49 @@ impl Region {
     ///
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn write_from(&self, offset: u64, src: DmaBuf) -> Result<()> {
-        let ledger = self.op_ledger(if self.desc.checksums {
-            "write_ck"
-        } else {
-            "write"
-        });
+        let ledger = self.op_ledger(if self.checksums { "write_ck" } else { "write" });
         let result = self.write_from_l(offset, src, &ledger).await;
         self.finish_ledger(&ledger);
         result
     }
 
-    /// [`write_from`](Self::write_from) charging an existing ledger.
+    /// [`write_from`](Self::write_from) charging an existing ledger. A
+    /// replica that answers `RemoteAccess` was sealed or migrated away:
+    /// the write revalidates the descriptor and retries once against the
+    /// refreshed placement (region writes are idempotent, so re-writing the
+    /// replicas that already succeeded is safe).
     pub(crate) async fn write_from_l(
         &self,
         offset: u64,
         src: DmaBuf,
         ledger: &OpLedger,
     ) -> Result<()> {
+        match self.write_from_raw(offset, src, ledger).await {
+            Err(e) if is_stale(&e) => {
+                if self.revalidate().await.is_err() {
+                    return Err(e);
+                }
+                ledger.retry();
+                self.write_from_raw(offset, src, ledger).await
+            }
+            r => r,
+        }
+    }
+
+    async fn write_from_raw(&self, offset: u64, src: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let s = &self.client.shared;
         let _span = s
             .sim
             .tracer()
             .span_arg("core", "rstore.write", s.dev.node().0 as u64, src.len);
-        if self.desc.checksums {
+        if self.checksums {
             return self.write_from_ck(offset, src, ledger).await;
         }
-        let pieces = self.layout.pieces(offset, src.len)?;
+        let pieces = self.layout.borrow().pieces(offset, src.len)?;
         let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
         let mut failed: Vec<(Piece, usize)> = Vec::new();
         for piece in &pieces {
-            for r in 0..self.desc.groups[piece.group].replicas.len() {
+            for r in 0..self.replicas(piece.group) {
                 match self.post_piece(piece, src, Dir::Write, r, ledger) {
                     Ok(rx) => waits.push((*piece, r, rx)),
                     Err(_) => failed.push((*piece, r)),
@@ -478,7 +594,7 @@ impl Region {
         // (piece, replica) gets one re-dial plus repost; a replica that
         // stays unreachable fails the IO.
         for (piece, r) in failed {
-            let node = self.desc.groups[piece.group].replicas[r].node;
+            let node = self.extent(piece.group, r).node;
             if self.client.redial(node).await.is_err() {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             }
@@ -512,7 +628,7 @@ impl Region {
     /// stripe overlaps the fabric round trip of the next instead of
     /// post→await→post serialization.
     async fn read_into_ck(&self, offset: u64, dst: DmaBuf, ledger: &OpLedger) -> Result<()> {
-        let pieces = self.layout.pieces(offset, dst.len)?;
+        let pieces = self.layout.borrow().pieces(offset, dst.len)?;
         let ledger = ledger.clone();
         self.pipeline_ck(pieces, move |this, piece| {
             let ledger = ledger.clone();
@@ -590,7 +706,7 @@ impl Region {
         ledger: &OpLedger,
     ) -> Result<()> {
         let dev = self.client.shared.dev.clone();
-        let stripe_len = self.desc.groups[want.group].len();
+        let stripe_len = self.stripe_len(want.group);
         let staging = dev.alloc(stripe_len + CK_BYTES)?;
         let result = self
             .read_piece_verified_into(want, dst, staging, ledger)
@@ -611,8 +727,7 @@ impl Region {
         ledger: &OpLedger,
     ) -> Result<()> {
         let s = &self.client.shared;
-        let group = &self.desc.groups[want.group];
-        let stripe_len = group.len() as usize;
+        let stripe_len = self.stripe_len(want.group) as usize;
         let full = Piece {
             group: want.group,
             offset_in_stripe: 0,
@@ -620,17 +735,23 @@ impl Region {
             buf_offset: 0,
         };
         let mut bad_node: Option<u32> = None;
+        // If any replica rejects the rkey, remember it: a read that then
+        // exhausts its replicas must surface `RemoteAccess` — the stale-
+        // descriptor signal the revalidation wrapper retries on — rather
+        // than a generic timeout (or, worse, a corruption misdiagnosis).
+        let mut access_denied = false;
         let mut replica = 0usize;
         let mut redialed = false;
-        while replica < group.replicas.len() {
-            let ok = match self.post_piece(&full, staging, Dir::Read, replica, ledger) {
+        while replica < self.replicas(want.group) {
+            let status = match self.post_piece(&full, staging, Dir::Read, replica, ledger) {
                 Ok(rx) => {
                     ledger.rtt();
-                    matches!(rx.await, Some(CqStatus::Success))
+                    rx.await.unwrap_or(CqStatus::Flushed)
                 }
-                Err(_) => false,
+                Err(_) => CqStatus::Timeout,
             };
-            if ok {
+            access_denied |= status == CqStatus::RemoteAccess;
+            if status == CqStatus::Success {
                 let bytes = s.dev.read_mem(staging.addr, full.len)?;
                 let stored =
                     u64::from_le_bytes(bytes[stripe_len..].try_into().expect("trailer is 8 bytes"));
@@ -645,7 +766,7 @@ impl Region {
                 // Checksum mismatch: treat like a replica failure — record
                 // it, tell the master (fire-and-forget; the data path must
                 // not block on the control path), and fail over.
-                let node = group.replicas[replica].node;
+                let node = self.extent(want.group, replica).node;
                 ledger.verify_failure();
                 ledger.failover();
                 s.dev.metrics().incr("integrity.read_mismatch");
@@ -657,7 +778,7 @@ impl Region {
                 );
                 bad_node = Some(node);
                 let client = self.client.clone();
-                let name = self.desc.name.clone();
+                let name = self.name().to_owned();
                 let (g, r) = (want.group as u32, replica as u32);
                 s.sim.spawn(async move {
                     let _ = client.report_corruption(&name, g, r, node).await;
@@ -669,7 +790,7 @@ impl Region {
             // IO failure: one reconnect retry per replica, then advance.
             if !redialed {
                 redialed = true;
-                let node = group.replicas[replica].node;
+                let node = self.extent(want.group, replica).node;
                 if self.client.redial(node).await.is_ok() {
                     ledger.retry();
                     continue;
@@ -679,10 +800,13 @@ impl Region {
             replica += 1;
             redialed = false;
         }
+        if access_denied {
+            return Err(RStoreError::Io(CqStatus::RemoteAccess));
+        }
         match bad_node {
             Some(node) => Err(RStoreError::CorruptionDetected {
                 node,
-                region: self.desc.name.clone(),
+                region: self.name().to_owned(),
                 stripe: want.group as u64,
             }),
             None => Err(RStoreError::Io(CqStatus::Timeout)),
@@ -700,7 +824,7 @@ impl Region {
     /// may commit in any order — unchanged from the API contract, which
     /// never promised cross-stripe ordering within a write.
     async fn write_from_ck(&self, offset: u64, src: DmaBuf, ledger: &OpLedger) -> Result<()> {
-        let pieces = self.layout.pieces(offset, src.len)?;
+        let pieces = self.layout.borrow().pieces(offset, src.len)?;
         let ledger = ledger.clone();
         self.pipeline_ck(pieces, move |this, piece| {
             let ledger = ledger.clone();
@@ -714,7 +838,7 @@ impl Region {
     /// then a write to every replica.
     async fn write_piece_ck(&self, piece: &Piece, src: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let dev = self.client.shared.dev.clone();
-        let stripe_len = self.desc.groups[piece.group].len();
+        let stripe_len = self.stripe_len(piece.group);
         let full = Piece {
             group: piece.group,
             offset_in_stripe: 0,
@@ -763,7 +887,7 @@ impl Region {
     ) -> Result<()> {
         let mut waits = Vec::new();
         let mut failed = Vec::new();
-        for r in 0..self.desc.groups[piece.group].replicas.len() {
+        for r in 0..self.replicas(piece.group) {
             match self.post_piece(piece, buf, Dir::Write, r, ledger) {
                 Ok(rx) => waits.push((r, rx)),
                 Err(_) => failed.push(r),
@@ -782,7 +906,7 @@ impl Region {
         // (Re-dials stay sequential — they are control path and rare.)
         let mut reposts = Vec::new();
         for r in failed {
-            let node = self.desc.groups[piece.group].replicas[r].node;
+            let node = self.extent(piece.group, r).node;
             if self.client.redial(node).await.is_err() {
                 return Err(RStoreError::Io(CqStatus::Timeout));
             }
@@ -830,18 +954,18 @@ impl Region {
     }
 
     fn start_io(&self, offset: u64, buf: DmaBuf, dir: Dir) -> Result<IoHandle> {
-        if self.desc.checksums && dir == Dir::Write {
+        if self.checksums && dir == Dir::Write {
             return Err(RStoreError::Protocol(
                 "zero-copy writes bypass checksum maintenance on checksummed regions".into(),
             ));
         }
-        let pieces = self.layout.pieces(offset, buf.len)?;
+        let pieces = self.layout.borrow().pieces(offset, buf.len)?;
         let mut rxs = Vec::new();
         let mut failed = false;
         for piece in &pieces {
             let replicas = match dir {
                 Dir::Read => 1,
-                Dir::Write => self.desc.groups[piece.group].replicas.len(),
+                Dir::Write => self.replicas(piece.group),
             };
             for r in 0..replicas {
                 // The zero-copy API has no logical-op boundary to attribute
@@ -869,7 +993,7 @@ impl Region {
         ledger: &OpLedger,
     ) -> Result<oneshot::Receiver<CqStatus>> {
         let s = &self.client.shared;
-        let extent = &self.desc.groups[piece.group].replicas[replica];
+        let extent = self.extent(piece.group, replica);
         let conns = s.conns.borrow();
         let qp = conns
             .get(&extent.node)
@@ -926,6 +1050,15 @@ impl Region {
             }
         });
     }
+}
+
+/// True when `e` is the stale-descriptor signal: every replica the op
+/// touched rejected the rkey (`RemoteAccess`), which happens exactly when
+/// the extent was migrated away (rkey deregistered) or sealed mid-migration
+/// (write rights revoked) — never for a crashed or unreachable server,
+/// which surfaces timeouts instead.
+fn is_stale(e: &RStoreError) -> bool {
+    matches!(e, RStoreError::Io(CqStatus::RemoteAccess))
 }
 
 /// Tracks a batch of posted one-sided operations.

@@ -10,18 +10,28 @@
 //! connection (callers hold the connection exclusively for the duration of a
 //! call), fixed-size message buffers.
 
+use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use fabric::NodeId;
-use rdma::{CompletionQueue, CqeOpcode, DmaBuf, Qp, RdmaDevice, RdmaError};
+use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RdmaError};
 
 use crate::error::{RStoreError, Result};
 
 /// Maximum encoded message size (requests and responses).
 pub const RPC_BUF_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Application-level guard on the *response* wait. The verbs layer times out
+/// a SEND whose delivery is lost (the QP fails and the call errors), but a
+/// response dropped by a lossy fabric leaves only a posted RECV behind — and
+/// receives carry no timer, so without this bound the caller would wait
+/// forever. Generous on purpose: control handlers legitimately run long
+/// (a graceful drain migrates extents between its progress passes).
+pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// A connected RPC client endpoint.
 ///
@@ -34,6 +44,15 @@ pub struct RpcClient {
     recv_buf: DmaBuf,
     next_wr: u64,
     peer: NodeId,
+    /// Set once a call times out: the connection's request/response pairing
+    /// can no longer be trusted (a late response may still arrive), so every
+    /// subsequent call fails fast and the owner reconnects.
+    broken: bool,
+    /// Per-connection response deadline (defaults to [`RESPONSE_TIMEOUT`]).
+    /// Periodic callers whose liveness a peer judges — heartbeats against a
+    /// 50 ms lease, say — must lose at most one period to a dropped
+    /// response, not the generous control-path default.
+    response_timeout: Duration,
 }
 
 impl std::fmt::Debug for RpcClient {
@@ -62,6 +81,8 @@ impl RpcClient {
             recv_buf,
             next_wr: 1,
             peer,
+            broken: false,
+            response_timeout: RESPONSE_TIMEOUT,
         })
     }
 
@@ -70,13 +91,29 @@ impl RpcClient {
         self.peer
     }
 
-    /// Issues one request and waits for the response.
+    /// Overrides the response deadline for every subsequent call on this
+    /// connection. Use a bound matched to the caller's cadence: a heartbeat
+    /// loop that waits [`RESPONSE_TIMEOUT`] for one lost response goes
+    /// silent long enough for the master to declare the server dead.
+    pub fn set_response_timeout(&mut self, timeout: Duration) {
+        self.response_timeout = timeout;
+    }
+
+    /// Issues one request and waits for the response, bounded by
+    /// [`RESPONSE_TIMEOUT`].
     ///
     /// # Errors
     ///
     /// * [`RStoreError::Protocol`] if the request exceeds [`RPC_BUF_BYTES`].
-    /// * [`RStoreError::Io`] if the connection failed mid-call.
+    /// * [`RStoreError::Io`] if the connection failed mid-call, or — with
+    ///   [`CqStatus::Timeout`] — if no response arrived in time (lossy
+    ///   fabric, partitioned or overloaded peer). A timed-out client is
+    ///   *broken*: every later call fails the same way, so owners must
+    ///   reconnect.
     pub async fn call(&mut self, req: &[u8]) -> Result<Vec<u8>> {
+        if self.broken {
+            return Err(RStoreError::Io(CqStatus::Timeout));
+        }
         if req.len() as u64 > RPC_BUF_BYTES {
             return Err(RStoreError::Protocol(format!(
                 "request of {} bytes exceeds RPC buffer",
@@ -92,10 +129,14 @@ impl RpcClient {
         self.qp
             .post_send(send_wr, self.send_buf.slice(0, req.len() as u64), None)?;
 
+        let deadline = Deadline::arm(dev.sim(), self.response_timeout);
         let mut resp_len = None;
         let mut send_done = false;
         while resp_len.is_none() || !send_done {
-            let cqe = self.cq.next().await;
+            let Some(cqe) = deadline.next_before(&self.cq).await else {
+                self.broken = true;
+                return Err(RStoreError::Io(CqStatus::Timeout));
+            };
             if !cqe.status.is_ok() {
                 return Err(RStoreError::Io(cqe.status));
             }
@@ -109,6 +150,72 @@ impl RpcClient {
         }
         let len = resp_len.expect("loop exit implies response");
         Ok(dev.read_mem(self.recv_buf.addr, len)?)
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        // Callers reconnect by dropping broken clients — under a lossy
+        // fabric that happens on every timed-out beat, and without this the
+        // abandoned send/recv buffers bleed the device arena dry.
+        let dev = self.qp.device().clone();
+        let _ = dev.free(self.send_buf);
+        let _ = dev.free(self.recv_buf);
+    }
+}
+
+/// A one-shot virtual-time deadline that bounds waits on a completion queue.
+struct Deadline {
+    fired: Rc<Cell<bool>>,
+    waker: Rc<RefCell<Option<Waker>>>,
+}
+
+impl Deadline {
+    /// Schedules the deadline `after` from now.
+    fn arm(sim: &sim::Sim, after: Duration) -> Deadline {
+        let fired = Rc::new(Cell::new(false));
+        let waker: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let f = fired.clone();
+        let w = waker.clone();
+        sim.schedule(after, move || {
+            f.set(true);
+            if let Some(w) = w.borrow_mut().take() {
+                w.wake();
+            }
+        });
+        Deadline { fired, waker }
+    }
+
+    /// Waits for the next completion on `cq`, or `None` once the deadline
+    /// has passed.
+    fn next_before<'a>(&'a self, cq: &'a CompletionQueue) -> NextBefore<'a> {
+        NextBefore { deadline: self, cq }
+    }
+}
+
+struct NextBefore<'a> {
+    deadline: &'a Deadline,
+    cq: &'a CompletionQueue,
+}
+
+impl Future for NextBefore<'_> {
+    type Output = Option<rdma::Cqe>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        if let Some(cqe) = self.cq.try_next() {
+            return Poll::Ready(Some(cqe));
+        }
+        if self.deadline.fired.get() {
+            return Poll::Ready(None);
+        }
+        // Register with both wake sources: the CQ (via its own future) and
+        // the deadline timer.
+        let mut next = self.cq.next();
+        if let Poll::Ready(cqe) = Pin::new(&mut next).poll(cx) {
+            return Poll::Ready(Some(cqe));
+        }
+        *self.deadline.waker.borrow_mut() = Some(cx.waker().clone());
+        Poll::Pending
     }
 }
 
@@ -285,6 +392,37 @@ mod tests {
                 .unwrap()
         });
         assert!(matches!(err, RStoreError::Protocol(_)));
+    }
+
+    #[test]
+    fn dropped_response_times_out_instead_of_hanging() {
+        let (sim, fabric, server, client) = setup();
+        // Handler takes 1 ms of server CPU, so the request is delivered
+        // before the loss window opens and only the *response* is dropped —
+        // the case the verbs-layer send timeout cannot cover.
+        spawn_rpc_server(&server, 9, Duration::from_millis(1), echo_handler()).unwrap();
+        let peer = server.node();
+        fabric::FaultPlan::new(7)
+            .loss_window(Duration::from_micros(500), Duration::from_millis(20), 1.0)
+            .install(&fabric);
+        let sim2 = sim.clone();
+        let (err, err2, waited) = sim.block_on(async move {
+            let mut rpc = RpcClient::connect(&client, peer, 9).await.unwrap();
+            let t0 = sim2.now();
+            let err = rpc.call(b"hi").await.expect_err("response was dropped");
+            let waited = sim2.now().saturating_since(t0);
+            // The client is now broken: a late response could desync the
+            // next request/response pair, so reuse must fail fast.
+            let err2 = rpc.call(b"again").await.expect_err("broken client");
+            (err, err2, waited)
+        });
+        assert!(matches!(err, RStoreError::Io(rdma::CqStatus::Timeout)));
+        assert!(matches!(err2, RStoreError::Io(rdma::CqStatus::Timeout)));
+        assert!(waited >= RESPONSE_TIMEOUT, "must wait the full deadline");
+        assert!(
+            waited < RESPONSE_TIMEOUT + Duration::from_millis(100),
+            "must not wait much past the deadline (got {waited:?})"
+        );
     }
 
     #[test]

@@ -120,7 +120,13 @@ impl MemServer {
                 let mut c = match conn.take() {
                     Some(c) => c,
                     None => match RpcClient::connect(&dev2, master, CTRL_SERVICE).await {
-                        Ok(c) => c,
+                        Ok(mut c) => {
+                            // A dropped heartbeat *response* must cost one
+                            // beat, not the control-path default — the
+                            // master's lease keeps counting while we wait.
+                            c.set_response_timeout(heartbeat);
+                            c
+                        }
                         Err(_) => {
                             sim2.sleep(heartbeat).await;
                             continue;
@@ -243,6 +249,20 @@ async fn handle_srv_req(dev: &RdmaDevice, sim: &Sim, pin_per_mib: Duration, req:
                 let _ = dev.free(DmaBuf { addr, len });
             }
             SrvResp::Ok
+        }
+        SrvReq::SetAccess { rkey, writable } => {
+            // Migration seal: flip the extent's rights in place, keeping the
+            // rkey clients hold. Sealed writers complete with RemoteAccess
+            // and revalidate their descriptor; readers are unaffected.
+            let access = if writable {
+                Access::REMOTE_ALL
+            } else {
+                Access::REMOTE_READ
+            };
+            match dev.set_mr_access(RKey(rkey), access) {
+                Ok(()) => SrvResp::Ok,
+                Err(e) => SrvResp::Err(e.to_string()),
+            }
         }
         SrvReq::Replicate {
             src_node,

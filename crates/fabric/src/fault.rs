@@ -54,6 +54,16 @@ pub enum FaultAction {
     FlipStart(f64),
     /// Stop in-flight payload bit flips.
     FlipStop,
+    /// Planned membership: `node` joins the cluster (e.g. a dark standby
+    /// server starts serving). Delivered to the fabric's membership hook
+    /// (see `Fabric::set_membership_hook`); without a hook the action only
+    /// counts and traces.
+    Join(NodeId),
+    /// Planned membership: gracefully drain `node` — migrate its data away
+    /// and deregister it. Delivered to the membership hook like [`Join`].
+    ///
+    /// [`Join`]: FaultAction::Join
+    Drain(NodeId),
 }
 
 /// A reproducible schedule of fault events at virtual-time offsets.
@@ -110,6 +120,19 @@ impl FaultPlan {
     pub fn flip_window(mut self, from: Duration, until: Duration, prob: f64) -> Self {
         self.events.push((from, FaultAction::FlipStart(prob)));
         self.events.push((until, FaultAction::FlipStop));
+        self
+    }
+
+    /// Planned membership join: `node` starts serving at offset `at`.
+    pub fn join_at(mut self, at: Duration, node: NodeId) -> Self {
+        self.events.push((at, FaultAction::Join(node)));
+        self
+    }
+
+    /// Planned membership drain: `node` is gracefully drained at offset
+    /// `at`.
+    pub fn drain_at(mut self, at: Duration, node: NodeId) -> Self {
+        self.events.push((at, FaultAction::Drain(node)));
         self
     }
 
@@ -186,6 +209,33 @@ mod tests {
         }
         assert_eq!(got, vec![1, 3], "only the in-window send is dropped");
         assert_eq!(fabric.metrics().counter("fabric.dropped.injected"), 1);
+    }
+
+    #[test]
+    fn membership_events_fire_hook_in_schedule_order() {
+        use crate::MembershipEvent;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let sim = Sim::new();
+        let fabric: Fabric<u32> = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = fabric.add_node();
+        let b = fabric.add_node();
+        let seen: Rc<RefCell<Vec<MembershipEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        fabric.set_membership_hook(Rc::new(move |ev| seen2.borrow_mut().push(ev)));
+        FaultPlan::new(3)
+            .drain_at(Duration::from_millis(20), a)
+            .join_at(Duration::from_millis(10), b)
+            .install(&fabric);
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![MembershipEvent::Join(b), MembershipEvent::Drain(a)],
+            "events fire in offset order regardless of builder order"
+        );
+        assert_eq!(fabric.metrics().counter("fabric.fault.join"), 1);
+        assert_eq!(fabric.metrics().counter("fabric.fault.drain"), 1);
     }
 
     #[test]

@@ -198,6 +198,21 @@ struct Flip {
 /// device, which owns the memory the fabric cannot reach.
 type CorruptionHook = Rc<dyn Fn(u64, u32)>;
 
+/// A planned membership change delivered to the fabric's membership hook
+/// (see [`Fabric::set_membership_hook`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MembershipEvent {
+    /// `node` joins the cluster and starts serving.
+    Join(NodeId),
+    /// `node` is gracefully drained (data migrated away, then deregistered).
+    Drain(NodeId),
+}
+
+/// Cluster-level membership hook: invoked when a [`FaultAction::Join`] or
+/// [`FaultAction::Drain`] event fires. Registered by whatever owns cluster
+/// membership (the master's host), which the fabric cannot reach itself.
+type MembershipHook = Rc<dyn Fn(MembershipEvent)>;
+
 struct Inner<M> {
     cfg: FabricConfig,
     nodes: Vec<NodeState<M>>,
@@ -205,6 +220,7 @@ struct Inner<M> {
     loss: Option<Loss>,
     flip: Option<Flip>,
     corruption_hooks: std::collections::HashMap<u32, CorruptionHook>,
+    membership_hook: Option<MembershipHook>,
 }
 
 /// The fabric: a single-switch network connecting [`NodeId`]s.
@@ -251,6 +267,7 @@ impl<M: 'static> Fabric<M> {
                 loss: None,
                 flip: None,
                 corruption_hooks: std::collections::HashMap::new(),
+                membership_hook: None,
             })),
             metrics: Metrics::new(),
             tracer,
@@ -375,6 +392,13 @@ impl<M: 'static> Fabric<M> {
             .borrow_mut()
             .corruption_hooks
             .insert(node.0, hook);
+    }
+
+    /// Registers the cluster membership hook: the callback a
+    /// [`FaultAction::Join`] / [`FaultAction::Drain`] event invokes with the
+    /// corresponding [`MembershipEvent`]. Replaces any earlier hook.
+    pub fn set_membership_hook(&self, hook: Rc<dyn Fn(MembershipEvent)>) {
+        self.inner.borrow_mut().membership_hook = Some(hook);
     }
 
     /// Count of messages dropped due to failed endpoints.
@@ -649,6 +673,26 @@ impl<M: 'static> Fabric<M> {
                 self.metrics.incr("fabric.fault.flip_stop");
                 self.tracer
                     .instant("fabric", "fabric.fault.flip_stop", 0, 0);
+            }
+            FaultAction::Join(node) => {
+                self.metrics.incr("fabric.fault.join");
+                self.tracer
+                    .instant("fabric", "fabric.fault.join", node.0 as u64, 0);
+                // Clone the hook out before invoking: it re-enters cluster
+                // code, which calls back into the fabric.
+                let hook = self.inner.borrow().membership_hook.clone();
+                if let Some(hook) = hook {
+                    hook(MembershipEvent::Join(node));
+                }
+            }
+            FaultAction::Drain(node) => {
+                self.metrics.incr("fabric.fault.drain");
+                self.tracer
+                    .instant("fabric", "fabric.fault.drain", node.0 as u64, 0);
+                let hook = self.inner.borrow().membership_hook.clone();
+                if let Some(hook) = hook {
+                    hook(MembershipEvent::Drain(node));
+                }
             }
         }
     }

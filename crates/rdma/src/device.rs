@@ -292,6 +292,19 @@ impl RdmaDevice {
         self.inner.borrow_mut().arena.alloc(len)
     }
 
+    /// Allocates backed memory whose start address is a multiple of `align`
+    /// (see [`Arena::alloc_aligned`]); required for buffers accessed through
+    /// the word-granularity helpers ([`read_u64`](Self::read_u64) and the
+    /// CAS scratch path), which reject misaligned addresses.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if the arena is exhausted,
+    /// [`RdmaError::OutOfBounds`] on a bad `align`.
+    pub fn alloc_aligned(&self, len: u64, align: u64) -> Result<DmaBuf> {
+        self.inner.borrow_mut().arena.alloc_aligned(len, align)
+    }
+
     /// Allocates synthetic (unbacked) memory for fluid-mode experiments.
     ///
     /// # Errors
@@ -394,6 +407,18 @@ impl RdmaDevice {
     /// [`RdmaError::InvalidHandle`] if the rkey is unknown.
     pub fn dereg_mr(&self, rkey: RKey) -> Result<()> {
         self.inner.borrow_mut().arena.deregister(rkey)
+    }
+
+    /// Changes the remote rights on a live registration without changing its
+    /// rkey (re-register semantics). Remote ops in flight observe the new
+    /// rights at their access check; a WRITE/CAS against a region sealed to
+    /// [`Access::REMOTE_READ`] completes with `CqStatus::RemoteAccess`.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if the rkey is unknown.
+    pub fn set_mr_access(&self, rkey: RKey, access: Access) -> Result<()> {
+        self.inner.borrow_mut().arena.set_access(rkey, access)
     }
 
     // --- connection management ----------------------------------------------
@@ -1633,6 +1658,36 @@ mod tests {
             .unwrap();
             let cqe = ccq.next().await;
             assert_eq!(cqe.status, CqStatus::RemoteAccess);
+        });
+    }
+
+    #[test]
+    fn set_mr_access_seals_writes_but_keeps_reads() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"migrate!").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_ALL).unwrap();
+            let src = a.alloc_init(b"clobber!").unwrap();
+            cqp.post_write(1, src, mr.token().at(0, 8).unwrap())
+                .unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::Success);
+
+            // Seal to read-only: same rkey, writes now fault, reads still serve.
+            b.set_mr_access(mr.rkey, Access::REMOTE_READ).unwrap();
+            cqp.post_write(2, src, mr.token().at(0, 8).unwrap())
+                .unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::RemoteAccess);
+            let dst = a.alloc(8).unwrap();
+            cqp.post_read(3, dst, mr.token().at(0, 8).unwrap()).unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::Success);
+            assert_eq!(a.read_mem(dst.addr, 8).unwrap(), b"clobber!");
+
+            // Restore full rights: writes succeed again.
+            b.set_mr_access(mr.rkey, Access::REMOTE_ALL).unwrap();
+            cqp.post_write(4, src, mr.token().at(0, 8).unwrap())
+                .unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::Success);
+
+            assert!(b.set_mr_access(RKey(0xBAD), Access::REMOTE_READ).is_err());
         });
     }
 

@@ -134,30 +134,52 @@ impl Arena {
     ///
     /// [`RdmaError::OutOfMemory`] if no free extent is large enough.
     pub fn alloc(&mut self, len: u64) -> Result<DmaBuf> {
-        self.alloc_inner(len, true)
+        self.alloc_inner(len, true, 1)
+    }
+
+    /// Allocates `len` bytes of backed memory whose start address is a
+    /// multiple of `align`. Variable-length staging buffers fragment the
+    /// first-fit free list onto arbitrary byte offsets, so callers that
+    /// perform word-granularity access (the `read_u64`/`write_u64` atomics
+    /// path, CAS scratch words) must ask for alignment explicitly — exactly
+    /// like DMA-able atomics buffers on a real NIC.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfMemory`] if no free extent can fit an aligned copy;
+    /// [`RdmaError::OutOfBounds`] if `align` is zero or not a power of two.
+    pub fn alloc_aligned(&mut self, len: u64, align: u64) -> Result<DmaBuf> {
+        if align == 0 || !align.is_power_of_two() {
+            return Err(RdmaError::OutOfBounds { addr: align, len });
+        }
+        self.alloc_inner(len, true, align)
     }
 
     /// Allocates `len` bytes of synthetic (unbacked) memory. Reads return
     /// zeroes; writes are discarded. Timing and accounting behave exactly
     /// like backed memory.
     pub fn alloc_synthetic(&mut self, len: u64) -> Result<DmaBuf> {
-        self.alloc_inner(len, false)
+        self.alloc_inner(len, false, 1)
     }
 
-    fn alloc_inner(&mut self, len: u64, backed: bool) -> Result<DmaBuf> {
+    fn alloc_inner(&mut self, len: u64, backed: bool, align: u64) -> Result<DmaBuf> {
         if len == 0 {
             return Err(RdmaError::OutOfBounds { addr: 0, len });
         }
-        // First fit.
-        let found = self
-            .free
-            .iter()
-            .find(|(_, &flen)| flen >= len)
-            .map(|(&addr, &flen)| (addr, flen));
-        let (addr, flen) = found.ok_or(RdmaError::OutOfMemory { requested: len })?;
-        self.free.remove(&addr);
-        if flen > len {
-            self.free.insert(addr + len, flen - len);
+        // First fit, at the first aligned address inside each free extent.
+        let found = self.free.iter().find_map(|(&faddr, &flen)| {
+            let addr = faddr.next_multiple_of(align);
+            let pad = addr - faddr;
+            (flen >= pad && flen - pad >= len).then_some((addr, faddr, flen))
+        });
+        let (addr, faddr, flen) = found.ok_or(RdmaError::OutOfMemory { requested: len })?;
+        self.free.remove(&faddr);
+        if addr > faddr {
+            self.free.insert(faddr, addr - faddr);
+        }
+        let tail = faddr + flen - (addr + len);
+        if tail > 0 {
+            self.free.insert(addr + len, tail);
         }
         let data = if backed {
             Some(vec![
@@ -240,6 +262,23 @@ impl Arena {
         self.mrs
             .remove(&rkey)
             .map(|_| ())
+            .ok_or(RdmaError::InvalidHandle)
+    }
+
+    /// Replaces the remote rights on a live registration, keeping its rkey.
+    ///
+    /// This models the `IBV_REREG_MR_CHANGE_ACCESS` path: in-flight and
+    /// future wire ops see the new rights on their next access check, which
+    /// is what lets a migration source be sealed read-only without
+    /// invalidating the rkey readers already hold.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] if the rkey is unknown.
+    pub fn set_access(&mut self, rkey: RKey, access: Access) -> Result<()> {
+        self.mrs
+            .get_mut(&rkey)
+            .map(|mr| mr.access = access)
             .ok_or(RdmaError::InvalidHandle)
     }
 
@@ -538,6 +577,27 @@ mod tests {
         let b = a.alloc(32).unwrap();
         a.free(b).unwrap();
         assert_eq!(a.free(b), Err(RdmaError::InvalidHandle));
+    }
+
+    #[test]
+    fn alloc_aligned_survives_odd_fragmentation() {
+        let mut a = Arena::new(4096);
+        // An odd-length staging alloc leaves the free list on a byte offset.
+        let _odd = a.alloc(37).unwrap();
+        let word = a.alloc_aligned(16, 8).unwrap();
+        assert_eq!(word.addr % 8, 0, "aligned alloc landed at {}", word.addr);
+        // The word buffer is immediately usable by the atomics helpers.
+        a.write_u64(word.addr, 42).unwrap();
+        assert_eq!(a.read_u64(word.addr).unwrap(), 42);
+        // Freeing both still coalesces back to a single extent.
+        a.free(word).unwrap();
+        a.free(_odd).unwrap();
+        assert!(a.alloc(4096).is_ok());
+        // Bad alignment is rejected, not silently honoured.
+        assert!(matches!(
+            a.alloc_aligned(8, 3),
+            Err(RdmaError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
