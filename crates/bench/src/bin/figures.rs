@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures all                  # every experiment, E1..E14, as text tables
+//! figures all                  # every experiment, E1..E16, as text tables
 //! figures e1 e4 e8             # a selection
 //! figures --json e3            # also write BENCH_<runid>.json
 //! figures --trace              # write TRACE_<runid>.json (Chrome trace)

@@ -13,6 +13,7 @@ use crate::experiments::e12_smallio;
 use crate::experiments::e13_timeline;
 use crate::experiments::e14_ycsb;
 use crate::experiments::e15_elasticity;
+use crate::experiments::e16_rawspeed;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::selftime::SelfTime;
@@ -444,6 +445,74 @@ pub fn experiment_json(id: &str) -> Json {
             ]),
         ));
     }
+    if id == "e16" {
+        let s = e16_rawspeed::measure();
+        let arm_json = |a: &e16_rawspeed::SgeArm| {
+            Json::obj([
+                (
+                    "doorbells_per_read_io".to_string(),
+                    Json::int(a.read_doorbells),
+                ),
+                (
+                    "doorbells_per_write_io".to_string(),
+                    Json::int(a.write_doorbells),
+                ),
+                (
+                    "sge_wrs_per_read_io".to_string(),
+                    Json::int(a.sge_wrs_per_read),
+                ),
+                ("read_post_ns".to_string(), Json::int(a.read_post_ns)),
+                ("write_post_ns".to_string(), Json::int(a.write_post_ns)),
+                ("read_ns".to_string(), Json::int(a.read_ns)),
+                ("write_ns".to_string(), Json::int(a.write_ns)),
+            ])
+        };
+        fields.push((
+            "rawspeed".to_string(),
+            Json::obj([
+                (
+                    "sge".to_string(),
+                    Json::obj([
+                        ("pieces_per_io".to_string(), Json::int(s.pieces)),
+                        ("qps".to_string(), Json::int(s.qps)),
+                        ("per_piece".to_string(), arm_json(&s.per_piece)),
+                        ("scatter_gather".to_string(), arm_json(&s.sge)),
+                        ("sge_entries_max".to_string(), Json::int(s.sge_entries_max)),
+                        (
+                            "one_doorbell_per_qp".to_string(),
+                            Json::Bool(s.sge_one_doorbell_per_qp()),
+                        ),
+                    ]),
+                ),
+                (
+                    "inline".to_string(),
+                    Json::obj([
+                        ("staged_put_ns".to_string(), Json::int(s.staged_put_ns)),
+                        ("inline_put_ns".to_string(), Json::int(s.inline_put_ns)),
+                        (
+                            "delta_ns_per_put".to_string(),
+                            Json::int(s.inline_delta_ns().max(0) as u64),
+                        ),
+                        ("writes".to_string(), Json::int(s.inline_writes)),
+                        ("bytes".to_string(), Json::int(s.inline_bytes)),
+                        ("fallbacks".to_string(), Json::int(s.inline_fallbacks)),
+                    ]),
+                ),
+                ("data_errors".to_string(), Json::int(s.data_errors)),
+            ]),
+        ));
+        let profile = e16_rawspeed::ops_profile();
+        fields.push((
+            "ops".to_string(),
+            Json::obj([
+                ("per_op".to_string(), ops_json(&profile.ops)),
+                (
+                    "read_doorbells_le_qps".to_string(),
+                    Json::Bool(profile.read_doorbells_le_qps()),
+                ),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -463,6 +532,21 @@ pub fn bench_report_timed(ids: &[&str], run_id: &str) -> (Json, Json) {
         let t0 = std::time::Instant::now();
         let doc = experiment_json(id);
         selftime.record(id, t0.elapsed().as_nanos() as u64);
+        if *id == "e16" {
+            // The checksum/hash µ-bench is host-side MB/s: nondeterministic
+            // like wall-clock, so it rides in the selftime document rather
+            // than the byte-identical bench report.
+            let st = e16_rawspeed::selftime_extras();
+            for (key, value) in [
+                ("crc32c_sliced_mbps", st.crc32c_sliced_mbps),
+                ("crc32c_scalar_mbps", st.crc32c_scalar_mbps),
+                ("crc32c_speedup", st.crc32c_speedup),
+                ("hash_mbps", st.hash_mbps),
+                ("keys_eq_mbps", st.keys_eq_mbps),
+            ] {
+                selftime.attach(id, key, Json::float(value));
+            }
+        }
         experiments.push(((*id).to_string(), doc));
     }
     let report = Json::obj([
@@ -576,6 +660,32 @@ mod tests {
             "\"rtts_per_op\"",
         ] {
             assert!(a.contains(field), "e15 export must carry {field}");
+        }
+    }
+
+    #[test]
+    fn e16_rawspeed_json_is_valid_and_complete() {
+        // Byte-identity across runs is enforced end-to-end by the CI smoke
+        // step (two `figures --json -- e16` runs diffed); here we pin the
+        // structure the diff gate and the greps depend on.
+        let a = experiment_json("e16").render();
+        validate(&a).expect("e16 report must be valid JSON");
+        for field in [
+            "\"rawspeed\"",
+            "\"sge\"",
+            "\"pieces_per_io\"",
+            "\"per_piece\"",
+            "\"scatter_gather\"",
+            "\"doorbells_per_read_io\"",
+            "\"one_doorbell_per_qp\": true",
+            "\"inline\"",
+            "\"delta_ns_per_put\"",
+            "\"fallbacks\": 0",
+            "\"data_errors\": 0",
+            "\"rtts_per_op\"",
+            "\"doorbells_per_op\"",
+        ] {
+            assert!(a.contains(field), "e16 export must carry {field}");
         }
     }
 

@@ -22,6 +22,10 @@ use crate::json::Json;
 #[derive(Clone, Debug, Default)]
 pub struct SelfTime {
     entries: Vec<(String, u64)>,
+    /// Extra per-experiment host-side values (E16's checksum/hash MB/s):
+    /// nondeterministic like wall-clock, so they belong in this document
+    /// and nowhere else.
+    extras: Vec<(String, String, Json)>,
 }
 
 impl SelfTime {
@@ -35,6 +39,12 @@ impl SelfTime {
         self.entries.push((id.to_string(), wall_ns));
     }
 
+    /// Attaches an extra key to experiment `id`'s object, after `wall_ns`
+    /// in attachment order.
+    pub fn attach(&mut self, id: &str, key: &str, value: Json) {
+        self.extras.push((id.to_string(), key.to_string(), value));
+    }
+
     /// Renders the `rstore-selftime-v1` document.
     pub fn to_json(&self, run_id: &str) -> Json {
         let total: u64 = self.entries.iter().map(|(_, ns)| *ns).sum();
@@ -44,10 +54,14 @@ impl SelfTime {
             (
                 "experiments".to_string(),
                 Json::obj(self.entries.iter().map(|(id, ns)| {
-                    (
-                        id.clone(),
-                        Json::obj([("wall_ns".to_string(), Json::int(*ns))]),
-                    )
+                    let mut fields = vec![("wall_ns".to_string(), Json::int(*ns))];
+                    fields.extend(
+                        self.extras
+                            .iter()
+                            .filter(|(eid, _, _)| eid == id)
+                            .map(|(_, k, v)| (k.clone(), v.clone())),
+                    );
+                    (id.clone(), Json::obj(fields))
                 })),
             ),
             ("total_wall_ns".to_string(), Json::int(total)),
@@ -89,5 +103,17 @@ mod tests {
         assert!(doc.contains("rstore-selftime-v1"), "{doc}");
         assert!(doc.contains("\"wall_ns\": 100"), "{doc}");
         assert!(doc.contains("\"total_wall_ns\": 350"), "{doc}");
+    }
+
+    #[test]
+    fn attached_extras_ride_in_their_experiments_object() {
+        let mut st = SelfTime::new();
+        st.record("e16", 42);
+        st.attach("e16", "crc32c_sliced_mbps", Json::float(1234.5));
+        let doc = st.to_json("test").render();
+        crate::json::validate(&doc).expect("selftime must render valid JSON");
+        assert!(doc.contains("\"crc32c_sliced_mbps\""), "{doc}");
+        // Extras never count toward the wall-clock total.
+        assert!(doc.contains("\"total_wall_ns\": 42"), "{doc}");
     }
 }

@@ -1,10 +1,27 @@
 //! Self-contained CRC32C (Castagnoli), the checksum guarding stripe data.
 //!
-//! Table-driven, reflected polynomial `0x82F63B78` — the same algorithm the
+//! Reflected polynomial `0x82F63B78` — the same algorithm the
 //! iSCSI/ext4/SSE4.2 `crc32` instruction implements, so the values here can
 //! be cross-checked against any standard implementation. No external crates
-//! (the workspace builds hermetically); the 256-entry table is computed once
-//! at first use.
+//! (the workspace builds hermetically).
+//!
+//! Two implementations share one set of lookup tables, computed once at
+//! first use:
+//!
+//! * [`crc32c_scalar`] — the classic byte-at-a-time table fold. Kept as the
+//!   bit-exact reference the sliced path is property-tested against, and as
+//!   the baseline the E16 µ-bench measures speedup over.
+//! * [`crc32c`] / [`Crc32c`] — slicing-by-16: the head is folded per byte
+//!   until the cursor is 8-byte aligned, then each iteration consumes two
+//!   aligned `u64` lanes with sixteen independent table lookups (no
+//!   loop-carried dependency between them), then the tail is folded per
+//!   byte. This is the software idiom SIMD CRC engines reduce to in safe
+//!   Rust; it runs several times faster than the scalar fold without any
+//!   architecture-specific intrinsics.
+//!
+//! The `OnceLock` holding the tables is resolved once per [`Crc32c`] handle
+//! (or once per `crc32c` call), never inside the byte loop; hot call sites
+//! that checksum many buffers hoist a `Crc32c` and pay the atomic load once.
 //!
 //! Stripe trailers store the CRC widened to a u64 (high 32 bits zero) so the
 //! trailer slot stays 8-byte sized and future algorithms have headroom.
@@ -14,10 +31,19 @@ use std::sync::OnceLock;
 /// Reflected CRC32C polynomial.
 const POLY: u32 = 0x82F6_3B78;
 
-fn table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
+/// Number of slicing tables: two u64 lanes per main-loop iteration.
+const SLICES: usize = 16;
+
+type Tables = [[u32; 256]; SLICES];
+
+/// The slicing tables. `tables()[0]` is the classic byte table
+/// (`crc' = (crc >> 8) ^ t0[(crc ^ b) & 0xFF]`); table `k` advances a byte
+/// through `k` additional zero bytes, so sixteen lookups fold two whole
+/// `u64` lanes.
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; SLICES];
         let mut i = 0;
         while i < 256 {
             let mut crc = i as u32;
@@ -30,26 +56,130 @@ fn table() -> &'static [u32; 256] {
                 };
                 bit += 1;
             }
-            t[i] = crc;
+            t[0][i] = crc;
             i += 1;
+        }
+        let mut k = 1;
+        while k < SLICES {
+            let mut i = 0;
+            while i < 256 {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+                i += 1;
+            }
+            k += 1;
         }
         t
     })
 }
 
-/// CRC32C of `bytes` (initial value all-ones, final xor all-ones).
-pub fn crc32c(bytes: &[u8]) -> u32 {
-    let t = table();
+/// Byte-at-a-time reference implementation (initial value all-ones, final
+/// xor all-ones). Bit-exact with [`crc32c`]; the sliced path is verified
+/// against this on random lengths, offsets, and alignments.
+pub fn crc32c_scalar(bytes: &[u8]) -> u32 {
+    let t0 = &tables()[0];
     let mut crc = !0u32;
     for &b in bytes {
-        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+        crc = (crc >> 8) ^ t0[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
+}
+
+/// A CRC32C engine holding a resolved reference to the slicing tables.
+///
+/// Construction performs the single `OnceLock` load; [`Crc32c::checksum`]
+/// then runs with no synchronization at all. Call sites that checksum in a
+/// loop (the stripe verifier, the write path's trailer maintenance) hoist
+/// one of these instead of paying the atomic load per buffer.
+#[derive(Clone, Copy)]
+pub struct Crc32c {
+    t: &'static Tables,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    /// Resolves the table set (computing it on first use anywhere).
+    pub fn new() -> Crc32c {
+        Crc32c { t: tables() }
+    }
+
+    /// CRC32C of `bytes` (initial value all-ones, final xor all-ones).
+    pub fn checksum(&self, bytes: &[u8]) -> u32 {
+        !self.fold(!0u32, bytes)
+    }
+
+    /// Folds `bytes` into a running (pre-inverted) CRC state.
+    fn fold(&self, mut crc: u32, bytes: &[u8]) -> u32 {
+        let t = self.t;
+        // Head: fold per byte until the cursor is 8-byte aligned, so the
+        // main loop reads naturally aligned u64 lanes.
+        let head = bytes.as_ptr().align_offset(8).min(bytes.len());
+        let (head_bytes, rest) = bytes.split_at(head);
+        for &b in head_bytes {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        // Body: two u64 lanes per iteration, sixteen independent lookups —
+        // the CRC state only touches the low lane, so the high lane's eight
+        // lookups have no dependency on it at all.
+        let mut chunks = rest.chunks_exact(16);
+        for chunk in &mut chunks {
+            let lo = u64::from_le_bytes(chunk[..8].try_into().expect("8-byte lane"));
+            let hi = u64::from_le_bytes(chunk[8..].try_into().expect("8-byte lane"));
+            let x = lo ^ crc as u64;
+            crc = t[15][(x & 0xFF) as usize]
+                ^ t[14][((x >> 8) & 0xFF) as usize]
+                ^ t[13][((x >> 16) & 0xFF) as usize]
+                ^ t[12][((x >> 24) & 0xFF) as usize]
+                ^ t[11][((x >> 32) & 0xFF) as usize]
+                ^ t[10][((x >> 40) & 0xFF) as usize]
+                ^ t[9][((x >> 48) & 0xFF) as usize]
+                ^ t[8][((x >> 56) & 0xFF) as usize]
+                ^ t[7][(hi & 0xFF) as usize]
+                ^ t[6][((hi >> 8) & 0xFF) as usize]
+                ^ t[5][((hi >> 16) & 0xFF) as usize]
+                ^ t[4][((hi >> 24) & 0xFF) as usize]
+                ^ t[3][((hi >> 32) & 0xFF) as usize]
+                ^ t[2][((hi >> 40) & 0xFF) as usize]
+                ^ t[1][((hi >> 48) & 0xFF) as usize]
+                ^ t[0][((hi >> 56) & 0xFF) as usize];
+        }
+        // Mid-tail: one remaining u64 lane, folded with the low-half tables.
+        let mut rem = chunks.remainder().chunks_exact(8);
+        for chunk in &mut rem {
+            let lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            let x = lane ^ crc as u64;
+            crc = t[7][(x & 0xFF) as usize]
+                ^ t[6][((x >> 8) & 0xFF) as usize]
+                ^ t[5][((x >> 16) & 0xFF) as usize]
+                ^ t[4][((x >> 24) & 0xFF) as usize]
+                ^ t[3][((x >> 32) & 0xFF) as usize]
+                ^ t[2][((x >> 40) & 0xFF) as usize]
+                ^ t[1][((x >> 48) & 0xFF) as usize]
+                ^ t[0][((x >> 56) & 0xFF) as usize];
+        }
+        // Tail: up to 7 remaining bytes.
+        for &b in rem.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        crc
+    }
+}
+
+/// CRC32C of `bytes` (initial value all-ones, final xor all-ones).
+/// Convenience wrapper over [`Crc32c`]; loops should hoist the handle.
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    Crc32c::new().checksum(bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim::DetRng;
 
     /// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4 and common
     /// CRC32C test suites.
@@ -62,6 +192,13 @@ mod tests {
         assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
         let ascending: Vec<u8> = (0..32u8).collect();
         assert_eq!(crc32c(&ascending), 0x46DD_794E);
+    }
+
+    #[test]
+    fn scalar_matches_known_answers() {
+        assert_eq!(crc32c_scalar(b""), 0);
+        assert_eq!(crc32c_scalar(b"a"), 0xC1D0_4330);
+        assert_eq!(crc32c_scalar(b"123456789"), 0xE306_9283);
     }
 
     #[test]
@@ -81,11 +218,38 @@ mod tests {
         // stripe verifier uses; make sure chunk boundaries don't matter by
         // comparing against a byte-at-a-time reference fold.
         let data: Vec<u8> = (0..1000u32).map(|i| (i * 31 % 251) as u8).collect();
-        let t = table();
+        let t0 = &tables()[0];
         let mut crc = !0u32;
         for &b in &data {
-            crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+            crc = (crc >> 8) ^ t0[((crc ^ b as u32) & 0xFF) as usize];
         }
         assert_eq!(!crc, crc32c(&data));
+    }
+
+    /// Property: the sliced implementation is bit-exact with the scalar one
+    /// on random lengths, offsets, and alignments — every head/tail split
+    /// from 0..16 bytes included, since those exercise the pure-scalar and
+    /// single-lane edge paths.
+    #[test]
+    fn sliced_matches_scalar_on_random_slices() {
+        let mut rng = DetRng::new(0xC7C3_2C16);
+        let mut pool = vec![0u8; 8192];
+        rng.fill_bytes(&mut pool);
+        let ck = Crc32c::new();
+        // Exhaustive tiny lengths at every alignment 0..8 — covers every
+        // head/mid-lane/tail split of the 16-byte main loop.
+        for start in 0..8usize {
+            for len in 0..=40usize {
+                let s = &pool[start..start + len];
+                assert_eq!(ck.checksum(s), crc32c_scalar(s), "start={start} len={len}");
+            }
+        }
+        // Random offsets/lengths across the pool.
+        for _ in 0..500 {
+            let start = rng.index(pool.len());
+            let len = rng.index(pool.len() - start + 1);
+            let s = &pool[start..start + len];
+            assert_eq!(ck.checksum(s), crc32c_scalar(s), "start={start} len={len}");
+        }
     }
 }

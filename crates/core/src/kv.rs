@@ -442,6 +442,12 @@ pub struct KvTable {
     probe_buf: DmaBuf,
     /// Reused slot-image copy backing `probe_buf` parsing.
     probe_scratch: RefCell<Vec<u8>>,
+    /// Reused slot-image assembly buffer for publishes (`write_and_unlock`),
+    /// taken/restored around the WRITE so a steady-state put allocates no
+    /// image Vec.
+    img_scratch: RefCell<Vec<u8>>,
+    /// Reused `(offset, dst)` list for `multi_get`'s batched first probes.
+    ios_scratch: RefCell<Vec<(u64, DmaBuf)>>,
 }
 
 impl std::fmt::Debug for KvTable {
@@ -466,8 +472,11 @@ impl Drop for KvTable {
     }
 }
 
-fn hash_key(key: &[u8]) -> u64 {
-    // FNV-1a, then a finalizer; deterministic across clients.
+/// The table's slot hash: FNV-1a folded per byte, then a murmur-style
+/// finalizer. Deterministic across clients — every handle must probe the
+/// same bucket chain. Public so the E16 µ-bench can measure its raw
+/// throughput against the CRC engines.
+pub fn hash_key(key: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in key {
         h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
@@ -475,6 +484,31 @@ fn hash_key(key: &[u8]) -> u64 {
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
     h ^ (h >> 33)
+}
+
+/// Word-at-a-time slice equality: folds 8-byte lanes as `u64` XORs and the
+/// tail byte-wise, so a slot-resident key compares in `len / 8` lane ops
+/// plus a tail instead of a byte loop. Bit-exact with `a == b` for all
+/// inputs (a property test below checks it against the byte compare on
+/// random lengths and alignments). Public for the E16 µ-bench.
+#[inline]
+pub fn keys_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut lanes = 0u64;
+    let mut ac = a.chunks_exact(8);
+    let mut bc = b.chunks_exact(8);
+    for (x, y) in ac.by_ref().zip(bc.by_ref()) {
+        let xw = u64::from_le_bytes(x.try_into().expect("8-byte lane"));
+        let yw = u64::from_le_bytes(y.try_into().expect("8-byte lane"));
+        lanes |= xw ^ yw;
+    }
+    let mut tail = 0u8;
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        tail |= x ^ y;
+    }
+    lanes == 0 && tail == 0
 }
 
 /// True for the completion statuses a read/CAS/write surfaces when its
@@ -674,6 +708,8 @@ impl KvTable {
             scratch,
             probe_buf,
             probe_scratch: RefCell::new(vec![0u8; m.slot_bytes as usize]),
+            img_scratch: RefCell::new(Vec::with_capacity(m.slot_bytes as usize)),
+            ios_scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -905,12 +941,16 @@ impl KvTable {
         ledger.set_units(keys.len() as u64);
         let mut revalidated = false;
         let result = loop {
-            let staging = match self.dev.alloc(self.slot_bytes * keys.len() as u64) {
+            // Stage through the data region's buffer pool: a steady-state
+            // batch of the same size reuses one arena buffer instead of an
+            // alloc/free pair per call.
+            let data = self.snapshot().2;
+            let staging = match data.take_staging(self.slot_bytes * keys.len() as u64) {
                 Ok(b) => b,
-                Err(e) => break Err(e.into()),
+                Err(e) => break Err(e),
             };
             let r = self.multi_get_staged(keys, staging, &ledger).await;
-            let _ = self.dev.free(staging);
+            data.put_staging(staging);
             match r {
                 Err(e) if !revalidated && stale_generation_status(&e) => {
                     revalidated = true;
@@ -935,7 +975,8 @@ impl KvTable {
     ) -> Result<Vec<Option<Vec<u8>>>> {
         let (generation, mask, data) = self.snapshot();
         let payload = (self.slot_bytes - HDR_BYTES) as usize;
-        let mut ios = Vec::with_capacity(keys.len());
+        let mut ios = self.ios_scratch.take();
+        ios.clear();
         for (i, key) in keys.iter().enumerate() {
             let slot = hash_key(key) & mask;
             ios.push((
@@ -943,22 +984,43 @@ impl KvTable {
                 staging.slice(i as u64 * self.slot_bytes, self.slot_bytes),
             ));
         }
-        data.read_into_many_l(&ios, ledger).await?;
+        let posted = data.read_into_many_l(&ios, ledger).await;
+        *self.ios_scratch.borrow_mut() = ios;
+        posted?;
         let mut out = Vec::with_capacity(keys.len());
         for (i, key) in keys.iter().enumerate() {
-            let img = self
-                .dev
-                .read_mem(staging.addr + i as u64 * self.slot_bytes, self.slot_bytes)?;
-            let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
-            if version % 2 == 1 {
-                // Locked by a writer mid-batch: take the retrying path,
-                // charged to the batch op.
-                out.push(self.get_l(key, ledger).await?);
-                continue;
+            // Copy the slot into the reused probe scratch (no Vec per key)
+            // and classify it; awaited fallbacks run outside the borrow.
+            enum First {
+                Hit(u64, Vec<u8>),
+                Empty,
+                Chain,
             }
-            match Self::parse_slot(&img, key, payload) {
-                Ok(SlotView::Empty) => out.push(None),
-                Ok(SlotView::Hit(v)) => {
+            let first = {
+                let mut img = self.probe_scratch.borrow_mut();
+                self.dev
+                    .read_mem_into(staging.addr + i as u64 * self.slot_bytes, &mut img)?;
+                let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
+                if version % 2 == 1 {
+                    // Locked by a writer mid-batch: take the retrying path,
+                    // charged to the batch op.
+                    First::Chain
+                } else {
+                    match Self::parse_slot(&img, key, payload) {
+                        Ok(SlotView::Empty) => First::Empty,
+                        Ok(SlotView::Hit(v)) => First::Hit(version, v),
+                        // Tombstone or a colliding entry: the answer lives
+                        // further down the probe chain.
+                        Ok(SlotView::Tombstone | SlotView::Other) => First::Chain,
+                        Err(CorruptSlot) => {
+                            return Err(self.corrupt_err(&data, hash_key(key) & mask))
+                        }
+                    }
+                }
+            };
+            match first {
+                First::Empty => out.push(None),
+                First::Hit(version, v) => {
                     self.install_hint(
                         key,
                         SlotHint {
@@ -969,12 +1031,7 @@ impl KvTable {
                     );
                     out.push(Some(v));
                 }
-                // Tombstone or a colliding entry: the answer lives further
-                // down the probe chain.
-                Ok(SlotView::Tombstone | SlotView::Other) => {
-                    out.push(self.get_l(key, ledger).await?)
-                }
-                Err(CorruptSlot) => return Err(self.corrupt_err(&data, hash_key(key) & mask)),
+                First::Chain => out.push(self.get_l(key, ledger).await?),
             }
         }
         Ok(out)
@@ -1001,7 +1058,7 @@ impl KvTable {
             return Err(CorruptSlot);
         }
         let base = HDR_BYTES as usize;
-        if &img[base..base + klen] == key {
+        if keys_eq(&img[base..base + klen], key) {
             Ok(SlotView::Hit(img[base + klen..base + klen + vlen].to_vec()))
         } else {
             Ok(SlotView::Other)
@@ -1119,11 +1176,21 @@ impl KvTable {
             let mut target: Option<(u64, u64)> = None; // (slot, observed version)
             for probe in 0..self.max_probe.min(mask + 1) {
                 let slot = (start + probe) & mask;
-                let bytes = data
-                    .read_l(slot * self.slot_bytes, self.slot_bytes, ledger)
-                    .await?;
-                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
-                let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
+                // Land the slot in the table-lifetime probe buffer — no
+                // staging or Vec per probe — and classify it in one scoped
+                // pass over the host copy.
+                self.read_slot_into_probe_buf(&data, slot, ledger).await?;
+                let (version, klen, matched) = {
+                    let mut img = self.probe_scratch.borrow_mut();
+                    self.dev.read_mem_into(self.probe_buf.addr, &mut img)?;
+                    let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
+                    let klen = u16::from_le_bytes(img[8..10].try_into().expect("2")) as usize;
+                    let matched = version % 2 == 0
+                        && klen != 0
+                        && HDR_BYTES as usize + klen <= self.slot_bytes as usize
+                        && keys_eq(&img[HDR_BYTES as usize..HDR_BYTES as usize + klen], key);
+                    (version, klen, matched)
+                };
                 if version == 0 || (version % 2 == 0 && klen == 0) {
                     // Empty or tombstone: claim unless the key shows up later
                     // in the chain (it cannot: inserts always take the first
@@ -1136,7 +1203,7 @@ impl KvTable {
                     if HDR_BYTES as usize + klen > self.slot_bytes as usize {
                         return Err(self.corrupt_err(&data, slot));
                     }
-                    if &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
+                    if matched {
                         target = Some((slot, version));
                         break;
                     }
@@ -1278,6 +1345,11 @@ impl KvTable {
     /// stripe, so this is a single WR per replica), releasing the lock in
     /// the same op. Readers either see the old locked word or the complete
     /// new entry — never a torn body.
+    ///
+    /// The image is assembled in the table-lifetime `img_scratch` buffer
+    /// (taken for the duration of the WRITE, restored after — a concurrent
+    /// publish on the same handle just allocates a fresh one), and posted
+    /// inline when the device's `inline_max` covers it.
     async fn write_and_unlock(
         &self,
         data: &Region,
@@ -1287,14 +1359,19 @@ impl KvTable {
         value: &[u8],
         ledger: &OpLedger,
     ) -> Result<()> {
-        let mut img = Vec::with_capacity(HDR_BYTES as usize + key.len() + value.len());
+        let mut img = self.img_scratch.take();
+        img.clear();
         img.extend_from_slice(&(version + 2).to_le_bytes());
         img.extend_from_slice(&(key.len() as u16).to_le_bytes());
         img.extend_from_slice(&(value.len() as u16).to_le_bytes());
         img.extend_from_slice(&[0u8; 4]);
         img.extend_from_slice(key);
         img.extend_from_slice(value);
-        data.write_l(slot * self.slot_bytes, &img, ledger).await
+        let result = data
+            .write_inline_l(slot * self.slot_bytes, &img, ledger)
+            .await;
+        *self.img_scratch.borrow_mut() = img;
+        result
     }
 
     /// Best-effort abort of a slot this client holds locked over stable
@@ -1309,7 +1386,8 @@ impl KvTable {
     }
 
     /// Tombstones a locked slot and releases the lock in one 16-byte WRITE:
-    /// `[version + 2 | klen = 0 | vlen = 0 | pad]`.
+    /// `[version + 2 | klen = 0 | vlen = 0 | pad]`. Small enough to post
+    /// inline whenever the device allows it at all.
     async fn tombstone_and_unlock(
         &self,
         data: &Region,
@@ -1319,7 +1397,8 @@ impl KvTable {
     ) -> Result<()> {
         let mut img = [0u8; HDR_BYTES as usize];
         img[..8].copy_from_slice(&(version + 2).to_le_bytes());
-        data.write_l(slot * self.slot_bytes, &img, ledger).await
+        data.write_inline_l(slot * self.slot_bytes, &img, ledger)
+            .await
     }
 
     /// Resolves a CAS whose completion was lost to an IO error. The swap may
@@ -1337,10 +1416,16 @@ impl KvTable {
         lock: u64,
         ledger: &OpLedger,
     ) {
-        let Ok(bytes) = data.read_l(slot * self.slot_bytes, 8, ledger).await else {
+        if data
+            .read_into_l(slot * self.slot_bytes, self.probe_buf.slice(0, 8), ledger)
+            .await
+            .is_err()
+        {
+            return;
+        }
+        let Ok(word) = self.dev.read_u64(self.probe_buf.addr) else {
             return;
         };
-        let word = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
         if word == lock {
             self.abort_locked_slot(data, slot, version, ledger).await;
         }
@@ -1419,10 +1504,18 @@ impl KvTable {
             let start = hash_key(key) & mask;
             for probe in 0..self.max_probe.min(mask + 1) {
                 let slot = (start + probe) & mask;
-                let bytes = data
-                    .read_l(slot * self.slot_bytes, self.slot_bytes, ledger)
-                    .await?;
-                let version = u64::from_le_bytes(bytes[..8].try_into().expect("8"));
+                self.read_slot_into_probe_buf(&data, slot, ledger).await?;
+                let (version, klen, matched) = {
+                    let mut img = self.probe_scratch.borrow_mut();
+                    self.dev.read_mem_into(self.probe_buf.addr, &mut img)?;
+                    let version = u64::from_le_bytes(img[..8].try_into().expect("8"));
+                    let klen = u16::from_le_bytes(img[8..10].try_into().expect("2")) as usize;
+                    let matched = version % 2 == 0
+                        && klen != 0
+                        && HDR_BYTES as usize + klen <= self.slot_bytes as usize
+                        && keys_eq(&img[HDR_BYTES as usize..HDR_BYTES as usize + klen], key);
+                    (version, klen, matched)
+                };
                 if version == 0 {
                     return Ok(false);
                 }
@@ -1432,14 +1525,13 @@ impl KvTable {
                         .await?;
                     continue 'retry;
                 }
-                let klen = u16::from_le_bytes(bytes[8..10].try_into().expect("2")) as usize;
                 if klen == 0 {
                     continue; // tombstone
                 }
                 if HDR_BYTES as usize + klen > self.slot_bytes as usize {
                     return Err(self.corrupt_err(&data, slot));
                 }
-                if &bytes[HDR_BYTES as usize..HDR_BYTES as usize + klen] == key {
+                if matched {
                     let lock = lock_word(version, next_nonce());
                     let won = match self
                         .cas_word(&data, slot * self.slot_bytes, version, lock, ledger)
@@ -1970,11 +2062,9 @@ impl KvTable {
         swap: u64,
         parent: &OpLedger,
     ) -> Result<bool> {
-        // Locate the extent holding the word.
-        let pieces = Layout::new(&region.desc()).pieces(offset, 8)?;
-        let piece = pieces.first().expect("8 bytes maps to one piece");
-        debug_assert_eq!(piece.len, 8, "CAS word must not straddle stripes");
-        let extent = region.desc().groups[piece.group].replicas[0];
+        // Locate the extent holding the word — straight from the cached
+        // layout, with no descriptor clone or piece vector per CAS.
+        let (extent, off_in_stripe) = region.word_extent(offset)?;
 
         // Atomics need their own QP (the region's cached QPs route
         // completions to the client's data router, which expects region
@@ -1994,7 +2084,7 @@ impl KvTable {
             }
         };
         let remote = RemoteAddr {
-            addr: extent.addr + piece.offset_in_stripe,
+            addr: extent.addr + off_in_stripe,
             rkey: rdma::RKey(extent.rkey),
         };
         let cas_ledger = if parent.enabled() {
@@ -2801,6 +2891,106 @@ mod tests {
                 }
             }
             assert!(full_seen, "8 buckets cannot absorb 64 keys");
+        });
+    }
+
+    #[test]
+    fn keys_eq_matches_byte_compare_on_random_slices() {
+        // Word-at-a-time equality must be bit-exact with `==` across
+        // lengths, alignments, and single-byte differences — including the
+        // 0..16-byte tails the lane loop leaves to the byte pass.
+        let mut rng = sim::DetRng::new(0x5EED_E101);
+        let mut pool = vec![0u8; 4096];
+        rng.fill_bytes(&mut pool);
+        for a_len in 0usize..=24 {
+            for a_off in 0usize..8 {
+                let a = &pool[a_off..a_off + a_len];
+                // Equal content at a different alignment.
+                let mut b = vec![0u8; a_len + 8];
+                let b_off = (a_off + 3) % 8;
+                b[b_off..b_off + a_len].copy_from_slice(a);
+                assert!(keys_eq(a, &b[b_off..b_off + a_len]));
+                // One flipped byte anywhere must be detected.
+                if a_len > 0 {
+                    let flip = rng.index(a_len);
+                    b[b_off + flip] ^= 0x40;
+                    assert!(!keys_eq(a, &b[b_off..b_off + a_len]));
+                }
+            }
+        }
+        for _ in 0..500 {
+            let a_len = rng.index(128);
+            let b_len = rng.index(128);
+            let a_off = rng.index(512);
+            let b_off = rng.index(512);
+            let a = &pool[a_off..a_off + a_len];
+            let b = &pool[b_off..b_off + b_len];
+            assert_eq!(keys_eq(a, b), a == b, "len {a_len}/{b_len}");
+        }
+    }
+
+    #[test]
+    fn inline_publish_preserves_kv_semantics_and_cost() {
+        // With inline posting enabled, puts/deletes publish their slot
+        // images straight from the WQE — same results, same RTT shape, and
+        // the inline counters prove the path was taken.
+        let cluster = Cluster::boot(ClusterConfig {
+            clients: 1,
+            rdma: rdma::RdmaConfig {
+                inline_max: 256,
+                ..rdma::RdmaConfig::default()
+            },
+            ..ClusterConfig::with_servers(3)
+        })
+        .expect("boot");
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "inl", small_cfg()).await.unwrap();
+            let metrics = client.device().metrics();
+            kv.put(b"alpha", b"one").await.unwrap();
+            kv.put(b"alpha", b"uno").await.unwrap();
+            assert_eq!(kv.get(b"alpha").await.unwrap().unwrap(), b"uno");
+            assert!(kv.delete(b"alpha").await.unwrap());
+            assert_eq!(kv.get(b"alpha").await.unwrap(), None);
+            assert!(
+                metrics.counter("rstore.inline.writes") >= 3,
+                "slot publishes did not take the inline path"
+            );
+            assert_eq!(metrics.counter("rstore.inline.fallback"), 0);
+        });
+    }
+
+    #[test]
+    fn oversized_publish_falls_back_to_staged_write() {
+        // inline_max below the slot image size: the publish silently takes
+        // the staged path (no fallback counter — the inline path was never
+        // entered) and the op still succeeds.
+        let cluster = Cluster::boot(ClusterConfig {
+            clients: 1,
+            rdma: rdma::RdmaConfig {
+                inline_max: 16,
+                ..rdma::RdmaConfig::default()
+            },
+            ..ClusterConfig::with_servers(3)
+        })
+        .expect("boot");
+        let sim = cluster.sim.clone();
+        sim.block_on(async move {
+            let client = cluster.client(0).await.unwrap();
+            let kv = KvTable::create(&client, "inl2", small_cfg()).await.unwrap();
+            let metrics = client.device().metrics();
+            let before = metrics.counter("rstore.inline.writes");
+            kv.put(b"alpha", b"one").await.unwrap();
+            assert_eq!(kv.get(b"alpha").await.unwrap().unwrap(), b"one");
+            assert_eq!(
+                metrics.counter("rstore.inline.writes"),
+                before,
+                "a 128-byte slot image must not post inline under inline_max=16"
+            );
+            // The 16-byte tombstone of a delete *does* fit.
+            assert!(kv.delete(b"alpha").await.unwrap());
+            assert!(metrics.counter("rstore.inline.writes") > before);
         });
     }
 }

@@ -88,6 +88,35 @@ impl Layout {
         }
         Ok(pieces)
     }
+
+    /// Resolves the single piece covering `[offset, offset + len)` without
+    /// allocating — the hot-path sibling of [`pieces`](Self::pieces) for
+    /// ranges known not to straddle a stripe (CAS words, KV slot images).
+    ///
+    /// # Errors
+    ///
+    /// [`RStoreError::OutOfRange`] if the range is empty, exceeds the
+    /// region, or spans two stripes.
+    pub fn piece_at(&self, offset: u64, len: u64) -> Result<Piece> {
+        let size = self.size();
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| len > 0 && e <= size)
+            .ok_or(RStoreError::OutOfRange { offset, len, size })?;
+        let group = match self.starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        if end > self.starts[group + 1] {
+            return Err(RStoreError::OutOfRange { offset, len, size });
+        }
+        Ok(Piece {
+            group,
+            offset_in_stripe: offset - self.starts[group],
+            len,
+            buf_offset: 0,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -213,5 +242,35 @@ mod tests {
             expect_buf += piece.len;
         }
         assert_eq!(expect_buf, 40);
+    }
+
+    #[test]
+    fn piece_at_matches_pieces_for_unstraddled_ranges() {
+        let l = Layout::new(&desc(&[16, 16, 8, 24]));
+        for (offset, len) in [(0, 8), (8, 8), (16, 16), (33, 7), (40, 24)] {
+            let single = l.piece_at(offset, len).unwrap();
+            let multi = l.pieces(offset, len).unwrap();
+            assert_eq!(multi.len(), 1);
+            assert_eq!(single.group, multi[0].group);
+            assert_eq!(single.offset_in_stripe, multi[0].offset_in_stripe);
+            assert_eq!(single.len, multi[0].len);
+        }
+    }
+
+    #[test]
+    fn piece_at_rejects_straddles_and_out_of_range() {
+        let l = Layout::new(&desc(&[16, 16]));
+        assert!(matches!(
+            l.piece_at(12, 8),
+            Err(RStoreError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            l.piece_at(28, 8),
+            Err(RStoreError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            l.piece_at(8, 0),
+            Err(RStoreError::OutOfRange { .. })
+        ));
     }
 }

@@ -10,7 +10,7 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
-use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError};
+use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError, Sge, SgeList, MAX_SGE};
 use sim::channel::oneshot;
 use sim::sync::Semaphore;
 use sim::OpLedger;
@@ -37,6 +37,24 @@ type ReadWait = (Piece, DmaBuf, usize, bool, oneshot::Receiver<CqStatus>);
 /// every replica rejected the rkey — the signal a region was freed under the
 /// reader) instead of a generic timeout.
 type ReadRetry = (Piece, DmaBuf, usize, bool, CqStatus);
+/// One element of a scatter-gather posting group: `(piece, buffer, replica)`.
+/// Every element of a group resolves to the same memory server.
+type SgeItem = (Piece, DmaBuf, usize);
+
+/// Recycled IO scratch shared by all clones of a [`Region`] handle: staging
+/// `DmaBuf`s for checksummed stripe assembly/verification and a host-side
+/// byte scratch for CRC work. Reuse keeps the steady-state op set
+/// allocation-free (arena allocation is zero virtual time, so pooling
+/// changes no wire traffic or timing — only host-heap churn).
+struct IoPool {
+    staging: RefCell<Vec<DmaBuf>>,
+    scratch: RefCell<Vec<u8>>,
+}
+
+/// Staging buffers kept for reuse; beyond this the excess is freed back to
+/// the arena (mixed-size workloads would otherwise grow the pool without
+/// bound).
+const POOL_CAP: usize = 32;
 
 /// A mapped region of distributed memory.
 ///
@@ -66,6 +84,8 @@ pub struct Region {
     name: Rc<str>,
     /// Likewise immutable for the region's lifetime.
     checksums: bool,
+    /// Recycled staging/scratch buffers, shared by every clone.
+    pool: Rc<IoPool>,
 }
 
 impl fmt::Debug for Region {
@@ -90,6 +110,31 @@ impl Region {
             layout: Rc::new(RefCell::new(layout)),
             name,
             checksums,
+            pool: Rc::new(IoPool {
+                staging: RefCell::new(Vec::new()),
+                scratch: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Fetches a staging buffer of exactly `len` bytes from the pool, or
+    /// allocates a fresh one. Pair with [`put_staging`](Self::put_staging).
+    pub(crate) fn take_staging(&self, len: u64) -> Result<DmaBuf> {
+        let mut pool = self.pool.staging.borrow_mut();
+        if let Some(i) = pool.iter().rposition(|b| b.len == len) {
+            return Ok(pool.swap_remove(i));
+        }
+        drop(pool);
+        Ok(self.client.shared.dev.alloc(len)?)
+    }
+
+    /// Returns a staging buffer to the pool (or frees it when full).
+    pub(crate) fn put_staging(&self, buf: DmaBuf) {
+        let mut pool = self.pool.staging.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        } else {
+            let _ = self.client.shared.dev.free(buf);
         }
     }
 
@@ -122,6 +167,15 @@ impl Region {
     /// Stripe length of `group`.
     fn stripe_len(&self, group: usize) -> u64 {
         self.desc.borrow().groups[group].len()
+    }
+
+    /// Resolves the primary-replica extent serving the 8-byte word at
+    /// `offset`, plus the word's offset within that stripe — the addressing
+    /// path for one-sided atomics, with no descriptor clone or piece-vector
+    /// allocation per call.
+    pub(crate) fn word_extent(&self, offset: u64) -> Result<(Extent, u64)> {
+        let piece = self.layout.borrow().piece_at(offset, 8)?;
+        Ok((self.extent(piece.group, 0), piece.offset_in_stripe))
     }
 
     /// Re-fetches the descriptor from the master because cached placement
@@ -208,42 +262,114 @@ impl Region {
     /// of some stripe fail.
     pub async fn read(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
         let dev = self.client.shared.dev.clone();
-        let staging = dev.alloc(len.max(1))?;
+        let staging = self.take_staging(len.max(1))?;
         let result = async {
             self.read_into(offset, staging.slice(0, len)).await?;
             Ok(dev.read_mem(staging.addr, len)?)
         }
         .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
     }
 
-    /// [`read`](Self::read) charging an existing ledger.
+    /// [`read`](Self::read) charging an existing ledger. The destination
+    /// slice lets callers that already own a buffer (the KV probe loop)
+    /// receive the bytes without a fresh `Vec` per op.
     pub(crate) async fn read_l(&self, offset: u64, len: u64, ledger: &OpLedger) -> Result<Vec<u8>> {
+        let mut out = vec![0u8; len as usize];
+        self.read_into_vec_l(offset, &mut out, ledger).await?;
+        Ok(out)
+    }
+
+    /// Reads `out.len()` bytes at `offset` into a caller-owned host slice,
+    /// charging `ledger` — the allocation-free sibling of
+    /// [`read_l`](Self::read_l).
+    pub(crate) async fn read_into_vec_l(
+        &self,
+        offset: u64,
+        out: &mut [u8],
+        ledger: &OpLedger,
+    ) -> Result<()> {
         let dev = self.client.shared.dev.clone();
-        let staging = dev.alloc(len.max(1))?;
+        let len = out.len() as u64;
+        let staging = self.take_staging(len.max(1))?;
         let result = async {
             self.read_into_l(offset, staging.slice(0, len), ledger)
                 .await?;
-            Ok(dev.read_mem(staging.addr, len)?)
+            Ok(dev.read_mem_into(staging.addr, out)?)
         }
         .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
     }
 
     /// [`write`](Self::write) charging an existing ledger.
     pub(crate) async fn write_l(&self, offset: u64, data: &[u8], ledger: &OpLedger) -> Result<()> {
         let dev = self.client.shared.dev.clone();
-        let staging = dev.alloc(data.len().max(1) as u64)?;
+        let staging = self.take_staging(data.len().max(1) as u64)?;
         let result = async {
             dev.write_mem(staging.addr, data)?;
             self.write_from_l(offset, staging.slice(0, data.len() as u64), ledger)
                 .await
         }
         .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
+    }
+
+    /// [`write_l`](Self::write_l) for small host-resident images: posts the
+    /// payload as *inline* WRITE WRs ([`Qp::post_write_inline`](rdma::Qp::post_write_inline))
+    /// when the device's [`inline_max`](rdma::RdmaConfig::inline_max)
+    /// permits, so the publish needs no staging DMA buffer and pays the
+    /// cheaper inline post cost. Falls back to the staged path when inline
+    /// posting is disabled (the default), the image is too large, the
+    /// region carries stripe checksums, or any inline WR fails — region
+    /// writes are idempotent, so re-writing replicas that already landed
+    /// is safe.
+    pub(crate) async fn write_inline_l(
+        &self,
+        offset: u64,
+        bytes: &[u8],
+        ledger: &OpLedger,
+    ) -> Result<()> {
+        let s = &self.client.shared;
+        let len = bytes.len() as u64;
+        if self.checksums || len == 0 || len > s.dev.config().inline_max {
+            return self.write_l(offset, bytes, ledger).await;
+        }
+        let pieces = self.layout.borrow().pieces(offset, len)?;
+        let mut waits: Vec<oneshot::Receiver<CqStatus>> = Vec::new();
+        let mut ok = true;
+        'post: for piece in &pieces {
+            for r in 0..self.replicas(piece.group) {
+                match self.post_piece_inline(piece, bytes, r, ledger) {
+                    Ok(rx) => waits.push(rx),
+                    Err(_) => {
+                        ok = false;
+                        break 'post;
+                    }
+                }
+            }
+        }
+        if !waits.is_empty() {
+            ledger.rtt();
+        }
+        for rx in waits {
+            if !matches!(rx.await, Some(CqStatus::Success)) {
+                ok = false;
+            }
+        }
+        if ok {
+            s.dev.metrics().incr("rstore.inline.writes");
+            s.dev.metrics().add("rstore.inline.bytes", len);
+            return Ok(());
+        }
+        // Some replica refused or failed the inline post: one staged retry
+        // round re-writes the whole image through the ordinary recovery
+        // machinery (redial, replica repost, stale-descriptor revalidation).
+        s.dev.metrics().incr("rstore.inline.fallback");
+        ledger.retry();
+        self.write_l(offset, bytes, ledger).await
     }
 
     /// Writes `data` at `offset`.
@@ -253,14 +379,14 @@ impl Region {
     /// [`RStoreError::OutOfRange`] or [`RStoreError::Io`].
     pub async fn write(&self, offset: u64, data: &[u8]) -> Result<()> {
         let dev = self.client.shared.dev.clone();
-        let staging = dev.alloc(data.len().max(1) as u64)?;
+        let staging = self.take_staging(data.len().max(1) as u64)?;
         let result = async {
             dev.write_mem(staging.addr, data)?;
             self.write_from(offset, staging.slice(0, data.len() as u64))
                 .await
         }
         .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
     }
 
@@ -316,6 +442,10 @@ impl Region {
             return self.read_into_ck(offset, dst, ledger).await;
         }
         let pieces = self.layout.borrow().pieces(offset, dst.len)?;
+        if s.cfg.sge && pieces.len() > 1 {
+            let items = pieces.into_iter().map(|p| (p, dst)).collect();
+            return self.read_pieces_sge(items, ledger).await;
+        }
         // Post every piece's primary read in parallel. The bool marks
         // whether the replica has already spent its one reconnect retry.
         let mut waits: Vec<ReadWait> = Vec::new();
@@ -327,6 +457,45 @@ impl Region {
             }
         }
         self.drain_reads(waits, retry, ledger).await
+    }
+
+    /// Scatter-gather read round ([`ClientConfig::sge`](crate::client::ClientConfig::sge)):
+    /// primary reads are grouped by memory server and each group posts as
+    /// ONE multi-element WR — one doorbell, one CQE — in chunks of
+    /// [`MAX_SGE`]. A group whose WR fails (the CQE folds the first failing
+    /// element's status over the whole WR) falls back to per-piece posting
+    /// through [`drain_reads`](Self::drain_reads), which grants the usual
+    /// reconnect-then-advance failover per piece.
+    async fn read_pieces_sge(&self, items: Vec<(Piece, DmaBuf)>, ledger: &OpLedger) -> Result<()> {
+        let mut by_node: BTreeMap<u32, Vec<SgeItem>> = BTreeMap::new();
+        for (piece, buf) in items {
+            let node = self.extent(piece.group, 0).node;
+            by_node.entry(node).or_default().push((piece, buf, 0));
+        }
+        let mut waits: Vec<(Vec<SgeItem>, oneshot::Receiver<CqStatus>)> = Vec::new();
+        let mut retry: Vec<ReadRetry> = Vec::new();
+        for group in by_node.into_values() {
+            for chunk in group.chunks(MAX_SGE) {
+                match self.post_piece_group(chunk, Dir::Read, ledger) {
+                    Ok(rx) => waits.push((chunk.to_vec(), rx)),
+                    Err(_) => retry.extend(
+                        chunk
+                            .iter()
+                            .map(|&(p, b, r)| (p, b, r, false, CqStatus::Timeout)),
+                    ),
+                }
+            }
+        }
+        if !waits.is_empty() {
+            ledger.rtt();
+        }
+        for (group, rx) in waits {
+            let status = rx.await.unwrap_or(CqStatus::Flushed);
+            if status != CqStatus::Success {
+                retry.extend(group.into_iter().map(|(p, b, r)| (p, b, r, false, status)));
+            }
+        }
+        self.drain_reads(Vec::new(), retry, ledger).await
     }
 
     /// Reads many `(offset, dst)` pairs as one posting round.
@@ -400,6 +569,13 @@ impl Region {
                 let node = self.extent(piece.group, 0).node;
                 by_node.entry(node).or_default().push((piece, dst));
             }
+        }
+        if s.cfg.sge {
+            // Scatter-gather mode: the same per-node grouping, but each
+            // group of up to MAX_SGE pieces becomes ONE WR instead of one
+            // WR per piece.
+            let items = by_node.into_values().flatten().collect();
+            return self.read_pieces_sge(items, ledger).await;
         }
         let mut waits: Vec<ReadWait> = Vec::new();
         let mut retry: Vec<ReadRetry> = Vec::new();
@@ -571,6 +747,12 @@ impl Region {
             return self.write_from_ck(offset, src, ledger).await;
         }
         let pieces = self.layout.borrow().pieces(offset, src.len)?;
+        if s.cfg.sge {
+            let fanout: usize = pieces.iter().map(|p| self.replicas(p.group)).sum();
+            if fanout > 1 {
+                return self.write_pieces_sge(&pieces, src, ledger).await;
+            }
+        }
         let mut waits: Vec<(Piece, usize, oneshot::Receiver<CqStatus>)> = Vec::new();
         let mut failed: Vec<(Piece, usize)> = Vec::new();
         for piece in &pieces {
@@ -590,9 +772,57 @@ impl Region {
                 failed.push((piece, r));
             }
         }
-        // Recovery round: a write must reach every replica, so each failed
-        // (piece, replica) gets one re-dial plus repost; a replica that
-        // stays unreachable fails the IO.
+        self.recover_failed_writes(failed, src, ledger).await
+    }
+
+    /// Scatter-gather write round: every (piece, replica) pair landing on
+    /// one memory server posts as one multi-element WR. A failed WR drops
+    /// all its pairs into the per-piece recovery round (writes are
+    /// idempotent, so re-writing pairs that already landed is safe).
+    async fn write_pieces_sge(
+        &self,
+        pieces: &[Piece],
+        src: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
+        let mut by_node: BTreeMap<u32, Vec<SgeItem>> = BTreeMap::new();
+        for piece in pieces {
+            for r in 0..self.replicas(piece.group) {
+                let node = self.extent(piece.group, r).node;
+                by_node.entry(node).or_default().push((*piece, src, r));
+            }
+        }
+        let mut waits: Vec<(Vec<SgeItem>, oneshot::Receiver<CqStatus>)> = Vec::new();
+        let mut failed: Vec<(Piece, usize)> = Vec::new();
+        for group in by_node.into_values() {
+            for chunk in group.chunks(MAX_SGE) {
+                match self.post_piece_group(chunk, Dir::Write, ledger) {
+                    Ok(rx) => waits.push((chunk.to_vec(), rx)),
+                    Err(_) => failed.extend(chunk.iter().map(|&(p, _, r)| (p, r))),
+                }
+            }
+        }
+        if !waits.is_empty() {
+            ledger.rtt();
+        }
+        for (group, rx) in waits {
+            if !matches!(rx.await, Some(CqStatus::Success)) {
+                failed.extend(group.into_iter().map(|(p, _, r)| (p, r)));
+            }
+        }
+        self.recover_failed_writes(failed, src, ledger).await
+    }
+
+    /// Recovery round shared by the per-piece and scatter-gather write
+    /// paths: a write must reach every replica, so each failed
+    /// (piece, replica) gets one re-dial plus repost; a replica that
+    /// stays unreachable fails the IO.
+    async fn recover_failed_writes(
+        &self,
+        failed: Vec<(Piece, usize)>,
+        src: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
         for (piece, r) in failed {
             let node = self.extent(piece.group, r).node;
             if self.client.redial(node).await.is_err() {
@@ -629,12 +859,115 @@ impl Region {
     /// post→await→post serialization.
     async fn read_into_ck(&self, offset: u64, dst: DmaBuf, ledger: &OpLedger) -> Result<()> {
         let pieces = self.layout.borrow().pieces(offset, dst.len)?;
+        if self.client.shared.cfg.sge && pieces.len() > 1 {
+            return self.read_into_ck_sge(pieces, dst, ledger).await;
+        }
         let ledger = ledger.clone();
         self.pipeline_ck(pieces, move |this, piece| {
             let ledger = ledger.clone();
             async move { this.read_piece_verified(&piece, dst, &ledger).await }
         })
         .await
+    }
+
+    /// Scatter-gather variant of the verified read: the full-stripe fetches
+    /// (data + trailer each) of all touched stripes are grouped by memory
+    /// server and posted as one multi-element WR per group — one doorbell
+    /// and one CQE where the pipelined path posts one WR per stripe.
+    /// Verification stays client-side per stripe; any stripe whose group WR
+    /// failed or whose CRC does not match falls back to
+    /// [`read_piece_verified`](Self::read_piece_verified), which re-reads
+    /// with the usual per-replica failover and corruption reporting.
+    async fn read_into_ck_sge(
+        &self,
+        pieces: Vec<Piece>,
+        dst: DmaBuf,
+        ledger: &OpLedger,
+    ) -> Result<()> {
+        let full: Vec<Piece> = pieces
+            .iter()
+            .map(|p| Piece {
+                group: p.group,
+                offset_in_stripe: 0,
+                len: self.stripe_len(p.group) + CK_BYTES,
+                buf_offset: 0,
+            })
+            .collect();
+        let mut stagings = Vec::with_capacity(pieces.len());
+        for f in &full {
+            stagings.push(self.take_staging(f.len)?);
+        }
+        let result = async {
+            let mut by_node: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+            for (i, p) in pieces.iter().enumerate() {
+                by_node
+                    .entry(self.extent(p.group, 0).node)
+                    .or_default()
+                    .push(i);
+            }
+            let mut waits: Vec<(Vec<usize>, oneshot::Receiver<CqStatus>)> = Vec::new();
+            let mut fallback: Vec<usize> = Vec::new();
+            for idxs in by_node.into_values() {
+                for chunk in idxs.chunks(MAX_SGE) {
+                    let items: Vec<SgeItem> =
+                        chunk.iter().map(|&i| (full[i], stagings[i], 0)).collect();
+                    match self.post_piece_group(&items, Dir::Read, ledger) {
+                        Ok(rx) => waits.push((chunk.to_vec(), rx)),
+                        Err(_) => fallback.extend_from_slice(chunk),
+                    }
+                }
+            }
+            if !waits.is_empty() {
+                ledger.rtt();
+            }
+            for (idxs, rx) in waits {
+                let status = rx.await.unwrap_or(CqStatus::Flushed);
+                for &i in &idxs {
+                    if status != CqStatus::Success
+                        || !self.verify_and_copy_stripe(&pieces[i], stagings[i], dst)?
+                    {
+                        fallback.push(i);
+                    }
+                }
+            }
+            // Fallback: the per-stripe verified read owns failover,
+            // corruption accounting, and master reporting.
+            for i in fallback {
+                ledger.retry();
+                self.read_piece_verified(&pieces[i], dst, ledger).await?;
+            }
+            Ok(())
+        }
+        .await;
+        for staging in stagings {
+            self.put_staging(staging);
+        }
+        result
+    }
+
+    /// Verifies a full stripe sitting in `staging` (data + trailer) and, on
+    /// a CRC match, copies the `want` sub-range into `dst`. Returns
+    /// `Ok(false)` on a mismatch — the caller decides how to recover.
+    fn verify_and_copy_stripe(&self, want: &Piece, staging: DmaBuf, dst: DmaBuf) -> Result<bool> {
+        let s = &self.client.shared;
+        let stripe_len = self.stripe_len(want.group) as usize;
+        let mut scratch = self.pool.scratch.borrow_mut();
+        scratch.resize(stripe_len + CK_BYTES as usize, 0);
+        s.dev.read_mem_into(staging.addr, &mut scratch[..])?;
+        let stored = u64::from_le_bytes(
+            scratch[stripe_len..]
+                .try_into()
+                .expect("trailer is 8 bytes"),
+        );
+        if crc32c(&scratch[..stripe_len]) as u64 != stored {
+            return Ok(false);
+        }
+        let lo = want.offset_in_stripe as usize;
+        s.dev.write_mem(
+            dst.addr + want.buf_offset,
+            &scratch[lo..lo + want.len as usize],
+        )?;
+        Ok(true)
     }
 
     /// Runs `op` once per stripe piece under a bounded in-flight window of
@@ -705,13 +1038,12 @@ impl Region {
         dst: DmaBuf,
         ledger: &OpLedger,
     ) -> Result<()> {
-        let dev = self.client.shared.dev.clone();
         let stripe_len = self.stripe_len(want.group);
-        let staging = dev.alloc(stripe_len + CK_BYTES)?;
+        let staging = self.take_staging(stripe_len + CK_BYTES)?;
         let result = self
             .read_piece_verified_into(want, dst, staging, ledger)
             .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
     }
 
@@ -752,15 +1084,7 @@ impl Region {
             };
             access_denied |= status == CqStatus::RemoteAccess;
             if status == CqStatus::Success {
-                let bytes = s.dev.read_mem(staging.addr, full.len)?;
-                let stored =
-                    u64::from_le_bytes(bytes[stripe_len..].try_into().expect("trailer is 8 bytes"));
-                if crc32c(&bytes[..stripe_len]) as u64 == stored {
-                    let lo = want.offset_in_stripe as usize;
-                    s.dev.write_mem(
-                        dst.addr + want.buf_offset,
-                        &bytes[lo..lo + want.len as usize],
-                    )?;
+                if self.verify_and_copy_stripe(want, staging, dst)? {
                     return Ok(());
                 }
                 // Checksum mismatch: treat like a replica failure — record
@@ -845,7 +1169,7 @@ impl Region {
             len: stripe_len + CK_BYTES,
             buf_offset: 0,
         };
-        let staging = dev.alloc(full.len)?;
+        let staging = self.take_staging(full.len)?;
         let result = async {
             if piece.len < stripe_len {
                 // Read-modify-write: fetch the stripe's current content
@@ -860,18 +1184,22 @@ impl Region {
                 self.read_piece_verified_into(&cur, staging, staging, ledger)
                     .await?;
             }
-            // Overlay the new data and recompute the trailer.
-            let new = dev.read_mem(src.addr + piece.buf_offset, piece.len)?;
-            dev.write_mem(staging.addr + piece.offset_in_stripe, &new)?;
-            let data = dev.read_mem(staging.addr, stripe_len)?;
-            dev.write_mem(
-                staging.addr + stripe_len,
-                &(crc32c(&data) as u64).to_le_bytes(),
-            )?;
+            // Overlay the new data and recompute the trailer, bouncing
+            // through the pooled host scratch (no per-op allocation).
+            {
+                let mut scratch = self.pool.scratch.borrow_mut();
+                scratch.resize(piece.len as usize, 0);
+                dev.read_mem_into(src.addr + piece.buf_offset, &mut scratch[..])?;
+                dev.write_mem(staging.addr + piece.offset_in_stripe, &scratch[..])?;
+                scratch.resize(stripe_len as usize, 0);
+                dev.read_mem_into(staging.addr, &mut scratch[..])?;
+                let trailer = (crc32c(&scratch[..]) as u64).to_le_bytes();
+                dev.write_mem(staging.addr + stripe_len, &trailer)?;
+            }
             self.write_piece_all_replicas(&full, staging, ledger).await
         }
         .await;
-        let _ = dev.free(staging);
+        self.put_staging(staging);
         result
     }
 
@@ -1027,6 +1355,103 @@ impl Region {
             Dir::Write => "rstore.write_bytes",
         };
         s.dev.metrics().add(metric, piece.len);
+        Ok(rx)
+    }
+
+    /// Posts one *inline* WRITE WR for `piece` of replica `replica`: the
+    /// payload sub-slice is copied into the WQE at post time, so no local
+    /// DMA buffer exists for the NIC to fetch.
+    fn post_piece_inline(
+        &self,
+        piece: &Piece,
+        bytes: &[u8],
+        replica: usize,
+        ledger: &OpLedger,
+    ) -> Result<oneshot::Receiver<CqStatus>> {
+        let s = &self.client.shared;
+        let extent = self.extent(piece.group, replica);
+        let conns = s.conns.borrow();
+        let qp = conns
+            .get(&extent.node)
+            .ok_or(RStoreError::Rdma(RdmaError::QpError))?;
+        let remote = rdma::RemoteAddr {
+            addr: extent.addr + piece.offset_in_stripe,
+            rkey: rdma::RKey(extent.rkey),
+        };
+        let sub = &bytes[piece.buf_offset as usize..(piece.buf_offset + piece.len) as usize];
+        let wr_id = s.next_wr.get();
+        s.next_wr.set(wr_id + 1);
+        let (tx, rx) = oneshot::channel();
+        s.pending.borrow_mut().insert(wr_id, tx);
+        s.outstanding.add(1);
+        let posted = {
+            let _scope = s.dev.ledger_scope(ledger);
+            qp.post_write_inline(wr_id, sub, remote)
+        };
+        if let Err(e) = posted {
+            s.pending.borrow_mut().remove(&wr_id);
+            s.outstanding.done();
+            return Err(e.into());
+        }
+        self.arm_backstop(wr_id, piece.len);
+        s.dev.metrics().add("rstore.write_bytes", piece.len);
+        Ok(rx)
+    }
+
+    /// Posts one scatter-gather WR covering every `(piece, buffer, replica)`
+    /// item — the caller guarantees all items resolve to the same memory
+    /// server. One wr_id, one completion receiver, one doorbell.
+    fn post_piece_group(
+        &self,
+        items: &[SgeItem],
+        dir: Dir,
+        ledger: &OpLedger,
+    ) -> Result<oneshot::Receiver<CqStatus>> {
+        let s = &self.client.shared;
+        let (first, first_replica) = (&items[0].0, items[0].2);
+        let node = self.extent(first.group, first_replica).node;
+        let conns = s.conns.borrow();
+        let qp = conns
+            .get(&node)
+            .ok_or(RStoreError::Rdma(RdmaError::QpError))?;
+        let mut elems = Vec::with_capacity(items.len());
+        let mut total = 0u64;
+        for (piece, buf, replica) in items {
+            let extent = self.extent(piece.group, *replica);
+            debug_assert_eq!(extent.node, node, "SGE group spans servers");
+            elems.push(Sge {
+                local: buf.slice(piece.buf_offset, piece.len),
+                remote: rdma::RemoteAddr {
+                    addr: extent.addr + piece.offset_in_stripe,
+                    rkey: rdma::RKey(extent.rkey),
+                },
+            });
+            total += piece.len;
+        }
+        let sges = SgeList::new(&elems)?;
+        let wr_id = s.next_wr.get();
+        s.next_wr.set(wr_id + 1);
+        let (tx, rx) = oneshot::channel();
+        s.pending.borrow_mut().insert(wr_id, tx);
+        s.outstanding.add(1);
+        let posted = {
+            let _scope = s.dev.ledger_scope(ledger);
+            match dir {
+                Dir::Read => qp.post_read_sge(wr_id, sges),
+                Dir::Write => qp.post_write_sge(wr_id, sges),
+            }
+        };
+        if let Err(e) = posted {
+            s.pending.borrow_mut().remove(&wr_id);
+            s.outstanding.done();
+            return Err(e.into());
+        }
+        self.arm_backstop(wr_id, total);
+        let metric = match dir {
+            Dir::Read => "rstore.read_bytes",
+            Dir::Write => "rstore.write_bytes",
+        };
+        s.dev.metrics().add(metric, total);
         Ok(rx)
     }
 

@@ -31,6 +31,17 @@ pub struct RdmaConfig {
     /// chained WR list, where WQE build cost is paid per WR but the doorbell
     /// (MMIO) is rung once.
     pub batch_wr_overhead: Duration,
+    /// Largest WRITE payload (bytes) `Qp::post_write_inline` accepts. `0`
+    /// (the default) disables inline posting entirely. Models verbs
+    /// `max_inline_data`: the payload is copied into the WQE at post time,
+    /// so no local DMA buffer is registered or read back by the NIC.
+    pub inline_max: u64,
+    /// CPU cost to build + ring a doorbell for one *inline* WRITE. Cheaper
+    /// than [`post_overhead`](Self::post_overhead) because the NIC never
+    /// fetches the payload by DMA and the lkey/translation checks on the
+    /// local buffer are skipped — the memcpy into the WQE rides the same
+    /// cache lines the CPU just wrote.
+    pub inline_post_overhead: Duration,
 }
 
 impl Default for RdmaConfig {
@@ -42,6 +53,8 @@ impl Default for RdmaConfig {
             mem_capacity: 64 * 1024 * 1024 * 1024, // addresses are cheap; data is lazy
             max_batch: 16,
             batch_wr_overhead: Duration::from_nanos(40),
+            inline_max: 0,
+            inline_post_overhead: Duration::from_nanos(100),
         }
     }
 }

@@ -106,6 +106,19 @@ struct PendingWr {
     /// Doorbell/WQE-build nanoseconds already charged to [`Layer::Post`]
     /// for this WR; subtracted when attributing completion latency.
     post_cost_ns: u64,
+    /// Scatter-gather fan-out: how many wire sub-requests this WR issued
+    /// (1 for plain WRs). Sub-requests occupy the consecutive sequence ids
+    /// `[req_id, req_id + subs)`.
+    subs: u64,
+    /// Sub-responses still outstanding; the WR resolves when this hits 0.
+    remaining: u64,
+    /// Per-element landing buffers for scatter-gather READs, indexed by
+    /// `response req_id - req_id`. Empty for plain WRs and SGE WRITEs
+    /// (`Vec::new` does not allocate).
+    sge_dsts: Vec<DmaBuf>,
+    /// Worst sub-response status folded so far (first failure wins); the
+    /// WR's final status once every sub-response is in.
+    folded: CqStatus,
 }
 
 struct RecvWr {
@@ -783,20 +796,43 @@ impl RdmaDevice {
         let Some(qp) = inner.qps.get_mut(&qpn.0) else {
             return;
         };
-        let Some(wr) = qp.sq.iter_mut().find(|w| w.req_id == req_id) else {
+        // A plain WR answers to its own req_id; a scatter-gather WR owns the
+        // consecutive sub-request ids [req_id, req_id + subs).
+        let Some(wr) = qp
+            .sq
+            .iter_mut()
+            .find(|w| req_id >= w.req_id && req_id - w.req_id < w.subs)
+        else {
             return; // late response after timeout flush
         };
         if wr.status.is_some() {
             return;
         }
-        wr.status = Some(wire_to_cq(status));
-        let local_dst = wr.local_dst;
+        // Fold this sub-response into the WR outcome: first failure wins.
+        if wr.folded == CqStatus::Success {
+            wr.folded = wire_to_cq(status);
+        }
+        let local_dst = if wr.subs == 1 {
+            wr.local_dst
+        } else {
+            wr.sge_dsts.get((req_id - wr.req_id) as usize).copied()
+        };
+        wr.remaining = wr.remaining.saturating_sub(1);
+        let resolved = wr.remaining == 0;
+        if resolved {
+            wr.status = Some(wr.folded);
+        }
         let cq = qp.cq.clone();
 
         if let (Some(dst), Some(payload), WireStatus::Ok) = (local_dst, payload.as_ref(), status) {
             if let Err(e) = inner.arena.write_payload(dst.addr, payload) {
                 debug_assert!(false, "local landing buffer vanished: {e}");
             }
+        }
+        if !resolved {
+            // More sub-responses of a scatter-gather WR to come; nothing can
+            // release until the whole WR resolves.
+            return;
         }
 
         // Release completions strictly in post order.
@@ -1136,6 +1172,68 @@ impl Qp {
         })
     }
 
+    /// Posts a one-sided RDMA WRITE whose payload is copied from the host
+    /// slice `bytes` into the WQE at post time, verbs `IBV_SEND_INLINE`
+    /// style: no local DmaBuf is staged or registered — the data travels
+    /// with the work request — and the modeled posting cost is the cheaper
+    /// [`RdmaConfig::inline_post_overhead`] (no lkey check or DMA readback
+    /// of the source buffer). Because the payload is captured at post time,
+    /// the caller may reuse `bytes` immediately.
+    ///
+    /// # Errors
+    ///
+    /// * [`RdmaError::OutOfBounds`] — `bytes` exceeds
+    ///   [`RdmaConfig::inline_max`] (`inline_max == 0` disables inlining
+    ///   entirely, the default).
+    /// * [`RdmaError::QpError`] — the QP is in the error state.
+    pub fn post_write_inline(&self, wr_id: u64, bytes: &[u8], remote: RemoteAddr) -> Result<()> {
+        let cfg = &self.dev.cfg;
+        let len = bytes.len() as u64;
+        if cfg.inline_max == 0 || len > cfg.inline_max {
+            return Err(RdmaError::OutOfBounds {
+                addr: remote.addr,
+                len,
+            });
+        }
+        let payload = Payload::Bytes(bytes.to_vec());
+        self.post_one_sided_costed(
+            wr_id,
+            CqeOpcode::Write,
+            len,
+            None,
+            cfg.inline_post_overhead,
+            move |req_id| QpMsg::WriteReq {
+                req_id,
+                raddr: remote.addr,
+                rkey: remote.rkey,
+                payload,
+            },
+        )
+    }
+
+    /// Posts one scatter-gather READ WR: every element of `sges` is fetched
+    /// with a single WR, a single doorbell, and a single CQE (whose
+    /// `byte_len` is the sum of element lengths). Equivalent to
+    /// `post_batch(&[BatchWr::read_sge(..)])`, which is exactly how it is
+    /// implemented, so the batch-of-one accounting applies.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Qp::post_batch`].
+    pub fn post_read_sge(&self, wr_id: u64, sges: SgeList) -> Result<()> {
+        self.post_batch(&[BatchWr::read_sge(wr_id, sges)])
+    }
+
+    /// Posts one scatter-gather WRITE WR; the per-element payloads are
+    /// snapshotted at post time. See [`Qp::post_read_sge`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Qp::post_batch`].
+    pub fn post_write_sge(&self, wr_id: u64, sges: SgeList) -> Result<()> {
+        self.post_batch(&[BatchWr::write_sge(wr_id, sges)])
+    }
+
     /// Posts a compare-and-swap on a remote u64; the prior value lands in
     /// `result` (8 bytes) on completion.
     ///
@@ -1239,7 +1337,29 @@ impl Qp {
         local_dst: Option<DmaBuf>,
         build: impl FnOnce(u64) -> QpMsg,
     ) -> Result<()> {
-        let post_cost_ns = self.dev.cfg.post_overhead.as_nanos() as u64;
+        self.post_one_sided_costed(
+            wr_id,
+            opcode,
+            byte_len,
+            local_dst,
+            self.dev.cfg.post_overhead,
+            build,
+        )
+    }
+
+    /// [`Qp::post_one_sided`] with an explicit WQE-build/doorbell cost; the
+    /// inline-WRITE path charges its cheaper
+    /// [`RdmaConfig::inline_post_overhead`] here.
+    fn post_one_sided_costed(
+        &self,
+        wr_id: u64,
+        opcode: CqeOpcode,
+        byte_len: u64,
+        local_dst: Option<DmaBuf>,
+        post_cost: std::time::Duration,
+        build: impl FnOnce(u64) -> QpMsg,
+    ) -> Result<()> {
+        let post_cost_ns = post_cost.as_nanos() as u64;
         let (req_id, peer, peer_qpn, backlog, ledger) = {
             let mut inner = self.dev.inner.borrow_mut();
             // Validate the landing buffer up front.
@@ -1269,6 +1389,10 @@ impl Qp {
                 signaled: true,
                 ledger: ledger.clone(),
                 post_cost_ns,
+                subs: 1,
+                remaining: 1,
+                sge_dsts: Vec::new(),
+                folded: CqStatus::Success,
             });
             qp.stats.incr("posted");
             qp.stats
@@ -1296,7 +1420,7 @@ impl Qp {
         let dev = self.dev.clone();
         let src_node = self.dev.node;
         // Charge the doorbell/WQE-build CPU cost before the packet exists.
-        self.dev.sim.schedule(self.dev.cfg.post_overhead, move || {
+        self.dev.sim.schedule(post_cost, move || {
             dev.fabric.send(src_node, peer, wire, msg);
         });
 
@@ -1358,8 +1482,13 @@ impl Qp {
         let cfg = &self.dev.cfg;
         let max_batch = cfg.max_batch.max(1);
         // Validate every WR and snapshot WRITE payloads up front, before any
-        // state changes: a bad batch posts nothing.
-        let mut payloads: Vec<Option<Payload>> = Vec::with_capacity(wrs.len());
+        // state changes: a bad batch posts nothing. SGE WRs snapshot one
+        // payload per element.
+        enum WrSnap {
+            Plain(Option<Payload>),
+            Sge(Vec<Option<Payload>>),
+        }
+        let mut snaps: Vec<WrSnap> = Vec::with_capacity(wrs.len());
         {
             let inner = self.dev.inner.borrow();
             let qp = inner.qps.get(&self.qpn.0).ok_or(RdmaError::InvalidHandle)?;
@@ -1367,13 +1496,26 @@ impl Qp {
                 return Err(RdmaError::QpError);
             }
             for wr in wrs {
-                payloads.push(match wr.op {
+                snaps.push(match &wr.op {
                     BatchOp::Read { dst, .. } => {
                         inner.arena.read_payload(dst.addr, dst.len)?;
-                        None
+                        WrSnap::Plain(None)
                     }
                     BatchOp::Write { src, .. } => {
-                        Some(inner.arena.read_payload(src.addr, src.len)?)
+                        WrSnap::Plain(Some(inner.arena.read_payload(src.addr, src.len)?))
+                    }
+                    BatchOp::ReadSge { sges } => {
+                        for e in sges.entries() {
+                            inner.arena.read_payload(e.local.addr, e.local.len)?;
+                        }
+                        WrSnap::Sge(Vec::new())
+                    }
+                    BatchOp::WriteSge { sges } => {
+                        let mut ps = Vec::with_capacity(sges.len());
+                        for e in sges.entries() {
+                            ps.push(Some(inner.arena.read_payload(e.local.addr, e.local.len)?));
+                        }
+                        WrSnap::Sge(ps)
                     }
                 });
             }
@@ -1382,7 +1524,7 @@ impl Qp {
         let ledger = self.dev.inner.borrow().current_ledger.clone();
         let first_wr_cost = cfg.post_overhead.as_nanos() as u64;
         let linked_wr_cost = cfg.batch_wr_overhead.as_nanos() as u64;
-        let mut payloads = payloads.into_iter();
+        let mut snaps = snaps.into_iter();
         // Cumulative WQE-build delay: chunk k's packets leave once every WQE
         // of chunks 0..=k is built.
         let mut build_delay = std::time::Duration::ZERO;
@@ -1401,59 +1543,159 @@ impl Qp {
                 let peer = qp.remote_node;
                 let peer_qpn = qp.remote_qpn.expect("QP not connected");
                 for (i, wr) in chunk.iter().enumerate() {
-                    let payload = payloads.next().expect("one snapshot per WR");
-                    let req_id = qp.next_req;
-                    qp.next_req += 1;
-                    let (opcode, byte_len, local_dst, msg) = match wr.op {
-                        BatchOp::Read { dst, remote } => (
-                            CqeOpcode::Read,
-                            dst.len,
-                            Some(dst),
-                            QpMsg::ReadReq {
-                                req_id,
-                                raddr: remote.addr,
-                                rkey: remote.rkey,
-                                len: dst.len,
-                            },
-                        ),
-                        BatchOp::Write { src, remote } => (
-                            CqeOpcode::Write,
-                            src.len,
-                            None,
-                            QpMsg::WriteReq {
-                                req_id,
-                                raddr: remote.addr,
-                                rkey: remote.rkey,
-                                payload: payload.expect("write snapshot"),
-                            },
-                        ),
+                    let snap = snaps.next().expect("one snapshot per WR");
+                    let post_cost_ns = if i == 0 {
+                        first_wr_cost
+                    } else {
+                        linked_wr_cost
                     };
-                    qp.sq.push_back(PendingWr {
-                        req_id,
-                        wr_id: wr.wr_id,
-                        opcode,
-                        byte_len,
-                        status: None,
-                        local_dst,
-                        posted_at: now,
-                        signaled: wr.signaled,
-                        ledger: ledger.clone(),
-                        post_cost_ns: if i == 0 {
-                            first_wr_cost
-                        } else {
-                            linked_wr_cost
-                        },
-                    });
+                    match (&wr.op, snap) {
+                        (&BatchOp::Read { dst, remote }, _) => {
+                            let req_id = qp.next_req;
+                            qp.next_req += 1;
+                            qp.sq.push_back(PendingWr {
+                                req_id,
+                                wr_id: wr.wr_id,
+                                opcode: CqeOpcode::Read,
+                                byte_len: dst.len,
+                                status: None,
+                                local_dst: Some(dst),
+                                posted_at: now,
+                                signaled: wr.signaled,
+                                ledger: ledger.clone(),
+                                post_cost_ns,
+                                subs: 1,
+                                remaining: 1,
+                                sge_dsts: Vec::new(),
+                                folded: CqStatus::Success,
+                            });
+                            metrics.record_value("rdma.doorbell_bytes", dst.len);
+                            meta.push((req_id, dst.len, backlog, CqeOpcode::Read));
+                            let msg = NetMsg::Qp {
+                                dst: peer_qpn,
+                                msg: QpMsg::ReadReq {
+                                    req_id,
+                                    raddr: remote.addr,
+                                    rkey: remote.rkey,
+                                    len: dst.len,
+                                },
+                            };
+                            let wire = msg.wire_bytes();
+                            ledger.wire(wire);
+                            msgs.push((wire, msg));
+                            backlog += dst.len;
+                        }
+                        (&BatchOp::Write { src, remote }, snap) => {
+                            let WrSnap::Plain(Some(payload)) = snap else {
+                                unreachable!("write snapshot")
+                            };
+                            let req_id = qp.next_req;
+                            qp.next_req += 1;
+                            qp.sq.push_back(PendingWr {
+                                req_id,
+                                wr_id: wr.wr_id,
+                                opcode: CqeOpcode::Write,
+                                byte_len: src.len,
+                                status: None,
+                                local_dst: None,
+                                posted_at: now,
+                                signaled: wr.signaled,
+                                ledger: ledger.clone(),
+                                post_cost_ns,
+                                subs: 1,
+                                remaining: 1,
+                                sge_dsts: Vec::new(),
+                                folded: CqStatus::Success,
+                            });
+                            metrics.record_value("rdma.doorbell_bytes", src.len);
+                            meta.push((req_id, src.len, backlog, CqeOpcode::Write));
+                            let msg = NetMsg::Qp {
+                                dst: peer_qpn,
+                                msg: QpMsg::WriteReq {
+                                    req_id,
+                                    raddr: remote.addr,
+                                    rkey: remote.rkey,
+                                    payload,
+                                },
+                            };
+                            let wire = msg.wire_bytes();
+                            ledger.wire(wire);
+                            msgs.push((wire, msg));
+                            backlog += src.len;
+                        }
+                        // A scatter-gather WR: one WR (one chain slot, one
+                        // WQE-build charge, one CQE) fanning out to one wire
+                        // request per element, on consecutive sub-ids.
+                        (op @ (&BatchOp::ReadSge { sges } | &BatchOp::WriteSge { sges }), snap) => {
+                            let is_read = matches!(op, BatchOp::ReadSge { .. });
+                            let mut payloads = match snap {
+                                WrSnap::Sge(ps) => ps.into_iter(),
+                                WrSnap::Plain(_) => unreachable!("sge snapshot"),
+                            };
+                            let n = sges.len() as u64;
+                            let total = sges.total_bytes();
+                            let base = qp.next_req;
+                            qp.next_req += n;
+                            let opcode = if is_read {
+                                CqeOpcode::Read
+                            } else {
+                                CqeOpcode::Write
+                            };
+                            qp.sq.push_back(PendingWr {
+                                req_id: base,
+                                wr_id: wr.wr_id,
+                                opcode,
+                                byte_len: total,
+                                status: None,
+                                local_dst: None,
+                                posted_at: now,
+                                signaled: wr.signaled,
+                                ledger: ledger.clone(),
+                                post_cost_ns,
+                                subs: n,
+                                remaining: n,
+                                sge_dsts: if is_read {
+                                    sges.entries().iter().map(|e| e.local).collect()
+                                } else {
+                                    Vec::new()
+                                },
+                                folded: CqStatus::Success,
+                            });
+                            metrics.record_value("rdma.doorbell_bytes", total);
+                            metrics.incr("rdma.sge_wrs");
+                            metrics.record_value("rdma.sge_entries", n);
+                            meta.push((base, total, backlog, opcode));
+                            for (j, e) in sges.entries().iter().enumerate() {
+                                let req_id = base + j as u64;
+                                let msg = if is_read {
+                                    QpMsg::ReadReq {
+                                        req_id,
+                                        raddr: e.remote.addr,
+                                        rkey: e.remote.rkey,
+                                        len: e.local.len,
+                                    }
+                                } else {
+                                    QpMsg::WriteReq {
+                                        req_id,
+                                        raddr: e.remote.addr,
+                                        rkey: e.remote.rkey,
+                                        payload: payloads
+                                            .next()
+                                            .flatten()
+                                            .expect("one snapshot per element"),
+                                    }
+                                };
+                                let msg = NetMsg::Qp { dst: peer_qpn, msg };
+                                let wire = msg.wire_bytes();
+                                ledger.wire(wire);
+                                msgs.push((wire, msg));
+                            }
+                            backlog += total;
+                        }
+                    }
                     qp.stats.incr("posted");
                     qp.stats
                         .record_value("outstanding_depth", qp.sq.len() as u64);
-                    metrics.record_value("rdma.doorbell_bytes", byte_len);
-                    meta.push((req_id, byte_len, backlog, opcode));
-                    let msg = NetMsg::Qp { dst: peer_qpn, msg };
-                    let wire = msg.wire_bytes();
-                    ledger.wire(wire);
-                    msgs.push((wire, msg));
-                    backlog += byte_len;
                 }
                 inner.outstanding_bytes = backlog;
                 peer
@@ -1519,6 +1761,24 @@ impl BatchWr {
         }
     }
 
+    /// A signaled scatter-gather READ: one WR/CQE covering every element.
+    pub fn read_sge(wr_id: u64, sges: SgeList) -> BatchWr {
+        BatchWr {
+            wr_id,
+            op: BatchOp::ReadSge { sges },
+            signaled: true,
+        }
+    }
+
+    /// A signaled scatter-gather WRITE: one WR/CQE covering every element.
+    pub fn write_sge(wr_id: u64, sges: SgeList) -> BatchWr {
+        BatchWr {
+            wr_id,
+            op: BatchOp::WriteSge { sges },
+            signaled: true,
+        }
+    }
+
     /// Suppresses the success CQE for this WR.
     pub fn unsignaled(mut self) -> BatchWr {
         self.signaled = false;
@@ -1543,6 +1803,91 @@ pub enum BatchOp {
         /// Remote destination.
         remote: RemoteAddr,
     },
+    /// Scatter-gather READ: one WR, one CQE, one element per `(local,
+    /// remote)` pair. Each element lands in its own local buffer.
+    ReadSge {
+        /// The gather list (1..=[`MAX_SGE`] elements).
+        sges: SgeList,
+    },
+    /// Scatter-gather WRITE: one WR, one CQE, one element per `(local,
+    /// remote)` pair. Each element's payload is snapshotted at post time.
+    WriteSge {
+        /// The scatter list (1..=[`MAX_SGE`] elements).
+        sges: SgeList,
+    },
+}
+
+/// Maximum number of elements in an [`SgeList`] — the modeled
+/// `max_send_sge` device cap (real NICs commonly advertise 16-32).
+pub const MAX_SGE: usize = 16;
+
+/// One scatter/gather element: a local buffer paired with the remote
+/// extent it reads from / writes to.
+///
+/// Unlike real verbs SGEs (which scatter/gather only the *local* side of a
+/// single contiguous remote extent), each element here carries its own
+/// remote address — the shape striped IO actually needs. See DESIGN.md for
+/// how this maps onto hardware.
+#[derive(Clone, Copy, Debug)]
+pub struct Sge {
+    /// Local buffer; its length is the element's transfer size.
+    pub local: DmaBuf,
+    /// Remote extent the element targets.
+    pub remote: RemoteAddr,
+}
+
+/// A fixed-capacity scatter/gather list (1..=[`MAX_SGE`] elements), `Copy`
+/// so [`BatchWr`] stays `Copy`.
+#[derive(Clone, Copy, Debug)]
+pub struct SgeList {
+    len: u8,
+    entries: [Sge; MAX_SGE],
+}
+
+impl SgeList {
+    /// Builds a list from a slice of elements.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::InvalidHandle`] — empty slice or more than [`MAX_SGE`]
+    /// elements (the modeled device cap).
+    pub fn new(elems: &[Sge]) -> Result<SgeList> {
+        if elems.is_empty() || elems.len() > MAX_SGE {
+            return Err(RdmaError::InvalidHandle);
+        }
+        let mut entries = [Sge {
+            local: DmaBuf { addr: 0, len: 0 },
+            remote: RemoteAddr {
+                addr: 0,
+                rkey: RKey(0),
+            },
+        }; MAX_SGE];
+        entries[..elems.len()].copy_from_slice(elems);
+        Ok(SgeList {
+            len: elems.len() as u8,
+            entries,
+        })
+    }
+
+    /// The populated elements.
+    pub fn entries(&self) -> &[Sge] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Always false: [`SgeList::new`] rejects empty lists.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of element lengths — the WR's logical byte count.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries().iter().map(|e| e.local.len).sum()
+    }
 }
 
 #[cfg(test)]
@@ -2057,8 +2402,292 @@ mod tests {
 
     #[test]
     fn empty_batch_rejected() {
-        connected(|_a, _b, cqp, _ccq, _sqp, _scq| async move {
+        // Pinned edge case: an empty batch is an error before any state
+        // changes — no doorbell rings, no CQE is ever delivered.
+        connected(|a, _b, cqp, ccq, _sqp, _scq| async move {
             assert_eq!(cqp.post_batch(&[]), Err(RdmaError::InvalidHandle));
+            a.sim().sleep(Duration::from_micros(20)).await;
+            assert!(ccq.is_empty());
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 0);
+        });
+    }
+
+    #[test]
+    fn zero_length_payloads_complete_normally() {
+        // Pinned edge case: zero-length READ/WRITE are legal WRs (verbs
+        // allows 0-byte DMA lengths). They ring a doorbell, traverse the
+        // fabric, and deliver a success CQE with byte_len 0 — they are NOT
+        // silently elided.
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"untouched").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_ALL).unwrap();
+            let empty = a.alloc(1).unwrap(); // non-empty alloc, 0-len slice
+            let zero = DmaBuf {
+                addr: empty.addr,
+                len: 0,
+            };
+            cqp.post_write(1, zero, mr.token().at(0, 0).unwrap())
+                .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(
+                (cqe.wr_id, cqe.status, cqe.byte_len),
+                (1, CqStatus::Success, 0)
+            );
+            cqp.post_read(2, zero, mr.token().at(0, 0).unwrap())
+                .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(
+                (cqe.wr_id, cqe.status, cqe.byte_len),
+                (2, CqStatus::Success, 0)
+            );
+            // Both zero-length ops rang a real doorbell each.
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 2);
+            assert_eq!(b.read_mem(server_buf.addr, 9).unwrap(), b"untouched");
+        });
+    }
+
+    #[test]
+    fn sge_read_gathers_with_one_doorbell() {
+        // One scatter-gather READ covering four disjoint remote extents:
+        // one WR, one doorbell, one CQE summing the element lengths, and
+        // every element lands in its own local buffer.
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"AAAABBBBCCCCDDDD").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let dsts: Vec<DmaBuf> = (0..4).map(|_| a.alloc(4).unwrap()).collect();
+            let elems: Vec<Sge> = dsts
+                .iter()
+                .enumerate()
+                .map(|(i, &local)| Sge {
+                    local,
+                    remote: mr.token().at(i as u64 * 4, 4).unwrap(),
+                })
+                .collect();
+            cqp.post_read_sge(7, SgeList::new(&elems).unwrap()).unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.wr_id, 7);
+            assert_eq!(cqe.status, CqStatus::Success);
+            assert_eq!(cqe.opcode, CqeOpcode::Read);
+            assert_eq!(cqe.byte_len, 16);
+            for (i, want) in [b"AAAA", b"BBBB", b"CCCC", b"DDDD"].iter().enumerate() {
+                assert_eq!(a.read_mem(dsts[i].addr, 4).unwrap(), want.to_vec());
+            }
+            let m = a.metrics();
+            assert_eq!(m.counter("rdma.doorbells"), 1);
+            assert_eq!(m.counter("rdma.sge_wrs"), 1);
+            let entries = m.histogram("rdma.sge_entries").unwrap();
+            assert_eq!((entries.len(), entries.max()), (1, 4));
+        });
+    }
+
+    #[test]
+    fn sge_write_scatters_with_one_doorbell() {
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(&[0u8; 16]).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            let srcs = [b"aaaa", b"bbbb", b"cccc", b"dddd"];
+            let elems: Vec<Sge> = srcs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Sge {
+                    local: a.alloc_init(*s).unwrap(),
+                    remote: mr.token().at(i as u64 * 4, 4).unwrap(),
+                })
+                .collect();
+            cqp.post_write_sge(8, SgeList::new(&elems).unwrap())
+                .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(
+                (cqe.wr_id, cqe.status, cqe.byte_len),
+                (8, CqStatus::Success, 16)
+            );
+            assert_eq!(
+                b.read_mem(server_buf.addr, 16).unwrap(),
+                b"aaaabbbbccccdddd"
+            );
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 1);
+        });
+    }
+
+    #[test]
+    fn sge_list_rejects_empty_and_oversized() {
+        assert_eq!(SgeList::new(&[]).err(), Some(RdmaError::InvalidHandle));
+        let e = Sge {
+            local: DmaBuf { addr: 0, len: 1 },
+            remote: RemoteAddr {
+                addr: 0,
+                rkey: RKey(1),
+            },
+        };
+        assert_eq!(
+            SgeList::new(&vec![e; MAX_SGE + 1]).err(),
+            Some(RdmaError::InvalidHandle)
+        );
+        let ok = SgeList::new(&vec![e; MAX_SGE]).unwrap();
+        assert_eq!(ok.len(), MAX_SGE);
+        assert_eq!(ok.total_bytes(), MAX_SGE as u64);
+    }
+
+    #[test]
+    fn sge_partial_failure_folds_whole_wr_status() {
+        // One element of the gather list targets a bogus rkey: the WR's
+        // single CQE reports the failure (first failing element wins), while
+        // the healthy elements' side effects still land — exactly how a
+        // multi-packet WR behaves on real hardware before the QP faults.
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"GOODGOOD").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let good = a.alloc(4).unwrap();
+            let bad_dst = a.alloc(4).unwrap();
+            let elems = [
+                Sge {
+                    local: good,
+                    remote: mr.token().at(0, 4).unwrap(),
+                },
+                Sge {
+                    local: bad_dst,
+                    remote: RemoteAddr {
+                        addr: server_buf.addr + 4,
+                        rkey: RKey(0xBAD),
+                    },
+                },
+            ];
+            cqp.post_read_sge(9, SgeList::new(&elems).unwrap()).unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!(cqe.wr_id, 9);
+            assert_eq!(cqe.status, CqStatus::RemoteAccess);
+            // The healthy element completed its transfer before the WR
+            // resolved.
+            assert_eq!(a.read_mem(good.addr, 4).unwrap(), b"GOOD");
+        });
+    }
+
+    #[test]
+    fn sge_wr_counts_as_one_wr_in_a_chain() {
+        // A batch mixing plain and SGE WRs: the SGE WR occupies ONE chain
+        // slot (doorbell_wrs counts WRs, not elements).
+        connected(|a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc_init(b"0123456789abcdef").unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_READ).unwrap();
+            let plain = a.alloc(4).unwrap();
+            let elems: Vec<Sge> = (0..3)
+                .map(|i| Sge {
+                    local: a.alloc(4).unwrap(),
+                    remote: mr.token().at(4 + i * 4, 4).unwrap(),
+                })
+                .collect();
+            cqp.post_batch(&[
+                BatchWr::read(1, plain, mr.token().at(0, 4).unwrap()).unsignaled(),
+                BatchWr::read_sge(2, SgeList::new(&elems).unwrap()),
+            ])
+            .unwrap();
+            let cqe = ccq.next().await;
+            assert_eq!((cqe.wr_id, cqe.byte_len), (2, 12));
+            assert_eq!(a.read_mem(plain.addr, 4).unwrap(), b"0123");
+            let m = a.metrics();
+            assert_eq!(m.counter("rdma.doorbells"), 1);
+            let wrs = m.histogram("rdma.doorbell_wrs").unwrap();
+            assert_eq!((wrs.len(), wrs.max()), (1, 2));
+        });
+    }
+
+    fn connected_cfg<F, Fut, T>(cfg: RdmaConfig, f: F) -> T
+    where
+        F: FnOnce(RdmaDevice, RdmaDevice, Qp, CompletionQueue, Qp, CompletionQueue) -> Fut
+            + 'static,
+        Fut: std::future::Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let sim = Sim::new();
+        let fabric = Fabric::new(sim.clone(), FabricConfig::default());
+        let a = RdmaDevice::new(&fabric, cfg.clone());
+        let b = RdmaDevice::new(&fabric, cfg);
+        sim.block_on(async move {
+            let mut listener = b.listen(7).unwrap();
+            let scq = CompletionQueue::new();
+            let ccq = CompletionQueue::new();
+            let b2 = b.clone();
+            let scq2 = scq.clone();
+            let accept = b
+                .sim()
+                .spawn(async move { listener.accept(&scq2).await.unwrap() });
+            let cqp = a.connect(b2.node(), 7, &ccq).await.unwrap();
+            let sqp = accept.await;
+            f(a, b2, cqp, ccq, sqp, scq).await
+        })
+    }
+
+    #[test]
+    fn inline_write_lands_and_posts_cheaper() {
+        let cfg = RdmaConfig {
+            inline_max: 64,
+            ..RdmaConfig::default()
+        };
+        connected_cfg(cfg, |a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(32).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+
+            // Inline write straight from a host slice: no DmaBuf involved.
+            let t0 = a.sim().now();
+            cqp.post_write_inline(1, b"inline-hello", mr.token().at(0, 12).unwrap())
+                .unwrap();
+            let cqe = ccq.next().await;
+            let inline_rtt = a.sim().now() - t0;
+            assert_eq!(
+                (cqe.wr_id, cqe.status, cqe.byte_len),
+                (1, CqStatus::Success, 12)
+            );
+            assert_eq!(b.read_mem(server_buf.addr, 12).unwrap(), b"inline-hello");
+
+            // The same write via the registered-buffer path takes longer:
+            // the full post_overhead is charged instead of the inline cost.
+            let src = a.alloc_init(b"regular-hullo").unwrap();
+            let t1 = a.sim().now();
+            cqp.post_write(2, src, mr.token().at(0, 13).unwrap())
+                .unwrap();
+            ccq.next().await;
+            let regular_rtt = a.sim().now() - t1;
+            let cfg = a.config().clone();
+            assert_eq!(
+                regular_rtt - inline_rtt,
+                cfg.post_overhead - cfg.inline_post_overhead,
+                "inline saves exactly the WQE-build delta \
+                 (inline {inline_rtt:?} vs regular {regular_rtt:?})"
+            );
+        });
+    }
+
+    #[test]
+    fn inline_write_rejected_when_disabled_or_oversized() {
+        // Default config: inline posting disabled outright.
+        connected(|_a, b, cqp, _ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(8).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            let err = cqp
+                .post_write_inline(1, b"x", mr.token().at(0, 1).unwrap())
+                .unwrap_err();
+            assert!(matches!(err, RdmaError::OutOfBounds { .. }));
+        });
+        // Enabled with a cap: payloads over inline_max are rejected at post
+        // time (verbs returns EINVAL from ibv_post_send the same way).
+        let cfg = RdmaConfig {
+            inline_max: 8,
+            ..RdmaConfig::default()
+        };
+        connected_cfg(cfg, |a, b, cqp, ccq, _sqp, _scq| async move {
+            let server_buf = b.alloc(16).unwrap();
+            let mr = b.reg_mr(server_buf, Access::REMOTE_WRITE).unwrap();
+            let err = cqp
+                .post_write_inline(1, b"nine-bytes", mr.token().at(0, 10).unwrap())
+                .unwrap_err();
+            assert!(matches!(err, RdmaError::OutOfBounds { len: 10, .. }));
+            a.sim().sleep(Duration::from_micros(20)).await;
+            assert!(ccq.is_empty());
+            assert_eq!(a.metrics().counter("rdma.doorbells"), 0);
+            // At the cap it goes through.
+            cqp.post_write_inline(2, b"88888888", mr.token().at(0, 8).unwrap())
+                .unwrap();
+            assert_eq!(ccq.next().await.status, CqStatus::Success);
         });
     }
 

@@ -65,7 +65,9 @@ pub mod wire;
 
 pub use config::RdmaConfig;
 pub use cq::{CompletionQueue, CqStatus, Cqe, CqeOpcode};
-pub use device::{BatchOp, BatchWr, Listener, Mr, Qp, RdmaDevice, RemoteAddr, RemoteMr};
+pub use device::{
+    BatchOp, BatchWr, Listener, Mr, Qp, RdmaDevice, RemoteAddr, RemoteMr, Sge, SgeList, MAX_SGE,
+};
 pub use memory::{Arena, DmaBuf};
 pub use types::{Access, Qpn, RKey, RdmaError, Result};
 pub use wire::NetMsg;

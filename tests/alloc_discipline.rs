@@ -1,0 +1,162 @@
+//! Steady-state allocation discipline for the raw-speed op path.
+//!
+//! After a short warmup (staging pools filled, hint caches and hash maps
+//! sized, QPs dialed), every data-path op must settle to a *flat* per-op
+//! host-heap allocation count — the hoisted-buffer discipline means no
+//! per-op staging or scratch-`Vec` churn — and stay at or under a pinned
+//! ceiling. The remaining floor is the simulator's own machinery (oneshot
+//! completion channels, wire-message payload copies, spawned backstop
+//! guards), which a real verbs stack does not pay; the pins keep that floor
+//! from silently growing.
+//!
+//! This is the only test in the binary so the counting global allocator
+//! sees no concurrent test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rstore::{AllocOptions, ClientConfig, Cluster, ClusterConfig, KvConfig, KvTable};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `$body` for 12 rounds and pins the *minimum* per-round allocation
+/// count of the last 6 at `$ceiling`: a per-op churn regression (a fresh
+/// `Vec` or staging buffer per op) lifts every round, including the
+/// minimum, while the occasional +4..8 spikes from executor bookkeeping
+/// (the long-lived backstop timer guards keep growing the timer heap, whose
+/// buffer doubles on boundaries the ops don't control) only move the
+/// maximum. A loose band still catches wild nondeterminism.
+macro_rules! steady {
+    ($name:expr, $ceiling:expr, $body:expr) => {{
+        let mut counts = [0u64; 12];
+        for c in counts.iter_mut() {
+            let before = allocs();
+            $body;
+            *c = allocs() - before;
+        }
+        let tail = &counts[6..];
+        let (lo, hi) = (
+            *tail.iter().min().expect("6 rounds"),
+            *tail.iter().max().expect("6 rounds"),
+        );
+        assert!(
+            hi - lo <= 16,
+            "{}: steady state not flat: {:?}",
+            $name,
+            counts
+        );
+        assert!(
+            lo <= $ceiling,
+            "{}: {} allocations/op exceeds the pinned floor {} (rounds: {:?})",
+            $name,
+            lo,
+            $ceiling,
+            counts
+        );
+    }};
+}
+
+#[test]
+fn steady_state_ops_hold_allocation_floor() {
+    let cluster = Cluster::boot(ClusterConfig {
+        clients: 1,
+        // The raw-speed configuration: scatter-gather WRs for striped IO,
+        // inline posting for small slot publishes.
+        rdma: rdma::RdmaConfig {
+            inline_max: 256,
+            ..rdma::RdmaConfig::default()
+        },
+        client: ClientConfig {
+            sge: true,
+            ..ClientConfig::default()
+        },
+        ..ClusterConfig::with_servers(3)
+    })
+    .expect("boot");
+    let sim = cluster.sim.clone();
+    sim.block_on(async move {
+        let client = cluster.client(0).await.unwrap();
+        let dev = client.device().clone();
+        let plain = client
+            .alloc(
+                "raw/plain",
+                64 * 1024,
+                AllocOptions {
+                    stripe_size: 4096,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        let ck = client
+            .alloc(
+                "raw/ck",
+                64 * 1024,
+                AllocOptions {
+                    stripe_size: 4096,
+                    checksums: true,
+                    ..AllocOptions::default()
+                },
+            )
+            .await
+            .unwrap();
+        let kv = KvTable::create(&client, "raw/kv", KvConfig::default())
+            .await
+            .unwrap();
+
+        // A 4-stripe IO buffer: the scatter-gather path groups its pieces
+        // into multi-element WRs.
+        let io = dev.alloc(16 * 1024).unwrap();
+        dev.write_mem(io.addr, &vec![7u8; 16 * 1024]).unwrap();
+        plain.write_from(0, io).await.unwrap();
+        ck.write_from(0, io).await.unwrap();
+        let keys: Vec<Vec<u8>> = (0..8).map(|i| format!("key-{i}").into_bytes()).collect();
+        for k in &keys {
+            kv.put(k, &[9u8; 32]).await.unwrap();
+        }
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+        // Region ops (plain + checksummed), 4 stripes per IO.
+        steady!("region.write", 197, plain.write_from(0, io).await.unwrap());
+        steady!("region.read", 202, plain.read_into(0, io).await.unwrap());
+        steady!("region.write_ck", 210, ck.write_from(0, io).await.unwrap());
+        steady!("region.read_ck", 206, ck.read_into(0, io).await.unwrap());
+
+        // KV ops. A warm put is CAS + inline WRITE, so this also pins the
+        // one-sided CAS path's allocation floor.
+        steady!("kv.get", 40, {
+            assert!(kv.get(&keys[0]).await.unwrap().is_some());
+        });
+        steady!("kv.put", 71, kv.put(&keys[0], &[9u8; 32]).await.unwrap());
+        steady!("kv.multi_get", 211, {
+            let vals = kv.multi_get(&key_refs).await.unwrap();
+            assert!(vals.iter().all(Option::is_some));
+        });
+        steady!("kv.delete+put", 220, {
+            assert!(kv.delete(&keys[1]).await.unwrap());
+            kv.put(&keys[1], &[9u8; 32]).await.unwrap();
+        });
+
+        dev.free(io).unwrap();
+    });
+}
