@@ -4,24 +4,34 @@
 //! bench diff --baseline BENCH_seed.json --current BENCH_pr.json
 //! bench diff --baseline BENCH_seed.json --current BENCH_pr.json \
 //!     --tolerance 0.4 --tolerance gbps=0.6
+//! bench triage --report BENCH_pr.json [--top N]
+//! bench triage --report triage-0001-get-op42.json
 //! ```
 //!
 //! `diff` compares every metric of the current `BENCH_*.json` against a
 //! committed baseline (see `EXPERIMENTS.md`, "Baselines") and exits nonzero
 //! when any metric drifts beyond tolerance — the CI perf-regression gate.
 //! `--tolerance F` sets the default relative tolerance; `--tolerance SUB=F`
-//! overrides it for every metric whose path contains `SUB`.
+//! overrides it for every metric whose path contains `SUB`. On failure the
+//! findings are ranked worst-first by relative drift.
+//!
+//! `triage` renders forensics output as ranked blame tables: from a bench
+//! report it prints each experiment's tail exemplars (worst first), from a
+//! flight-recorder triage bundle it prints the failing op's blame, span
+//! tree, ring, and era notes.
 //!
 //! Exit status: 0 in-policy, 1 regression findings, 2 usage or I/O error.
 
 use std::process::ExitCode;
 
-use bench::diff::{diff_reports, load_report, DiffOptions};
+use bench::diff::{diff_reports, load_report, rank_findings, DiffOptions};
+use bench::triage::triage_text;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench diff --baseline FILE --current FILE \
-         [--tolerance F | --tolerance METRIC=F]..."
+         [--tolerance F | --tolerance METRIC=F]...\n\
+         \x20      bench triage --report FILE [--top N]"
     );
     ExitCode::from(2)
 }
@@ -30,7 +40,50 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("diff") => run_diff(&args[1..]),
+        Some("triage") => run_triage(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn run_triage(args: &[String]) -> ExitCode {
+    let mut report_path = None;
+    let mut top = 10usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report" => report_path = it.next().cloned(),
+            "--top" => {
+                let Some(Ok(n)) = it.next().map(|v| v.parse::<usize>()) else {
+                    eprintln!("bench triage: --top needs a number");
+                    return ExitCode::from(2);
+                };
+                top = n;
+            }
+            other => {
+                eprintln!("bench triage: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let Some(report_path) = report_path else {
+        return usage();
+    };
+    let doc = match load_report("triage", &report_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("bench triage: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match triage_text(&doc, top) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench triage: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -81,7 +134,7 @@ fn run_diff(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let findings = diff_reports(&baseline, &current, &opts);
+    let mut findings = diff_reports(&baseline, &current, &opts);
     if findings.is_empty() {
         println!(
             "bench diff: {current_path} within tolerance of {baseline_path} \
@@ -91,12 +144,26 @@ fn run_diff(args: &[String]) -> ExitCode {
         );
         return ExitCode::SUCCESS;
     }
+    // Worst first: exact/structural findings (infinite severity) lead,
+    // then numeric leaves by relative drift. Capped so one schema change
+    // does not scroll the real regressions off the screen.
+    const TOP: usize = 20;
+    rank_findings(&mut findings);
     println!(
-        "bench diff: {} regression finding(s) comparing {current_path} against {baseline_path}:",
+        "bench diff: {} regression finding(s) comparing {current_path} against {baseline_path}, \
+         worst first:",
         findings.len()
     );
-    for f in &findings {
-        println!("  {}: {}", f.path, f.detail);
+    for f in findings.iter().take(TOP) {
+        let sev = if f.severity.is_finite() {
+            format!("{:5.1}%", f.severity * 100.0)
+        } else {
+            "exact".to_string()
+        };
+        println!("  [{sev}] {}: {}", f.path, f.detail);
+    }
+    if findings.len() > TOP {
+        println!("  ... and {} more finding(s)", findings.len() - TOP);
     }
     ExitCode::FAILURE
 }

@@ -75,6 +75,22 @@ pub struct Finding {
     pub path: String,
     /// Human-readable description of the divergence.
     pub detail: String,
+    /// Ranking key for the worst-first report: the relative drift for a
+    /// numeric leaf, [`f64::INFINITY`] for structural, type, exact-match,
+    /// and flag findings (those are never acceptable, so they outrank any
+    /// drift).
+    pub severity: f64,
+}
+
+/// Orders findings worst-first: severity descending, path ascending for
+/// deterministic output on ties (structural findings all rank `INFINITY`).
+pub fn rank_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        b.severity
+            .partial_cmp(&a.severity)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.path.cmp(&b.path))
+    });
 }
 
 /// Loads one side of a comparison, turning the usual operator mistakes —
@@ -113,9 +129,14 @@ pub fn diff_reports(baseline: &Json, current: &Json, opts: &DiffOptions) -> Vec<
 }
 
 fn push(findings: &mut Vec<Finding>, path: &str, detail: String) {
+    push_sev(findings, path, detail, f64::INFINITY);
+}
+
+fn push_sev(findings: &mut Vec<Finding>, path: &str, detail: String, severity: f64) {
     findings.push(Finding {
         path: if path.is_empty() { "<root>" } else { path }.to_string(),
         detail,
+        severity,
     });
 }
 
@@ -242,7 +263,7 @@ fn compare_numbers(path: &str, b: &str, c: &str, opts: &DiffOptions, out: &mut V
     let rel = (cv - bv).abs() / scale;
     let tol = opts.tolerance_for(path);
     if rel > tol {
-        push(
+        push_sev(
             out,
             path,
             format!(
@@ -250,6 +271,7 @@ fn compare_numbers(path: &str, b: &str, c: &str, opts: &DiffOptions, out: &mut V
                 rel * 100.0,
                 tol * 100.0
             ),
+            rel,
         );
     }
 }
@@ -406,6 +428,33 @@ mod tests {
         // The max leaf drifted too (2 -> 3) but stays within tolerance: only
         // the median is pinned.
         assert_eq!(diff_reports(&base, &base, &loose), vec![]);
+    }
+
+    #[test]
+    fn rank_orders_worst_first_with_exact_findings_on_top() {
+        // Two numeric drifts (10x on gbps, 10% on ops under a 5% tolerance)
+        // plus one exact correctness finding: ranking must lead with the
+        // exact finding, then the bigger drift.
+        let base = doc(1000, 4.0, 0, true);
+        let cur = doc(1100, 0.4, 1, true);
+        let tight = DiffOptions {
+            tolerance: 0.05,
+            overrides: Vec::new(),
+        };
+        let mut findings = diff_reports(&base, &cur, &tight);
+        rank_findings(&mut findings);
+        let paths: Vec<&str> = findings.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "experiments.e10.availability.data_errors",
+                "experiments.e10.availability.gbps",
+                "experiments.e10.availability.ops_total",
+            ],
+            "findings: {findings:?}"
+        );
+        assert!(findings[0].severity.is_infinite());
+        assert!(findings[1].severity > findings[2].severity);
     }
 
     #[test]

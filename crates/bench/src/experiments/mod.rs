@@ -1,4 +1,4 @@
-//! The sixteen experiments of the reproduction (see `DESIGN.md`'s
+//! The seventeen experiments of the reproduction (see `DESIGN.md`'s
 //! per-experiment index). Each returns one or more [`Table`]s; the
 //! `figures` binary prints them, and `EXPERIMENTS.md` records
 //! paper-vs-measured.
@@ -10,6 +10,7 @@ pub mod e13_timeline;
 pub mod e14_ycsb;
 pub mod e15_elasticity;
 pub mod e16_rawspeed;
+pub mod e17_forensics;
 pub mod e1_verbs;
 pub mod e2_control;
 pub mod e3_datapath;
@@ -33,7 +34,7 @@ pub fn seed_mix(base: u64) -> u64 {
     }
 }
 
-/// Runs one experiment by id (`"e1"`..`"e16"`), returning its tables.
+/// Runs one experiment by id (`"e1"`..`"e17"`), returning its tables.
 ///
 /// # Panics
 ///
@@ -56,12 +57,13 @@ pub fn run(id: &str) -> Vec<Table> {
         "e14" => e14_ycsb::run(),
         "e15" => e15_elasticity::run(),
         "e16" => e16_rawspeed::run(),
-        other => panic!("unknown experiment id {other:?} (expected e1..e16)"),
+        "e17" => e17_forensics::run(),
+        other => panic!("unknown experiment id {other:?} (expected e1..e17)"),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];

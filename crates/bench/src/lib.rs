@@ -23,5 +23,6 @@ pub mod json;
 pub mod report;
 pub mod selftime;
 pub mod table;
+pub mod triage;
 
 pub use table::Table;

@@ -14,6 +14,7 @@ use crate::experiments::e13_timeline;
 use crate::experiments::e14_ycsb;
 use crate::experiments::e15_elasticity;
 use crate::experiments::e16_rawspeed;
+use crate::experiments::e17_forensics;
 use crate::experiments::e3_datapath::{self, LayerStat};
 use crate::json::Json;
 use crate::selftime::SelfTime;
@@ -125,6 +126,44 @@ pub fn ops_json(ops: &[OpSummary]) -> Json {
             })
             .collect(),
     )
+}
+
+/// Serialises a critical-path blame vector keyed by phase name, all twelve
+/// phases always present so the diff gate sees a stable shape.
+fn blame_json(rec: &sim::FlightRec) -> Json {
+    Json::obj(
+        sim::Phase::ALL
+            .iter()
+            .map(|&p| (p.name().to_string(), Json::int(rec.blame[p as usize]))),
+    )
+}
+
+/// Serialises one tail exemplar's summary (span tree elided — only the
+/// spike exemplar carries its full tree).
+fn exemplar_json(e: &sim::Exemplar) -> Json {
+    Json::obj([
+        ("id".to_string(), Json::int(e.rec.id)),
+        ("kind".to_string(), Json::str(e.rec.kind)),
+        ("window".to_string(), Json::int(e.window)),
+        ("rank".to_string(), Json::int(e.rank as u64)),
+        ("start_ns".to_string(), Json::int(e.rec.start_ns)),
+        ("elapsed_ns".to_string(), Json::int(e.rec.elapsed_ns)),
+        ("span_count".to_string(), Json::int(e.spans.len() as u64)),
+        (
+            "error".to_string(),
+            e.rec.error.map(Json::str).unwrap_or(Json::Null),
+        ),
+        ("blame_ns".to_string(), blame_json(&e.rec)),
+    ])
+}
+
+fn span_rec_json(s: &sim::SpanRec) -> Json {
+    Json::obj([
+        ("phase".to_string(), Json::str(s.phase.name())),
+        ("start_ns".to_string(), Json::int(s.start_ns)),
+        ("dur_ns".to_string(), Json::int(s.dur_ns)),
+        ("depth".to_string(), Json::int(s.depth as u64)),
+    ])
 }
 
 fn layer_stat_json(s: &LayerStat) -> Json {
@@ -513,6 +552,49 @@ pub fn experiment_json(id: &str) -> Json {
             ]),
         ));
     }
+    if id == "e17" {
+        let s = e17_forensics::measure();
+        let spike = s.slowest_fault_exemplar();
+        let mut spike_fields = match exemplar_json(spike) {
+            Json::Obj(m) => m,
+            _ => unreachable!("exemplar_json returns an object"),
+        };
+        spike_fields.insert(
+            "spans".to_string(),
+            Json::Arr(spike.spans.iter().map(span_rec_json).collect()),
+        );
+        fields.push((
+            "exemplars".to_string(),
+            Json::obj([
+                ("window_ns".to_string(), Json::int(s.window_ns)),
+                ("kill_ns".to_string(), Json::int(s.kill_ns)),
+                ("fault_window".to_string(), Json::int(s.fault_window())),
+                ("ops_total".to_string(), Json::int(s.ops_total)),
+                ("io_errors".to_string(), Json::int(s.io_errors)),
+                ("value_errors".to_string(), Json::int(s.value_errors)),
+                ("abandoned".to_string(), Json::int(s.abandoned)),
+                (
+                    "healthy_after_repair".to_string(),
+                    Json::Bool(s.healthy_after_repair),
+                ),
+                ("finished".to_string(), Json::int(s.finished)),
+                ("failed".to_string(), Json::int(s.failed)),
+                ("bundles".to_string(), Json::int(s.bundles)),
+                ("ring_len".to_string(), Json::int(s.ring.len() as u64)),
+                ("era_notes".to_string(), Json::int(s.era_notes.len() as u64)),
+                ("count".to_string(), Json::int(s.exemplars.len() as u64)),
+                (
+                    "fault_blame_pins_on_stall".to_string(),
+                    Json::Bool(s.fault_blame_pins_on_stall()),
+                ),
+                ("slowest_fault".to_string(), Json::Obj(spike_fields)),
+                (
+                    "list".to_string(),
+                    Json::Arr(s.exemplars.iter().map(exemplar_json).collect()),
+                ),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -564,6 +646,7 @@ pub fn bench_report_timed(ids: &[&str], run_id: &str) -> (Json, Json) {
 pub fn trace_cluster_lifecycle() -> String {
     let cluster = Cluster::boot(ClusterConfig::with_servers(3)).expect("boot");
     let sim = cluster.sim.clone();
+    let metrics = cluster.fabric.metrics().clone();
     let tracer = sim.tracer();
     tracer.enable(1 << 16);
     sim.block_on(async move {
@@ -583,6 +666,9 @@ pub fn trace_cluster_lifecycle() -> String {
         grown.write((1 << 20) + 512, b"tail").await.expect("write2");
         client.free("lifecycle").await.expect("free");
     });
+    // Surface ring overflow in the metrics namespace next to the export: any
+    // spans the bounded ring evicted mid-run show up as `trace.evicted`.
+    tracer.publish_evicted(&metrics);
     tracer.export_chrome_trace()
 }
 
@@ -687,6 +773,63 @@ mod tests {
         ] {
             assert!(a.contains(field), "e16 export must carry {field}");
         }
+    }
+
+    #[test]
+    fn e17_exemplars_json_is_valid_and_deterministic() {
+        let a = experiment_json("e17").render();
+        validate(&a).expect("e17 report must be valid JSON");
+        for field in [
+            "\"exemplars\"",
+            "\"fault_blame_pins_on_stall\": true",
+            "\"slowest_fault\"",
+            "\"blame_ns\"",
+            "\"spans\"",
+            "\"list\"",
+            "\"value_errors\": 0",
+            "\"abandoned\": 0",
+            "\"healthy_after_repair\": true",
+        ] {
+            assert!(a.contains(field), "e17 export must carry {field}");
+        }
+        let b = experiment_json("e17").render();
+        assert_eq!(a, b, "seeded forensics export must be byte-identical");
+    }
+
+    #[test]
+    fn e17_triage_bundle_round_trips_and_is_self_contained() {
+        // The fault era forces structured (Io) failures, so the flight
+        // recorder must have dumped at least one triage bundle; the last
+        // one must parse back and carry the failing op's full span tree,
+        // the ring, the era notes, and a gauge snapshot.
+        let s = crate::experiments::e17_forensics::measure();
+        let bundle = s.last_bundle.expect("fault era must produce a bundle");
+        let doc = crate::json::parse(&bundle).expect("bundle must be valid JSON");
+        let Json::Obj(m) = &doc else {
+            panic!("bundle must be an object")
+        };
+        assert_eq!(m.get("schema"), Some(&Json::str("rstore-triage-v1")));
+        let Some(Json::Obj(op)) = m.get("op") else {
+            panic!("bundle must embed the failing op")
+        };
+        assert!(op.contains_key("blame"), "op must carry its blame");
+        assert!(
+            matches!(op.get("error"), Some(Json::Str(_))),
+            "the failing op must name its structured error"
+        );
+        let Some(Json::Arr(spans)) = m.get("spans") else {
+            panic!("bundle must embed the failing op's span tree")
+        };
+        assert!(!spans.is_empty(), "a fault-era op records spans");
+        let Some(Json::Arr(ring)) = m.get("ring") else {
+            panic!("bundle must embed the flight ring")
+        };
+        assert!(!ring.is_empty(), "the ring has prior ops by fault time");
+        assert!(m.contains_key("era_notes"), "bundle must carry era notes");
+        let Some(Json::Obj(gauges)) = m.get("gauges") else {
+            panic!("bundle must embed a gauge snapshot")
+        };
+        assert!(!gauges.is_empty(), "gauges snapshot the metrics registry");
     }
 
     #[test]

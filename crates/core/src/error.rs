@@ -111,6 +111,22 @@ impl From<RdmaError> for RStoreError {
 /// Result alias for RStore operations.
 pub type Result<T> = std::result::Result<T, RStoreError>;
 
+/// Classifies an error for the black-box flight recorder: `Some(reason)`
+/// for the structured failures worth a triage bundle (corruption, wire
+/// timeout, failover exhaustion, capacity exhaustion), `None` for ordinary
+/// control-path outcomes (name clashes, out-of-range accesses, …) that a
+/// caller handles inline.
+pub fn forensic_reason(e: &RStoreError) -> Option<&'static str> {
+    match e {
+        RStoreError::CorruptionDetected { .. } => Some("corruption"),
+        RStoreError::Io(rdma::CqStatus::Timeout) => Some("timeout"),
+        RStoreError::Io(_) => Some("io_failover_exhausted"),
+        RStoreError::InsufficientCapacity { .. } => Some("insufficient_capacity"),
+        RStoreError::Rdma(RdmaError::Timeout) => Some("timeout"),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +141,39 @@ mod tests {
         assert!(e.to_string().contains("[10, +20)"));
         let e: RStoreError = RdmaError::Timeout.into();
         assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn forensic_reason_classifies_structured_errors() {
+        assert_eq!(
+            forensic_reason(&RStoreError::Io(rdma::CqStatus::Timeout)),
+            Some("timeout")
+        );
+        assert_eq!(
+            forensic_reason(&RStoreError::Io(rdma::CqStatus::Flushed)),
+            Some("io_failover_exhausted")
+        );
+        assert_eq!(
+            forensic_reason(&RStoreError::InsufficientCapacity { requested: 1 }),
+            Some("insufficient_capacity")
+        );
+        assert_eq!(
+            forensic_reason(&RStoreError::CorruptionDetected {
+                node: 1,
+                region: "r".into(),
+                stripe: 0,
+            }),
+            Some("corruption")
+        );
+        assert_eq!(forensic_reason(&RStoreError::NotFound("x".into())), None);
+        assert_eq!(
+            forensic_reason(&RStoreError::OutOfRange {
+                offset: 0,
+                len: 1,
+                size: 0,
+            }),
+            None
+        );
     }
 
     #[test]

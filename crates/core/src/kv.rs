@@ -90,7 +90,7 @@
 //! orders of magnitude past a healthy hold time.
 
 use rdma::{CompletionQueue, CqStatus, CqeOpcode, DmaBuf, Qp, RdmaDevice, RemoteAddr};
-use sim::{OpLedger, SimTime};
+use sim::{OpLedger, Phase, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -792,7 +792,7 @@ impl KvTable {
     pub async fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let ledger = self.meta.op_ledger("get");
         let result = self.get_l(key, &ledger).await;
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -963,7 +963,7 @@ impl KvTable {
                 r => break r,
             }
         };
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -1097,7 +1097,7 @@ impl KvTable {
         }
         let ledger = self.meta.op_ledger("put");
         let result = self.put_l(key, value, &ledger).await;
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -1296,16 +1296,22 @@ impl KvTable {
     ) -> Result<()> {
         let now = self.dev.sim().now();
         watch.observe(slot, word, now);
+        let trace = ledger.optrace();
         if now >= deadline {
             if let Some((slot, lock)) = watch.breakable(now) {
                 watch.spent = true;
-                if self.break_orphaned_lock(data, slot, lock, ledger).await {
+                let span = trace.begin(Phase::LockBreak, now);
+                let healed = self.break_orphaned_lock(data, slot, lock, ledger).await;
+                trace.end(span, self.dev.sim().now());
+                if healed {
                     return Ok(());
                 }
             }
             return Err(RStoreError::Io(CqStatus::Timeout));
         }
+        let span = trace.begin(Phase::LockWait, now);
         self.dev.sim().sleep(LOCK_BACKOFF).await;
+        trace.end(span, self.dev.sim().now());
         Ok(())
     }
 
@@ -1442,7 +1448,7 @@ impl KvTable {
         self.check_key(key)?;
         let ledger = self.meta.op_ledger("delete");
         let result = self.delete_l(key, &ledger).await;
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -1628,6 +1634,14 @@ impl KvTable {
     /// the descriptor moved does this return `false` (surface the original
     /// error).
     async fn revalidate_generation(&self, ledger: &OpLedger) -> Result<bool> {
+        let trace = ledger.optrace();
+        let span = trace.begin(Phase::Reval, self.dev.sim().now());
+        let result = self.revalidate_generation_inner(ledger).await;
+        trace.end(span, self.dev.sim().now());
+        result
+    }
+
+    async fn revalidate_generation_inner(&self, ledger: &OpLedger) -> Result<bool> {
         let now = self.dev.sim().now();
         let same_gen_deadline = now + STALE_GEN_BUDGET;
         let deadline = now + RESIZE_WAIT_BUDGET;
@@ -1641,7 +1655,7 @@ impl KvTable {
                         Err(e) => return Err(e),
                     }
                 } else if self.dev.sim().now() >= same_gen_deadline {
-                    return self.revalidate_placement().await;
+                    return self.revalidate_placement(ledger).await;
                 }
             }
             if self.dev.sim().now() >= deadline {
@@ -1656,10 +1670,10 @@ impl KvTable {
     /// Re-fetches the descriptor; a changed placement invalidates the slot
     /// hints' transport (not their slot numbers — geometry is unchanged) and
     /// is worth one retry.
-    async fn revalidate_placement(&self) -> Result<bool> {
+    async fn revalidate_placement(&self, ledger: &OpLedger) -> Result<bool> {
         let data = self.state.borrow().data.clone();
         let before = data.desc();
-        if data.revalidate().await.is_err() {
+        if data.revalidate(ledger).await.is_err() {
             // Lookup failed (e.g. the generation region raced a free):
             // nothing learned, surface the original fault.
             return Ok(false);
@@ -1726,7 +1740,7 @@ impl KvTable {
     pub async fn grow(&self, new_buckets: u64) -> Result<u64> {
         let ledger = self.meta.op_ledger("resize");
         let result = self.grow_l(new_buckets, &ledger).await;
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -1974,7 +1988,7 @@ impl KvTable {
     {
         let ledger = self.meta.op_ledger("bulk_load");
         let result = self.bulk_load_l(entries, &ledger).await;
-        self.meta.finish_ledger(&ledger);
+        self.meta.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -2111,7 +2125,7 @@ impl KvTable {
             Ok(old == expect)
         }
         .await;
-        self.meta.finish_ledger(&cas_ledger);
+        self.meta.finish_ledger_res(&cas_ledger, &result);
         parent.absorb(&cas_ledger);
         result
     }

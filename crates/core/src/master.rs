@@ -231,12 +231,22 @@ impl Master {
             loop {
                 m.sim.sleep(m.cfg.sweep_interval).await;
                 let now = m.sim.now();
-                let mut st = m.state.borrow_mut();
-                let lease = m.cfg.lease;
-                for info in st.servers.values_mut() {
-                    if info.alive && now.saturating_since(info.last_hb) > lease {
-                        info.alive = false;
+                let mut expired: Vec<u32> = Vec::new();
+                {
+                    let mut st = m.state.borrow_mut();
+                    let lease = m.cfg.lease;
+                    for (&n, info) in st.servers.iter_mut() {
+                        if info.alive && now.saturating_since(info.last_hb) > lease {
+                            info.alive = false;
+                            expired.push(n);
+                        }
                     }
+                }
+                // HashMap iteration order is unseeded; sort so era notes
+                // are deterministic when several leases expire in one sweep.
+                expired.sort_unstable();
+                for n in expired {
+                    m.sim.forensics().note("lease", "server_expired", n as u64);
                 }
             }
         });
@@ -1025,6 +1035,9 @@ impl Master {
         }
         if repaired > 0 {
             self.dev.metrics().add("rstore.repair.extents", repaired);
+            self.sim
+                .forensics()
+                .note("repair", "extents_repaired", repaired);
         }
         span.end();
     }
@@ -1340,6 +1353,9 @@ impl Master {
             unreserve(target, phys);
             return MigrateOutcome::Failed;
         }
+        self.sim
+            .forensics()
+            .note("migrate", "extent_sealed", old.node as u64);
         let unseal = |master: &Master| {
             let master = master.clone();
             async move {
@@ -1371,6 +1387,9 @@ impl Master {
             Ok(SrvResp::Ok)
         );
         if !copied {
+            self.sim
+                .forensics()
+                .note("migrate", "extent_unsealed", old.node as u64);
             unseal(self).await;
             free_new(self).await;
             unreserve(target, phys);

@@ -13,7 +13,7 @@ use std::time::Duration;
 use rdma::{BatchWr, CqStatus, DmaBuf, RdmaError, Sge, SgeList, MAX_SGE};
 use sim::channel::oneshot;
 use sim::sync::Semaphore;
-use sim::OpLedger;
+use sim::{OpLedger, Phase};
 
 use crate::client::RStoreClient;
 use crate::crc::crc32c;
@@ -193,9 +193,19 @@ impl Region {
     /// has been freed. Callers keep their original IO error in that case —
     /// "the data is gone" must keep surfacing as `RemoteAccess` for layered
     /// recovery (the KV generation machinery) to work unchanged.
-    pub(crate) async fn revalidate(&self) -> Result<()> {
+    pub(crate) async fn revalidate(&self, ledger: &OpLedger) -> Result<()> {
         let s = &self.client.shared;
         s.dev.metrics().incr("rstore.desc.stale");
+        let trace = ledger.optrace();
+        let reval = trace.begin(Phase::Reval, s.sim.now());
+        let result = self.revalidate_inner(ledger).await;
+        trace.end(reval, s.sim.now());
+        result
+    }
+
+    async fn revalidate_inner(&self, ledger: &OpLedger) -> Result<()> {
+        let s = &self.client.shared;
+        let trace = ledger.optrace();
         let mut backoff = Duration::from_millis(1);
         for attempt in 0u64..8 {
             let fresh = self.client.lookup(self.name()).await?;
@@ -214,7 +224,11 @@ impl Region {
             if attempt == 7 {
                 break;
             }
+            // The descriptor has not moved: the extent is still sealed for a
+            // migration/repair in flight, so this backoff is a seal stall.
+            let seal = trace.begin(Phase::Seal, s.sim.now());
             s.sim.sleep(backoff).await;
+            trace.end(seal, s.sim.now());
             backoff = (backoff * 2).min(Duration::from_millis(50));
         }
         Ok(())
@@ -235,18 +249,32 @@ impl Region {
     /// Starts a cost ledger for one logical `op` if the owning client has
     /// ledgers enabled ([`ClientConfig::ledger`](crate::client::ClientConfig::ledger)),
     /// otherwise the free disabled ledger.
-    pub(crate) fn op_ledger(&self, op: &str) -> OpLedger {
+    pub(crate) fn op_ledger(&self, op: &'static str) -> OpLedger {
         let s = &self.client.shared;
         if s.cfg.ledger {
-            OpLedger::start(&s.dev.metrics(), op, s.sim.now())
+            let now = s.sim.now();
+            // Causal forensics ride the ledger: when the simulation's
+            // forensics registry is enabled, the op also gets a phase span
+            // tree (otherwise the trace is the free disabled one).
+            let trace = s.sim.forensics().start(op, now);
+            OpLedger::start_traced(&s.dev.metrics(), op, now, trace)
         } else {
             OpLedger::disabled()
         }
     }
 
-    /// Finishes `ledger` at the current virtual time.
-    pub(crate) fn finish_ledger(&self, ledger: &OpLedger) {
-        ledger.finish(self.client.shared.sim.now());
+    /// Finishes `ledger` result-aware: a structured error (corruption,
+    /// timeout, failover exhaustion, capacity) is recorded on the op's
+    /// forensics trace, which makes the registry dump a triage bundle.
+    pub(crate) fn finish_ledger_res<T>(&self, ledger: &OpLedger, result: &Result<T>) {
+        let now = self.client.shared.sim.now();
+        match result {
+            Err(e) => match crate::error::forensic_reason(e) {
+                Some(reason) => ledger.finish_err(now, reason),
+                None => ledger.finish(now),
+            },
+            Ok(_) => ledger.finish(now),
+        }
     }
 
     // --- convenience byte API -------------------------------------------------
@@ -401,7 +429,7 @@ impl Region {
     pub async fn read_into(&self, offset: u64, dst: DmaBuf) -> Result<()> {
         let ledger = self.op_ledger(if self.checksums { "read_ck" } else { "read" });
         let result = self.read_into_l(offset, dst, &ledger).await;
-        self.finish_ledger(&ledger);
+        self.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -422,7 +450,7 @@ impl Region {
                 // NotFound) keeps the original IO error: layered protocols —
                 // the KV generation machinery — key their own recovery on
                 // `RemoteAccess`, not on control-path lookup errors.
-                if self.revalidate().await.is_err() {
+                if self.revalidate(ledger).await.is_err() {
                     return Err(e);
                 }
                 ledger.retry();
@@ -523,7 +551,7 @@ impl Region {
         });
         ledger.set_units(ios.len() as u64);
         let result = self.read_into_many_l(ios, &ledger).await;
-        self.finish_ledger(&ledger);
+        self.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -537,7 +565,7 @@ impl Region {
     ) -> Result<()> {
         match self.read_into_many_raw(ios, ledger).await {
             Err(e) if is_stale(&e) => {
-                if self.revalidate().await.is_err() {
+                if self.revalidate(ledger).await.is_err() {
                     return Err(e);
                 }
                 ledger.retry();
@@ -654,7 +682,14 @@ impl Region {
         mut retry: Vec<ReadRetry>,
         ledger: &OpLedger,
     ) -> Result<()> {
-        loop {
+        let sim = &self.client.shared.sim;
+        let trace = ledger.optrace();
+        // One retry span covers the whole recovery tail: opened at the first
+        // failed piece, closed when the op settles. Individual WR waits and
+        // failover marks nest inside it, so the span's self-time is exactly
+        // the recovery overhead (redials, reposts) not explained by wire.
+        let mut retry_span = None;
+        let result = 'outer: loop {
             // Each pass that awaits at least one posted completion is one
             // round trip for the logical op (pieces in a round fly in
             // parallel).
@@ -669,7 +704,10 @@ impl Region {
                 }
             }
             if retry.is_empty() {
-                return Ok(());
+                break Ok(());
+            }
+            if retry_span.is_none() && trace.enabled() {
+                retry_span = Some(trace.begin(Phase::Retry, sim.now()));
             }
             let failed = std::mem::take(&mut retry);
             let mut next_round = Vec::new();
@@ -689,16 +727,21 @@ impl Region {
                 }
                 let next = replica + 1;
                 if next >= self.replicas(piece.group) {
-                    return Err(RStoreError::Io(status));
+                    break 'outer Err(RStoreError::Io(status));
                 }
                 ledger.failover();
+                trace.mark(Phase::Failover, sim.now());
                 match self.post_piece(&piece, buf, Dir::Read, next, ledger) {
                     Ok(rx) => next_round.push((piece, buf, next, false, rx)),
                     Err(_) => retry.push((piece, buf, next, false, status)),
                 }
             }
             waits = next_round;
+        };
+        if let Some(tok) = retry_span {
+            trace.end(tok, sim.now());
         }
+        result
     }
 
     /// Writes local buffer `src` at `offset` (to **all** replicas) and waits
@@ -710,7 +753,7 @@ impl Region {
     pub async fn write_from(&self, offset: u64, src: DmaBuf) -> Result<()> {
         let ledger = self.op_ledger(if self.checksums { "write_ck" } else { "write" });
         let result = self.write_from_l(offset, src, &ledger).await;
-        self.finish_ledger(&ledger);
+        self.finish_ledger_res(&ledger, &result);
         result
     }
 
@@ -727,7 +770,7 @@ impl Region {
     ) -> Result<()> {
         match self.write_from_raw(offset, src, ledger).await {
             Err(e) if is_stale(&e) => {
-                if self.revalidate().await.is_err() {
+                if self.revalidate(ledger).await.is_err() {
                     return Err(e);
                 }
                 ledger.retry();
@@ -823,23 +866,34 @@ impl Region {
         src: DmaBuf,
         ledger: &OpLedger,
     ) -> Result<()> {
-        for (piece, r) in failed {
-            let node = self.extent(piece.group, r).node;
-            if self.client.redial(node).await.is_err() {
-                return Err(RStoreError::Io(CqStatus::Timeout));
-            }
-            let Ok(rx) = self.post_piece(&piece, src, Dir::Write, r, ledger) else {
-                return Err(RStoreError::Io(CqStatus::Timeout));
-            };
-            ledger.retry();
-            ledger.rtt();
-            match rx.await {
-                Some(CqStatus::Success) => {}
-                Some(status) => return Err(RStoreError::Io(status)),
-                None => return Err(RStoreError::Io(CqStatus::Flushed)),
-            }
+        if failed.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let sim = &self.client.shared.sim;
+        let trace = ledger.optrace();
+        let span = trace.begin(Phase::Retry, sim.now());
+        let result = async {
+            for (piece, r) in failed {
+                let node = self.extent(piece.group, r).node;
+                if self.client.redial(node).await.is_err() {
+                    return Err(RStoreError::Io(CqStatus::Timeout));
+                }
+                let Ok(rx) = self.post_piece(&piece, src, Dir::Write, r, ledger) else {
+                    return Err(RStoreError::Io(CqStatus::Timeout));
+                };
+                ledger.retry();
+                ledger.rtt();
+                match rx.await {
+                    Some(CqStatus::Success) => {}
+                    Some(status) => return Err(RStoreError::Io(status)),
+                    None => return Err(RStoreError::Io(CqStatus::Flushed)),
+                }
+            }
+            Ok(())
+        }
+        .await;
+        trace.end(span, sim.now());
+        result
     }
 
     // --- verified (checksummed) paths -----------------------------------------

@@ -616,12 +616,14 @@ impl<M: 'static> Fabric<M> {
                 self.metrics.incr("fabric.fault.crash");
                 self.tracer
                     .instant("fabric", "fabric.fault.crash", node.0 as u64, 0);
+                self.sim.forensics().note("fault", "crash", node.0 as u64);
             }
             FaultAction::Restart(node) => {
                 self.set_node_up(node, true);
                 self.metrics.incr("fabric.fault.restart");
                 self.tracer
                     .instant("fabric", "fabric.fault.restart", node.0 as u64, 0);
+                self.sim.forensics().note("fault", "restart", node.0 as u64);
             }
             FaultAction::LossStart(prob) => {
                 self.set_loss(prob, seed);
@@ -633,12 +635,16 @@ impl<M: 'static> Fabric<M> {
                     0,
                     (prob * 1_000_000.0) as u64,
                 );
+                self.sim
+                    .forensics()
+                    .note("fault", "loss_start", (prob * 1_000_000.0) as u64);
             }
             FaultAction::LossStop => {
                 self.clear_loss();
                 self.metrics.incr("fabric.fault.loss_stop");
                 self.tracer
                     .instant("fabric", "fabric.fault.loss_stop", 0, 0);
+                self.sim.forensics().note("fault", "loss_stop", 0);
             }
             FaultAction::CorruptRegion { node, bits } => {
                 self.metrics.incr("fabric.fault.corrupt_region");
@@ -648,6 +654,9 @@ impl<M: 'static> Fabric<M> {
                     node.0 as u64,
                     bits as u64,
                 );
+                self.sim
+                    .forensics()
+                    .note("fault", "corrupt_region", node.0 as u64);
                 // Salt the seed with the event's virtual time so repeated
                 // corruptions of one node under one plan flip distinct bits.
                 let salt = seed ^ self.sim.now().saturating_since(SimTime::ZERO).as_nanos() as u64;
@@ -667,17 +676,22 @@ impl<M: 'static> Fabric<M> {
                     0,
                     (prob * 1_000_000.0) as u64,
                 );
+                self.sim
+                    .forensics()
+                    .note("fault", "flip_start", (prob * 1_000_000.0) as u64);
             }
             FaultAction::FlipStop => {
                 self.clear_flip();
                 self.metrics.incr("fabric.fault.flip_stop");
                 self.tracer
                     .instant("fabric", "fabric.fault.flip_stop", 0, 0);
+                self.sim.forensics().note("fault", "flip_stop", 0);
             }
             FaultAction::Join(node) => {
                 self.metrics.incr("fabric.fault.join");
                 self.tracer
                     .instant("fabric", "fabric.fault.join", node.0 as u64, 0);
+                self.sim.forensics().note("fault", "join", node.0 as u64);
                 // Clone the hook out before invoking: it re-enters cluster
                 // code, which calls back into the fabric.
                 let hook = self.inner.borrow().membership_hook.clone();
@@ -689,6 +703,7 @@ impl<M: 'static> Fabric<M> {
                 self.metrics.incr("fabric.fault.drain");
                 self.tracer
                     .instant("fabric", "fabric.fault.drain", node.0 as u64, 0);
+                self.sim.forensics().note("fault", "drain", node.0 as u64);
                 let hook = self.inner.borrow().membership_hook.clone();
                 if let Some(hook) = hook {
                     hook(MembershipEvent::Drain(node));

@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use fabric::{Delivery, Fabric, NodeId};
 use sim::channel::{channel, oneshot, Receiver, Sender};
-use sim::{Layer, Metrics, OpLedger, Sim, SimTime, Tracer};
+use sim::{Layer, Metrics, OpLedger, Phase, Sim, SimTime, Tracer};
 
 use crate::config::RdmaConfig;
 use crate::cq::{CompletionQueue, CqStatus, Cqe, CqeOpcode};
@@ -97,6 +97,9 @@ struct PendingWr {
     local_dst: Option<DmaBuf>,
     /// Virtual time the WR was posted; start of its trace span.
     posted_at: SimTime,
+    /// Virtual time every sub-response was in (the WR resolved); time from
+    /// here to release is CQE settle — waiting for in-order delivery.
+    resolved_at: SimTime,
     /// Whether a *successful* completion generates a CQE. Error and flush
     /// completions are always delivered, matching verbs hardware.
     signaled: bool,
@@ -821,6 +824,7 @@ impl RdmaDevice {
         let resolved = wr.remaining == 0;
         if resolved {
             wr.status = Some(wr.folded);
+            wr.resolved_at = self.sim.now();
         }
         let cq = qp.cq.clone();
 
@@ -852,6 +856,7 @@ impl RdmaDevice {
                     imm: None,
                 },
                 w.posted_at,
+                w.resolved_at,
                 w.signaled,
                 w.ledger,
                 w.post_cost_ns,
@@ -862,12 +867,35 @@ impl RdmaDevice {
         let now = self.sim.now();
         let metrics = self.metrics();
         let nic_ns = self.cfg.nic_delay.as_nanos() as u64;
-        for (cqe, posted_at, signaled, ledger, post_cost_ns) in cqes {
+        for (cqe, posted_at, resolved_at, signaled, ledger, post_cost_ns) in cqes {
             stats.incr("completed");
             metrics.record(
                 opcode_latency_metric(cqe.opcode),
                 now.saturating_since(posted_at),
             );
+            // Causal phase stamps for the op's forensics trace: the WR's
+            // round trip split into wire / server residency / CQE settle
+            // (resolved but held for in-order release); a failed attempt's
+            // whole wait is charged to the retry phase, since recovery is
+            // what follows it.
+            let trace = ledger.optrace();
+            if trace.enabled() {
+                let start_ns = posted_at.as_nanos() + post_cost_ns;
+                let elapsed = now.saturating_since(posted_at).as_nanos() as u64;
+                if cqe.status == CqStatus::Success {
+                    let settle = now.saturating_since(resolved_at).as_nanos() as u64;
+                    let active = elapsed.saturating_sub(post_cost_ns + settle);
+                    let server_ns = (2 * nic_ns).min(active);
+                    let wire_ns = active - server_ns;
+                    trace.span_ns(Phase::Wire, start_ns, wire_ns);
+                    trace.span_ns(Phase::Server, start_ns + wire_ns, server_ns);
+                    if settle > 0 {
+                        trace.span_ns(Phase::Cqe, resolved_at.as_nanos(), settle);
+                    }
+                } else {
+                    trace.span_ns(Phase::Retry, start_ns, elapsed.saturating_sub(post_cost_ns));
+                }
+            }
             if cqe.status == CqStatus::Success {
                 // Reads and atomics carry a response payload back.
                 if matches!(
@@ -918,9 +946,25 @@ impl RdmaDevice {
         let stats = qp.stats.clone();
         let mut cqes = Vec::new();
         let mut released = 0u64;
+        let now = self.sim.now();
         for w in qp.sq.drain(..) {
             released += w.byte_len;
             stats.incr("flushed");
+            // The victim op spent its whole wait on an attempt that timed
+            // out: blame that interval on the retry phase of its forensics
+            // trace (flushed siblings shared the same wait; one span
+            // suffices for the batch).
+            if w.req_id == victim_req {
+                let trace = w.ledger.optrace();
+                if trace.enabled() {
+                    let start_ns = w.posted_at.as_nanos() + w.post_cost_ns;
+                    trace.span_ns(
+                        Phase::Retry,
+                        start_ns,
+                        now.as_nanos().saturating_sub(start_ns),
+                    );
+                }
+            }
             cqes.push(Cqe {
                 wr_id: w.wr_id,
                 opcode: w.opcode,
@@ -1386,6 +1430,7 @@ impl Qp {
                 status: None,
                 local_dst,
                 posted_at: self.dev.sim.now(),
+                resolved_at: self.dev.sim.now(),
                 signaled: true,
                 ledger: ledger.clone(),
                 post_cost_ns,
@@ -1417,6 +1462,12 @@ impl Qp {
         ledger.doorbell();
         ledger.wire(wire);
         ledger.layer_ns(Layer::Post, post_cost_ns);
+        let trace = ledger.optrace();
+        if trace.enabled() {
+            let now = self.dev.sim.now();
+            trace.mark(Phase::Doorbell, now);
+            trace.span_ns(Phase::Post, now.as_nanos(), post_cost_ns);
+        }
         let dev = self.dev.clone();
         let src_node = self.dev.node;
         // Charge the doorbell/WQE-build CPU cost before the packet exists.
@@ -1561,6 +1612,7 @@ impl Qp {
                                 status: None,
                                 local_dst: Some(dst),
                                 posted_at: now,
+                                resolved_at: now,
                                 signaled: wr.signaled,
                                 ledger: ledger.clone(),
                                 post_cost_ns,
@@ -1599,6 +1651,7 @@ impl Qp {
                                 status: None,
                                 local_dst: None,
                                 posted_at: now,
+                                resolved_at: now,
                                 signaled: wr.signaled,
                                 ledger: ledger.clone(),
                                 post_cost_ns,
@@ -1649,6 +1702,7 @@ impl Qp {
                                 status: None,
                                 local_dst: None,
                                 posted_at: now,
+                                resolved_at: now,
                                 signaled: wr.signaled,
                                 ledger: ledger.clone(),
                                 post_cost_ns,
@@ -1705,10 +1759,15 @@ impl Qp {
             metrics.incr("rdma.doorbells");
             metrics.record_value("rdma.doorbell_wrs", chunk.len() as u64);
             ledger.doorbell();
-            ledger.layer_ns(
-                Layer::Post,
-                first_wr_cost + linked_wr_cost * chunk.len().saturating_sub(1) as u64,
-            );
+            let chunk_post_ns =
+                first_wr_cost + linked_wr_cost * chunk.len().saturating_sub(1) as u64;
+            ledger.layer_ns(Layer::Post, chunk_post_ns);
+            let trace = ledger.optrace();
+            if trace.enabled() {
+                let now = self.dev.sim.now();
+                trace.mark(Phase::Doorbell, now);
+                trace.span_ns(Phase::Post, now.as_nanos(), chunk_post_ns);
+            }
             build_delay += cfg.post_overhead
                 + cfg
                     .batch_wr_overhead

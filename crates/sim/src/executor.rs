@@ -60,6 +60,7 @@ struct Core {
     next_task_id: u64,
     live_tasks: usize,
     trace: Rc<RefCell<crate::trace::TraceBuf>>,
+    forensics: Rc<RefCell<crate::optrace::ForensicsBuf>>,
 }
 
 struct Event {
@@ -258,6 +259,7 @@ impl Sim {
                 next_task_id: 0,
                 live_tasks: 0,
                 trace: Tracer::new_buf(),
+                forensics: crate::optrace::Forensics::new_buf(),
             })),
         }
     }
@@ -274,6 +276,23 @@ impl Sim {
         let buf = self.core.borrow().trace.clone();
         let weak = Rc::downgrade(&self.core);
         Tracer::from_parts(
+            buf,
+            Rc::new(move || {
+                weak.upgrade()
+                    .map(|core| core.borrow().now)
+                    .unwrap_or(SimTime::ZERO)
+            }),
+        )
+    }
+
+    /// Returns a handle to this simulation's per-op forensics registry
+    /// (span trees, tail exemplars, flight recorder). All handles for one
+    /// simulation share state; forensics start disabled — call
+    /// [`crate::optrace::Forensics::enable`] to record.
+    pub fn forensics(&self) -> crate::optrace::Forensics {
+        let buf = self.core.borrow().forensics.clone();
+        let weak = Rc::downgrade(&self.core);
+        crate::optrace::Forensics::from_parts(
             buf,
             Rc::new(move || {
                 weak.upgrade()

@@ -29,6 +29,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::metrics::Metrics;
+use crate::optrace::OpTrace;
 use crate::time::SimTime;
 
 /// Raw cost counters accumulated by one logical operation.
@@ -73,6 +74,7 @@ struct Inner {
     started: SimTime,
     costs: RefCell<OpCosts>,
     finished: Cell<bool>,
+    trace: OpTrace,
 }
 
 /// A per-operation cost ledger handle.
@@ -97,6 +99,13 @@ impl OpLedger {
     /// `now`. Charges fold into `metrics` under `ops.<op>.*` on
     /// [`OpLedger::finish`].
     pub fn start(metrics: &Metrics, op: &str, now: SimTime) -> Self {
+        Self::start_traced(metrics, op, now, OpTrace::disabled())
+    }
+
+    /// [`OpLedger::start`] with an attached causal [`OpTrace`]: the trace
+    /// rides inside the ledger so every layer holding a ledger clone can
+    /// stamp phase spans, and [`OpLedger::finish`] finishes both.
+    pub fn start_traced(metrics: &Metrics, op: &str, now: SimTime, trace: OpTrace) -> Self {
         Self {
             inner: Some(Rc::new(Inner {
                 metrics: metrics.scoped("ops").scoped(op),
@@ -106,8 +115,19 @@ impl OpLedger {
                     ..OpCosts::default()
                 }),
                 finished: Cell::new(false),
+                trace,
             })),
         }
+    }
+
+    /// The causal trace riding in this ledger ([`OpTrace::disabled`] when
+    /// the ledger is disabled or no trace was attached). Cheap to call:
+    /// clones an `Option<Rc>`.
+    pub fn optrace(&self) -> OpTrace {
+        self.inner
+            .as_ref()
+            .map(|i| i.trace.clone())
+            .unwrap_or_default()
     }
 
     /// True if charges are being recorded.
@@ -196,10 +216,22 @@ impl OpLedger {
     /// Elapsed virtual time not attributed to post/wire/server is charged
     /// to client logic.
     pub fn finish(&self, now: SimTime) {
+        self.finish_with(now, None);
+    }
+
+    /// [`OpLedger::finish`] for an op that failed with a structured error:
+    /// charges fold identically, and the attached trace (if any) records
+    /// `reason`, which makes the forensics registry dump a triage bundle.
+    pub fn finish_err(&self, now: SimTime, reason: &'static str) {
+        self.finish_with(now, Some(reason));
+    }
+
+    fn finish_with(&self, now: SimTime, error: Option<&'static str>) {
         let Some(inner) = &self.inner else { return };
         if inner.finished.replace(true) {
             return;
         }
+        inner.trace.finish(now, error);
         let c = *inner.costs.borrow();
         let m = &inner.metrics;
         let elapsed = now.saturating_since(inner.started).as_nanos() as u64;
@@ -407,6 +439,32 @@ mod tests {
         assert_eq!(s[0].op, "cas");
         assert_eq!(s[1].op, "put");
         assert_eq!(s[1].rtts_total, 2);
+    }
+
+    #[test]
+    fn traced_ledger_finishes_the_trace_with_it() {
+        use crate::optrace::{Forensics, ForensicsConfig};
+        use std::rc::Rc;
+        let f = Forensics::from_parts(Forensics::new_buf(), Rc::new(|| SimTime::ZERO));
+        f.enable(ForensicsConfig::default());
+        let m = Metrics::new();
+        let tr = f.start("get", SimTime::ZERO);
+        let l = OpLedger::start_traced(&m, "get", SimTime::ZERO, tr);
+        assert!(l.optrace().enabled());
+        l.rtt();
+        l.finish(SimTime::from_nanos(250));
+        assert_eq!(f.finished(), 1);
+        assert_eq!(f.ring()[0].elapsed_ns, 250);
+        // An error finish on a fresh op dumps a triage bundle.
+        let l2 = OpLedger::start_traced(&m, "get", SimTime::ZERO, f.start("get", SimTime::ZERO));
+        l2.finish_err(SimTime::from_nanos(990), "timeout");
+        assert_eq!(f.failed(), 1);
+        assert!(f.last_bundle().is_some());
+        // A plain ledger exposes a disabled trace.
+        assert!(!OpLedger::start(&m, "put", SimTime::ZERO)
+            .optrace()
+            .enabled());
+        assert!(!OpLedger::disabled().optrace().enabled());
     }
 
     #[test]

@@ -38,6 +38,9 @@
 //! * [`metrics`] — counters and latency histograms shared between components.
 //! * [`ledger`] — per-operation cost attribution (RTTs, doorbells, wire
 //!   bytes, per-layer time split; zero-cost when disabled).
+//! * [`optrace`] — causal per-op forensics: phase span trees, critical-path
+//!   blame vectors, tail exemplars, and a black-box flight recorder
+//!   (zero-cost when disabled).
 //! * [`trace`] — deterministic span/instant tracing with Chrome-trace export.
 //! * [`timeseries`] — windowed counter-delta / percentile sampling on
 //!   virtual time (fixed-capacity, zero-cost when disabled).
@@ -49,6 +52,7 @@ pub mod executor;
 pub mod future_util;
 pub mod ledger;
 pub mod metrics;
+pub mod optrace;
 pub mod rng;
 pub mod sync;
 pub mod time;
@@ -60,6 +64,9 @@ pub use executor::{JoinHandle, Sim};
 pub use future_util::{join_all, yield_now};
 pub use ledger::{Layer, OpCosts, OpLedger, OpSummary};
 pub use metrics::{Histogram, Metrics};
+pub use optrace::{
+    BlameVec, EraNote, Exemplar, FlightRec, Forensics, ForensicsConfig, OpTrace, Phase, SpanRec,
+};
 pub use rng::DetRng;
 pub use time::SimTime;
 pub use timeseries::{Sampler, Window, WindowStats};

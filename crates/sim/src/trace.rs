@@ -70,6 +70,7 @@ pub(crate) struct TraceBuf {
     head: usize,
     next_seq: u64,
     evicted: u64,
+    published_evicted: u64,
 }
 
 impl TraceBuf {
@@ -133,6 +134,7 @@ impl Tracer {
         buf.head = 0;
         buf.next_seq = 0;
         buf.evicted = 0;
+        buf.published_evicted = 0;
     }
 
     /// Stops recording (the collected events stay readable).
@@ -158,6 +160,19 @@ impl Tracer {
     /// Number of events evicted by ring wraparound.
     pub fn evicted(&self) -> u64 {
         self.buf.borrow().evicted
+    }
+
+    /// Mirrors ring evictions into `metrics` as the `trace.evicted`
+    /// counter, adding only the evictions since the last publish so
+    /// repeated calls keep the counter exact. Call wherever the trace is
+    /// exported or the registry is dumped.
+    pub fn publish_evicted(&self, metrics: &crate::metrics::Metrics) {
+        let mut buf = self.buf.borrow_mut();
+        let delta = buf.evicted - buf.published_evicted;
+        if delta > 0 {
+            metrics.add("trace.evicted", delta);
+            buf.published_evicted = buf.evicted;
+        }
     }
 
     /// Copies the buffered events out, oldest first.
@@ -309,7 +324,7 @@ fn micros(nanos: u64) -> String {
 /// Writes `s` as a quoted JSON string, escaping quotes, backslashes, and
 /// control characters. Registry names are plain identifiers today, but the
 /// export must stay valid JSON for any future name.
-fn push_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -475,6 +490,25 @@ mod tests {
         }
         let json = t.export_chrome_trace();
         assert!(json.contains("\"evicted\": 3"));
+    }
+
+    #[test]
+    fn publish_evicted_mirrors_ring_overflow_into_metrics() {
+        let sim = Sim::new();
+        let m = crate::Metrics::new();
+        let t = sim.tracer();
+        t.enable(2);
+        for i in 0..7 {
+            t.instant("test", "tick", i, i);
+        }
+        t.publish_evicted(&m);
+        assert_eq!(m.counter("trace.evicted"), 5);
+        // Repeated publishing only adds the delta.
+        t.publish_evicted(&m);
+        assert_eq!(m.counter("trace.evicted"), 5);
+        t.instant("test", "tick", 7, 7);
+        t.publish_evicted(&m);
+        assert_eq!(m.counter("trace.evicted"), 6);
     }
 
     #[test]

@@ -73,6 +73,62 @@ fn trace_export_is_valid_chrome_json() {
     }
 }
 
+/// A trace ring smaller than the workload must overflow loudly: the evicted
+/// count surfaces as the `trace.evicted` metrics counter when published, so
+/// a truncated export is never mistaken for a complete one.
+#[test]
+fn trace_ring_overflow_is_surfaced_in_metrics() {
+    let cluster = boot(3, 1);
+    let sim = cluster.sim.clone();
+    let metrics = cluster.fabric.metrics().clone();
+    let tracer = sim.tracer();
+    tracer.enable(8); // far fewer slots than a lifecycle emits
+    let devs = cluster.client_devs.clone();
+    let master = cluster.master_node();
+    sim.block_on(async move {
+        let c = RStoreClient::connect(&devs[0], master).await.unwrap();
+        let r = c
+            .alloc("ov", 1 << 20, AllocOptions::default())
+            .await
+            .unwrap();
+        r.write(0, &vec![3u8; 256 * 1024]).await.unwrap();
+        r.read(0, 256 * 1024).await.unwrap();
+        c.free("ov").await.unwrap();
+    });
+    tracer.publish_evicted(&metrics);
+    assert!(
+        metrics.counter("trace.evicted") > 0,
+        "an overflowed ring must be visible in the metrics namespace"
+    );
+    // Publishing is delta-tracked: a second publish with no new evictions
+    // must not double-count.
+    let count = metrics.counter("trace.evicted");
+    tracer.publish_evicted(&metrics);
+    assert_eq!(metrics.counter("trace.evicted"), count);
+}
+
+/// The elasticity experiment (E15: join, drain, live migration) must be
+/// deterministic end to end: two full runs produce byte-identical exports —
+/// sampled windows, per-op ledgers, drain accounting and all.
+#[test]
+fn e15_elasticity_export_is_byte_identical_across_runs() {
+    let a = bench::report::experiment_json("e15").render();
+    let b = bench::report::experiment_json("e15").render();
+    assert_eq!(a, b, "E15 export must be bit-for-bit reproducible");
+    validate(&a).expect("E15 export must be well-formed JSON");
+}
+
+/// Same for the raw-speed experiment (E16: scatter-gather, inline writes):
+/// its doorbell/posting counts are design invariants, so the export must
+/// not wander between runs.
+#[test]
+fn e16_rawspeed_export_is_byte_identical_across_runs() {
+    let a = bench::report::experiment_json("e16").render();
+    let b = bench::report::experiment_json("e16").render();
+    assert_eq!(a, b, "E16 export must be bit-for-bit reproducible");
+    validate(&a).expect("E16 export must be well-formed JSON");
+}
+
 #[test]
 fn metrics_are_deterministic_across_runs() {
     let run = || {

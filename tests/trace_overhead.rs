@@ -86,4 +86,62 @@ fn disabled_tracing_does_not_allocate() {
         metrics.counter("ops.get.count") == 1,
         "enabled ledger must fold into metrics on finish"
     );
+
+    // Causal op forensics follow the same discipline. A disabled trace
+    // (forensics registry off — the default) must record for free: begin,
+    // end, mark, retroactive spans, clone and finish all without touching
+    // the heap.
+    let trace = sim::OpTrace::disabled();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000u64 {
+        let span = trace.begin(sim::Phase::Wire, sim::SimTime::ZERO);
+        trace.mark(sim::Phase::Doorbell, sim::SimTime::ZERO);
+        trace.span_ns(sim::Phase::Post, i, 1);
+        trace.end(span, sim::SimTime::from_nanos(i));
+        let clone = trace.clone();
+        clone.finish(sim::SimTime::from_nanos(i), None);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled op trace must not touch the heap"
+    );
+
+    // An enabled trace in steady state must record spans allocation-free
+    // too: span storage cycles through the registry's pool, so once a
+    // same-shaped op has finished, the next op's recording reuses its
+    // capacity. Only start/finish may allocate — the ledger's rule.
+    let sim = sim::Sim::new();
+    let forensics = sim.forensics();
+    forensics.enable(sim::ForensicsConfig {
+        window_ns: 1 << 30,
+        k_per_kind: 0, // no exemplars retained: every finish recycles
+        ring: 8,
+    });
+    const SPANS: u64 = 32;
+    for _ in 0..2 {
+        let warm = forensics.start("get", sim::SimTime::ZERO);
+        for i in 0..SPANS {
+            let s = warm.begin(sim::Phase::Wire, sim::SimTime::from_nanos(i));
+            warm.span_ns(sim::Phase::Post, i, 1);
+            warm.end(s, sim::SimTime::from_nanos(i + 1));
+        }
+        warm.finish(sim::SimTime::from_nanos(100), None);
+    }
+    let steady = forensics.start("get", sim::SimTime::ZERO);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..SPANS {
+        let s = steady.begin(sim::Phase::Retry, sim::SimTime::from_nanos(i));
+        steady.span_ns(sim::Phase::Wire, i, 1);
+        steady.end(s, sim::SimTime::from_nanos(i + 1));
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "enabled op-trace recording must stay allocation-free in steady state"
+    );
+    steady.finish(sim::SimTime::from_nanos(100), None);
+    assert_eq!(forensics.finished(), 3);
 }
